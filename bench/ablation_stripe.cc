@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Ablation: Cheops stripe unit vs mining bandwidth.
+ *
+ * The paper runs NASD PFS with a 512 KB stripe unit and 2 MB client
+ * chunks. This bench sweeps the stripe unit at 8 drives / 8 clients to
+ * show the design point: small units fragment every request across all
+ * drives (per-request overhead multiplies), enormous units lose
+ * parallelism within a request.
+ */
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/frequent_sets.h"
+#include "apps/transactions.h"
+#include "bench/bench_util.h"
+#include "cheops/cheops.h"
+#include "net/presets.h"
+#include "pfs/pfs.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+using namespace nasd;
+using util::kKB;
+using util::kMB;
+
+namespace {
+
+constexpr int kDrives = 8;
+constexpr std::uint64_t kDatasetBytes = 96 * kMB; // smaller sweep set
+constexpr std::uint32_t kCatalogItems = 200;
+
+double
+measure(std::uint64_t stripe_unit)
+{
+    sim::Simulator sim;
+    net::Network net(sim);
+    std::vector<std::unique_ptr<NasdDrive>> drives;
+    std::vector<NasdDrive *> raw;
+    for (int i = 0; i < kDrives; ++i) {
+        auto cfg = prototypeDriveConfig("nasd" + std::to_string(i), i + 1);
+        // Small drive cache so the sweep measures the media path (the
+        // 96 MB working set must not fit in aggregate drive DRAM).
+        cfg.store.data_cache_bytes = 4 * kMB;
+        drives.push_back(
+            std::make_unique<NasdDrive>(sim, net, std::move(cfg)));
+        raw.push_back(drives.back().get());
+    }
+    auto &mgr_node = net.addNode("mgr", net::alphaStation500(),
+                                 net::oc3Link(), net::dceRpcCosts());
+    cheops::CheopsManager storage(sim, net, mgr_node, raw, 0);
+    bench::runTask(sim, storage.initialize(1024 * kMB));
+    pfs::PfsManager manager(storage);
+
+    auto &loader_node = net.addNode("loader", net::alphaStation255(),
+                                    net::oc3Link(), net::dceRpcCosts());
+    pfs::PfsClient loader(net, loader_node, manager, raw);
+    auto handle = bench::runFor(sim, loader.open("sales", true, true,
+                                                 stripe_unit)).value();
+    apps::DatasetParams params;
+    params.catalog_items = kCatalogItems;
+    apps::TransactionGenerator gen(params);
+    const std::uint64_t chunks = kDatasetBytes / apps::kChunkBytes;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+        auto w = bench::runFor(sim, loader.write(
+                                        handle, c * apps::kChunkBytes,
+                                        gen.chunk(c)));
+        (void)w;
+    }
+    for (auto *d : raw)
+        bench::runTask(sim, d->store().flushAll());
+
+    std::vector<std::unique_ptr<pfs::PfsClient>> clients;
+    std::vector<apps::ItemCounts> partials(
+        kDrives, apps::ItemCounts(kCatalogItems, 0));
+    for (int i = 0; i < kDrives; ++i) {
+        auto &node = net.addNode("client" + std::to_string(i),
+                                 net::alphaStation255(), net::oc3Link(),
+                                 net::dceRpcCosts());
+        clients.push_back(
+            std::make_unique<pfs::PfsClient>(net, node, manager, raw));
+        auto h = bench::runFor(sim,
+                               clients.back()->open("sales", false, false));
+        (void)h;
+    }
+
+    const sim::Tick start = sim.now();
+    for (int i = 0; i < kDrives; ++i) {
+        auto *client = clients[i].get();
+        auto h = handle;
+        sim.spawn([](sim::Simulator &s, pfs::PfsClient &c,
+                     pfs::PfsHandle file, std::uint64_t total_chunks,
+                     std::uint64_t first, apps::ItemCounts &out)
+                      -> sim::Task<void> {
+            (void)s;
+            std::vector<std::uint8_t> chunk(apps::kChunkBytes);
+            for (std::uint64_t idx = first; idx < total_chunks;
+                 idx += kDrives) {
+                auto r = co_await c.read(file, idx * apps::kChunkBytes,
+                                         chunk);
+                (void)r;
+                co_await c.node().cpu().executeAt(
+                    static_cast<std::uint64_t>(
+                        apps::kCountingCyclesPerByte * apps::kChunkBytes),
+                    1.0);
+                apps::mergeCounts(
+                    out, apps::countOneItemsets(chunk, kCatalogItems));
+            }
+        }(sim, *client, h, chunks, static_cast<std::uint64_t>(i),
+          partials[i]));
+    }
+    sim.run();
+    return util::bytesPerSecToMBs(static_cast<double>(kDatasetBytes) /
+                                  sim::toSeconds(sim.now() - start));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("ablation_stripe — Cheops stripe unit sweep",
+                  "Section 5.2 design point (512KB stripe unit)");
+
+    std::printf("\n8 drives, 8 clients, 2MB chunks, 96MB scanned:\n\n");
+    std::printf("  %12s %16s\n", "stripe unit", "aggregate MB/s");
+    for (const std::uint64_t unit :
+         {32 * kKB, 64 * kKB, 128 * kKB, 256 * kKB, 512 * kKB, kMB,
+          2 * kMB}) {
+        std::printf("  %12s %16.1f\n", util::formatBytes(unit).c_str(),
+                    measure(unit));
+    }
+    std::printf("\nExpected shape: roughly flat while a 2MB chunk still "
+                "spreads over all 8 drives\n(units <= 256KB), with the "
+                "paper's 512KB design point at the knee, then a clear\n"
+                "drop once the unit is so large that each chunk engages "
+                "only a fraction of the\ndrives (>= 1MB).\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: run a
+ * coroutine to completion, format aligned table rows, and common
+ * banner output.
+ */
+#ifndef NASD_BENCH_BENCH_UTIL_H_
+#define NASD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace nasd::bench {
+
+/** Run one task on the simulator until it (and the queue) finishes. */
+inline void
+runTask(sim::Simulator &sim, sim::Task<void> task)
+{
+    sim.spawn(std::move(task));
+    sim.run();
+}
+
+/** Run a value-returning task to completion. */
+template <typename T>
+T
+runFor(sim::Simulator &sim, sim::Task<T> task)
+{
+    std::optional<T> result;
+    sim.spawn([](sim::Task<T> t,
+                 std::optional<T> &out) -> sim::Task<void> {
+        out = co_await std::move(t);
+    }(std::move(task), result));
+    sim.run();
+    return std::move(*result);
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *title, const char *paper_reference)
+{
+    std::printf("==============================================================="
+                "=================\n");
+    std::printf("%s\n", title);
+    std::printf("Reproduces: %s\n", paper_reference);
+    std::printf("==============================================================="
+                "=================\n");
+}
+
+} // namespace nasd::bench
+
+#endif // NASD_BENCH_BENCH_UTIL_H_

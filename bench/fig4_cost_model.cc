@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 4: cost model for the traditional server architecture.
+ *
+ * Prints server cost overhead (server cost / storage cost) against the
+ * number of disks for the low-cost and high-end component sets, the
+ * memory-saturation points, and the NASD comparison (a ~10% per-drive
+ * premium and no data-moving server).
+ *
+ * Paper anchors: high-end starts at ~1300% for one disk and is ~115%
+ * at its 14-disk saturation point (2 NICs, 4 disk interfaces);
+ * low-cost is ~380% at one disk and ~80% at its 6-disk PCI limit.
+ */
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cost/cost_model.h"
+
+using namespace nasd;
+
+namespace {
+
+void
+printServerTable(const cost::ServerCostModel &model)
+{
+    const auto &c = model.components();
+    std::printf("\n%s\n", c.name.c_str());
+    std::printf("  machine $%.0f (%.0f MB/s memory), NIC $%.0f "
+                "(%.1f MB/s), disk i/f $%.0f (%.0f MB/s), disk $%.0f "
+                "(%.0f MB/s)\n",
+                c.machine_dollars, c.memory_mb_per_s, c.nic_dollars,
+                c.nic_mb_per_s, c.disk_if_dollars, c.disk_if_mb_per_s,
+                c.disk_dollars, c.disk_mb_per_s);
+    std::printf("  memory-limited maximum: %d disks\n\n",
+                model.maxDisksByMemory());
+    std::printf("  %5s %10s %5s %8s %10s %10s %10s %6s\n", "disks", "MB/s",
+                "NICs", "disk-ifs", "server $", "disks $", "overhead",
+                "sat?");
+    for (const int disks : {1, 2, 4, 6, 8, 10, 12, 14, 16}) {
+        const auto b = model.analyze(disks);
+        std::printf("  %5d %10.0f %5d %8d %10.0f %10.0f %9.0f%% %6s\n",
+                    b.disks, b.aggregate_disk_mb_per_s, b.nics,
+                    b.disk_interfaces, b.server_dollars, b.storage_dollars,
+                    b.overhead_percent,
+                    b.memory_saturated ? "yes" : "no");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("fig4_cost_model — server cost overhead vs. disk count",
+                  "Figure 4 (Section 3, cost-ineffective storage servers)");
+
+    cost::ServerCostModel low(cost::lowCostServer());
+    cost::ServerCostModel high(cost::highEndServer());
+    printServerTable(low);
+    printServerTable(high);
+
+    std::printf("\nNASD comparison\n");
+    std::printf("  NASD drive premium (estimated acceptable): %.0f%% of "
+                "drive cost, no data-moving server\n",
+                cost::ServerCostModel::nasdOverheadPercent());
+    std::printf("  => server overhead reduction at the low-cost 6-disk "
+                "point: %.1fx\n",
+                low.analyze(6).overhead_percent /
+                    cost::ServerCostModel::nasdOverheadPercent());
+    std::printf("  => server overhead reduction at the high-end 14-disk "
+                "point: %.1fx\n",
+                high.analyze(14).overhead_percent /
+                    cost::ServerCostModel::nasdOverheadPercent());
+    std::printf("  total system cost ratio (traditional/NASD), low-cost "
+                "1 disk: %.2fx, 6 disks: %.2fx\n",
+                low.systemCostRatio(1), low.systemCostRatio(6));
+    std::printf("  total system cost ratio, high-end 1 disk: %.2fx, "
+                "14 disks: %.2fx\n",
+                high.systemCostRatio(1), high.systemCostRatio(14));
+    std::printf("\nPaper anchors: low-cost 380%% @1 disk, 80%% @6 disks; "
+                "high-end 1300%% @1 disk, 115%% @14 disks;\n"
+                "NASD bound => >=10x overhead reduction, >50%% total "
+                "system saving.\n");
+    return 0;
+}

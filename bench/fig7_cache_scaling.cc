@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Figure 7: prototype NASD cache read bandwidth.
+ *
+ * Thirteen NASD drives serve a single large file (striped, 512 KB
+ * stripe unit) entirely from their caches; 1..10 clients each issue
+ * sequential 2 MB reads, each touching four drives. The paper's
+ * findings: aggregate bandwidth scales with client count while the
+ * clients' DCE RPC receive path is the limit (~80 Mb/s per client);
+ * client idle time falls toward zero while the drives stay far from
+ * saturated.
+ */
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cheops/cheops.h"
+#include "net/presets.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+using namespace nasd;
+using util::kKB;
+using util::kMB;
+
+namespace {
+
+constexpr int kDrives = 13;
+constexpr int kMaxClients = 10;
+constexpr std::uint64_t kStripeUnit = 512 * kKB;
+constexpr std::uint64_t kRequestBytes = 2 * kMB;
+constexpr int kRequestsPerClient = 12;
+
+struct Point
+{
+    int clients;
+    double aggregate_mbs;
+    double client_idle_percent;
+    double drive_idle_percent;
+};
+
+Point
+measure(int n_clients)
+{
+    sim::Simulator sim;
+    net::Network net(sim);
+
+    std::vector<std::unique_ptr<NasdDrive>> drives;
+    std::vector<NasdDrive *> raw;
+    for (int i = 0; i < kDrives; ++i) {
+        drives.push_back(std::make_unique<NasdDrive>(
+            sim, net,
+            prototypeDriveConfig("nasd" + std::to_string(i), i + 1)));
+        raw.push_back(drives.back().get());
+    }
+    auto &mgr_node = net.addNode("mgr", net::alphaStation500(),
+                                 net::oc3Link(), net::dceRpcCosts());
+    cheops::CheopsManager mgr(sim, net, mgr_node, raw, 0);
+    bench::runTask(sim, mgr.initialize(512 * kMB));
+
+    // One file: one 512 KB stripe unit per drive (fits every drive's
+    // cache).
+    auto &loader_node = net.addNode("loader", net::alphaStation255(),
+                                    net::oc3Link(), net::dceRpcCosts());
+    cheops::CheopsClient loader(net, loader_node, mgr, raw);
+    const std::uint64_t file_bytes = kDrives * kStripeUnit;
+    const auto id =
+        bench::runFor(sim, loader.create(kStripeUnit, 0)).value();
+    {
+        std::vector<std::uint8_t> data(file_bytes, 7);
+        auto w = bench::runFor(sim, loader.write(id, 0, data));
+        (void)w;
+        // Warm every drive's cache.
+        auto r = bench::runFor(sim, loader.read(id, 0, data));
+        (void)r;
+    }
+
+    // Clients.
+    std::vector<net::NetNode *> client_nodes;
+    std::vector<std::unique_ptr<cheops::CheopsClient>> clients;
+    for (int i = 0; i < n_clients; ++i) {
+        client_nodes.push_back(&net.addNode(
+            "client" + std::to_string(i), net::alphaStation255(),
+            net::oc3Link(), net::dceRpcCosts()));
+        clients.push_back(std::make_unique<cheops::CheopsClient>(
+            net, *client_nodes.back(), mgr, raw));
+        // Prefetch the layout map so the measured window is pure data.
+        auto map = bench::runFor(sim, clients.back()->open(id, false));
+        (void)map;
+    }
+
+    const sim::Tick start = sim.now();
+    std::uint64_t total_bytes = 0;
+    for (int i = 0; i < n_clients; ++i) {
+        sim.spawn([](sim::Simulator &s, cheops::CheopsClient &c,
+                     cheops::LogicalObjectId oid, std::uint64_t file,
+                     int index, std::uint64_t &bytes) -> sim::Task<void> {
+            (void)s;
+            std::vector<std::uint8_t> buf(kRequestBytes);
+            // Staggered start offsets rotate each client over the
+            // drive set.
+            std::uint64_t offset =
+                (static_cast<std::uint64_t>(index) * kRequestBytes) % file;
+            for (int r = 0; r < kRequestsPerClient; ++r) {
+                const std::uint64_t n = std::min(kRequestBytes,
+                                                 file - offset);
+                auto got = co_await c.read(oid, offset, buf);
+                if (got.ok())
+                    bytes += got.value();
+                offset += n;
+                if (offset >= file)
+                    offset = 0;
+            }
+        }(sim, *clients[i], id, file_bytes, i, total_bytes));
+    }
+    sim.run();
+    const sim::Tick end = sim.now();
+
+    Point p;
+    p.clients = n_clients;
+    p.aggregate_mbs = util::bytesPerSecToMBs(
+        static_cast<double>(total_bytes) / sim::toSeconds(end - start));
+    double client_idle = 0;
+    for (auto *node : client_nodes)
+        client_idle += node->cpu().idleFraction(start, end);
+    p.client_idle_percent = 100.0 * client_idle / n_clients;
+    double drive_idle = 0;
+    for (auto *drive : raw)
+        drive_idle += drive->node().cpu().idleFraction(start, end);
+    p.drive_idle_percent = 100.0 * drive_idle / kDrives;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("fig7_cache_scaling — aggregate cached-read bandwidth",
+                  "Figure 7 (Section 4.3, scalability)");
+
+    std::printf("\n13 NASD drives, 512KB stripe unit, 2MB client reads "
+                "from drive cache, OC-3 links, DCE RPC\n\n");
+    std::printf("%8s %16s %18s %18s %14s\n", "clients", "aggregate MB/s",
+                "MB/s per client", "client idle %", "NASD idle %");
+    for (int n = 1; n <= kMaxClients; ++n) {
+        const auto p = measure(n);
+        std::printf("%8d %16.1f %18.1f %18.1f %14.1f\n", p.clients,
+                    p.aggregate_mbs, p.aggregate_mbs / p.clients,
+                    p.client_idle_percent, p.drive_idle_percent);
+    }
+    std::printf("\nPaper anchors: linear scaling in client count; each "
+                "DCE client saturates near 80 Mb/s (~10 MB/s);\nclient "
+                "idle falls toward zero while average NASD idle stays "
+                "high (drives are not the bottleneck).\n");
+    return 0;
+}

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Figure 9: scaling of the parallel data-mining application.
+ *
+ * The most I/O-bound phase (frequent 1-itemset counting) scans 300 MB
+ * of sales transactions. Three configurations, as in the paper:
+ *
+ *   NASD          n clients mine a single NASD PFS file striped over
+ *                 n prototype drives (512 KB stripe unit, 2 MB chunks
+ *                 round-robin across clients). Paper: 6.2 MB/s per
+ *                 client-drive pair, linear to 45 MB/s at 8.
+ *
+ *   NFS           the same clients mine one file striped over n
+ *                 Cheetah disks behind a single fast NFS server
+ *                 (AlphaStation 500, two OC-3 links). Interleaved
+ *                 request streams defeat the server's readahead.
+ *                 Paper: plateaus near 20.2 MB/s.
+ *
+ *   NFS-parallel  each client mines its own replica file on an
+ *                 independent disk through the same server (best-case
+ *                 NFS). Paper: plateaus near 22.5 MB/s.
+ *
+ * Counts are computed for real; the bench cross-checks the merged
+ * totals across configurations.
+ */
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/frequent_sets.h"
+#include "apps/transactions.h"
+#include "bench/bench_util.h"
+#include "cheops/cheops.h"
+#include "fs/ffs/ffs.h"
+#include "fs/nfs/nfs_client.h"
+#include "fs/nfs/nfs_server.h"
+#include "net/presets.h"
+#include "pfs/pfs.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+using namespace nasd;
+using util::kKB;
+using util::kMB;
+
+namespace {
+
+constexpr std::uint64_t kDatasetBytes = 300 * kMB;
+constexpr std::uint64_t kReadBytes = 512 * kKB; // producer request size
+constexpr std::uint32_t kCatalogItems = 500;
+
+const apps::DatasetParams &
+datasetParams()
+{
+    static apps::DatasetParams params = [] {
+        apps::DatasetParams p;
+        p.catalog_items = kCatalogItems;
+        return p;
+    }();
+    return params;
+}
+
+/** Mining worker: scan [first_chunk, ...) with stride, reading through
+ *  `read`, counting on `cpu`, merging into `result`. */
+template <typename ReadFn>
+sim::Task<void>
+mineChunks(sim::Simulator &sim, sim::CpuResource &cpu, ReadFn read,
+           std::uint64_t total_chunks, std::uint64_t first_chunk,
+           std::uint64_t stride, apps::ItemCounts &result)
+{
+    (void)sim;
+    std::vector<std::uint8_t> chunk(apps::kChunkBytes);
+    for (std::uint64_t c = first_chunk; c < total_chunks; c += stride) {
+        // Producers: the chunk arrives as parallel 512 KB reads.
+        std::vector<sim::Task<void>> producers;
+        for (std::uint64_t off = 0; off < apps::kChunkBytes;
+             off += kReadBytes) {
+            producers.push_back(read(
+                c * apps::kChunkBytes + off,
+                std::span<std::uint8_t>(chunk.data() + off, kReadBytes)));
+        }
+        co_await sim::parallelAll(sim, std::move(producers));
+
+        // Consumer: the counting kernel.
+        co_await cpu.executeAt(
+            static_cast<std::uint64_t>(apps::kCountingCyclesPerByte *
+                                       apps::kChunkBytes),
+            1.0);
+        apps::mergeCounts(result,
+                          apps::countOneItemsets(chunk, kCatalogItems));
+    }
+}
+
+struct RunResult
+{
+    double aggregate_mbs = 0;
+    apps::ItemCounts counts;
+};
+
+// ------------------------------------------------------------------ NASD
+
+RunResult
+runNasd(int n)
+{
+    sim::Simulator sim;
+    net::Network net(sim);
+    std::vector<std::unique_ptr<NasdDrive>> drives;
+    std::vector<NasdDrive *> raw;
+    for (int i = 0; i < n; ++i) {
+        drives.push_back(std::make_unique<NasdDrive>(
+            sim, net,
+            prototypeDriveConfig("nasd" + std::to_string(i), i + 1)));
+        raw.push_back(drives.back().get());
+    }
+    auto &mgr_node = net.addNode("mgr", net::alphaStation500(),
+                                 net::oc3Link(), net::dceRpcCosts());
+    cheops::CheopsManager storage(sim, net, mgr_node, raw, 0);
+    bench::runTask(sim, storage.initialize(1024 * kMB));
+    pfs::PfsManager manager(storage);
+
+    // Load the dataset through a loader client.
+    auto &loader_node = net.addNode("loader", net::alphaStation255(),
+                                    net::oc3Link(), net::dceRpcCosts());
+    pfs::PfsClient loader(net, loader_node, manager, raw);
+    auto handle =
+        bench::runFor(sim, loader.open("sales", true, true)).value();
+    apps::TransactionGenerator gen(datasetParams());
+    const std::uint64_t chunks = kDatasetBytes / apps::kChunkBytes;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+        auto w = bench::runFor(
+            sim, loader.write(handle, c * apps::kChunkBytes,
+                              gen.chunk(c)));
+        (void)w;
+    }
+    // Push write-behind data to media before the timed scan.
+    for (auto *d : raw)
+        bench::runTask(sim, d->store().flushAll());
+
+    // n mining clients, chunks round-robin.
+    std::vector<std::unique_ptr<pfs::PfsClient>> clients;
+    std::vector<apps::ItemCounts> partials(
+        n, apps::ItemCounts(kCatalogItems, 0));
+    for (int i = 0; i < n; ++i) {
+        auto &node = net.addNode("client" + std::to_string(i),
+                                 net::alphaStation255(), net::oc3Link(),
+                                 net::dceRpcCosts());
+        clients.push_back(
+            std::make_unique<pfs::PfsClient>(net, node, manager, raw));
+        auto h = bench::runFor(sim,
+                               clients.back()->open("sales", false, false));
+        (void)h;
+    }
+
+    const sim::Tick start = sim.now();
+    for (int i = 0; i < n; ++i) {
+        auto *client = clients[i].get();
+        sim.spawn(mineChunks(
+            sim, client->node().cpu(),
+            [client, handle](std::uint64_t off, std::span<std::uint8_t> out)
+                -> sim::Task<void> {
+                auto r = co_await client->read(handle, off, out);
+                (void)r;
+            },
+            chunks, static_cast<std::uint64_t>(i), n, partials[i]));
+    }
+    sim.run();
+    const double secs = sim::toSeconds(sim.now() - start);
+
+    RunResult result;
+    result.counts.assign(kCatalogItems, 0);
+    for (const auto &partial : partials)
+        apps::mergeCounts(result.counts, partial);
+    result.aggregate_mbs =
+        util::bytesPerSecToMBs(static_cast<double>(kDatasetBytes) / secs);
+    return result;
+}
+
+// ------------------------------------------------------------------- NFS
+
+RunResult
+runNfs(int n, bool parallel_files)
+{
+    sim::Simulator sim;
+    net::Network net(sim);
+
+    // The comparison server: AlphaStation 500 with two OC-3 links and
+    // n Cheetah drives.
+    net::LinkParams server_link = net::oc3Link();
+    server_link.mbps = 2 * 155.0;
+    auto &server_node = net.addNode("nfs-server", net::alphaStation500(),
+                                    server_link, net::dceRpcCosts());
+
+    std::vector<std::unique_ptr<disk::DiskModel>> disks;
+    for (int i = 0; i < n; ++i) {
+        disks.push_back(std::make_unique<disk::DiskModel>(
+            sim, disk::cheetahParams()));
+    }
+
+    fs::NfsServer server(sim, server_node);
+    std::unique_ptr<disk::StripingDriver> stripe;
+    std::vector<std::unique_ptr<fs::FfsFileSystem>> volumes;
+    // The comparison server has 256 MB of RAM; give the buffer cache
+    // a realistic share (still far below the 300 MB dataset).
+    fs::FfsParams server_fs;
+    server_fs.buffer_cache_bytes = 64 * kMB;
+    // Server-tuned readahead (the comparison server is configured for
+    // throughput; the Figure 6 workstation FFS keeps the default).
+    server_fs.readahead_clusters = 8;
+    if (parallel_files) {
+        for (int i = 0; i < n; ++i) {
+            volumes.push_back(std::make_unique<fs::FfsFileSystem>(
+                sim, *disks[i], &server_node.cpu(), server_fs));
+            bench::runTask(sim, volumes.back()->format());
+            server.addVolume(*volumes.back());
+        }
+    } else {
+        std::vector<disk::BlockDevice *> members;
+        for (auto &d : disks)
+            members.push_back(d.get());
+        stripe = std::make_unique<disk::StripingDriver>(sim, members,
+                                                        64 * kKB);
+        volumes.push_back(std::make_unique<fs::FfsFileSystem>(
+            sim, *stripe, &server_node.cpu(), server_fs));
+        bench::runTask(sim, volumes.back()->format());
+        server.addVolume(*volumes.back());
+    }
+
+    // Ten clients, as in the paper's configuration.
+    const int n_clients = 10;
+    apps::TransactionGenerator gen(datasetParams());
+    const std::uint64_t chunks = kDatasetBytes / apps::kChunkBytes;
+
+    // Load data directly into the volumes (setup, untimed).
+    std::vector<fs::NfsFileHandle> files;
+    if (parallel_files) {
+        // Each client gets a replica slice on disk i = client % n.
+        for (int i = 0; i < n_clients; ++i) {
+            auto &vol = *volumes[i % n];
+            auto ino = bench::runFor(
+                sim, vol.create(fs::kRootInode,
+                                "sales" + std::to_string(i)));
+            const std::uint64_t per_client =
+                chunks / n_clients + (i < static_cast<int>(chunks %
+                                                           n_clients)
+                                          ? 1
+                                          : 0);
+            for (std::uint64_t c = 0; c < per_client; ++c) {
+                auto w = bench::runFor(
+                    sim, vol.write(ino.value(), c * apps::kChunkBytes,
+                                   gen.chunk(c * n_clients + i)));
+                (void)w;
+            }
+            files.push_back(fs::NfsFileHandle{
+                static_cast<std::uint32_t>(i % n), ino.value()});
+        }
+    } else {
+        auto &vol = *volumes[0];
+        auto ino = bench::runFor(sim, vol.create(fs::kRootInode, "sales"));
+        for (std::uint64_t c = 0; c < chunks; ++c) {
+            auto w = bench::runFor(
+                sim, vol.write(ino.value(), c * apps::kChunkBytes,
+                               gen.chunk(c)));
+            (void)w;
+        }
+        files.push_back(fs::NfsFileHandle{0, ino.value()});
+    }
+    for (auto &vol : volumes)
+        bench::runTask(sim, vol->sync());
+
+    std::vector<std::unique_ptr<fs::NfsClient>> clients;
+    std::vector<apps::ItemCounts> partials(
+        n_clients, apps::ItemCounts(kCatalogItems, 0));
+    // NFSv3-style mounts: 32 KB transfer units, 8 outstanding.
+    fs::NfsClientParams mount;
+    mount.rsize = 32 * kKB;
+    mount.wsize = 32 * kKB;
+    for (int i = 0; i < n_clients; ++i) {
+        auto &node = net.addNode("client" + std::to_string(i),
+                                 net::alphaStation255(), net::oc3Link(),
+                                 net::dceRpcCosts());
+        clients.push_back(
+            std::make_unique<fs::NfsClient>(net, node, server, mount));
+    }
+
+    const sim::Tick start = sim.now();
+    for (int i = 0; i < n_clients; ++i) {
+        auto *client = clients[i].get();
+        const fs::NfsFileHandle fh =
+            parallel_files ? files[i] : files[0];
+        if (parallel_files) {
+            // Client i scans its whole replica slice.
+            const std::uint64_t per_client =
+                chunks / n_clients + (i < static_cast<int>(chunks %
+                                                           n_clients)
+                                          ? 1
+                                          : 0);
+            sim.spawn(mineChunks(
+                sim, client->node().cpu(),
+                [client, fh](std::uint64_t off,
+                             std::span<std::uint8_t> out)
+                    -> sim::Task<void> {
+                    auto r = co_await client->read(fh, off, out);
+                    (void)r;
+                },
+                per_client, 0, 1, partials[i]));
+        } else {
+            // All clients share one file, chunks round-robin.
+            sim.spawn(mineChunks(
+                sim, client->node().cpu(),
+                [client, fh](std::uint64_t off,
+                             std::span<std::uint8_t> out)
+                    -> sim::Task<void> {
+                    auto r = co_await client->read(fh, off, out);
+                    (void)r;
+                },
+                chunks, static_cast<std::uint64_t>(i), n_clients,
+                partials[i]));
+        }
+    }
+    sim.run();
+    const double secs = sim::toSeconds(sim.now() - start);
+
+    RunResult result;
+    result.counts.assign(kCatalogItems, 0);
+    for (const auto &partial : partials)
+        apps::mergeCounts(result.counts, partial);
+    result.aggregate_mbs =
+        util::bytesPerSecToMBs(static_cast<double>(kDatasetBytes) / secs);
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "fig9_mining — parallel frequent-sets scaling, 300MB dataset",
+        "Figure 9 (Section 5.2, NASD PFS vs NFS)");
+
+    std::printf("\n%7s %12s %12s %16s\n", "disks", "NASD MB/s",
+                "NFS MB/s", "NFS-parallel MB/s");
+
+    apps::ItemCounts reference;
+    bool counts_agree = true;
+    for (const int n : {1, 2, 4, 6, 8}) {
+        const auto nasd = runNasd(n);
+        const auto nfs = runNfs(n, false);
+        const auto nfsp = runNfs(n, true);
+        std::printf("%7d %12.1f %12.1f %16.1f\n", n, nasd.aggregate_mbs,
+                    nfs.aggregate_mbs, nfsp.aggregate_mbs);
+        if (reference.empty())
+            reference = nasd.counts;
+        counts_agree = counts_agree && nasd.counts == reference &&
+                       nfs.counts == reference &&
+                       nfsp.counts == reference;
+    }
+
+    std::printf("\nitemset counts identical across all configurations: "
+                "%s\n",
+                counts_agree ? "yes" : "NO (BUG)");
+    std::printf("\nPaper anchors: NASD linear at ~6.2 MB/s per "
+                "client-drive pair to ~45 MB/s at 8 drives;\nNFS "
+                "plateaus near 20.2 MB/s (readahead defeated by "
+                "interleaved streams);\nNFS-parallel plateaus near "
+                "22.5 MB/s (server CPU/interface limit).\n");
+    return 0;
+}

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Table 1: measured cost and estimated performance of NASD read and
+ * write requests.
+ *
+ * For each request size {1 B, 8 KB, 64 KB, 512 KB} and cache state
+ * {cold, warm}, measures the total instructions the drive retired to
+ * service the request (communications + NASD object service), the
+ * communications share, and the projected service time on a 200 MHz
+ * drive controller at CPI 2.2 — the same projection the paper makes.
+ * Ends with the Seagate Barracuda hardware yardstick the paper quotes
+ * (0.30 ms sequential cached sector, ~9.4 ms random sector, ~2.2 ms
+ * cached 64 KB, ~11.1 ms random 64 KB).
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "disk/disk_model.h"
+#include "disk/params.h"
+#include "nasd/client.h"
+#include "nasd/drive.h"
+#include "net/presets.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+using namespace nasd;
+using util::kKB;
+using util::kMB;
+
+namespace {
+
+struct Row
+{
+    std::string label;
+    std::uint64_t size;
+    std::uint64_t total_instr;
+    double comm_percent;
+    double est_ms_200mhz;
+};
+
+class Table1Bench
+{
+  public:
+    Table1Bench()
+    {
+        DriveConfig cfg = prototypeDriveConfig("nasd0", 1);
+        // Small caches so "cold" states are reachable by eviction.
+        cfg.store.meta_cache_inodes = 8;
+        cfg.store.data_cache_bytes = 4 * kMB;
+        drive = std::make_unique<NasdDrive>(sim, net, cfg);
+        issuer = std::make_unique<CapabilityIssuer>(
+            drive->config().master_key, 1);
+        client_node = &net.addNode("client", net::alphaStation255(),
+                                   net::oc3Link(), net::dceRpcCosts());
+        client = std::make_unique<NasdClient>(net, *client_node, *drive);
+        bench::runTask(sim, drive->format());
+        auto part = drive->store().createPartition(0, 1024 * kMB);
+        (void)part;
+
+        // Filler objects used to evict drive caches.
+        for (int i = 0; i < 16; ++i) {
+            const ObjectId oid = createObject();
+            writeAll(oid, 0, std::vector<std::uint8_t>(512 * kKB, 7));
+            fillers.push_back(oid);
+        }
+    }
+
+    ObjectId
+    createObject()
+    {
+        CapabilityPublic pub;
+        pub.partition = 0;
+        pub.object_id = kPartitionControlObject;
+        pub.rights = kRightCreate;
+        CredentialFactory cred(issuer->mint(pub));
+        return bench::runFor(sim, client->create(cred, 0)).value();
+    }
+
+    CredentialFactory
+    credFor(ObjectId oid)
+    {
+        CapabilityPublic pub;
+        pub.partition = 0;
+        pub.object_id = oid;
+        pub.rights = kRightRead | kRightWrite | kRightGetAttr;
+        return CredentialFactory(issuer->mint(pub));
+    }
+
+    void
+    writeAll(ObjectId oid, std::uint64_t offset,
+             const std::vector<std::uint8_t> &data)
+    {
+        auto cred = credFor(oid);
+        auto r = bench::runFor(sim, client->write(cred, offset, data));
+        (void)r;
+    }
+
+    /** Evict drive metadata and data caches by touching fillers. */
+    void
+    evictCaches()
+    {
+        for (const ObjectId oid : fillers) {
+            auto cred = credFor(oid);
+            (void)bench::runFor(sim, client->getAttr(cred));
+            (void)bench::runFor(sim, client->read(cred, 0, 512 * kKB));
+        }
+    }
+
+    /** Drive instructions for one read of @p size from @p oid. */
+    std::uint64_t
+    measureRead(ObjectId oid, std::uint64_t size)
+    {
+        auto cred = credFor(oid);
+        const auto before = drive->node().cpu().instructionsRetired();
+        auto r = bench::runFor(sim, client->read(cred, 0, size));
+        (void)r;
+        return drive->node().cpu().instructionsRetired() - before;
+    }
+
+    std::uint64_t
+    measureWrite(ObjectId oid, const std::vector<std::uint8_t> &data)
+    {
+        auto cred = credFor(oid);
+        const auto before = drive->node().cpu().instructionsRetired();
+        auto r = bench::runFor(sim, client->write(cred, 0, data));
+        (void)r;
+        return drive->node().cpu().instructionsRetired() - before;
+    }
+
+    /** Drive-side communications instructions for one request pair. */
+    std::uint64_t
+    commInstructions(std::uint64_t req_payload,
+                     std::uint64_t resp_payload) const
+    {
+        const auto &c = drive->node().costs();
+        return c.recv_base_instr + c.send_base_instr +
+               static_cast<std::uint64_t>(c.recv_per_byte_instr *
+                                          static_cast<double>(req_payload)) +
+               static_cast<std::uint64_t>(c.send_per_byte_instr *
+                                          static_cast<double>(resp_payload));
+    }
+
+    Row
+    makeRow(const std::string &label, std::uint64_t size,
+            std::uint64_t total, std::uint64_t comm)
+    {
+        Row row;
+        row.label = label;
+        row.size = size;
+        row.total_instr = total;
+        row.comm_percent =
+            100.0 * static_cast<double>(comm) / static_cast<double>(total);
+        // Projection at 200 MHz, CPI 2.2 (11 ns / instruction).
+        row.est_ms_200mhz =
+            static_cast<double>(total) * 2.2 / 200e6 * 1e3;
+        return row;
+    }
+
+    sim::Simulator sim;
+    net::Network net{sim};
+    std::unique_ptr<NasdDrive> drive;
+    std::unique_ptr<CapabilityIssuer> issuer;
+    net::NetNode *client_node = nullptr;
+    std::unique_ptr<NasdClient> client;
+    std::vector<ObjectId> fillers;
+};
+
+constexpr std::uint64_t kRequestFrame = 128; // control payload
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("table1_op_costs — NASD request service cost",
+                  "Table 1 (Section 4.4, computational requirements)");
+
+    Table1Bench bench_state;
+    const std::vector<std::uint64_t> sizes = {1, 8 * kKB, 64 * kKB,
+                                              512 * kKB};
+    std::vector<Row> rows;
+
+    for (const auto size : sizes) {
+        // --- read, cold then warm -----------------------------------
+        const ObjectId oid = bench_state.createObject();
+        bench_state.writeAll(
+            oid, 0, std::vector<std::uint8_t>(std::max<std::uint64_t>(
+                                                  size, 1),
+                                              3));
+        bench_state.evictCaches();
+        const auto cold_total = bench_state.measureRead(oid, size);
+        const auto comm_read =
+            bench_state.commInstructions(kRequestFrame, size);
+        rows.push_back(bench_state.makeRow("read - cold cache", size,
+                                           cold_total, comm_read));
+
+        const auto warm_total = bench_state.measureRead(oid, size);
+        rows.push_back(bench_state.makeRow("read - warm cache", size,
+                                           warm_total, comm_read));
+
+        // --- write, cold then warm ----------------------------------
+        const ObjectId woid = bench_state.createObject();
+        const std::vector<std::uint8_t> data(std::max<std::uint64_t>(size,
+                                                                     1),
+                                             9);
+        bench_state.writeAll(woid, 0, data); // allocate
+        bench_state.evictCaches();
+        const auto wcold_total = bench_state.measureWrite(woid, data);
+        const auto comm_write =
+            bench_state.commInstructions(kRequestFrame + size, 16);
+        rows.push_back(bench_state.makeRow("write - cold cache", size,
+                                           wcold_total, comm_write));
+
+        const auto wwarm_total = bench_state.measureWrite(woid, data);
+        rows.push_back(bench_state.makeRow("write - warm cache", size,
+                                           wwarm_total, comm_write));
+    }
+
+    std::printf("\n%-20s %10s %14s %8s %14s\n", "operation", "size",
+                "total instr", "comm %", "est ms @200MHz");
+    for (const auto &row : rows) {
+        std::printf("%-20s %10s %14llu %7.0f%% %14.2f\n",
+                    row.label.c_str(),
+                    util::formatBytes(row.size).c_str(),
+                    static_cast<unsigned long long>(row.total_instr),
+                    row.comm_percent, row.est_ms_200mhz);
+    }
+
+    std::printf("\nPaper anchors (instr / %%comm / ms): read warm 1B "
+                "38k/92%%/0.42; read cold 512KB 1488k/92%%/16.4;\n"
+                "write warm 512KB 1871k/97%%/20.4. Communications "
+                "dominate (70-97%%) at every size.\n");
+
+    // Barracuda hardware comparison -----------------------------------
+    std::printf("\nSeagate Barracuda comparison (drive hardware doing "
+                "the same work):\n");
+    sim::Simulator bsim;
+    disk::DiskModel barracuda(bsim, disk::barracudaParams());
+    std::vector<std::uint8_t> sector(512);
+    std::vector<std::uint8_t> big(64 * kKB);
+
+    // Sequential cached single sector.
+    bench::runTask(bsim, barracuda.read(0, 1, sector)); // prime
+    sim::Tick t0 = bsim.now();
+    bench::runTask(bsim, barracuda.read(1, 1, sector));
+    std::printf("  sequential cached sector: %6.2f ms (paper: 0.30)\n",
+                sim::toMillis(bsim.now() - t0));
+
+    // Random single sector.
+    util::SampleStats random_ms;
+    for (int i = 1; i <= 6; ++i) {
+        const std::uint64_t block =
+            (i * 977ull * 1801) % (barracuda.numBlocks() - 200);
+        t0 = bsim.now();
+        bench::runTask(bsim, barracuda.read(block, 1, sector));
+        random_ms.add(sim::toMillis(bsim.now() - t0));
+    }
+    std::printf("  random single sector:     %6.2f ms (paper: 9.4)\n",
+                random_ms.mean());
+
+    // Cached 64 KB (sequential after priming readahead; give the
+    // drive a moment so the prefetch has fully landed in its cache).
+    bench::runTask(bsim, barracuda.read(2048, 128, big));
+    bsim.runUntil(bsim.now() + sim::msec(20));
+    t0 = bsim.now();
+    bench::runTask(bsim, barracuda.read(2176, 128, big));
+    std::printf("  64KB from cache/stream:   %6.2f ms (paper: 2.2)\n",
+                sim::toMillis(bsim.now() - t0));
+
+    // Random-location 64 KB from media.
+    util::SampleStats random64_ms;
+    for (int i = 1; i <= 6; ++i) {
+        const std::uint64_t block =
+            (i * 1237ull * 4099) % (barracuda.numBlocks() - 200);
+        t0 = bsim.now();
+        bench::runTask(bsim, barracuda.read(block, 128, big));
+        random64_ms.add(sim::toMillis(bsim.now() - t0));
+    }
+    std::printf("  64KB random from media:   %6.2f ms (paper: 11.1)\n",
+                random64_ms.mean());
+    return 0;
+}

@@ -1,0 +1,140 @@
+#include "active/active.h"
+
+#include <algorithm>
+
+#include "util/codec.h"
+#include "util/logging.h"
+
+namespace nasd::active {
+
+namespace {
+
+constexpr std::uint64_t kControlPayload = 128; // args + method name
+
+} // namespace
+
+void
+ActiveDiskRuntime::installMethod(const std::string &name,
+                                 MethodFactory factory)
+{
+    methods_[name] = std::move(factory);
+}
+
+bool
+ActiveDiskRuntime::hasMethod(const std::string &name) const
+{
+    return methods_.count(name) > 0;
+}
+
+sim::Task<ScanResponse>
+ActiveDiskRuntime::serveScan(RequestCredential cred, RequestParams params,
+                             std::string name)
+{
+    ScanResponse resp;
+    const auto factory_it = methods_.find(name);
+    if (factory_it == methods_.end()) {
+        resp.status = NasdStatus::kBadRequest;
+        co_return resp;
+    }
+
+    // Same admission control as a read of the whole object.
+    const auto status =
+        co_await drive_.verify(cred, params, kRightRead, 0);
+    if (status != NasdStatus::kOk) {
+        resp.status = status;
+        co_return resp;
+    }
+
+    auto attrs = co_await drive_.store().getAttributes(
+        cred.pub.partition, params.object_id);
+    if (!attrs.ok()) {
+        resp.status = attrs.error();
+        co_return resp;
+    }
+    const std::uint64_t size = attrs.value().size;
+
+    auto method = factory_it->second();
+    std::vector<std::uint8_t> chunk;
+    std::uint64_t offset = 0;
+    while (offset < size) {
+        const std::uint64_t n = std::min(kScanChunkBytes, size - offset);
+        chunk.resize(n);
+        auto got = co_await drive_.store().read(
+            cred.pub.partition, params.object_id, offset, chunk);
+        if (!got.ok()) {
+            resp.status = got.error();
+            co_return resp;
+        }
+        chunk.resize(got.value());
+
+        // The method runs on the drive CPU.
+        const auto cycles = static_cast<std::uint64_t>(
+            method->cyclesPerByte() * static_cast<double>(chunk.size()));
+        if (cycles > 0)
+            co_await drive_.node().cpu().executeAt(cycles, 1.0);
+        method->consume(chunk);
+
+        offset += got.value();
+        bytes_scanned_ += got.value();
+        resp.bytes_scanned += got.value();
+        if (got.value() == 0)
+            break;
+    }
+    resp.result = method->result();
+    co_return resp;
+}
+
+sim::Task<StoreResult<std::vector<std::uint8_t>>>
+ActiveDiskClient::scan(CredentialFactory &cred, const std::string &method)
+{
+    RequestParams params{OpCode::kReadData,
+                         cred.capability().pub.partition,
+                         cred.capability().pub.object_id, 0, 0};
+    const RequestCredential credential = cred.forRequest(params);
+
+    ScanResponse resp = co_await net::call<ScanResponse>(
+        net_, node_, runtime_.drive().node(),
+        kControlPayload + method.size(),
+        [&]() -> sim::Task<net::RpcReply<ScanResponse>> {
+            auto r = co_await runtime_.serveScan(credential, params,
+                                                 method);
+            const std::uint64_t payload = r.result.size();
+            co_return net::RpcReply<ScanResponse>{std::move(r), payload};
+        });
+
+    if (resp.status != NasdStatus::kOk)
+        co_return util::Err{resp.status};
+    co_return std::move(resp.result);
+}
+
+void
+FrequentSetsMethod::consume(std::span<const std::uint8_t> chunk)
+{
+    const auto partial = apps::countOneItemsets(
+        chunk, static_cast<std::uint32_t>(counts_.size()));
+    apps::mergeCounts(counts_, partial);
+}
+
+std::vector<std::uint8_t>
+FrequentSetsMethod::result() const
+{
+    std::vector<std::uint8_t> out;
+    util::Encoder enc(out);
+    enc.put<std::uint32_t>(static_cast<std::uint32_t>(counts_.size()));
+    for (const auto count : counts_)
+        enc.put<std::uint64_t>(count);
+    return out;
+}
+
+apps::ItemCounts
+FrequentSetsMethod::decodeResult(std::span<const std::uint8_t> raw)
+{
+    util::Decoder dec(raw);
+    const auto n = dec.get<std::uint32_t>();
+    apps::ItemCounts counts(n);
+    for (auto &count : counts)
+        count = dec.get<std::uint64_t>();
+    return counts;
+}
+
+} // namespace nasd::active

@@ -1,0 +1,115 @@
+#include "apps/andrew.h"
+
+#include <span>
+
+namespace nasd::apps {
+
+namespace {
+
+std::string
+dirName(std::uint32_t d)
+{
+    return "dir" + std::to_string(d);
+}
+
+std::string
+fileName(std::uint32_t d, std::uint32_t f)
+{
+    return dirName(d) + "/src" + std::to_string(f);
+}
+
+std::vector<std::uint8_t>
+fileBytes(util::Rng &rng, std::uint32_t mean_bytes)
+{
+    // File sizes around the mean, at least 1 KB.
+    const std::uint64_t size = 1024 + rng.below(2 * mean_bytes - 1024);
+    std::vector<std::uint8_t> data(size);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    return data;
+}
+
+} // namespace
+
+sim::Task<AndrewReport>
+runAndrew(sim::Simulator &sim, AndrewTarget &target, AndrewParams params)
+{
+    AndrewReport report;
+    util::Rng rng(params.seed);
+
+    // Phase 1: MakeDir.
+    sim::Tick start = sim.now();
+    for (std::uint32_t d = 0; d < params.dirs; ++d)
+        co_await target.mkdir(dirName(d));
+    report.make_dir = sim.now() - start;
+
+    // Phase 2: Copy (create + write all source files).
+    start = sim.now();
+    std::vector<std::vector<std::uint8_t>> contents;
+    for (std::uint32_t d = 0; d < params.dirs; ++d) {
+        for (std::uint32_t f = 0; f < params.files_per_dir; ++f) {
+            const auto path = fileName(d, f);
+            co_await target.createFile(path);
+            contents.push_back(fileBytes(rng, params.mean_file_bytes));
+            co_await target.writeFile(path, contents.back());
+        }
+    }
+    report.copy = sim.now() - start;
+
+    // Phase 3: ScanDir (list directories, stat every file).
+    start = sim.now();
+    for (std::uint32_t d = 0; d < params.dirs; ++d) {
+        const auto names = co_await target.listDir(dirName(d));
+        for (const auto &name : names)
+            (void)co_await target.fileSize(dirName(d) + "/" + name);
+    }
+    report.scan_dir = sim.now() - start;
+
+    // Phase 4: ReadAll (a grep over every byte).
+    start = sim.now();
+    std::vector<std::uint8_t> buffer;
+    for (std::uint32_t d = 0; d < params.dirs; ++d) {
+        for (std::uint32_t f = 0; f < params.files_per_dir; ++f) {
+            const auto path = fileName(d, f);
+            const std::uint64_t size = co_await target.fileSize(path);
+            buffer.resize(size);
+            (void)co_await target.readFile(path, buffer);
+            if (params.client_cpu != nullptr) {
+                co_await params.client_cpu->execute(
+                    static_cast<std::uint64_t>(params.scan_instr_per_byte *
+                                               static_cast<double>(size)));
+            }
+        }
+    }
+    report.read_all = sim.now() - start;
+
+    // Phase 5: Make (read each source, write a derived object of
+    // roughly half the size).
+    start = sim.now();
+    std::size_t index = 0;
+    for (std::uint32_t d = 0; d < params.dirs; ++d) {
+        for (std::uint32_t f = 0; f < params.files_per_dir; ++f) {
+            const auto src = fileName(d, f);
+            const std::uint64_t size = co_await target.fileSize(src);
+            buffer.resize(size);
+            (void)co_await target.readFile(src, buffer);
+
+            if (params.client_cpu != nullptr)
+                co_await params.client_cpu->execute(
+                    params.compile_instr_per_file);
+
+            const auto obj = dirName(d) + "/obj" + std::to_string(f);
+            co_await target.createFile(obj);
+            const std::size_t obj_size = contents[index].size() / 2;
+            co_await target.writeFile(
+                obj, std::span<const std::uint8_t>(contents[index].data(),
+                                                   obj_size));
+            ++index;
+        }
+    }
+    report.make = sim.now() - start;
+
+    co_return report;
+}
+
+} // namespace nasd::apps

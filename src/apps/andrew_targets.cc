@@ -1,0 +1,208 @@
+#include "apps/andrew_targets.h"
+
+#include "util/logging.h"
+
+namespace nasd::apps {
+
+namespace {
+
+/** Split "a/b/c" into ("a/b", "c"); no leading slash expected. */
+std::pair<std::string, std::string>
+splitLeaf(const std::string &path)
+{
+    const auto pos = path.rfind('/');
+    if (pos == std::string::npos)
+        return {"", path};
+    return {path.substr(0, pos), path.substr(pos + 1)};
+}
+
+} // namespace
+
+// ----------------------------------------------------------- baseline NFS
+
+sim::Task<fs::NfsFileHandle>
+NfsAndrewTarget::handleOf(const std::string &path)
+{
+    const fs::NfsFileHandle base =
+        root_.value_or(fs::NfsFileHandle{volume_, fs::kRootInode});
+    if (path.empty())
+        co_return base;
+    const auto it = handle_cache_.find(path);
+    if (it != handle_cache_.end())
+        co_return it->second;
+    // Walk components from the (possibly private) root.
+    fs::NfsFileHandle current = base;
+    std::size_t pos = 0;
+    while (pos < path.size()) {
+        const auto next = path.find('/', pos);
+        const std::string part = path.substr(
+            pos, next == std::string::npos ? path.size() - pos : next - pos);
+        auto found = co_await client_.lookup(current, part);
+        NASD_ASSERT(found.ok(), "lookup failed: ", path);
+        current = found.value();
+        pos = next == std::string::npos ? path.size() : next + 1;
+    }
+    handle_cache_[path] = current;
+    co_return current;
+}
+
+sim::Task<std::pair<fs::NfsFileHandle, std::string>>
+NfsAndrewTarget::splitPath(const std::string &path)
+{
+    const auto [dir, leaf] = splitLeaf(path);
+    const auto handle = co_await handleOf(dir);
+    co_return std::make_pair(handle, leaf);
+}
+
+sim::Task<void>
+NfsAndrewTarget::mkdir(const std::string &path)
+{
+    auto [dir, leaf] = co_await splitPath(path);
+    auto made = co_await client_.mkdir(dir, leaf);
+    NASD_ASSERT(made.ok(), "mkdir failed: ", path);
+    handle_cache_[path] = made.value();
+}
+
+sim::Task<void>
+NfsAndrewTarget::createFile(const std::string &path)
+{
+    auto [dir, leaf] = co_await splitPath(path);
+    auto made = co_await client_.create(dir, leaf);
+    NASD_ASSERT(made.ok(), "create failed: ", path);
+    handle_cache_[path] = made.value();
+}
+
+sim::Task<void>
+NfsAndrewTarget::writeFile(const std::string &path,
+                           std::span<const std::uint8_t> data)
+{
+    const auto handle = co_await handleOf(path);
+    auto wrote = co_await client_.write(handle, 0, data);
+    NASD_ASSERT(wrote.ok(), "write failed: ", path);
+}
+
+sim::Task<std::uint64_t>
+NfsAndrewTarget::fileSize(const std::string &path)
+{
+    const auto handle = co_await handleOf(path);
+    auto attrs = co_await client_.getattr(handle);
+    NASD_ASSERT(attrs.ok(), "getattr failed: ", path);
+    co_return attrs.value().size;
+}
+
+sim::Task<std::uint64_t>
+NfsAndrewTarget::readFile(const std::string &path,
+                          std::span<std::uint8_t> out)
+{
+    const auto handle = co_await handleOf(path);
+    auto n = co_await client_.read(handle, 0, out);
+    NASD_ASSERT(n.ok(), "read failed: ", path);
+    co_return n.value();
+}
+
+sim::Task<std::vector<std::string>>
+NfsAndrewTarget::listDir(const std::string &path)
+{
+    const auto handle = co_await handleOf(path);
+    auto entries = co_await client_.readdir(handle);
+    NASD_ASSERT(entries.ok(), "readdir failed: ", path);
+    std::vector<std::string> names;
+    for (const auto &e : entries.value())
+        names.push_back(e.name);
+    co_return names;
+}
+
+// ---------------------------------------------------------------- NASD-NFS
+
+sim::Task<fs::NasdNfsFh>
+NasdNfsAndrewTarget::handleOf(const std::string &path, bool want_write)
+{
+    if (path.empty())
+        co_return root_;
+    const auto it = handle_cache_.find(path);
+    if (it != handle_cache_.end())
+        co_return it->second;
+
+    // Walk components from the root.
+    fs::NasdNfsFh current = root_;
+    std::size_t pos = 0;
+    while (pos < path.size()) {
+        const auto next = path.find('/', pos);
+        const std::string part = path.substr(
+            pos, next == std::string::npos ? path.size() - pos : next - pos);
+        auto found = co_await client_.lookup(current, part, want_write);
+        NASD_ASSERT(found.ok(), "lookup failed: ", path);
+        current = found.value();
+        pos = next == std::string::npos ? path.size() : next + 1;
+    }
+    handle_cache_[path] = current;
+    co_return current;
+}
+
+sim::Task<std::pair<fs::NasdNfsFh, std::string>>
+NasdNfsAndrewTarget::splitPath(const std::string &path)
+{
+    const auto [dir, leaf] = splitLeaf(path);
+    const auto handle = co_await handleOf(dir, false);
+    co_return std::make_pair(handle, leaf);
+}
+
+sim::Task<void>
+NasdNfsAndrewTarget::mkdir(const std::string &path)
+{
+    auto [dir, leaf] = co_await splitPath(path);
+    auto made = co_await client_.mkdir(dir, leaf);
+    NASD_ASSERT(made.ok(), "mkdir failed: ", path);
+    handle_cache_[path] = made.value();
+}
+
+sim::Task<void>
+NasdNfsAndrewTarget::createFile(const std::string &path)
+{
+    auto [dir, leaf] = co_await splitPath(path);
+    auto made = co_await client_.create(dir, leaf);
+    NASD_ASSERT(made.ok(), "create failed: ", path);
+    handle_cache_[path] = made.value();
+}
+
+sim::Task<void>
+NasdNfsAndrewTarget::writeFile(const std::string &path,
+                               std::span<const std::uint8_t> data)
+{
+    const auto handle = co_await handleOf(path, true);
+    auto wrote = co_await client_.write(handle, 0, data);
+    NASD_ASSERT(wrote.ok(), "write failed: ", path);
+}
+
+sim::Task<std::uint64_t>
+NasdNfsAndrewTarget::fileSize(const std::string &path)
+{
+    const auto handle = co_await handleOf(path, false);
+    auto attrs = co_await client_.getattr(handle);
+    NASD_ASSERT(attrs.ok(), "getattr failed: ", path);
+    co_return attrs.value().size;
+}
+
+sim::Task<std::uint64_t>
+NasdNfsAndrewTarget::readFile(const std::string &path,
+                              std::span<std::uint8_t> out)
+{
+    const auto handle = co_await handleOf(path, false);
+    auto n = co_await client_.read(handle, 0, out);
+    NASD_ASSERT(n.ok(), "read failed: ", path);
+    co_return n.value();
+}
+
+sim::Task<std::vector<std::string>>
+NasdNfsAndrewTarget::listDir(const std::string &path)
+{
+    const auto handle = co_await handleOf(path, false);
+    auto entries = co_await client_.readdir(handle);
+    NASD_ASSERT(entries.ok(), "readdir failed: ", path);
+    std::vector<std::string> names;
+    for (const auto &e : entries.value())
+        names.push_back(e.name);
+    co_return names;
+}
+
+} // namespace nasd::apps

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * AndrewTarget adapters for the baseline NFS client and the NASD-NFS
+ * client, so the identical workload drives both systems (the paper's
+ * within-5% comparison).
+ */
+#ifndef NASD_APPS_ANDREW_TARGETS_H_
+#define NASD_APPS_ANDREW_TARGETS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "apps/andrew.h"
+#include "fs/nfs/nasd_nfs.h"
+#include "fs/nfs/nfs_client.h"
+
+namespace nasd::apps {
+
+/** Andrew workload over the baseline store-and-forward NFS. */
+class NfsAndrewTarget : public AndrewTarget
+{
+  public:
+    /** Paths resolve relative to @p root (a private subtree when
+     *  several clients run the workload concurrently). */
+    NfsAndrewTarget(fs::NfsClient &client, std::uint32_t volume,
+                    std::optional<fs::NfsFileHandle> root = std::nullopt)
+        : client_(client), volume_(volume), root_(root)
+    {}
+
+    sim::Task<void> mkdir(const std::string &path) override;
+    sim::Task<void> createFile(const std::string &path) override;
+    sim::Task<void>
+    writeFile(const std::string &path,
+              std::span<const std::uint8_t> data) override;
+    sim::Task<std::uint64_t> fileSize(const std::string &path) override;
+    sim::Task<std::uint64_t> readFile(const std::string &path,
+                                      std::span<std::uint8_t> out) override;
+    sim::Task<std::vector<std::string>>
+    listDir(const std::string &path) override;
+
+  private:
+    /** Resolve @p path's parent directory handle and leaf name. */
+    sim::Task<std::pair<fs::NfsFileHandle, std::string>>
+    splitPath(const std::string &path);
+
+    sim::Task<fs::NfsFileHandle> handleOf(const std::string &path);
+
+    fs::NfsClient &client_;
+    std::uint32_t volume_;
+    std::optional<fs::NfsFileHandle> root_;
+    std::map<std::string, fs::NfsFileHandle> handle_cache_;
+};
+
+/** Andrew workload over NASD-NFS (direct data path). */
+class NasdNfsAndrewTarget : public AndrewTarget
+{
+  public:
+    explicit NasdNfsAndrewTarget(fs::NasdNfsClient &client,
+                                 fs::NasdNfsFh root)
+        : client_(client), root_(root)
+    {}
+
+    sim::Task<void> mkdir(const std::string &path) override;
+    sim::Task<void> createFile(const std::string &path) override;
+    sim::Task<void>
+    writeFile(const std::string &path,
+              std::span<const std::uint8_t> data) override;
+    sim::Task<std::uint64_t> fileSize(const std::string &path) override;
+    sim::Task<std::uint64_t> readFile(const std::string &path,
+                                      std::span<std::uint8_t> out) override;
+    sim::Task<std::vector<std::string>>
+    listDir(const std::string &path) override;
+
+  private:
+    sim::Task<std::pair<fs::NasdNfsFh, std::string>>
+    splitPath(const std::string &path);
+
+    sim::Task<fs::NasdNfsFh> handleOf(const std::string &path,
+                                      bool want_write);
+
+    fs::NasdNfsClient &client_;
+    fs::NasdNfsFh root_;
+    std::map<std::string, fs::NasdNfsFh> handle_cache_;
+};
+
+} // namespace nasd::apps
+
+#endif // NASD_APPS_ANDREW_TARGETS_H_

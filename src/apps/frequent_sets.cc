@@ -1,0 +1,136 @@
+#include "apps/frequent_sets.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nasd::apps {
+
+ItemCounts
+countOneItemsets(std::span<const std::uint8_t> data,
+                 std::uint32_t catalog_items)
+{
+    ItemCounts counts(catalog_items, 0);
+    const std::size_t n_records = data.size() / TransactionRecord::kBytes;
+    for (std::size_t r = 0; r < n_records; ++r) {
+        const auto record = decodeRecord(
+            data.subspan(r * TransactionRecord::kBytes,
+                         TransactionRecord::kBytes));
+        for (std::uint8_t i = 0; i < record.item_count; ++i) {
+            if (record.items[i] < catalog_items)
+                ++counts[record.items[i]];
+        }
+    }
+    return counts;
+}
+
+void
+mergeCounts(ItemCounts &into, const ItemCounts &from)
+{
+    NASD_ASSERT(into.size() == from.size());
+    for (std::size_t i = 0; i < into.size(); ++i)
+        into[i] += from[i];
+}
+
+std::vector<std::uint32_t>
+frequentItems(const ItemCounts &counts, std::uint64_t min_support)
+{
+    std::vector<std::uint32_t> items;
+    for (std::uint32_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] >= min_support)
+            items.push_back(i);
+    }
+    return items;
+}
+
+namespace {
+
+/** Is @p subset (sorted) contained in @p superset (sorted)? */
+bool
+containsSorted(const ItemSet &superset, const ItemSet &subset)
+{
+    return std::includes(superset.begin(), superset.end(), subset.begin(),
+                         subset.end());
+}
+
+} // namespace
+
+std::vector<ItemSet>
+generateCandidates(const std::vector<ItemSet> &frequent_prev)
+{
+    std::vector<ItemSet> candidates;
+    if (frequent_prev.empty())
+        return candidates;
+    const std::size_t k_minus_1 = frequent_prev[0].size();
+
+    // Join: pairs sharing the first k-2 items.
+    for (std::size_t a = 0; a < frequent_prev.size(); ++a) {
+        for (std::size_t b = a + 1; b < frequent_prev.size(); ++b) {
+            const ItemSet &x = frequent_prev[a];
+            const ItemSet &y = frequent_prev[b];
+            if (!std::equal(x.begin(), x.end() - 1, y.begin()))
+                continue;
+            ItemSet candidate(x);
+            candidate.push_back(y.back());
+            std::sort(candidate.begin(), candidate.end());
+
+            // Prune: every (k-1)-subset must be frequent.
+            bool all_frequent = true;
+            for (std::size_t drop = 0;
+                 all_frequent && drop < candidate.size(); ++drop) {
+                ItemSet subset;
+                for (std::size_t i = 0; i < candidate.size(); ++i) {
+                    if (i != drop)
+                        subset.push_back(candidate[i]);
+                }
+                all_frequent =
+                    std::find(frequent_prev.begin(), frequent_prev.end(),
+                              subset) != frequent_prev.end();
+            }
+            if (all_frequent)
+                candidates.push_back(std::move(candidate));
+        }
+    }
+    (void)k_minus_1;
+    return candidates;
+}
+
+std::vector<std::uint64_t>
+countCandidates(std::span<const std::uint8_t> data,
+                const std::vector<ItemSet> &candidates)
+{
+    std::vector<std::uint64_t> counts(candidates.size(), 0);
+    const std::size_t n_records = data.size() / TransactionRecord::kBytes;
+    for (std::size_t r = 0; r < n_records; ++r) {
+        const auto record = decodeRecord(
+            data.subspan(r * TransactionRecord::kBytes,
+                         TransactionRecord::kBytes));
+        if (record.item_count == 0)
+            continue;
+        ItemSet basket(record.items, record.items + record.item_count);
+        std::sort(basket.begin(), basket.end());
+        basket.erase(std::unique(basket.begin(), basket.end()),
+                     basket.end());
+        for (std::size_t c = 0; c < candidates.size(); ++c) {
+            if (containsSorted(basket, candidates[c]))
+                ++counts[c];
+        }
+    }
+    return counts;
+}
+
+std::vector<ItemSet>
+frequentSets(const std::vector<ItemSet> &candidates,
+             const std::vector<std::uint64_t> &counts,
+             std::uint64_t min_support)
+{
+    NASD_ASSERT(candidates.size() == counts.size());
+    std::vector<ItemSet> result;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (counts[i] >= min_support)
+            result.push_back(candidates[i]);
+    }
+    return result;
+}
+
+} // namespace nasd::apps

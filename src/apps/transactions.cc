@@ -1,0 +1,79 @@
+#include "apps/transactions.h"
+
+#include <algorithm>
+
+#include "util/codec.h"
+#include "util/logging.h"
+
+namespace nasd::apps {
+
+void
+encodeRecord(const TransactionRecord &record, std::span<std::uint8_t> out)
+{
+    NASD_ASSERT(out.size() >= TransactionRecord::kBytes);
+    std::vector<std::uint8_t> buf;
+    util::Encoder enc(buf);
+    enc.put<std::uint64_t>(record.txn_id);
+    enc.put<std::uint32_t>(record.store_id);
+    enc.put<std::uint8_t>(record.item_count);
+    for (std::size_t i = 0; i < TransactionRecord::kMaxItems; ++i)
+        enc.put<std::uint32_t>(record.items[i]);
+    enc.padTo(TransactionRecord::kBytes);
+    std::copy(buf.begin(), buf.end(), out.begin());
+}
+
+TransactionRecord
+decodeRecord(std::span<const std::uint8_t> in)
+{
+    NASD_ASSERT(in.size() >= TransactionRecord::kBytes);
+    util::Decoder dec(in);
+    TransactionRecord record;
+    record.txn_id = dec.get<std::uint64_t>();
+    record.store_id = dec.get<std::uint32_t>();
+    record.item_count = dec.get<std::uint8_t>();
+    for (std::size_t i = 0; i < TransactionRecord::kMaxItems; ++i)
+        record.items[i] = dec.get<std::uint32_t>();
+    return record;
+}
+
+TransactionGenerator::TransactionGenerator(DatasetParams params)
+    : params_(params), zipf_(params.catalog_items, params.zipf_theta)
+{
+    NASD_ASSERT(params_.max_items <= TransactionRecord::kMaxItems);
+    NASD_ASSERT(params_.min_items >= 2);
+    NASD_ASSERT(params_.catalog_items >= 8);
+}
+
+std::vector<std::uint8_t>
+TransactionGenerator::chunk(std::uint64_t index) const
+{
+    // Seed per chunk so chunks are independently regenerable.
+    util::Rng rng(params_.seed * 0x9e3779b9ull + index);
+    std::vector<std::uint8_t> out(kChunkBytes);
+
+    for (std::uint64_t r = 0; r < kRecordsPerChunk; ++r) {
+        TransactionRecord record;
+        record.txn_id = index * kRecordsPerChunk + r;
+        record.store_id = static_cast<std::uint32_t>(rng.below(100));
+        const auto n = static_cast<std::uint8_t>(
+            rng.between(params_.min_items, params_.max_items));
+        record.item_count = n;
+
+        std::size_t filled = 0;
+        if (rng.chance(params_.planted_pair_rate) && n >= 2) {
+            record.items[filled++] = 1;
+            record.items[filled++] = 2;
+        }
+        while (filled < n) {
+            record.items[filled++] =
+                static_cast<std::uint32_t>(zipf_.sample(rng));
+        }
+        encodeRecord(record,
+                     std::span<std::uint8_t>(
+                         out.data() + r * TransactionRecord::kBytes,
+                         TransactionRecord::kBytes));
+    }
+    return out;
+}
+
+} // namespace nasd::apps

@@ -1,0 +1,563 @@
+#include "cheops/cheops.h"
+
+#include <algorithm>
+
+#include "net/rpc.h"
+#include "sim/sync.h"
+#include "util/logging.h"
+
+namespace nasd::cheops {
+
+namespace {
+
+constexpr std::uint64_t kControlPayload = 96;
+
+} // namespace
+
+const char *
+toString(CheopsStatus status)
+{
+    switch (status) {
+      case CheopsStatus::kOk:
+        return "ok";
+      case CheopsStatus::kNoSuchObject:
+        return "no-such-object";
+      case CheopsStatus::kStaleMap:
+        return "stale-map";
+      case CheopsStatus::kNoSpace:
+        return "no-space";
+      case CheopsStatus::kDriveError:
+        return "drive-error";
+      case CheopsStatus::kAccess:
+        return "access";
+    }
+    return "unknown";
+}
+
+// ---------------------------------------------------------------- manager
+
+CheopsManager::CheopsManager(sim::Simulator &sim, net::Network &net,
+                             net::NetNode &node,
+                             std::vector<NasdDrive *> drives,
+                             PartitionId partition)
+    : sim_(sim), node_(node), drives_(std::move(drives)),
+      partition_(partition)
+{
+    NASD_ASSERT(!drives_.empty());
+    for (auto *drive : drives_) {
+        issuers_.push_back(std::make_unique<CapabilityIssuer>(
+            drive->config().master_key, drive->id()));
+        mgr_clients_.push_back(
+            std::make_unique<NasdClient>(net, node_, *drive));
+    }
+}
+
+sim::Task<void>
+CheopsManager::initialize(std::uint64_t partition_quota_bytes)
+{
+    for (auto *drive : drives_) {
+        co_await drive->format();
+        auto created =
+            drive->store().createPartition(partition_, partition_quota_bytes);
+        NASD_ASSERT(created.ok(), "cheops partition creation failed");
+    }
+}
+
+Capability
+CheopsManager::mintComponentCap(std::uint32_t drive, ObjectId oid,
+                                ObjectVersion version, bool want_write)
+{
+    CapabilityPublic pub;
+    pub.partition = partition_;
+    pub.object_id = oid;
+    pub.approved_version = version;
+    pub.rights = kRightRead | kRightGetAttr;
+    if (want_write)
+        pub.rights |= kRightWrite;
+    pub.expiry_ns = sim_.now() + kCapLifetimeNs;
+    return issuers_[drive]->mint(pub);
+}
+
+sim::Task<CreateReply>
+CheopsManager::serveCreate(std::uint64_t stripe_unit_bytes,
+                           std::uint32_t stripe_count,
+                           std::uint64_t capacity_hint,
+                           Redundancy redundancy)
+{
+    CreateReply reply;
+    if (stripe_count == 0 || stripe_count > drives_.size())
+        stripe_count = static_cast<std::uint32_t>(drives_.size());
+    NASD_ASSERT(stripe_unit_bytes > 0);
+    if (redundancy == Redundancy::kMirror && drives_.size() < 2) {
+        reply.status = CheopsStatus::kNoSpace;
+        co_return reply;
+    }
+
+    LogicalObject obj;
+    obj.stripe_unit_bytes = stripe_unit_bytes;
+    obj.redundancy = redundancy;
+    const std::uint64_t per_drive_hint =
+        capacity_hint / stripe_count + stripe_unit_bytes;
+
+    // One component object on each participating drive (plus, when
+    // mirrored, a replica on the next drive so no component shares a
+    // spindle with its copy).
+    for (std::uint32_t i = 0; i < stripe_count; ++i) {
+        CapabilityPublic pub;
+        pub.partition = partition_;
+        pub.object_id = kPartitionControlObject;
+        pub.rights = kRightCreate;
+        CredentialFactory cred(issuers_[i]->mint(pub));
+        auto made = co_await mgr_clients_[i]->create(cred, per_drive_hint);
+        if (!made.ok()) {
+            reply.status = CheopsStatus::kDriveError;
+            co_return reply;
+        }
+        obj.components.emplace_back(i, made.value());
+        obj.component_versions.push_back(1);
+
+        if (redundancy == Redundancy::kMirror) {
+            const auto m = static_cast<std::uint32_t>(
+                (i + 1) % drives_.size());
+            CapabilityPublic mpub;
+            mpub.partition = partition_;
+            mpub.object_id = kPartitionControlObject;
+            mpub.rights = kRightCreate;
+            CredentialFactory mcred(issuers_[m]->mint(mpub));
+            auto mirror =
+                co_await mgr_clients_[m]->create(mcred, per_drive_hint);
+            if (!mirror.ok()) {
+                reply.status = CheopsStatus::kDriveError;
+                co_return reply;
+            }
+            obj.mirrors.emplace_back(m, mirror.value());
+            obj.mirror_versions.push_back(1);
+        }
+    }
+
+    const LogicalObjectId id = next_id_++;
+    objects_[id] = std::move(obj);
+    reply.id = id;
+    ++control_ops_;
+    co_return reply;
+}
+
+sim::Task<OpenReply>
+CheopsManager::serveOpen(LogicalObjectId id, bool want_write)
+{
+    OpenReply reply;
+    const auto it = objects_.find(id);
+    if (it == objects_.end()) {
+        reply.status = CheopsStatus::kNoSuchObject;
+        co_return reply;
+    }
+    const LogicalObject &obj = it->second;
+    reply.map.id = id;
+    reply.map.map_version = obj.map_version;
+    reply.map.stripe_unit_bytes = obj.stripe_unit_bytes;
+    reply.map.redundancy = obj.redundancy;
+    for (std::size_t i = 0; i < obj.components.size(); ++i) {
+        const auto &[drive, oid] = obj.components[i];
+        ComponentRef ref;
+        ref.drive = drive;
+        ref.oid = oid;
+        ref.capability = mintComponentCap(drive, oid,
+                                          obj.component_versions[i],
+                                          want_write);
+        reply.map.components.push_back(std::move(ref));
+    }
+    for (std::size_t i = 0; i < obj.mirrors.size(); ++i) {
+        const auto &[drive, oid] = obj.mirrors[i];
+        ComponentRef ref;
+        ref.drive = drive;
+        ref.oid = oid;
+        ref.capability = mintComponentCap(drive, oid,
+                                          obj.mirror_versions[i],
+                                          want_write);
+        reply.map.mirrors.push_back(std::move(ref));
+    }
+    // Minting a capability set is pure CPU work at the manager.
+    co_await node_.cpu().execute(4000 +
+                                 2000 * reply.map.components.size());
+    ++control_ops_;
+    co_return reply;
+}
+
+sim::Task<CheopsStatusReply>
+CheopsManager::serveRemove(LogicalObjectId id)
+{
+    CheopsStatusReply reply;
+    const auto it = objects_.find(id);
+    if (it == objects_.end()) {
+        reply.status = CheopsStatus::kNoSuchObject;
+        co_return reply;
+    }
+    auto removeComponent =
+        [this](std::uint32_t drive, ObjectId oid,
+               ObjectVersion version) -> sim::Task<bool> {
+        CapabilityPublic pub;
+        pub.partition = partition_;
+        pub.object_id = oid;
+        pub.approved_version = version;
+        pub.rights = kRightRemove;
+        CredentialFactory cred(issuers_[drive]->mint(pub));
+        auto removed = co_await mgr_clients_[drive]->remove(cred);
+        co_return removed.ok();
+    };
+    for (std::size_t i = 0; i < it->second.components.size(); ++i) {
+        const auto &[drive, oid] = it->second.components[i];
+        if (!co_await removeComponent(drive, oid,
+                                      it->second.component_versions[i]))
+            reply.status = CheopsStatus::kDriveError;
+    }
+    for (std::size_t i = 0; i < it->second.mirrors.size(); ++i) {
+        const auto &[drive, oid] = it->second.mirrors[i];
+        if (!co_await removeComponent(drive, oid,
+                                      it->second.mirror_versions[i]))
+            reply.status = CheopsStatus::kDriveError;
+    }
+    objects_.erase(it);
+    ++control_ops_;
+    co_return reply;
+}
+
+sim::Task<SizeReply>
+CheopsManager::serveGetSize(LogicalObjectId id)
+{
+    SizeReply reply;
+    const auto it = objects_.find(id);
+    if (it == objects_.end()) {
+        reply.status = CheopsStatus::kNoSuchObject;
+        co_return reply;
+    }
+    const LogicalObject &obj = it->second;
+    // Logical size: reconstruct from component sizes. Component k has
+    // the stripe units s with s mod n == k.
+    const std::uint64_t su = obj.stripe_unit_bytes;
+    const auto n = static_cast<std::uint64_t>(obj.components.size());
+    std::uint64_t logical = 0;
+    for (std::size_t k = 0; k < obj.components.size(); ++k) {
+        const auto &[drive, oid] = obj.components[k];
+        CapabilityPublic pub;
+        pub.partition = partition_;
+        pub.object_id = oid;
+        pub.approved_version = it->second.component_versions[k];
+        pub.rights = kRightGetAttr;
+        CredentialFactory cred(issuers_[drive]->mint(pub));
+        auto attrs = co_await mgr_clients_[drive]->getAttr(cred);
+        if (!attrs.ok()) {
+            reply.status = CheopsStatus::kDriveError;
+            co_return reply;
+        }
+        const std::uint64_t csize = attrs.value().size;
+        if (csize == 0)
+            continue;
+        // Last byte of component k at offset csize-1 maps to logical
+        // offset: full_stripes*su*n + k*su + within.
+        const std::uint64_t full_units = (csize - 1) / su;
+        const std::uint64_t within = (csize - 1) % su;
+        const std::uint64_t logical_last =
+            full_units * su * n + k * su + within;
+        logical = std::max(logical, logical_last + 1);
+    }
+    reply.size = logical;
+    ++control_ops_;
+    co_return reply;
+}
+
+sim::Task<CheopsStatusReply>
+CheopsManager::serveRevoke(LogicalObjectId id)
+{
+    CheopsStatusReply reply;
+    const auto it = objects_.find(id);
+    if (it == objects_.end()) {
+        reply.status = CheopsStatus::kNoSuchObject;
+        co_return reply;
+    }
+    LogicalObject &obj = it->second;
+    for (std::size_t i = 0; i < obj.components.size(); ++i) {
+        const auto &[drive, oid] = obj.components[i];
+        CapabilityPublic pub;
+        pub.partition = partition_;
+        pub.object_id = oid;
+        pub.approved_version = obj.component_versions[i];
+        pub.rights = kRightSetAttr;
+        CredentialFactory cred(issuers_[drive]->mint(pub));
+        SetAttrRequest req;
+        req.bump_version = true;
+        auto set = co_await mgr_clients_[drive]->setAttr(cred, req);
+        if (set.ok())
+            obj.component_versions[i] = set.value().version;
+        else
+            reply.status = CheopsStatus::kDriveError;
+    }
+    ++obj.map_version;
+    ++control_ops_;
+    co_return reply;
+}
+
+// ----------------------------------------------------------------- client
+
+CheopsClient::CheopsClient(net::Network &net, net::NetNode &node,
+                           CheopsManager &mgr,
+                           std::vector<NasdDrive *> drives)
+    : net_(net), node_(node), mgr_(mgr)
+{
+    for (auto *drive : drives) {
+        drive_clients_.push_back(
+            std::make_unique<NasdClient>(net, node_, *drive));
+    }
+}
+
+sim::Task<util::Result<CheopsClient::OpenState *, CheopsStatus>>
+CheopsClient::ensureOpen(LogicalObjectId id, bool want_write)
+{
+    auto it = open_objects_.find(id);
+    if (it != open_objects_.end() &&
+        (!want_write || it->second.writable)) {
+        co_return &it->second;
+    }
+
+    ++manager_calls_;
+    auto reply = co_await net::call<OpenReply>(
+        net_, node_, mgr_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<OpenReply>> {
+            auto r = co_await mgr_.serveOpen(id, want_write);
+            const std::uint64_t payload =
+                64 + 160 * r.map.components.size(); // caps on the wire
+            co_return net::RpcReply<OpenReply>{std::move(r), payload};
+        });
+    if (reply.status != CheopsStatus::kOk)
+        co_return util::Err{reply.status};
+
+    OpenState state;
+    state.map = std::move(reply.map);
+    state.writable = want_write;
+    for (const auto &comp : state.map.components) {
+        state.creds.push_back(
+            std::make_unique<CredentialFactory>(comp.capability));
+    }
+    for (const auto &mirror : state.map.mirrors) {
+        state.mirror_creds.push_back(
+            std::make_unique<CredentialFactory>(mirror.capability));
+    }
+    auto [pos, inserted] =
+        open_objects_.insert_or_assign(id, std::move(state));
+    co_return &pos->second;
+}
+
+sim::Task<util::Result<const CheopsMap *, CheopsStatus>>
+CheopsClient::open(LogicalObjectId id, bool want_write)
+{
+    auto state = co_await ensureOpen(id, want_write);
+    if (!state.ok())
+        co_return util::Err{state.error()};
+    co_return &state.value()->map;
+}
+
+sim::Task<util::Result<LogicalObjectId, CheopsStatus>>
+CheopsClient::create(std::uint64_t stripe_unit_bytes,
+                     std::uint32_t stripe_count,
+                     std::uint64_t capacity_hint, Redundancy redundancy)
+{
+    ++manager_calls_;
+    auto reply = co_await net::call<CreateReply>(
+        net_, node_, mgr_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<CreateReply>> {
+            auto r = co_await mgr_.serveCreate(stripe_unit_bytes,
+                                               stripe_count, capacity_hint,
+                                               redundancy);
+            co_return net::RpcReply<CreateReply>{r, 24};
+        });
+    if (reply.status != CheopsStatus::kOk)
+        co_return util::Err{reply.status};
+    co_return reply.id;
+}
+
+sim::Task<util::Result<void, CheopsStatus>>
+CheopsClient::remove(LogicalObjectId id)
+{
+    open_objects_.erase(id);
+    ++manager_calls_;
+    auto reply = co_await net::call<CheopsStatusReply>(
+        net_, node_, mgr_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<CheopsStatusReply>> {
+            auto r = co_await mgr_.serveRemove(id);
+            co_return net::RpcReply<CheopsStatusReply>{r, 16};
+        });
+    if (reply.status != CheopsStatus::kOk)
+        co_return util::Err{reply.status};
+    co_return util::Result<void, CheopsStatus>{};
+}
+
+sim::Task<util::Result<std::uint64_t, CheopsStatus>>
+CheopsClient::size(LogicalObjectId id)
+{
+    ++manager_calls_;
+    auto reply = co_await net::call<SizeReply>(
+        net_, node_, mgr_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<SizeReply>> {
+            auto r = co_await mgr_.serveGetSize(id);
+            co_return net::RpcReply<SizeReply>{r, 24};
+        });
+    if (reply.status != CheopsStatus::kOk)
+        co_return util::Err{reply.status};
+    co_return reply.size;
+}
+
+std::vector<CheopsClient::ComponentRun>
+CheopsClient::mapRange(const CheopsMap &map, std::uint64_t offset,
+                       std::uint64_t length)
+{
+    std::vector<ComponentRun> runs;
+    const std::uint64_t su = map.stripe_unit_bytes;
+    const auto n = static_cast<std::uint64_t>(map.components.size());
+    const std::uint64_t end = offset + length;
+    std::uint64_t pos = offset;
+    while (pos < end) {
+        const std::uint64_t unit = pos / su;
+        const auto comp = static_cast<std::uint32_t>(unit % n);
+        const std::uint64_t unit_on_comp = unit / n;
+        const std::uint64_t within = pos % su;
+        const std::uint64_t take = std::min(end - pos, su - within);
+        const std::uint64_t comp_offset = unit_on_comp * su + within;
+
+        ComponentRun *tail = nullptr;
+        for (auto &r : runs) {
+            if (r.component == comp &&
+                r.component_offset + r.length == comp_offset) {
+                tail = &r;
+                break;
+            }
+        }
+        if (tail != nullptr) {
+            tail->length += take;
+            tail->pieces.emplace_back(pos - offset, take);
+        } else {
+            ComponentRun r;
+            r.component = comp;
+            r.component_offset = comp_offset;
+            r.length = take;
+            r.pieces.emplace_back(pos - offset, take);
+            runs.push_back(std::move(r));
+        }
+        pos += take;
+    }
+    return runs;
+}
+
+sim::Task<util::Result<std::uint64_t, CheopsStatus>>
+CheopsClient::read(LogicalObjectId id, std::uint64_t offset,
+                   std::span<std::uint8_t> out)
+{
+    auto state = co_await ensureOpen(id, false);
+    if (!state.ok())
+        co_return util::Err{state.error()};
+    OpenState *open = state.value();
+    const auto runs = mapRange(open->map, offset, out.size());
+
+    // One parallel component read per run; reassemble into `out`.
+    auto fetchRun = [this, open, &out](const ComponentRun &run)
+        -> sim::Task<util::Result<std::uint64_t, CheopsStatus>> {
+        auto &comp = open->map.components[run.component];
+        auto &cred = *open->creds[run.component];
+        auto data = co_await drive_clients_[comp.drive]->read(
+            cred, run.component_offset, run.length);
+        if (!data.ok() &&
+            open->map.redundancy == Redundancy::kMirror) {
+            // Degraded mode: the replica carries the same bytes at
+            // the same component offsets.
+            auto &mirror = open->map.mirrors[run.component];
+            auto &mcred = *open->mirror_creds[run.component];
+            data = co_await drive_clients_[mirror.drive]->read(
+                mcred, run.component_offset, run.length);
+        }
+        if (!data.ok())
+            co_return util::Err{CheopsStatus::kDriveError};
+        // Scatter into the host buffer; track the contiguous prefix.
+        std::uint64_t copied = 0;
+        for (const auto &[host_offset, bytes] : run.pieces) {
+            if (copied >= data.value().size())
+                break;
+            const std::uint64_t take = std::min(
+                bytes, static_cast<std::uint64_t>(data.value().size()) -
+                           copied);
+            std::copy(data.value().begin() +
+                          static_cast<std::ptrdiff_t>(copied),
+                      data.value().begin() +
+                          static_cast<std::ptrdiff_t>(copied + take),
+                      out.begin() + static_cast<std::ptrdiff_t>(host_offset));
+            copied += take;
+        }
+        co_return copied;
+    };
+
+    std::vector<sim::Task<util::Result<std::uint64_t, CheopsStatus>>> tasks;
+    tasks.reserve(runs.size());
+    for (const auto &run : runs)
+        tasks.push_back(fetchRun(run));
+    auto results =
+        co_await sim::parallelGather(net_.simulator(), std::move(tasks));
+
+    std::uint64_t total = 0;
+    for (auto &r : results) {
+        if (!r.ok())
+            co_return util::Err{r.error()};
+        total += r.value();
+    }
+    co_return total;
+}
+
+sim::Task<util::Result<void, CheopsStatus>>
+CheopsClient::write(LogicalObjectId id, std::uint64_t offset,
+                    std::span<const std::uint8_t> data)
+{
+    auto state = co_await ensureOpen(id, true);
+    if (!state.ok())
+        co_return util::Err{state.error()};
+    OpenState *open = state.value();
+    const auto runs = mapRange(open->map, offset, data.size());
+
+    auto pushRun = [this, open, &data](const ComponentRun &run)
+        -> sim::Task<util::Result<void, CheopsStatus>> {
+        // Gather the run's pieces into one contiguous component write.
+        std::vector<std::uint8_t> buf(run.length);
+        std::uint64_t copied = 0;
+        for (const auto &[host_offset, bytes] : run.pieces) {
+            std::copy(data.begin() + static_cast<std::ptrdiff_t>(host_offset),
+                      data.begin() +
+                          static_cast<std::ptrdiff_t>(host_offset + bytes),
+                      buf.begin() + static_cast<std::ptrdiff_t>(copied));
+            copied += bytes;
+        }
+        auto &comp = open->map.components[run.component];
+        auto &cred = *open->creds[run.component];
+        auto wrote = co_await drive_clients_[comp.drive]->write(
+            cred, run.component_offset, buf);
+        bool any_ok = wrote.ok();
+        if (open->map.redundancy == Redundancy::kMirror) {
+            auto &mirror = open->map.mirrors[run.component];
+            auto &mcred = *open->mirror_creds[run.component];
+            auto mirrored = co_await drive_clients_[mirror.drive]->write(
+                mcred, run.component_offset, buf);
+            any_ok = any_ok || mirrored.ok();
+        }
+        if (!any_ok)
+            co_return util::Err{CheopsStatus::kDriveError};
+        co_return util::Result<void, CheopsStatus>{};
+    };
+
+    std::vector<sim::Task<util::Result<void, CheopsStatus>>> tasks;
+    tasks.reserve(runs.size());
+    for (const auto &run : runs)
+        tasks.push_back(pushRun(run));
+    auto results =
+        co_await sim::parallelGather(net_.simulator(), std::move(tasks));
+    for (auto &r : results) {
+        if (!r.ok())
+            co_return util::Err{r.error()};
+    }
+    co_return util::Result<void, CheopsStatus>{};
+}
+
+} // namespace nasd::cheops

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Cheops: storage management by recursion on the object interface
+ * (Section 5.2, organization 6 of Figure 2).
+ *
+ * A Cheops manager exports *logical* objects that are not directly
+ * backed by data; each is striped over component NASD objects on many
+ * drives. When a client opens a logical object, the manager replaces
+ * the single capability a file manager would hand out with a *set* of
+ * capabilities for the component objects — one extra control message,
+ * after which the client transfers data directly to and from every
+ * drive in parallel. Striping and redundancy happen on objects the
+ * client is allowed to access, never on physical disk addresses, so
+ * untrusted clients cannot corrupt anyone else's data (the contrast
+ * with Zebra/xFS the paper draws).
+ *
+ * Concurrency control: every logical object's layout map carries a
+ * version. Layout-changing operations bump it; clients present their
+ * map version with each manager call and are told to refresh when
+ * stale.
+ */
+#ifndef NASD_CHEOPS_CHEOPS_H_
+#define NASD_CHEOPS_CHEOPS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nasd/client.h"
+#include "nasd/drive.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace nasd::cheops {
+
+/** Identifies a logical (striped) object at the manager. */
+using LogicalObjectId = std::uint64_t;
+
+/** Cheops status codes. */
+enum class CheopsStatus : std::uint8_t {
+    kOk = 0,
+    kNoSuchObject,
+    kStaleMap,   ///< client's layout map version is out of date
+    kNoSpace,
+    kDriveError,
+    kAccess,
+};
+
+const char *toString(CheopsStatus status);
+
+/** One component of a striped logical object. */
+struct ComponentRef
+{
+    std::uint32_t drive = 0; ///< index into the drive set
+    ObjectId oid = 0;
+    Capability capability;   ///< minted per open
+};
+
+/** Redundancy scheme of a logical object (Section 5.2: "Redundancy
+ *  and striping are done within the objects accessible with the
+ *  client's set of capabilities"). */
+enum class Redundancy : std::uint8_t {
+    kNone = 0,
+    kMirror, ///< each component has a replica on the next drive
+};
+
+/** The layout map + capability set handed to a client on open. */
+struct CheopsMap
+{
+    LogicalObjectId id = 0;
+    std::uint32_t map_version = 0;
+    std::uint64_t stripe_unit_bytes = 0;
+    std::vector<ComponentRef> components;
+    /// Parallel to components when redundancy == kMirror, else empty.
+    std::vector<ComponentRef> mirrors;
+    Redundancy redundancy = Redundancy::kNone;
+};
+
+struct OpenReply
+{
+    CheopsStatus status = CheopsStatus::kOk;
+    CheopsMap map;
+};
+
+struct CreateReply
+{
+    CheopsStatus status = CheopsStatus::kOk;
+    LogicalObjectId id = 0;
+};
+
+struct CheopsStatusReply
+{
+    CheopsStatus status = CheopsStatus::kOk;
+};
+
+struct SizeReply
+{
+    CheopsStatus status = CheopsStatus::kOk;
+    std::uint64_t size = 0;
+};
+
+/**
+ * The Cheops storage manager (possibly co-located with a file
+ * manager). Owns logical-to-component mappings and mints component
+ * capability sets.
+ */
+class CheopsManager
+{
+  public:
+    CheopsManager(sim::Simulator &sim, net::Network &net,
+                  net::NetNode &node, std::vector<NasdDrive *> drives,
+                  PartitionId partition);
+
+    net::NetNode &node() { return node_; }
+    std::size_t driveCount() const { return drives_.size(); }
+
+    /** Format drives and create partitions. */
+    sim::Task<void> initialize(std::uint64_t partition_quota_bytes);
+
+    // Server-side handlers -------------------------------------------------
+
+    /**
+     * Create a logical object striped over @p stripe_count drives
+     * (0 = all) with the given stripe unit. With kMirror redundancy,
+     * every component gets a replica object on the next drive and
+     * clients write both / read either.
+     */
+    sim::Task<CreateReply>
+    serveCreate(std::uint64_t stripe_unit_bytes,
+                std::uint32_t stripe_count, std::uint64_t capacity_hint,
+                Redundancy redundancy = Redundancy::kNone);
+
+    /** Hand out the layout map + capability set. */
+    sim::Task<OpenReply> serveOpen(LogicalObjectId id, bool want_write);
+
+    /** Remove the logical object and all components. */
+    sim::Task<CheopsStatusReply> serveRemove(LogicalObjectId id);
+
+    /** Logical object size (max over component extents). */
+    sim::Task<SizeReply> serveGetSize(LogicalObjectId id);
+
+    /**
+     * Revoke all outstanding capability sets for @p id (bumps every
+     * component's version and the map version).
+     */
+    sim::Task<CheopsStatusReply> serveRevoke(LogicalObjectId id);
+
+    std::uint64_t controlOps() const { return control_ops_; }
+
+  private:
+    struct LogicalObject
+    {
+        std::uint64_t stripe_unit_bytes = 0;
+        std::uint32_t map_version = 1;
+        Redundancy redundancy = Redundancy::kNone;
+        std::vector<std::pair<std::uint32_t, ObjectId>> components;
+        std::vector<ObjectVersion> component_versions;
+        std::vector<std::pair<std::uint32_t, ObjectId>> mirrors;
+        std::vector<ObjectVersion> mirror_versions;
+    };
+
+    Capability mintComponentCap(std::uint32_t drive, ObjectId oid,
+                                ObjectVersion version, bool want_write);
+
+    sim::Simulator &sim_;
+    net::NetNode &node_;
+    std::vector<NasdDrive *> drives_;
+    std::vector<std::unique_ptr<CapabilityIssuer>> issuers_;
+    std::vector<std::unique_ptr<NasdClient>> mgr_clients_;
+    PartitionId partition_;
+    std::map<LogicalObjectId, LogicalObject> objects_;
+    LogicalObjectId next_id_ = 1;
+    std::uint64_t control_ops_ = 0;
+
+    static constexpr std::uint64_t kCapLifetimeNs = 3600ull * 1000000000;
+};
+
+/**
+ * The Cheops client library: translates logical-object I/O into
+ * parallel component I/O using a cached layout map and its capability
+ * set. Less than 10 kLoC in the original prototype; the translation
+ * core is here.
+ */
+class CheopsClient
+{
+  public:
+    CheopsClient(net::Network &net, net::NetNode &node, CheopsManager &mgr,
+                 std::vector<NasdDrive *> drives);
+
+    net::NetNode &node() { return node_; }
+
+    /** Fetch (or refresh) the layout map for @p id. */
+    sim::Task<util::Result<const CheopsMap *, CheopsStatus>>
+    open(LogicalObjectId id, bool want_write);
+
+    /** Create a striped logical object via the manager. */
+    sim::Task<util::Result<LogicalObjectId, CheopsStatus>>
+    create(std::uint64_t stripe_unit_bytes, std::uint32_t stripe_count,
+           std::uint64_t capacity_hint = 0,
+           Redundancy redundancy = Redundancy::kNone);
+
+    sim::Task<util::Result<void, CheopsStatus>> remove(LogicalObjectId id);
+
+    /**
+     * Read [offset, offset+out.size()) of the logical object: splits
+     * by stripe, issues per-drive reads in parallel, reassembles.
+     * Returns bytes actually read.
+     */
+    sim::Task<util::Result<std::uint64_t, CheopsStatus>>
+    read(LogicalObjectId id, std::uint64_t offset,
+         std::span<std::uint8_t> out);
+
+    /** Striped parallel write. */
+    sim::Task<util::Result<void, CheopsStatus>>
+    write(LogicalObjectId id, std::uint64_t offset,
+          std::span<const std::uint8_t> data);
+
+    /** Logical size via the manager. */
+    sim::Task<util::Result<std::uint64_t, CheopsStatus>>
+    size(LogicalObjectId id);
+
+    std::uint64_t managerCalls() const { return manager_calls_; }
+
+  private:
+    /** A contiguous run on one component plus its host-buffer slices. */
+    struct ComponentRun
+    {
+        std::uint32_t component = 0;
+        std::uint64_t component_offset = 0;
+        std::uint64_t length = 0;
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> pieces;
+    };
+
+    /** Stripe arithmetic: logical range -> per-component runs. */
+    static std::vector<ComponentRun>
+    mapRange(const CheopsMap &map, std::uint64_t offset,
+             std::uint64_t length);
+
+    struct OpenState
+    {
+        CheopsMap map;
+        bool writable = false;
+        std::vector<std::unique_ptr<CredentialFactory>> creds;
+        std::vector<std::unique_ptr<CredentialFactory>> mirror_creds;
+    };
+
+    sim::Task<util::Result<OpenState *, CheopsStatus>>
+    ensureOpen(LogicalObjectId id, bool want_write);
+
+    net::Network &net_;
+    net::NetNode &node_;
+    CheopsManager &mgr_;
+    std::vector<std::unique_ptr<NasdClient>> drive_clients_;
+    std::map<LogicalObjectId, OpenState> open_objects_;
+    std::uint64_t manager_calls_ = 0;
+};
+
+} // namespace nasd::cheops
+
+#endif // NASD_CHEOPS_CHEOPS_H_

@@ -1,0 +1,89 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace nasd::cost {
+
+ServerComponents
+lowCostServer()
+{
+    ServerComponents c;
+    c.name = "low-cost (high-volume components)";
+    c.machine_dollars = 1000;
+    c.memory_mb_per_s = 133; // 32-bit PCI
+    c.nic_dollars = 50;
+    c.nic_mb_per_s = 12.5; // 100 Mb/s Fast Ethernet
+    c.disk_if_dollars = 100;
+    c.disk_if_mb_per_s = 40; // wide Ultra SCSI
+    c.disk_dollars = 300;
+    c.disk_mb_per_s = 10; // Seagate Medallist
+    return c;
+}
+
+ServerComponents
+highEndServer()
+{
+    ServerComponents c;
+    c.name = "high-end (mid-range/enterprise components)";
+    c.machine_dollars = 7000;
+    c.memory_mb_per_s = 532; // dual 64-bit PCI
+    c.nic_dollars = 650;
+    c.nic_mb_per_s = 125; // 1 Gb/s Ethernet
+    c.disk_if_dollars = 400;
+    c.disk_if_mb_per_s = 80; // Ultra2 SCSI
+    c.disk_dollars = 600;
+    c.disk_mb_per_s = 18; // Seagate Cheetah
+    return c;
+}
+
+CostBreakdown
+ServerCostModel::analyze(int disks) const
+{
+    NASD_ASSERT(disks > 0);
+    CostBreakdown b;
+    b.disks = disks;
+    b.aggregate_disk_mb_per_s = disks * c_.disk_mb_per_s;
+
+    // Interfaces sized to carry the disks' aggregate bandwidth. A
+    // slightly-over-committed interface (within ~2%) still counts as
+    // sufficient, matching the paper's "14 disks, 2 network
+    // interfaces" figure for 252 MB/s over two 1 Gb/s NICs.
+    constexpr double kAllowance = 0.05;
+    b.nics = static_cast<int>(std::ceil(
+        b.aggregate_disk_mb_per_s / c_.nic_mb_per_s - kAllowance));
+    b.disk_interfaces = static_cast<int>(std::ceil(
+        b.aggregate_disk_mb_per_s / c_.disk_if_mb_per_s - kAllowance));
+    b.nics = std::max(b.nics, 1);
+    b.disk_interfaces = std::max(b.disk_interfaces, 1);
+
+    b.server_dollars = c_.machine_dollars + b.nics * c_.nic_dollars +
+                       b.disk_interfaces * c_.disk_if_dollars;
+    b.storage_dollars = disks * c_.disk_dollars;
+    b.overhead_percent = b.server_dollars / b.storage_dollars * 100.0;
+    b.memory_saturated = disks > maxDisksByMemory();
+    return b;
+}
+
+int
+ServerCostModel::maxDisksByMemory() const
+{
+    // Every byte enters and leaves memory once: usable = half.
+    const double usable = c_.memory_mb_per_s / 2.0;
+    return std::max(1, static_cast<int>(usable / c_.disk_mb_per_s));
+}
+
+double
+ServerCostModel::systemCostRatio(int disks,
+                                 double nasd_premium_fraction) const
+{
+    const auto b = analyze(disks);
+    const double traditional = b.server_dollars + b.storage_dollars;
+    const double nasd =
+        b.storage_dollars * (1.0 + nasd_premium_fraction);
+    return traditional / nasd;
+}
+
+} // namespace nasd::cost

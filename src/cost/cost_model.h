@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The server cost-overhead model of Figure 4.
+ *
+ * A traditional server bridges a peripheral network (SCSI) and a
+ * client network (Ethernet); every byte crosses its memory. Given
+ * component costs and peak bandwidths, the model computes the server
+ * cost overhead at maximum bandwidth — the sum of the machine cost and
+ * enough network/disk interfaces to carry the disks' aggregate
+ * bandwidth, divided by the total cost of the disks — and the disk
+ * count at which the server's memory system saturates (each byte in
+ * and out of memory once).
+ */
+#ifndef NASD_COST_COST_MODEL_H_
+#define NASD_COST_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nasd::cost {
+
+/** Component prices and peak bandwidths for one server class. */
+struct ServerComponents
+{
+    std::string name;
+    double machine_dollars = 1000;  ///< processor unit + memory
+    double memory_mb_per_s = 133;   ///< memory/backplane bandwidth
+    double nic_dollars = 50;
+    double nic_mb_per_s = 12.5;     ///< 100 Mb/s Ethernet
+    double disk_if_dollars = 100;
+    double disk_if_mb_per_s = 40;   ///< Ultra SCSI
+    double disk_dollars = 300;
+    double disk_mb_per_s = 10;      ///< Seagate Medallist
+};
+
+/** The low-cost, high-volume server of Figure 4 (left values). */
+ServerComponents lowCostServer();
+
+/** The high-end reliable server of Figure 4 (right values). */
+ServerComponents highEndServer();
+
+/** Everything Figure 4 derives for one disk count. */
+struct CostBreakdown
+{
+    int disks = 0;
+    double aggregate_disk_mb_per_s = 0;
+    int nics = 0;
+    int disk_interfaces = 0;
+    double server_dollars = 0;  ///< machine + interfaces
+    double storage_dollars = 0; ///< disks only
+    double overhead_percent = 0;
+    bool memory_saturated = false;
+};
+
+/** Analytic model over one server class. */
+class ServerCostModel
+{
+  public:
+    explicit ServerCostModel(ServerComponents components)
+        : c_(components)
+    {}
+
+    const ServerComponents &components() const { return c_; }
+
+    /** Overhead analysis at @p disks drives. */
+    CostBreakdown analyze(int disks) const;
+
+    /**
+     * Largest disk count the memory system can feed: every byte moves
+     * into and out of memory once, so usable bandwidth is half the
+     * memory bandwidth.
+     */
+    int maxDisksByMemory() const;
+
+    /**
+     * NASD comparison: drives that cost @p premium_fraction more but
+     * need no data-moving server. Returns the overhead percent (just
+     * the premium).
+     */
+    static double
+    nasdOverheadPercent(double premium_fraction = 0.10)
+    {
+        return premium_fraction * 100.0;
+    }
+
+    /** Total-system cost ratio: traditional / NASD at @p disks. */
+    double systemCostRatio(int disks,
+                           double nasd_premium_fraction = 0.10) const;
+
+  private:
+    ServerComponents c_;
+};
+
+} // namespace nasd::cost
+
+#endif // NASD_COST_COST_MODEL_H_

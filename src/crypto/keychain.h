@@ -1,0 +1,61 @@
+/**
+ * @file
+ * NASD key hierarchy [Gobioff97].
+ *
+ * Capabilities are protected by a small number of keys organized into a
+ * four-level hierarchy:
+ *
+ *   master key            - held by the drive owner; never used online
+ *   drive key             - per drive; manages partition keys
+ *   partition key         - per partition; manages working keys
+ *   working keys          - two per partition ("gold" and "black"),
+ *                           used to mint capabilities; rotated by epoch
+ *
+ * Higher keys only manage the level below; only working keys touch the
+ * request path, so compromising one bounds the damage and rotation is
+ * cheap. Derivation is HMAC of a level tag and identifier under the
+ * parent key, so the file manager and drive derive identical keys from
+ * the shared master secret without exchanging per-capability state.
+ */
+#ifndef NASD_CRYPTO_KEYCHAIN_H_
+#define NASD_CRYPTO_KEYCHAIN_H_
+
+#include <cstdint>
+
+#include "crypto/hmac.h"
+
+namespace nasd::crypto {
+
+/** Which of the two per-partition working keys to use. */
+enum class WorkingKeyKind : std::uint8_t {
+    kGold = 0,  ///< long-lived; for capabilities minted by the owner
+    kBlack = 1, ///< short-lived; for routinely rotated capabilities
+};
+
+/** Derives the NASD four-level key hierarchy from a master secret. */
+class KeyChain
+{
+  public:
+    explicit KeyChain(const Key &master) : master_(master) {}
+
+    /** Level 2: per-drive key. */
+    Key driveKey(std::uint64_t drive_id) const;
+
+    /** Level 3: per-partition key. */
+    Key partitionKey(std::uint64_t drive_id,
+                     std::uint16_t partition_id) const;
+
+    /** Level 4: working key used to mint/verify capabilities. */
+    Key workingKey(std::uint64_t drive_id, std::uint16_t partition_id,
+                   WorkingKeyKind kind, std::uint32_t epoch) const;
+
+  private:
+    static Key derive(const Key &parent, std::uint8_t level_tag,
+                      std::uint64_t id_a, std::uint64_t id_b);
+
+    Key master_;
+};
+
+} // namespace nasd::crypto
+
+#endif // NASD_CRYPTO_KEYCHAIN_H_

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4).
+ *
+ * The paper's capability scheme needs a keyed message digest
+ * [Bellare96]. The original prototype targeted DES-based digest
+ * hardware; we substitute HMAC-SHA256 in software (see DESIGN.md), for
+ * which this file provides the hash. Implemented from the spec, no
+ * external dependencies.
+ */
+#ifndef NASD_CRYPTO_SHA256_H_
+#define NASD_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace nasd::crypto {
+
+/** A 256-bit digest. */
+using Digest = std::array<std::uint8_t, 32>;
+
+/** Incremental SHA-256 context. */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    /** Reset to the initial hash state. */
+    void reset();
+
+    /** Absorb @p data. May be called repeatedly. */
+    void update(std::span<const std::uint8_t> data);
+
+    /** Convenience overload for text. */
+    void
+    update(std::string_view text)
+    {
+        update(std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t *>(text.data()),
+            text.size()));
+    }
+
+    /** Finish and produce the digest. The context must be reset() to
+     *  be reused afterwards. */
+    Digest finish();
+
+    /** One-shot convenience: digest of a single buffer. */
+    static Digest hash(std::span<const std::uint8_t> data);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::size_t buffered_ = 0;
+    std::uint64_t total_bytes_ = 0;
+};
+
+/** Constant-time comparison of two digests (thwarts timing probes). */
+bool constantTimeEqual(const Digest &a, const Digest &b);
+
+/** Render a digest as lowercase hex (for logs and tests). */
+std::string toHex(const Digest &d);
+
+} // namespace nasd::crypto
+
+#endif // NASD_CRYPTO_SHA256_H_

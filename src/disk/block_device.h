@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Abstract block device interface.
+ *
+ * Everything that stores fixed-size blocks — a single mechanical disk,
+ * a striped set of disks — implements this. Operations are coroutines:
+ * they move real bytes immediately and consume simulated time according
+ * to the device's timing model.
+ */
+#ifndef NASD_DISK_BLOCK_DEVICE_H_
+#define NASD_DISK_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "sim/task.h"
+
+namespace nasd::disk {
+
+/** Asynchronous fixed-block storage device. */
+class BlockDevice
+{
+  public:
+    virtual ~BlockDevice() = default;
+
+    /** Bytes per block (sector). */
+    virtual std::uint32_t blockSize() const = 0;
+
+    /** Device capacity in blocks. */
+    virtual std::uint64_t numBlocks() const = 0;
+
+    /**
+     * Read @p count blocks starting at @p block into @p out.
+     * @pre out.size() == count * blockSize().
+     */
+    virtual sim::Task<void> read(std::uint64_t block, std::uint32_t count,
+                                 std::span<std::uint8_t> out) = 0;
+
+    /**
+     * Write @p count blocks starting at @p block from @p data.
+     * With write-behind enabled the task completes when the device has
+     * accepted the data, not when media is updated.
+     */
+    virtual sim::Task<void> write(std::uint64_t block, std::uint32_t count,
+                                  std::span<const std::uint8_t> data) = 0;
+
+    /** Wait until all accepted writes have reached the media. */
+    virtual sim::Task<void> flush() = 0;
+
+    /**
+     * Zero-time raw byte access (simulation plumbing, not part of the
+     * modeled interface): copy bytes out of the backing store without
+     * charging simulated time. Higher layers use this for data they
+     * have already paid for (their own cache hits).
+     */
+    virtual void peek(std::uint64_t byte_offset,
+                      std::span<std::uint8_t> out) const = 0;
+
+    /** Zero-time raw byte update; see peek(). */
+    virtual void poke(std::uint64_t byte_offset,
+                      std::span<const std::uint8_t> data) = 0;
+
+    /** Total capacity in bytes. */
+    std::uint64_t
+    capacityBytes() const
+    {
+        return numBlocks() * blockSize();
+    }
+};
+
+} // namespace nasd::disk
+
+#endif // NASD_DISK_BLOCK_DEVICE_H_

@@ -1,0 +1,275 @@
+#include "disk/disk_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace nasd::disk {
+
+namespace {
+
+/// Fraction of the raw media rate achieved while draining the write
+/// buffer in the background (head/track switches miss rotations).
+constexpr double kWriteDrainEfficiency = 0.75;
+
+} // namespace
+
+DiskModel::DiskModel(sim::Simulator &sim, DiskParams params)
+    : sim_(sim), params_(std::move(params)), mech_(sim, 1), bus_(sim, 1),
+      segments_(params_.cache_segments)
+{
+    NASD_ASSERT(params_.cache_segments > 0);
+}
+
+sim::Tick
+DiskModel::seekTime(std::uint64_t from_cyl, std::uint64_t to_cyl) const
+{
+    if (from_cyl == to_cyl)
+        return 0;
+    const double distance = from_cyl > to_cyl
+                                ? static_cast<double>(from_cyl - to_cyl)
+                                : static_cast<double>(to_cyl - from_cyl);
+    // Calibrate t2t + k*sqrt(d) so that a third-of-stroke seek costs
+    // the advertised average; clamp at the full-stroke time.
+    const double third_stroke = static_cast<double>(params_.cylinders) / 3.0;
+    const double k = (params_.avg_seek_ms - params_.track_to_track_ms) /
+                     std::sqrt(third_stroke);
+    const double ms = std::min(
+        params_.max_seek_ms,
+        params_.track_to_track_ms + k * std::sqrt(distance));
+    return sim::msec(ms);
+}
+
+sim::Tick
+DiskModel::mechanicalTime(std::uint64_t block, std::uint32_t count)
+{
+    const std::uint64_t cyl = cylinderOf(block);
+    const sim::Tick seek = seekTime(current_cylinder_, cyl);
+    if (seek > 0)
+        stats_.seeks.add();
+
+    // Rotational position is a deterministic function of the simulated
+    // clock: the platter keeps spinning regardless of what we do.
+    const double period = params_.rotationPeriodNs();
+    const double at = static_cast<double>(sim_.now() + seek);
+    const double pos = std::fmod(at, period) / period;
+    const double target =
+        static_cast<double>(block % params_.sectors_per_track) /
+        params_.sectors_per_track;
+    double wait_frac = target - pos;
+    if (wait_frac < 0)
+        wait_frac += 1.0;
+    const auto rot = static_cast<sim::Tick>(wait_frac * period);
+
+    const sim::Tick media = static_cast<sim::Tick>(count) *
+                            perBlockMediaTime();
+
+    current_cylinder_ = cylinderOf(block + count - 1);
+    return seek + rot + media;
+}
+
+DiskModel::CacheSegment *
+DiskModel::findSegment(std::uint64_t block)
+{
+    for (auto &seg : segments_) {
+        if (seg.contains(block))
+            return &seg;
+    }
+    return nullptr;
+}
+
+void
+DiskModel::cancelPendingReadahead()
+{
+    const sim::Tick now = sim_.now();
+    for (auto &seg : segments_) {
+        if (!seg.valid || seg.end <= seg.sync_end)
+            continue;
+        if (seg.availableAt(seg.end - 1) <= now)
+            continue; // fully arrived
+        std::uint64_t arrived = 0;
+        if (now > seg.load_done && seg.per_block > 0)
+            arrived = (now - seg.load_done) / seg.per_block;
+        seg.end = std::min(seg.end, seg.sync_end + arrived);
+        if (seg.end <= seg.start)
+            seg.valid = false;
+    }
+}
+
+void
+DiskModel::installSegment(std::uint64_t block, std::uint32_t count,
+                          sim::Tick load_done)
+{
+    const std::uint64_t seg_capacity_blocks = std::max<std::uint64_t>(
+        1, params_.cache_bytes / params_.cache_segments /
+               params_.block_size);
+    const std::uint64_t ra_blocks =
+        std::min<std::uint64_t>(params_.readahead_bytes / params_.block_size,
+                                seg_capacity_blocks);
+
+    // Extend an existing segment if this read continues it; otherwise
+    // take the least-recently-used one.
+    CacheSegment *seg = nullptr;
+    for (auto &s : segments_) {
+        if (s.valid && s.end == block) {
+            seg = &s;
+            break;
+        }
+    }
+    if (seg == nullptr) {
+        seg = &segments_[0];
+        for (auto &s : segments_) {
+            if (!s.valid) {
+                seg = &s;
+                break;
+            }
+            if (s.last_use < seg->last_use)
+                seg = &s;
+        }
+        seg->valid = true;
+        seg->start = block;
+    }
+
+    seg->sync_end = block + count;
+    seg->end = std::min(seg->sync_end + ra_blocks,
+                        numBlocks()); // readahead continues past request
+    seg->load_done = load_done;
+    seg->per_block = perBlockMediaTime();
+    seg->last_use = load_done;
+
+    // Bound the segment to its share of the cache (ring behaviour).
+    if (seg->end - seg->start > seg_capacity_blocks)
+        seg->start = seg->end - seg_capacity_blocks;
+}
+
+void
+DiskModel::invalidateRange(std::uint64_t block, std::uint32_t count)
+{
+    const std::uint64_t end = block + count;
+    for (auto &seg : segments_) {
+        if (!seg.valid || end <= seg.start || block >= seg.end)
+            continue;
+        // Keep the prefix if the overlap is at the tail; otherwise drop.
+        if (block > seg.start) {
+            seg.end = block;
+            seg.sync_end = std::min(seg.sync_end, seg.end);
+        } else {
+            seg.valid = false;
+        }
+    }
+}
+
+sim::Task<void>
+DiskModel::read(std::uint64_t block, std::uint32_t count,
+                std::span<std::uint8_t> out)
+{
+    NASD_ASSERT(count > 0, "zero-length disk read");
+    NASD_ASSERT(block + count <= numBlocks(), "read past end of disk");
+    NASD_ASSERT(out.size() ==
+                static_cast<std::size_t>(count) * params_.block_size);
+    stats_.reads.add();
+
+    // Command setup on the bus.
+    co_await bus_.acquire();
+    co_await sim_.delay(sim::msec(params_.controller_overhead_ms));
+
+    // Find the first block the cache cannot supply.
+    std::uint64_t first_missing = block + count;
+    for (std::uint64_t b = block; b < block + count; ++b) {
+        if (findSegment(b) == nullptr) {
+            first_missing = b;
+            break;
+        }
+    }
+
+    if (first_missing < block + count) {
+        stats_.cache_misses.add();
+        // Disconnect from the bus during the mechanical phase.
+        bus_.release();
+        co_await mech_.acquire();
+        cancelPendingReadahead();
+        const auto missing =
+            static_cast<std::uint32_t>(block + count - first_missing);
+        const sim::Tick t = mechanicalTime(first_missing, missing);
+        co_await sim_.delay(t);
+        stats_.media_blocks_read.add(missing);
+        installSegment(first_missing, missing, sim_.now());
+        mech_.release();
+        co_await bus_.acquire();
+    } else {
+        stats_.cache_hits.add();
+        // All blocks cached, but readahead may still be in flight; wait
+        // for the last needed block to arrive off the media.
+        sim::Tick ready = 0;
+        for (std::uint64_t b = block; b < block + count; ++b) {
+            auto *seg = findSegment(b);
+            NASD_ASSERT(seg != nullptr);
+            ready = std::max(ready, seg->availableAt(b));
+            seg->last_use = sim_.now();
+        }
+        if (ready > sim_.now())
+            co_await sim_.delay(ready - sim_.now());
+    }
+
+    // Data transfer to the host.
+    co_await sim_.delay(busTime(out.size()));
+    bus_.release();
+
+    data_.read(block * params_.block_size, out);
+}
+
+sim::Task<void>
+DiskModel::write(std::uint64_t block, std::uint32_t count,
+                 std::span<const std::uint8_t> data)
+{
+    NASD_ASSERT(count > 0, "zero-length disk write");
+    NASD_ASSERT(block + count <= numBlocks(), "write past end of disk");
+    NASD_ASSERT(data.size() ==
+                static_cast<std::size_t>(count) * params_.block_size);
+    stats_.writes.add();
+
+    // Bytes land in the backing store at accept time, before any
+    // simulated delay: otherwise a queued write carrying an older
+    // snapshot could complete after a newer update and roll it back.
+    invalidateRange(block, count);
+    data_.write(block * params_.block_size, data);
+    stats_.media_blocks_written.add(count);
+
+    co_await bus_.acquire();
+    co_await sim_.delay(sim::msec(params_.controller_overhead_ms));
+    co_await sim_.delay(busTime(data.size()));
+    bus_.release();
+
+    if (params_.write_behind) {
+        // Acknowledge now; account the media work as queued drain time
+        // and stall only if the backlog exceeds the buffer.
+        const double drain_bps =
+            params_.mediaBytesPerSec() * kWriteDrainEfficiency;
+        const auto drain_ns = static_cast<sim::Tick>(
+            static_cast<double>(data.size()) / drain_bps * 1e9);
+        media_free_at_ = std::max(media_free_at_, sim_.now()) + drain_ns;
+
+        const auto buffer_ns = static_cast<sim::Tick>(
+            static_cast<double>(params_.write_buffer_bytes) / drain_bps *
+            1e9);
+        const sim::Tick backlog = media_free_at_ - sim_.now();
+        if (backlog > buffer_ns)
+            co_await sim_.delay(backlog - buffer_ns);
+    } else {
+        co_await mech_.acquire();
+        cancelPendingReadahead();
+        const sim::Tick t = mechanicalTime(block, count);
+        co_await sim_.delay(t);
+        mech_.release();
+    }
+}
+
+sim::Task<void>
+DiskModel::flush()
+{
+    if (media_free_at_ > sim_.now())
+        co_await sim_.delay(media_free_at_ - sim_.now());
+}
+
+} // namespace nasd::disk

@@ -1,0 +1,68 @@
+#include "disk/params.h"
+
+namespace nasd::disk {
+
+DiskParams
+medallistParams()
+{
+    DiskParams p;
+    p.name = "Seagate Medallist ST52160";
+    p.sectors_per_track = 100; // 90 rps * 100 * 512B = ~4.6 MB/s media
+    p.heads = 4;
+    p.cylinders = 10300; // ~2.1 GB
+    p.rpm = 5400;
+    p.track_to_track_ms = 1.5;
+    p.avg_seek_ms = 11.0;
+    p.max_seek_ms = 22.0;
+    p.bus_mb_per_s = 5.0; // narrow SCSI as in the prototype
+    p.controller_overhead_ms = 0.5;
+    p.cache_bytes = 256 * util::kKB;
+    p.cache_segments = 2;
+    p.readahead_bytes = 96 * util::kKB;
+    p.write_buffer_bytes = 512 * util::kKB;
+    return p;
+}
+
+DiskParams
+cheetahParams()
+{
+    DiskParams p;
+    p.name = "Seagate Cheetah ST34501W";
+    p.sectors_per_track = 158; // ~167 rps * 158 * 512B = ~13.5 MB/s media
+    p.heads = 8;
+    p.cylinders = 7000; // ~4.5 GB
+    p.rpm = 10025;
+    p.track_to_track_ms = 0.98;
+    p.avg_seek_ms = 7.7;
+    p.max_seek_ms = 16.0;
+    p.bus_mb_per_s = 40.0; // Wide UltraSCSI
+    p.controller_overhead_ms = 0.3;
+    p.cache_bytes = 1024 * util::kKB; // ST34501W: 1 MB, 8 segments
+    p.cache_segments = 8;
+    p.readahead_bytes = 128 * util::kKB;
+    p.write_buffer_bytes = 512 * util::kKB;
+    return p;
+}
+
+DiskParams
+barracudaParams()
+{
+    DiskParams p;
+    p.name = "Seagate Barracuda ST34371W";
+    p.sectors_per_track = 244; // 120 rps * 244 * 512B = ~15 MB/s media
+    p.heads = 10;
+    p.cylinders = 3500; // ~4.4 GB
+    p.rpm = 7200;
+    p.track_to_track_ms = 0.8;
+    p.avg_seek_ms = 5.0; // calibrated: 9.4 ms random single sector
+    p.max_seek_ms = 12.0;
+    p.bus_mb_per_s = 40.0; // Wide UltraSCSI
+    p.controller_overhead_ms = 0.29;
+    p.cache_bytes = 512 * util::kKB;
+    p.cache_segments = 4;
+    p.readahead_bytes = 128 * util::kKB;
+    p.write_buffer_bytes = 512 * util::kKB;
+    return p;
+}
+
+} // namespace nasd::disk

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Disk drive parameter sets.
+ *
+ * The mechanical/caching parameters for the three Seagate drives the
+ * paper measures or cites. Values come from the paper where it states
+ * them (media rates, bus rates, the Barracuda's cached/random service
+ * times) and from period-typical spec sheets otherwise; see DESIGN.md
+ * for the calibration notes.
+ */
+#ifndef NASD_DISK_PARAMS_H_
+#define NASD_DISK_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+namespace nasd::disk {
+
+/** Geometry, mechanics, and cache configuration of one drive. */
+struct DiskParams
+{
+    std::string name;
+
+    // Geometry.
+    std::uint32_t block_size = 512;      ///< bytes per sector
+    std::uint32_t sectors_per_track = 100;
+    std::uint32_t heads = 4;             ///< tracks per cylinder
+    std::uint32_t cylinders = 10000;
+
+    // Mechanics.
+    double rpm = 5400;
+    double track_to_track_ms = 1.0;      ///< minimum (adjacent) seek
+    double avg_seek_ms = 11.0;           ///< seek over 1/3 stroke
+    double max_seek_ms = 22.0;           ///< full-stroke seek
+
+    // Interface.
+    double bus_mb_per_s = 5.0;           ///< host transfer rate (MB/s)
+    double controller_overhead_ms = 0.29; ///< per-command fixed cost
+
+    // Cache.
+    std::uint64_t cache_bytes = 128 * util::kKB;
+    std::uint32_t cache_segments = 2;
+    std::uint64_t readahead_bytes = 64 * util::kKB;
+    bool write_behind = true;
+    std::uint64_t write_buffer_bytes = 512 * util::kKB;
+
+    /** Total capacity in sectors. */
+    std::uint64_t
+    totalBlocks() const
+    {
+        return static_cast<std::uint64_t>(sectors_per_track) * heads *
+               cylinders;
+    }
+
+    /** Sustained media transfer rate in bytes per second. */
+    double
+    mediaBytesPerSec() const
+    {
+        const double rps = rpm / 60.0;
+        return rps * sectors_per_track * block_size;
+    }
+
+    /** Full rotation period in nanoseconds. */
+    double
+    rotationPeriodNs() const
+    {
+        return 60.0 * 1e9 / rpm;
+    }
+};
+
+/**
+ * Seagate Medallist ST52160 (the prototype's drive): 5400 rpm,
+ * ~4.6 MB/s media, 5 MB/s SCSI bus. Two of these behind a striping
+ * driver form one prototype "NASD drive" (~7.5 MB/s raw).
+ */
+DiskParams medallistParams();
+
+/**
+ * Seagate Cheetah ST34501W (the NFS comparison server's drives):
+ * 10000 rpm, ~13.5 MB/s media, 40 MB/s Wide UltraSCSI.
+ */
+DiskParams cheetahParams();
+
+/**
+ * Seagate Barracuda ST34371W (Table 1's hardware yardstick): tuned so
+ * a cached sequential sector reads in ~0.3 ms, a random single sector
+ * in ~9.4 ms, and a random 64 KB in ~11.1 ms, as the paper reports.
+ */
+DiskParams barracudaParams();
+
+} // namespace nasd::disk
+
+#endif // NASD_DISK_PARAMS_H_

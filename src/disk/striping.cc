@@ -1,0 +1,193 @@
+#include "disk/striping.h"
+
+#include <cstring>
+
+#include "sim/sync.h"
+#include "util/logging.h"
+
+namespace nasd::disk {
+
+StripingDriver::StripingDriver(sim::Simulator &sim,
+                               std::vector<BlockDevice *> members,
+                               std::uint64_t stripe_unit_bytes)
+    : sim_(sim), members_(std::move(members))
+{
+    NASD_ASSERT(!members_.empty(), "striping driver needs members");
+    const std::uint32_t bs = members_[0]->blockSize();
+    for (const auto *m : members_)
+        NASD_ASSERT(m->blockSize() == bs, "mixed block sizes in stripe");
+    NASD_ASSERT(stripe_unit_bytes % bs == 0,
+                "stripe unit must be a multiple of the block size");
+    unit_blocks_ = stripe_unit_bytes / bs;
+    NASD_ASSERT(unit_blocks_ > 0);
+}
+
+std::uint32_t
+StripingDriver::blockSize() const
+{
+    return members_[0]->blockSize();
+}
+
+std::uint64_t
+StripingDriver::numBlocks() const
+{
+    std::uint64_t min_blocks = members_[0]->numBlocks();
+    for (const auto *m : members_)
+        min_blocks = std::min(min_blocks, m->numBlocks());
+    // Whole stripes only.
+    const std::uint64_t units = min_blocks / unit_blocks_;
+    return units * unit_blocks_ * members_.size();
+}
+
+std::vector<StripingDriver::Extent>
+StripingDriver::mapRange(std::uint64_t block, std::uint32_t count) const
+{
+    std::vector<Extent> extents;
+    const std::uint64_t end = block + count;
+    std::uint64_t p = block;
+    while (p < end) {
+        const std::uint64_t unit = p / unit_blocks_;
+        const std::size_t disk = unit % members_.size();
+        const std::uint64_t unit_on_disk = unit / members_.size();
+        const std::uint64_t within = p % unit_blocks_;
+        const auto take = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(end - p, unit_blocks_ - within));
+        const std::uint64_t disk_block = unit_on_disk * unit_blocks_ + within;
+
+        Extent *tail = nullptr;
+        for (auto &e : extents) {
+            if (e.disk == disk &&
+                e.disk_block + e.count == disk_block) {
+                tail = &e;
+                break;
+            }
+        }
+        const std::uint64_t host_offset =
+            (p - block) * members_[0]->blockSize();
+        if (tail != nullptr) {
+            tail->count += take;
+            tail->pieces.emplace_back(host_offset, take);
+        } else {
+            Extent e;
+            e.disk = disk;
+            e.disk_block = disk_block;
+            e.count = take;
+            e.pieces.emplace_back(host_offset, take);
+            extents.push_back(std::move(e));
+        }
+        p += take;
+    }
+    return extents;
+}
+
+sim::Task<void>
+StripingDriver::readExtent(const Extent &e, std::span<std::uint8_t> out)
+{
+    const std::uint32_t bs = blockSize();
+    std::vector<std::uint8_t> temp(static_cast<std::size_t>(e.count) * bs);
+    co_await members_[e.disk]->read(e.disk_block, e.count, temp);
+    std::size_t temp_off = 0;
+    for (const auto &[host_offset, blocks] : e.pieces) {
+        const std::size_t bytes = static_cast<std::size_t>(blocks) * bs;
+        std::memcpy(out.data() + host_offset, temp.data() + temp_off,
+                    bytes);
+        temp_off += bytes;
+    }
+}
+
+sim::Task<void>
+StripingDriver::writeExtent(const Extent &e,
+                            std::span<const std::uint8_t> data)
+{
+    const std::uint32_t bs = blockSize();
+    std::vector<std::uint8_t> temp(static_cast<std::size_t>(e.count) * bs);
+    std::size_t temp_off = 0;
+    for (const auto &[host_offset, blocks] : e.pieces) {
+        const std::size_t bytes = static_cast<std::size_t>(blocks) * bs;
+        std::memcpy(temp.data() + temp_off, data.data() + host_offset,
+                    bytes);
+        temp_off += bytes;
+    }
+    co_await members_[e.disk]->write(e.disk_block, e.count, temp);
+}
+
+sim::Task<void>
+StripingDriver::read(std::uint64_t block, std::uint32_t count,
+                     std::span<std::uint8_t> out)
+{
+    NASD_ASSERT(out.size() == static_cast<std::size_t>(count) * blockSize());
+    const auto extents = mapRange(block, count);
+    std::vector<sim::Task<void>> tasks;
+    tasks.reserve(extents.size());
+    for (const auto &e : extents)
+        tasks.push_back(readExtent(e, out));
+    co_await sim::parallelAll(sim_, std::move(tasks));
+}
+
+sim::Task<void>
+StripingDriver::write(std::uint64_t block, std::uint32_t count,
+                      std::span<const std::uint8_t> data)
+{
+    NASD_ASSERT(data.size() ==
+                static_cast<std::size_t>(count) * blockSize());
+    const auto extents = mapRange(block, count);
+    std::vector<sim::Task<void>> tasks;
+    tasks.reserve(extents.size());
+    for (const auto &e : extents)
+        tasks.push_back(writeExtent(e, data));
+    co_await sim::parallelAll(sim_, std::move(tasks));
+}
+
+void
+StripingDriver::peek(std::uint64_t byte_offset,
+                     std::span<std::uint8_t> out) const
+{
+    const std::uint64_t unit_bytes = unit_blocks_ * blockSize();
+    std::size_t done = 0;
+    while (done < out.size()) {
+        const std::uint64_t pos = byte_offset + done;
+        const std::uint64_t unit = pos / unit_bytes;
+        const std::size_t disk = unit % members_.size();
+        const std::uint64_t unit_on_disk = unit / members_.size();
+        const std::uint64_t within = pos % unit_bytes;
+        const std::size_t take = static_cast<std::size_t>(
+            std::min<std::uint64_t>(out.size() - done,
+                                    unit_bytes - within));
+        members_[disk]->peek(unit_on_disk * unit_bytes + within,
+                             out.subspan(done, take));
+        done += take;
+    }
+}
+
+void
+StripingDriver::poke(std::uint64_t byte_offset,
+                     std::span<const std::uint8_t> data)
+{
+    const std::uint64_t unit_bytes = unit_blocks_ * blockSize();
+    std::size_t done = 0;
+    while (done < data.size()) {
+        const std::uint64_t pos = byte_offset + done;
+        const std::uint64_t unit = pos / unit_bytes;
+        const std::size_t disk = unit % members_.size();
+        const std::uint64_t unit_on_disk = unit / members_.size();
+        const std::uint64_t within = pos % unit_bytes;
+        const std::size_t take = static_cast<std::size_t>(
+            std::min<std::uint64_t>(data.size() - done,
+                                    unit_bytes - within));
+        members_[disk]->poke(unit_on_disk * unit_bytes + within,
+                             data.subspan(done, take));
+        done += take;
+    }
+}
+
+sim::Task<void>
+StripingDriver::flush()
+{
+    std::vector<sim::Task<void>> tasks;
+    tasks.reserve(members_.size());
+    for (auto *m : members_)
+        tasks.push_back(m->flush());
+    co_await sim::parallelAll(sim_, std::move(tasks));
+}
+
+} // namespace nasd::disk

@@ -1,0 +1,555 @@
+#include "fs/afs/afs.h"
+
+#include <algorithm>
+
+#include "net/rpc.h"
+#include "util/codec.h"
+#include "util/logging.h"
+
+namespace nasd::fs {
+
+namespace {
+
+constexpr std::uint64_t kControlPayload = 96;
+
+NfsStatus
+afsFromNasd(NasdStatus status)
+{
+    switch (status) {
+      case NasdStatus::kOk:
+        return NfsStatus::kOk;
+      case NasdStatus::kNoSuchObject:
+      case NasdStatus::kNoSuchPartition:
+        return NfsStatus::kNoEnt;
+      case NasdStatus::kNoSpace:
+      case NasdStatus::kQuotaExceeded:
+        return NfsStatus::kNoSpace;
+      default:
+        return NfsStatus::kAccess;
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeAfsDir(const std::vector<AfsDirEntry> &entries)
+{
+    std::vector<std::uint8_t> raw;
+    util::Encoder enc(raw);
+    for (const auto &e : entries) {
+        enc.put<std::uint32_t>(e.fid.drive);
+        enc.put<std::uint64_t>(e.fid.oid);
+        enc.put<std::uint8_t>(e.is_directory ? 1 : 0);
+        enc.put<std::uint8_t>(static_cast<std::uint8_t>(e.name.size()));
+        enc.putBytes(std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t *>(e.name.data()),
+            e.name.size()));
+    }
+    return raw;
+}
+
+std::vector<AfsDirEntry>
+decodeAfsDir(std::span<const std::uint8_t> raw)
+{
+    std::vector<AfsDirEntry> entries;
+    util::Decoder dec(raw);
+    while (dec.remaining() > 0) {
+        AfsDirEntry e;
+        e.fid.drive = dec.get<std::uint32_t>();
+        e.fid.oid = dec.get<std::uint64_t>();
+        e.is_directory = dec.get<std::uint8_t>() != 0;
+        const auto len = dec.get<std::uint8_t>();
+        e.name.resize(len);
+        dec.getBytes(std::span<std::uint8_t>(
+            reinterpret_cast<std::uint8_t *>(e.name.data()), len));
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+// ------------------------------------------------------------ file manager
+
+AfsFileManager::AfsFileManager(sim::Simulator &sim, net::Network &net,
+                               net::NetNode &node,
+                               std::vector<NasdDrive *> drives,
+                               PartitionId partition,
+                               std::uint64_t volume_quota_bytes)
+    : sim_(sim), net_(net), node_(node), drives_(std::move(drives)),
+      partition_(partition), volume_quota_(volume_quota_bytes)
+{
+    NASD_ASSERT(!drives_.empty());
+    for (auto *drive : drives_) {
+        issuers_.push_back(std::make_unique<CapabilityIssuer>(
+            drive->config().master_key, drive->id()));
+        fm_clients_.push_back(
+            std::make_unique<NasdClient>(net, node_, *drive));
+    }
+}
+
+void
+AfsFileManager::registerClient(AfsClient *client)
+{
+    clients_[client->id()] = client;
+}
+
+Capability
+AfsFileManager::mint(const AfsFid &fid, std::uint8_t rights,
+                     std::uint64_t region_end, std::uint64_t expiry_ns)
+{
+    CapabilityPublic pub;
+    pub.partition = partition_;
+    pub.object_id = fid.oid;
+    pub.approved_version = 1;
+    pub.rights = rights;
+    pub.region_end = region_end;
+    pub.expiry_ns = expiry_ns;
+    return issuers_[fid.drive]->mint(pub);
+}
+
+CredentialFactory
+AfsFileManager::fmCredential(const AfsFid &fid)
+{
+    return CredentialFactory(
+        mint(fid,
+             kRightRead | kRightWrite | kRightGetAttr | kRightSetAttr |
+                 kRightRemove,
+             ~0ull, ~0ull));
+}
+
+sim::Task<void>
+AfsFileManager::initialize(std::uint64_t partition_quota_bytes)
+{
+    for (auto *drive : drives_) {
+        co_await drive->format();
+        auto created =
+            drive->store().createPartition(partition_, partition_quota_bytes);
+        NASD_ASSERT(created.ok(), "afs partition creation failed");
+    }
+    CapabilityPublic pub;
+    pub.partition = partition_;
+    pub.object_id = kPartitionControlObject;
+    pub.rights = kRightCreate;
+    CredentialFactory cred(issuers_[0]->mint(pub));
+    auto made = co_await fm_clients_[0]->create(cred, 0);
+    NASD_ASSERT(made.ok(), "afs root create failed");
+    root_ = AfsFid{0, made.value()};
+    files_[root_]; // ensure state exists
+}
+
+sim::Task<NfsResult<ObjectAttributes>>
+AfsFileManager::fetchObjectAttrs(AfsFid fid)
+{
+    auto cred = fmCredential(fid);
+    auto attrs = co_await fm_clients_[fid.drive]->getAttr(cred);
+    if (!attrs.ok())
+        co_return util::Err{afsFromNasd(attrs.error())};
+    co_return attrs.value();
+}
+
+sim::Task<void>
+AfsFileManager::breakCallbacks(AfsFid fid, std::uint32_t except)
+{
+    auto &state = files_[fid];
+    std::vector<std::uint32_t> holders(state.callbacks.begin(),
+                                       state.callbacks.end());
+    state.callbacks.clear();
+    for (const std::uint32_t holder : holders) {
+        if (holder == except)
+            continue;
+        const auto it = clients_.find(holder);
+        if (it == clients_.end())
+            continue;
+        // The break is a small message from FM to client.
+        co_await net::sendMessage(net_, node_, it->second->node(), 64);
+        it->second->onCallbackBreak(fid);
+        ++callbacks_broken_;
+    }
+}
+
+sim::Task<AfsFetchCapReply>
+AfsFileManager::serveFetchCap(AfsFid fid, bool want_write,
+                              std::uint32_t client_id,
+                              std::uint64_t size_hint)
+{
+    AfsFetchCapReply reply;
+    auto &state = files_[fid];
+
+    // "The issuing of new callbacks on a file with an outstanding
+    // write capability are blocked": wait for the writer to finish or
+    // its capability to expire.
+    while (state.write_holder != 0 && state.write_holder != client_id) {
+        if (sim_.now() >= state.write_expiry_ns) {
+            // Expired: settle as if relinquished.
+            co_await serveReleaseCap(fid, state.write_holder);
+            break;
+        }
+        if (!state.writer_done)
+            state.writer_done = std::make_unique<sim::Gate>(sim_);
+        co_await state.writer_done->wait();
+    }
+
+    auto attrs = co_await fetchObjectAttrs(fid);
+    if (!attrs.ok()) {
+        reply.status = attrs.error();
+        co_return reply;
+    }
+    reply.attrs.size = attrs.value().size;
+    reply.attrs.mtime_ns = attrs.value().modify_time;
+
+    if (!want_write) {
+        // Establish the callback promise and hand out a read cap.
+        state.callbacks.insert(client_id);
+        reply.capability =
+            mint(fid, kRightRead | kRightGetAttr, ~0ull, ~0ull);
+        co_return reply;
+    }
+
+    // Write capability: break callbacks first (holders of stale copies
+    // must be told before a write can land), then escrow quota through
+    // the capability's byte range.
+    co_await breakCallbacks(fid, client_id);
+
+    const std::uint64_t settled = state.charged_bytes;
+    // Escrow enough space for the client's intended store (it states
+    // how large the file may become), with a floor of kEscrowBytes of
+    // headroom past the current size.
+    const std::uint64_t escrow_end =
+        std::max(attrs.value().size + kEscrowBytes, size_hint);
+    const std::uint64_t escrow_extra =
+        escrow_end > settled ? escrow_end - settled : 0;
+    if (quota_used_ + escrow_extra > volume_quota_) {
+        reply.status = NfsStatus::kNoSpace;
+        co_return reply;
+    }
+    quota_used_ += escrow_extra;
+    state.escrowed_bytes = escrow_extra;
+    state.write_holder = client_id;
+    state.write_expiry_ns = sim_.now() + kWriteCapLifetimeNs;
+    state.writer_done = std::make_unique<sim::Gate>(sim_);
+
+    reply.capability =
+        mint(fid, kRightRead | kRightWrite | kRightGetAttr, escrow_end,
+             state.write_expiry_ns);
+    co_return reply;
+}
+
+sim::Task<AfsStatusReply>
+AfsFileManager::serveReleaseCap(AfsFid fid, std::uint32_t client_id)
+{
+    AfsStatusReply reply;
+    auto &state = files_[fid];
+    if (state.write_holder != client_id) {
+        co_return reply; // nothing to settle
+    }
+
+    // Examine the object to learn its final size and settle the books:
+    // this is exactly the escrow mechanism the paper describes.
+    auto attrs = co_await fetchObjectAttrs(fid);
+    const std::uint64_t new_size =
+        attrs.ok() ? attrs.value().size : state.charged_bytes;
+
+    quota_used_ -= state.escrowed_bytes;
+    if (new_size > state.charged_bytes) {
+        quota_used_ += new_size - state.charged_bytes;
+    } else {
+        quota_used_ -= state.charged_bytes - new_size;
+    }
+    state.charged_bytes = new_size;
+    state.escrowed_bytes = 0;
+    state.write_holder = 0;
+    if (state.writer_done)
+        state.writer_done->open();
+    state.writer_done.reset();
+    co_return reply;
+}
+
+sim::Task<AfsCreateReply>
+AfsFileManager::serveCreate(AfsFid dir, std::string name, bool directory)
+{
+    AfsCreateReply reply;
+    // Load, check, and update the directory object.
+    auto dir_cred = fmCredential(dir);
+    auto dir_attrs = co_await fm_clients_[dir.drive]->getAttr(dir_cred);
+    if (!dir_attrs.ok()) {
+        reply.status = afsFromNasd(dir_attrs.error());
+        co_return reply;
+    }
+    auto raw = co_await fm_clients_[dir.drive]->read(
+        dir_cred, 0, dir_attrs.value().size);
+    if (!raw.ok()) {
+        reply.status = afsFromNasd(raw.error());
+        co_return reply;
+    }
+    auto entries = decodeAfsDir(raw.value());
+    for (const auto &e : entries) {
+        if (e.name == name) {
+            reply.status = NfsStatus::kExist;
+            co_return reply;
+        }
+    }
+
+    const std::uint32_t target = next_placement_++ % drives_.size();
+    CapabilityPublic pub;
+    pub.partition = partition_;
+    pub.object_id = kPartitionControlObject;
+    pub.rights = kRightCreate;
+    CredentialFactory part_cred(issuers_[target]->mint(pub));
+    auto made = co_await fm_clients_[target]->create(part_cred, 0);
+    if (!made.ok()) {
+        reply.status = afsFromNasd(made.error());
+        co_return reply;
+    }
+    reply.fid = AfsFid{target, made.value()};
+    files_[reply.fid];
+
+    entries.push_back(AfsDirEntry{name, reply.fid, directory});
+    const auto encoded = encodeAfsDir(entries);
+    SetAttrRequest trunc;
+    trunc.truncate_size = 0;
+    (void)co_await fm_clients_[dir.drive]->setAttr(dir_cred, trunc);
+    auto wrote = co_await fm_clients_[dir.drive]->write(dir_cred, 0,
+                                                        encoded);
+    if (!wrote.ok()) {
+        reply.status = afsFromNasd(wrote.error());
+        co_return reply;
+    }
+    // The directory changed: anyone caching it must hear about it.
+    co_await breakCallbacks(dir, 0);
+    co_return reply;
+}
+
+sim::Task<AfsStatusReply>
+AfsFileManager::serveRemove(AfsFid dir, std::string name)
+{
+    AfsStatusReply reply;
+    auto dir_cred = fmCredential(dir);
+    auto dir_attrs = co_await fm_clients_[dir.drive]->getAttr(dir_cred);
+    if (!dir_attrs.ok()) {
+        reply.status = afsFromNasd(dir_attrs.error());
+        co_return reply;
+    }
+    auto raw = co_await fm_clients_[dir.drive]->read(
+        dir_cred, 0, dir_attrs.value().size);
+    if (!raw.ok()) {
+        reply.status = afsFromNasd(raw.error());
+        co_return reply;
+    }
+    auto entries = decodeAfsDir(raw.value());
+    const auto it = std::find_if(entries.begin(), entries.end(),
+                                 [&](const AfsDirEntry &e) {
+                                     return e.name == name;
+                                 });
+    if (it == entries.end()) {
+        reply.status = NfsStatus::kNoEnt;
+        co_return reply;
+    }
+    const AfsFid victim = it->fid;
+
+    auto victim_cred = fmCredential(victim);
+    auto removed = co_await fm_clients_[victim.drive]->remove(victim_cred);
+    if (!removed.ok()) {
+        reply.status = afsFromNasd(removed.error());
+        co_return reply;
+    }
+    // Settle any quota charge for the removed file.
+    auto &state = files_[victim];
+    quota_used_ -= state.charged_bytes + state.escrowed_bytes;
+    co_await breakCallbacks(victim, 0);
+    files_.erase(victim);
+
+    entries.erase(it);
+    const auto encoded = encodeAfsDir(entries);
+    SetAttrRequest trunc;
+    trunc.truncate_size = 0;
+    (void)co_await fm_clients_[dir.drive]->setAttr(dir_cred, trunc);
+    if (!encoded.empty())
+        (void)co_await fm_clients_[dir.drive]->write(dir_cred, 0, encoded);
+    co_await breakCallbacks(dir, 0);
+    co_return reply;
+}
+
+// ----------------------------------------------------------------- client
+
+AfsClient::AfsClient(net::Network &net, net::NetNode &node,
+                     AfsFileManager &fm, std::vector<NasdDrive *> drives,
+                     std::uint32_t client_id)
+    : net_(net), node_(node), fm_(fm), id_(client_id)
+{
+    NASD_ASSERT(client_id != 0, "client id 0 is reserved");
+    for (auto *drive : drives) {
+        drive_clients_.push_back(
+            std::make_unique<NasdClient>(net, node_, *drive));
+    }
+    fm.registerClient(this);
+}
+
+void
+AfsClient::onCallbackBreak(AfsFid fid)
+{
+    const auto it = cache_.find(fid);
+    if (it != cache_.end())
+        it->second.valid = false;
+}
+
+sim::Task<NfsResult<AfsClient::CachedFile *>>
+AfsClient::fetchFile(AfsFid fid)
+{
+    auto &entry = cache_[fid];
+    if (entry.valid) {
+        ++cache_hits_;
+        co_return &entry;
+    }
+    ++cache_misses_;
+
+    // Explicit RPC to obtain the capability (no piggybacking in AFS).
+    auto reply = co_await net::call<AfsFetchCapReply>(
+        net_, node_, fm_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<AfsFetchCapReply>> {
+            auto r = co_await fm_.serveFetchCap(fid, false, id_);
+            co_return net::RpcReply<AfsFetchCapReply>{std::move(r), 256};
+        });
+    if (reply.status != NfsStatus::kOk)
+        co_return util::Err{reply.status};
+
+    // Whole-file fetch straight from the drive.
+    CredentialFactory cred(reply.capability);
+    entry.data.clear();
+    if (reply.attrs.size > 0) {
+        auto data = co_await drive_clients_[fid.drive]->read(
+            cred, 0, reply.attrs.size);
+        if (!data.ok())
+            co_return util::Err{afsFromNasd(data.error())};
+        entry.data = std::move(data.value());
+    }
+    entry.valid = true;
+    co_return &entry;
+}
+
+sim::Task<NfsResult<AfsFid>>
+AfsClient::lookup(AfsFid dir, std::string name)
+{
+    // AFS clients parse directories locally.
+    auto cached = co_await fetchFile(dir);
+    if (!cached.ok())
+        co_return util::Err{cached.error()};
+    const auto entries = decodeAfsDir(cached.value()->data);
+    for (const auto &e : entries) {
+        if (e.name == name)
+            co_return e.fid;
+    }
+    co_return util::Err{NfsStatus::kNoEnt};
+}
+
+sim::Task<NfsResult<std::vector<AfsDirEntry>>>
+AfsClient::readdir(AfsFid dir)
+{
+    auto cached = co_await fetchFile(dir);
+    if (!cached.ok())
+        co_return util::Err{cached.error()};
+    co_return decodeAfsDir(cached.value()->data);
+}
+
+sim::Task<NfsResult<std::uint64_t>>
+AfsClient::read(AfsFid fid, std::uint64_t offset,
+                std::span<std::uint8_t> out)
+{
+    auto cached = co_await fetchFile(fid);
+    if (!cached.ok())
+        co_return util::Err{cached.error()};
+    const auto &data = cached.value()->data;
+    if (offset >= data.size())
+        co_return std::uint64_t{0};
+    const std::uint64_t n =
+        std::min<std::uint64_t>(out.size(), data.size() - offset);
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(offset),
+              data.begin() + static_cast<std::ptrdiff_t>(offset + n),
+              out.begin());
+    co_return n;
+}
+
+sim::Task<NfsResult<void>>
+AfsClient::write(AfsFid fid, std::uint64_t offset,
+                 std::span<const std::uint8_t> data)
+{
+    // Obtain the write capability (this breaks other clients'
+    // callbacks and escrows quota).
+    auto reply = co_await net::call<AfsFetchCapReply>(
+        net_, node_, fm_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<AfsFetchCapReply>> {
+            auto r = co_await fm_.serveFetchCap(fid, true, id_,
+                                                offset + data.size());
+            co_return net::RpcReply<AfsFetchCapReply>{std::move(r), 256};
+        });
+    if (reply.status != NfsStatus::kOk)
+        co_return util::Err{reply.status};
+
+    CredentialFactory cred(reply.capability);
+    auto wrote =
+        co_await drive_clients_[fid.drive]->write(cred, offset, data);
+
+    // Update the local whole-file copy.
+    auto &entry = cache_[fid];
+    if (entry.valid) {
+        if (entry.data.size() < offset + data.size())
+            entry.data.resize(offset + data.size());
+        std::copy(data.begin(), data.end(),
+                  entry.data.begin() + static_cast<std::ptrdiff_t>(offset));
+    }
+
+    // Relinquish so the FM can settle quota and unblock readers.
+    auto released = co_await net::call<AfsStatusReply>(
+        net_, node_, fm_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<AfsStatusReply>> {
+            auto r = co_await fm_.serveReleaseCap(fid, id_);
+            co_return net::RpcReply<AfsStatusReply>{r, 16};
+        });
+    (void)released;
+
+    if (!wrote.ok())
+        co_return util::Err{afsFromNasd(wrote.error())};
+    co_return NfsResult<void>{};
+}
+
+sim::Task<NfsResult<AfsFid>>
+AfsClient::create(AfsFid dir, std::string name)
+{
+    auto reply = co_await net::call<AfsCreateReply>(
+        net_, node_, fm_.node(), kControlPayload + name.size(),
+        [&]() -> sim::Task<net::RpcReply<AfsCreateReply>> {
+            auto r = co_await fm_.serveCreate(dir, name, false);
+            co_return net::RpcReply<AfsCreateReply>{r, 32};
+        });
+    if (reply.status != NfsStatus::kOk)
+        co_return util::Err{reply.status};
+    co_return reply.fid;
+}
+
+sim::Task<NfsResult<AfsFid>>
+AfsClient::mkdir(AfsFid dir, std::string name)
+{
+    auto reply = co_await net::call<AfsCreateReply>(
+        net_, node_, fm_.node(), kControlPayload + name.size(),
+        [&]() -> sim::Task<net::RpcReply<AfsCreateReply>> {
+            auto r = co_await fm_.serveCreate(dir, name, true);
+            co_return net::RpcReply<AfsCreateReply>{r, 32};
+        });
+    if (reply.status != NfsStatus::kOk)
+        co_return util::Err{reply.status};
+    co_return reply.fid;
+}
+
+sim::Task<NfsResult<void>>
+AfsClient::remove(AfsFid dir, std::string name)
+{
+    auto reply = co_await net::call<AfsStatusReply>(
+        net_, node_, fm_.node(), kControlPayload + name.size(),
+        [&]() -> sim::Task<net::RpcReply<AfsStatusReply>> {
+            auto r = co_await fm_.serveRemove(dir, name);
+            co_return net::RpcReply<AfsStatusReply>{r, 16};
+        });
+    if (reply.status != NfsStatus::kOk)
+        co_return util::Err{reply.status};
+    co_return NfsResult<void>{};
+}
+
+} // namespace nasd::fs

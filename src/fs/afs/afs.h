@@ -1,0 +1,250 @@
+/**
+ * @file
+ * NASD-AFS: the AFS port to a NASD environment (Section 5.1).
+ *
+ * AFS differs from NFS in exactly the ways the paper calls out, and
+ * this module implements each of them:
+ *
+ *  - clients parse directory files locally, so there is no operation
+ *    to piggyback capabilities on: clients obtain and relinquish
+ *    capabilities with explicit RPCs (FetchCap / ReleaseCap);
+ *  - sequential consistency comes from callbacks: when a write
+ *    capability is issued for a file, the file manager breaks the
+ *    callbacks of every client caching it, and it blocks new callbacks
+ *    on a file while a write capability is outstanding (bounded by the
+ *    capability's expiration time);
+ *  - per-volume quota is enforced by escrow: a write capability's byte
+ *    range is sized to the space the file may grow into; when the
+ *    capability is relinquished (or expires) the file manager examines
+ *    the object's new size and settles the quota books;
+ *  - clients cache whole files (AFS semantics) and serve repeated
+ *    reads locally until a callback break invalidates the copy.
+ */
+#ifndef NASD_FS_AFS_AFS_H_
+#define NASD_FS_AFS_AFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fs/nfs/types.h"
+#include "nasd/client.h"
+#include "nasd/drive.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace nasd::fs {
+
+/** AFS file identifier (like an AFS FID): drive + object. */
+struct AfsFid
+{
+    std::uint32_t drive = 0;
+    ObjectId oid = 0;
+
+    bool operator==(const AfsFid &) const = default;
+    bool
+    operator<(const AfsFid &other) const
+    {
+        return drive != other.drive ? drive < other.drive
+                                    : oid < other.oid;
+    }
+};
+
+struct AfsFetchCapReply
+{
+    NfsStatus status = NfsStatus::kOk;
+    Capability capability;
+    NfsAttr attrs;
+};
+
+struct AfsStatusReply
+{
+    NfsStatus status = NfsStatus::kOk;
+};
+
+struct AfsCreateReply
+{
+    NfsStatus status = NfsStatus::kOk;
+    AfsFid fid;
+};
+
+class AfsClient;
+
+/**
+ * The NASD-AFS file manager: volume quota, capability issue/reclaim,
+ * and callback management.
+ */
+class AfsFileManager
+{
+  public:
+    AfsFileManager(sim::Simulator &sim, net::Network &net,
+                   net::NetNode &node, std::vector<NasdDrive *> drives,
+                   PartitionId partition, std::uint64_t volume_quota_bytes);
+
+    net::NetNode &node() { return node_; }
+
+    /** Format drives, create partitions, create the root directory. */
+    sim::Task<void> initialize(std::uint64_t partition_quota_bytes);
+
+    AfsFid rootFid() const { return root_; }
+
+    /** Register a client for callback breaks. */
+    void registerClient(AfsClient *client);
+
+    // Server-side handlers -------------------------------------------------
+
+    /**
+     * Obtain a capability. For reads this also establishes a callback
+     * (the promise to notify before the file changes); if a write
+     * capability is outstanding, the call waits until it is
+     * relinquished or expires. For writes this breaks all existing
+     * callbacks and escrows quota through the capability byte range.
+     */
+    sim::Task<AfsFetchCapReply> serveFetchCap(AfsFid fid, bool want_write,
+                                              std::uint32_t client_id,
+                                              std::uint64_t size_hint = 0);
+
+    /** Relinquish a write capability: settle quota, unblock readers. */
+    sim::Task<AfsStatusReply> serveReleaseCap(AfsFid fid,
+                                              std::uint32_t client_id);
+
+    /** Create a file or directory entry (namespace mutations go
+     *  through the file manager even though parsing is local). */
+    sim::Task<AfsCreateReply> serveCreate(AfsFid dir, std::string name,
+                                          bool directory);
+
+    sim::Task<AfsStatusReply> serveRemove(AfsFid dir, std::string name);
+
+    /** Volume space accounting (bytes charged against the quota,
+     *  including escrowed space). */
+    std::uint64_t quotaUsedBytes() const { return quota_used_; }
+    std::uint64_t quotaBytes() const { return volume_quota_; }
+
+    std::uint64_t callbacksBroken() const { return callbacks_broken_; }
+
+    /** Escrow granted beyond the current size of a file. */
+    static constexpr std::uint64_t kEscrowBytes = 1024 * 1024;
+
+    /** Write capability lifetime (bounds reader waiting time). */
+    static constexpr std::uint64_t kWriteCapLifetimeNs =
+        30ull * 1000000000;
+
+  private:
+    struct FileState
+    {
+        std::uint64_t charged_bytes = 0;     ///< settled quota charge
+        std::uint64_t escrowed_bytes = 0;    ///< outstanding escrow
+        std::uint32_t write_holder = 0;      ///< client id, 0 = none
+        std::uint64_t write_expiry_ns = 0;
+        std::set<std::uint32_t> callbacks;   ///< clients caching it
+        std::unique_ptr<sim::Gate> writer_done;
+    };
+
+    Capability mint(const AfsFid &fid, std::uint8_t rights,
+                    std::uint64_t region_end, std::uint64_t expiry_ns);
+    CredentialFactory fmCredential(const AfsFid &fid);
+
+    /** Notify every callback holder (except @p except) and clear. */
+    sim::Task<void> breakCallbacks(AfsFid fid, std::uint32_t except);
+
+    /** Fetch object attrs through the FM's own client. */
+    sim::Task<NfsResult<ObjectAttributes>> fetchObjectAttrs(AfsFid fid);
+
+    sim::Simulator &sim_;
+    net::Network &net_;
+    net::NetNode &node_;
+    std::vector<NasdDrive *> drives_;
+    std::vector<std::unique_ptr<CapabilityIssuer>> issuers_;
+    std::vector<std::unique_ptr<NasdClient>> fm_clients_;
+    PartitionId partition_;
+    AfsFid root_;
+    std::uint64_t volume_quota_;
+    std::uint64_t quota_used_ = 0;
+    std::uint32_t next_placement_ = 0;
+    std::map<AfsFid, FileState> files_;
+    std::map<std::uint32_t, AfsClient *> clients_;
+    std::uint64_t callbacks_broken_ = 0;
+};
+
+/** One directory entry as parsed by the client. */
+struct AfsDirEntry
+{
+    std::string name;
+    AfsFid fid;
+    bool is_directory = false;
+};
+
+/** Serialize directory contents (clients and FM share the format). */
+std::vector<std::uint8_t>
+encodeAfsDir(const std::vector<AfsDirEntry> &entries);
+std::vector<AfsDirEntry>
+decodeAfsDir(std::span<const std::uint8_t> raw);
+
+/**
+ * The NASD-AFS client: whole-file caching, local directory parsing,
+ * explicit capability management, callback handling.
+ */
+class AfsClient
+{
+  public:
+    AfsClient(net::Network &net, net::NetNode &node, AfsFileManager &fm,
+              std::vector<NasdDrive *> drives, std::uint32_t client_id);
+
+    net::NetNode &node() { return node_; }
+    std::uint32_t id() const { return id_; }
+
+    /** Look up @p name by fetching and parsing the directory locally. */
+    sim::Task<NfsResult<AfsFid>> lookup(AfsFid dir, std::string name);
+
+    /** Read the whole file (AFS whole-file caching); returns bytes. */
+    sim::Task<NfsResult<std::uint64_t>> read(AfsFid fid,
+                                             std::uint64_t offset,
+                                             std::span<std::uint8_t> out);
+
+    /**
+     * Write: obtains a write capability (with escrow), stores data
+     * directly at the drive, then relinquishes the capability so the
+     * file manager can settle quota.
+     */
+    sim::Task<NfsResult<void>> write(AfsFid fid, std::uint64_t offset,
+                                     std::span<const std::uint8_t> data);
+
+    sim::Task<NfsResult<AfsFid>> create(AfsFid dir, std::string name);
+    sim::Task<NfsResult<AfsFid>> mkdir(AfsFid dir, std::string name);
+    sim::Task<NfsResult<void>> remove(AfsFid dir, std::string name);
+    sim::Task<NfsResult<std::vector<AfsDirEntry>>> readdir(AfsFid dir);
+
+    /** Callback break delivered by the file manager. */
+    void onCallbackBreak(AfsFid fid);
+
+    std::uint64_t cacheHits() const { return cache_hits_; }
+    std::uint64_t cacheMisses() const { return cache_misses_; }
+
+  private:
+    struct CachedFile
+    {
+        std::vector<std::uint8_t> data;
+        bool valid = false;
+    };
+
+    /** Fetch (with callback registration) the whole file into cache. */
+    sim::Task<NfsResult<CachedFile *>> fetchFile(AfsFid fid);
+
+    net::Network &net_;
+    net::NetNode &node_;
+    AfsFileManager &fm_;
+    std::vector<std::unique_ptr<NasdClient>> drive_clients_;
+    std::uint32_t id_;
+    std::map<AfsFid, CachedFile> cache_;
+    std::uint64_t cache_hits_ = 0;
+    std::uint64_t cache_misses_ = 0;
+};
+
+} // namespace nasd::fs
+
+#endif // NASD_FS_AFS_AFS_H_

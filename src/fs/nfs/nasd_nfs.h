@@ -1,0 +1,258 @@
+/**
+ * @file
+ * NASD-NFS: the NFS port to a NASD environment (Section 5.1).
+ *
+ * Each file and directory occupies exactly one NASD object. Data
+ * moving operations (read, write) and attribute reads go directly from
+ * the client to the drive; everything else (lookup, create, remove,
+ * directory parsing, policy attribute changes) goes through the file
+ * manager, which returns cachable capabilities piggybacked on lookup
+ * replies. File length / modify time come straight from NASD object
+ * attributes; mode/uid/gid live in the object's uninterpreted
+ * filesystem-specific attribute field, which only the file manager
+ * writes.
+ */
+#ifndef NASD_FS_NFS_NASD_NFS_H_
+#define NASD_FS_NFS_NASD_NFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fs/nfs/nfs_client.h"
+#include "fs/nfs/types.h"
+#include "nasd/client.h"
+#include "nasd/drive.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace nasd::fs {
+
+/** File handle in a NASD-NFS namespace: which drive, which object. */
+struct NasdNfsFh
+{
+    std::uint32_t drive = 0;
+    ObjectId oid = 0;
+
+    bool operator==(const NasdNfsFh &) const = default;
+    bool
+    operator<(const NasdNfsFh &other) const
+    {
+        return drive != other.drive ? drive < other.drive
+                                    : oid < other.oid;
+    }
+};
+
+/** Lookup/create reply: handle + attrs + piggybacked capability. */
+struct NasdNfsLookupReply
+{
+    NfsStatus status = NfsStatus::kOk;
+    NasdNfsFh fh;
+    NfsAttr attrs;
+    Capability capability; ///< piggybacked (Section 5.1)
+};
+
+struct NasdNfsDirEntry
+{
+    std::string name;
+    NasdNfsFh fh;
+    bool is_directory = false;
+};
+
+struct NasdNfsReaddirReply
+{
+    NfsStatus status = NfsStatus::kOk;
+    std::vector<NasdNfsDirEntry> entries;
+};
+
+struct NasdNfsStatusReply
+{
+    NfsStatus status = NfsStatus::kOk;
+};
+
+/** Encode NFS policy attributes into the fs-specific object field. */
+std::array<std::uint8_t, kFsSpecificBytes>
+encodePolicyAttrs(std::uint32_t mode, std::uint32_t uid, std::uint32_t gid,
+                  bool is_directory);
+
+/** Decode the fs-specific field back into policy attributes. */
+void decodePolicyAttrs(const std::array<std::uint8_t, kFsSpecificBytes> &raw,
+                       NfsAttr &attrs);
+
+/**
+ * The NASD-NFS file manager: namespace, policy, and capability mint.
+ *
+ * Runs on its own (modest) machine; its CPU is charged only for the
+ * control operations, never for data movement — that is the point of
+ * the architecture.
+ */
+class NasdNfsFileManager
+{
+  public:
+    /**
+     * @param drives The NASD drives holding this filesystem; file
+     *        placement round-robins across them.
+     * @param partition Partition used on every drive.
+     */
+    NasdNfsFileManager(sim::Simulator &sim, net::Network &net,
+                       net::NetNode &node,
+                       std::vector<NasdDrive *> drives,
+                       PartitionId partition);
+
+    net::NetNode &node() { return node_; }
+
+    /** Create partitions and the root directory object. */
+    sim::Task<void> initialize(std::uint64_t partition_quota_bytes);
+
+    NasdNfsFh rootHandle() const { return root_; }
+
+    // Server-side handlers -------------------------------------------------
+
+    /**
+     * Look up @p name in directory @p dir. The reply carries a
+     * capability granting read (and write when @p want_write) access
+     * to the object at its current version.
+     */
+    sim::Task<NasdNfsLookupReply> serveLookup(NasdNfsFh dir,
+                                              std::string name,
+                                              bool want_write);
+
+    sim::Task<NasdNfsLookupReply> serveCreate(NasdNfsFh dir,
+                                              std::string name);
+    sim::Task<NasdNfsLookupReply> serveMkdir(NasdNfsFh dir,
+                                             std::string name);
+    sim::Task<NasdNfsStatusReply> serveRemove(NasdNfsFh dir,
+                                              std::string name);
+    sim::Task<NasdNfsReaddirReply> serveReaddir(NasdNfsFh dir);
+
+    /** Policy attribute change (mode bits), file-manager mediated. */
+    sim::Task<NasdNfsStatusReply> serveSetPolicy(NasdNfsFh fh,
+                                                 std::uint32_t mode,
+                                                 std::uint32_t uid,
+                                                 std::uint32_t gid);
+
+    /** Re-issue a capability (e.g. after expiry or version bump). */
+    sim::Task<NasdNfsLookupReply> serveGetCap(NasdNfsFh fh,
+                                              bool want_write);
+
+    /**
+     * Revoke all outstanding capabilities for @p fh by bumping the
+     * object's logical version.
+     */
+    sim::Task<NasdNfsStatusReply> serveRevoke(NasdNfsFh fh);
+
+    std::uint64_t controlOpsServed() const { return control_ops_; }
+
+  private:
+    /** Mint a capability for @p fh at its current version. */
+    Capability mintCapability(const NasdNfsFh &fh, std::uint8_t rights);
+
+    /** FM-side all-rights credential for its own object access. */
+    CredentialFactory fmCredential(const NasdNfsFh &fh);
+
+    sim::Task<NfsResult<std::vector<NasdNfsDirEntry>>>
+    loadDirectory(NasdNfsFh dir);
+    sim::Task<NfsResult<void>>
+    storeDirectory(NasdNfsFh dir, const std::vector<NasdNfsDirEntry> &ents);
+
+    /** Fetch attrs of @p fh through the FM's own drive client. */
+    sim::Task<NfsResult<NfsAttr>> fetchAttrs(NasdNfsFh fh);
+
+    ObjectVersion versionOf(const NasdNfsFh &fh) const;
+
+    sim::Simulator &sim_;
+    net::NetNode &node_;
+    std::vector<NasdDrive *> drives_;
+    std::vector<std::unique_ptr<CapabilityIssuer>> issuers_;
+    std::vector<std::unique_ptr<NasdClient>> fm_clients_;
+    PartitionId partition_;
+    NasdNfsFh root_;
+    std::uint32_t next_placement_ = 0;
+    /// The FM is the only version-bumper, so it tracks versions.
+    std::map<NasdNfsFh, ObjectVersion> versions_;
+    /// The FM is also the only directory writer, so it caches
+    /// directory contents (write-through to the drive objects).
+    std::map<NasdNfsFh, std::vector<NasdNfsDirEntry>> dir_cache_;
+    std::uint64_t control_ops_ = 0;
+
+    /// Capability lifetime handed to clients.
+    static constexpr std::uint64_t kCapLifetimeNs = 600ull * 1000000000;
+};
+
+/**
+ * The NASD-NFS client: control through the file manager, data straight
+ * to the drives, with a capability cache refreshed on rejection.
+ */
+class NasdNfsClient
+{
+  public:
+    NasdNfsClient(net::Network &net, net::NetNode &node,
+                  NasdNfsFileManager &fm, std::vector<NasdDrive *> drives,
+                  NfsClientParams params = {});
+
+    net::NetNode &node() { return node_; }
+
+    sim::Task<NfsResult<NasdNfsFh>> lookup(NasdNfsFh dir, std::string name,
+                                           bool want_write = false);
+    sim::Task<NfsResult<NasdNfsFh>> create(NasdNfsFh dir, std::string name);
+    sim::Task<NfsResult<NasdNfsFh>> mkdir(NasdNfsFh dir, std::string name);
+    sim::Task<NfsResult<void>> remove(NasdNfsFh dir, std::string name);
+    sim::Task<NfsResult<std::vector<NasdNfsDirEntry>>>
+    readdir(NasdNfsFh dir);
+
+    /** Attribute read: straight to the drive (Section 5.1). */
+    sim::Task<NfsResult<NfsAttr>> getattr(NasdNfsFh fh);
+
+    /** Policy attribute change: through the file manager. */
+    sim::Task<NfsResult<void>> setattr(NasdNfsFh fh, std::uint32_t mode,
+                                       std::uint32_t uid, std::uint32_t gid);
+
+    /** Data read: straight to the drive with a cached capability. */
+    sim::Task<NfsResult<std::uint64_t>> read(NasdNfsFh fh,
+                                             std::uint64_t offset,
+                                             std::span<std::uint8_t> out);
+
+    sim::Task<NfsResult<void>> write(NasdNfsFh fh, std::uint64_t offset,
+                                     std::span<const std::uint8_t> data);
+
+    /** Number of control RPCs this client sent to the file manager. */
+    std::uint64_t fmCalls() const { return fm_calls_; }
+
+  private:
+    struct CachedCap
+    {
+        std::unique_ptr<CredentialFactory> cred;
+        bool writable = false;
+    };
+
+    /** Get (fetching if needed) a capability for @p fh. */
+    sim::Task<NfsResult<CredentialFactory *>> capabilityFor(NasdNfsFh fh,
+                                                            bool write);
+
+    /** Drop the cached capability (after a drive rejection). */
+    void invalidateCap(NasdNfsFh fh);
+
+    sim::Task<NfsResult<std::uint64_t>>
+    readChunk(NasdNfsFh fh, std::uint64_t offset,
+              std::span<std::uint8_t> out);
+    sim::Task<NfsResult<void>> writeChunk(NasdNfsFh fh,
+                                          std::uint64_t offset,
+                                          std::span<const std::uint8_t> d);
+
+    net::Network &net_;
+    net::NetNode &node_;
+    NasdNfsFileManager &fm_;
+    std::vector<std::unique_ptr<NasdClient>> drive_clients_;
+    NfsClientParams params_;
+    sim::Semaphore window_;
+    std::map<NasdNfsFh, CachedCap> cap_cache_;
+    std::uint64_t fm_calls_ = 0;
+};
+
+} // namespace nasd::fs
+
+#endif // NASD_FS_NFS_NASD_NFS_H_

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Baseline NFS client.
+ *
+ * Splits reads and writes into small transfer units (rsize/wsize,
+ * 8 KB as in the prototype's era) with a bounded window of outstanding
+ * requests, like the biod daemons of a real NFS client. The small
+ * transfer unit is one of the reasons the paper gives for distributed
+ * filesystems failing to exploit storage bandwidth (Section 5).
+ */
+#ifndef NASD_FS_NFS_NFS_CLIENT_H_
+#define NASD_FS_NFS_NFS_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fs/nfs/nfs_server.h"
+#include "fs/nfs/types.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace nasd::fs {
+
+/** Client transfer tuning. */
+struct NfsClientParams
+{
+    std::uint32_t rsize = 8 * 1024;
+    std::uint32_t wsize = 8 * 1024;
+    std::uint32_t window = 8; ///< outstanding requests (biod count)
+};
+
+/** RPC stub binding one client machine to one NFS server. */
+class NfsClient
+{
+  public:
+    NfsClient(net::Network &net, net::NetNode &node, NfsServer &server,
+              NfsClientParams params = {});
+
+    net::NetNode &node() { return node_; }
+
+    sim::Task<NfsResult<NfsFileHandle>> lookup(NfsFileHandle dir,
+                                               std::string name);
+    sim::Task<NfsResult<NfsAttr>> getattr(NfsFileHandle fh);
+    sim::Task<NfsResult<NfsAttr>> setattr(NfsFileHandle fh,
+                                          std::uint32_t mode,
+                                          std::uint32_t uid,
+                                          std::uint32_t gid);
+
+    /** Read @p out.size() bytes at @p offset (short count at EOF). */
+    sim::Task<NfsResult<std::uint64_t>> read(NfsFileHandle fh,
+                                             std::uint64_t offset,
+                                             std::span<std::uint8_t> out);
+
+    sim::Task<NfsResult<void>> write(NfsFileHandle fh, std::uint64_t offset,
+                                     std::span<const std::uint8_t> data);
+
+    sim::Task<NfsResult<NfsFileHandle>> create(NfsFileHandle dir,
+                                               std::string name);
+    sim::Task<NfsResult<NfsFileHandle>> mkdir(NfsFileHandle dir,
+                                              std::string name);
+    sim::Task<NfsResult<void>> remove(NfsFileHandle dir, std::string name);
+    sim::Task<NfsResult<std::vector<NfsDirEntryWire>>>
+    readdir(NfsFileHandle dir);
+
+    /** Resolve a '/'-separated path from the volume root. */
+    sim::Task<NfsResult<NfsFileHandle>> resolve(std::uint32_t volume,
+                                                std::string path);
+
+  private:
+    /** One wire READ of at most rsize bytes. */
+    sim::Task<NfsResult<std::uint64_t>>
+    readChunk(NfsFileHandle fh, std::uint64_t offset,
+              std::span<std::uint8_t> out);
+
+    sim::Task<NfsResult<void>> writeChunk(NfsFileHandle fh,
+                                          std::uint64_t offset,
+                                          std::span<const std::uint8_t> data);
+
+    net::Network &net_;
+    net::NetNode &node_;
+    NfsServer &server_;
+    NfsClientParams params_;
+    sim::Semaphore window_;
+};
+
+} // namespace nasd::fs
+
+#endif // NASD_FS_NFS_NFS_CLIENT_H_

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The baseline store-and-forward NFS server (organization 2/3 of
+ * Figure 2) — the system NASD is compared against in Figure 9 and the
+ * Andrew benchmark.
+ *
+ * Every byte a client reads crosses the peripheral network into server
+ * memory and is copied back out over the client network; the server
+ * CPU pays local-filesystem copy costs plus RPC protocol costs per
+ * byte, which is exactly the bottleneck the paper measures (a 500 MHz
+ * server with 54 MB/s of disks and 38 MB/s of network delivering
+ * ~22 MB/s to applications).
+ *
+ * The server can export several volumes (independent FFS instances):
+ * Figure 9's "NFS" line uses one volume striped over n disks, its
+ * "NFS-parallel" line one volume per disk.
+ */
+#ifndef NASD_FS_NFS_NFS_SERVER_H_
+#define NASD_FS_NFS_NFS_SERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fs/ffs/ffs.h"
+#include "fs/nfs/types.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace nasd::fs {
+
+// Wire reply types (plain structs).
+
+struct NfsLookupReply
+{
+    NfsStatus status = NfsStatus::kOk;
+    NfsFileHandle handle;
+    NfsAttr attrs;
+};
+
+struct NfsAttrReply
+{
+    NfsStatus status = NfsStatus::kOk;
+    NfsAttr attrs;
+};
+
+struct NfsReadReply
+{
+    NfsStatus status = NfsStatus::kOk;
+    std::vector<std::uint8_t> data;
+    bool eof = false;
+};
+
+struct NfsWriteReply
+{
+    NfsStatus status = NfsStatus::kOk;
+    NfsAttr attrs;
+};
+
+struct NfsStatusReply
+{
+    NfsStatus status = NfsStatus::kOk;
+};
+
+struct NfsDirEntryWire
+{
+    std::string name;
+    NfsFileHandle handle;
+    bool is_directory = false;
+};
+
+struct NfsReaddirReply
+{
+    NfsStatus status = NfsStatus::kOk;
+    std::vector<NfsDirEntryWire> entries;
+};
+
+/** The baseline NFS server (see file comment). */
+class NfsServer
+{
+  public:
+    /**
+     * @param node The server machine (its CPU is charged for all FS
+     *        and protocol work; FFS volumes should be constructed with
+     *        this node's CPU as their host CPU).
+     */
+    NfsServer(sim::Simulator &sim, net::NetNode &node)
+        : sim_(sim), node_(node)
+    {}
+
+    NfsServer(const NfsServer &) = delete;
+    NfsServer &operator=(const NfsServer &) = delete;
+
+    net::NetNode &node() { return node_; }
+
+    /** Export a volume; returns its volume id. */
+    std::uint32_t addVolume(FfsFileSystem &fs);
+
+    /** Root file handle of a volume. */
+    NfsFileHandle rootHandle(std::uint32_t volume) const;
+
+    // Server-side handlers (wrapped in RPC by NfsClient) -------------------
+
+    sim::Task<NfsLookupReply> serveLookup(NfsFileHandle dir,
+                                          std::string name);
+    sim::Task<NfsAttrReply> serveGetattr(NfsFileHandle fh);
+    sim::Task<NfsAttrReply> serveSetattr(NfsFileHandle fh,
+                                         std::uint32_t mode,
+                                         std::uint32_t uid,
+                                         std::uint32_t gid);
+    sim::Task<NfsReadReply> serveRead(NfsFileHandle fh, std::uint64_t offset,
+                                      std::uint32_t count);
+    sim::Task<NfsWriteReply> serveWrite(NfsFileHandle fh,
+                                        std::uint64_t offset,
+                                        std::vector<std::uint8_t> data);
+    sim::Task<NfsLookupReply> serveCreate(NfsFileHandle dir,
+                                          std::string name);
+    sim::Task<NfsLookupReply> serveMkdir(NfsFileHandle dir,
+                                         std::string name);
+    sim::Task<NfsStatusReply> serveRemove(NfsFileHandle dir,
+                                          std::string name);
+    sim::Task<NfsReaddirReply> serveReaddir(NfsFileHandle dir);
+
+    std::uint64_t opsServed() const { return ops_served_; }
+
+  private:
+    FsResult<FfsFileSystem *> volumeOf(const NfsFileHandle &fh);
+
+    static NfsAttr toAttr(const FileStat &st);
+
+    sim::Simulator &sim_;
+    net::NetNode &node_;
+    std::vector<FfsFileSystem *> volumes_;
+    std::uint64_t ops_served_ = 0;
+};
+
+} // namespace nasd::fs
+
+#endif // NASD_FS_NFS_NFS_SERVER_H_

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared NFS-flavour types: status codes, file handles, attributes.
+ */
+#ifndef NASD_FS_NFS_TYPES_H_
+#define NASD_FS_NFS_TYPES_H_
+
+#include <cstdint>
+
+#include "fs/ffs/ffs.h"
+#include "util/result.h"
+
+namespace nasd::fs {
+
+/** NFS-level status (both baseline NFS and NASD-NFS use these). */
+enum class NfsStatus : std::uint8_t {
+    kOk = 0,
+    kNoEnt,
+    kExist,
+    kNotDir,
+    kIsDir,
+    kNotEmpty,
+    kNoSpace,
+    kStale,    ///< file handle no longer valid
+    kAccess,   ///< permission / capability failure
+    kTooBig,
+    kIoError,
+};
+
+const char *toString(NfsStatus status);
+
+/** Map local-filesystem errors onto NFS errors. */
+NfsStatus fromFsStatus(FsStatus status);
+
+/** Opaque-to-clients file handle for the baseline server. */
+struct NfsFileHandle
+{
+    std::uint32_t volume = 0;
+    std::uint32_t ino = 0;
+
+    bool operator==(const NfsFileHandle &) const = default;
+};
+
+/** Over-the-wire file attributes. */
+struct NfsAttr
+{
+    bool is_directory = false;
+    std::uint64_t size = 0;
+    std::uint32_t mode = 0644;
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    std::uint64_t mtime_ns = 0;
+    std::uint64_t ctime_ns = 0;
+};
+
+template <typename T>
+using NfsResult = util::Result<T, NfsStatus>;
+
+} // namespace nasd::fs
+
+#endif // NASD_FS_NFS_TYPES_H_

@@ -1,0 +1,72 @@
+#include "nasd/capability.h"
+
+#include "util/codec.h"
+
+namespace nasd {
+
+std::vector<std::uint8_t>
+CapabilityPublic::encode() const
+{
+    std::vector<std::uint8_t> out;
+    util::Encoder enc(out);
+    enc.put<std::uint64_t>(drive_id);
+    enc.put<std::uint16_t>(partition);
+    enc.put<std::uint64_t>(object_id);
+    enc.put<std::uint32_t>(approved_version);
+    enc.put<std::uint8_t>(rights);
+    enc.put<std::uint64_t>(region_start);
+    enc.put<std::uint64_t>(region_end);
+    enc.put<std::uint64_t>(expiry_ns);
+    enc.put<std::uint32_t>(key_epoch);
+    enc.put<std::uint8_t>(static_cast<std::uint8_t>(key_kind));
+    return out;
+}
+
+crypto::Digest
+capabilityMac(const crypto::Key &working_key, const CapabilityPublic &pub)
+{
+    const auto encoded = pub.encode();
+    return crypto::HmacSha256::mac(working_key, encoded);
+}
+
+crypto::Digest
+requestMac(const crypto::Digest &private_key, const RequestParams &params,
+           std::uint64_t nonce)
+{
+    crypto::HmacSha256 ctx(crypto::digestToKey(private_key));
+    ctx.updateValue<std::uint8_t>(static_cast<std::uint8_t>(params.op));
+    ctx.updateValue<std::uint16_t>(params.partition);
+    ctx.updateValue<std::uint64_t>(params.object_id);
+    ctx.updateValue<std::uint64_t>(params.offset);
+    ctx.updateValue<std::uint64_t>(params.length);
+    ctx.updateValue<std::uint64_t>(nonce);
+    return ctx.finish();
+}
+
+Capability
+CapabilityIssuer::mint(CapabilityPublic pub) const
+{
+    pub.drive_id = drive_id_;
+    const crypto::Key working = chain_.workingKey(
+        drive_id_, pub.partition, pub.key_kind, pub.key_epoch);
+    Capability cap;
+    cap.pub = pub;
+    cap.private_key = capabilityMac(working, pub);
+    return cap;
+}
+
+RequestCredential
+CredentialFactory::forRequest(const RequestParams &params)
+{
+    // Process-wide nonce source: strictly increasing across every
+    // factory, so no capability ever sees a repeated nonce.
+    static std::uint64_t g_nonce = 0;
+
+    RequestCredential cred;
+    cred.pub = cap_.pub;
+    cred.nonce = ++g_nonce;
+    cred.request_digest = requestMac(cap_.private_key, params, cred.nonce);
+    return cred;
+}
+
+} // namespace nasd

@@ -1,0 +1,276 @@
+#include "nasd/client.h"
+
+namespace nasd {
+
+namespace {
+
+/// Wire size of the fixed request frame: arguments + capability public
+/// portion + nonce + request digest (Figure 5), beyond the transport
+/// headers already counted by the RPC layer.
+constexpr std::uint64_t kControlPayload = 128;
+
+/// Wire size of an attribute frame in replies.
+constexpr std::uint64_t kAttrPayload = 128;
+
+} // namespace
+
+sim::Task<StoreResult<std::vector<std::uint8_t>>>
+NasdClient::read(CredentialFactory &cred, std::uint64_t offset,
+                 std::uint64_t length)
+{
+    RequestParams params{OpCode::kReadData, cred.capability().pub.partition,
+                         cred.capability().pub.object_id, offset, length};
+    const RequestCredential credential = cred.forRequest(params);
+
+    ReadResponse resp = co_await net::call<ReadResponse>(
+        net_, node_, drive_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<ReadResponse>> {
+            auto r = co_await drive_.serveRead(credential, params);
+            const std::uint64_t payload = r.data.size();
+            co_return net::RpcReply<ReadResponse>{std::move(r), payload};
+        });
+
+    if (resp.status != NasdStatus::kOk)
+        co_return util::Err{resp.status};
+    co_return std::move(resp.data);
+}
+
+sim::Task<StoreResult<void>>
+NasdClient::write(CredentialFactory &cred, std::uint64_t offset,
+                  std::span<const std::uint8_t> data)
+{
+    RequestParams params{OpCode::kWriteData,
+                         cred.capability().pub.partition,
+                         cred.capability().pub.object_id, offset,
+                         data.size()};
+    const RequestCredential credential = cred.forRequest(params);
+
+    StatusResponse resp = co_await net::call<StatusResponse>(
+        net_, node_, drive_.node(), kControlPayload + data.size(),
+        [&]() -> sim::Task<net::RpcReply<StatusResponse>> {
+            auto r = co_await drive_.serveWrite(credential, params, data);
+            co_return net::RpcReply<StatusResponse>{r, 0};
+        });
+
+    if (resp.status != NasdStatus::kOk)
+        co_return util::Err{resp.status};
+    co_return StoreResult<void>{};
+}
+
+sim::Task<StoreResult<ObjectAttributes>>
+NasdClient::getAttr(CredentialFactory &cred)
+{
+    RequestParams params{OpCode::kGetAttr, cred.capability().pub.partition,
+                         cred.capability().pub.object_id, 0, 0};
+    const RequestCredential credential = cred.forRequest(params);
+
+    AttrResponse resp = co_await net::call<AttrResponse>(
+        net_, node_, drive_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<AttrResponse>> {
+            auto r = co_await drive_.serveGetAttr(credential, params);
+            co_return net::RpcReply<AttrResponse>{r, kAttrPayload};
+        });
+
+    if (resp.status != NasdStatus::kOk)
+        co_return util::Err{resp.status};
+    co_return resp.attrs;
+}
+
+sim::Task<StoreResult<ObjectAttributes>>
+NasdClient::setAttr(CredentialFactory &cred, const SetAttrRequest &changes)
+{
+    RequestParams params{OpCode::kSetAttr, cred.capability().pub.partition,
+                         cred.capability().pub.object_id, 0, 0};
+    const RequestCredential credential = cred.forRequest(params);
+
+    AttrResponse resp = co_await net::call<AttrResponse>(
+        net_, node_, drive_.node(), kControlPayload + kAttrPayload,
+        [&]() -> sim::Task<net::RpcReply<AttrResponse>> {
+            auto r =
+                co_await drive_.serveSetAttr(credential, params, changes);
+            co_return net::RpcReply<AttrResponse>{r, kAttrPayload};
+        });
+
+    if (resp.status != NasdStatus::kOk)
+        co_return util::Err{resp.status};
+    co_return resp.attrs;
+}
+
+sim::Task<StoreResult<ObjectId>>
+NasdClient::create(CredentialFactory &cred, std::uint64_t capacity_hint)
+{
+    RequestParams params{OpCode::kCreateObject,
+                         cred.capability().pub.partition,
+                         cred.capability().pub.object_id, 0, capacity_hint};
+    const RequestCredential credential = cred.forRequest(params);
+
+    CreateResponse resp = co_await net::call<CreateResponse>(
+        net_, node_, drive_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<CreateResponse>> {
+            auto r = co_await drive_.serveCreate(credential, params);
+            co_return net::RpcReply<CreateResponse>{r, 16};
+        });
+
+    if (resp.status != NasdStatus::kOk)
+        co_return util::Err{resp.status};
+    co_return resp.object_id;
+}
+
+sim::Task<StoreResult<void>>
+NasdClient::remove(CredentialFactory &cred)
+{
+    RequestParams params{OpCode::kRemoveObject,
+                         cred.capability().pub.partition,
+                         cred.capability().pub.object_id, 0, 0};
+    const RequestCredential credential = cred.forRequest(params);
+
+    StatusResponse resp = co_await net::call<StatusResponse>(
+        net_, node_, drive_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<StatusResponse>> {
+            auto r = co_await drive_.serveRemove(credential, params);
+            co_return net::RpcReply<StatusResponse>{r, 0};
+        });
+
+    if (resp.status != NasdStatus::kOk)
+        co_return util::Err{resp.status};
+    co_return StoreResult<void>{};
+}
+
+sim::Task<StoreResult<ObjectId>>
+NasdClient::cloneVersion(CredentialFactory &cred)
+{
+    RequestParams params{OpCode::kCloneVersion,
+                         cred.capability().pub.partition,
+                         cred.capability().pub.object_id, 0, 0};
+    const RequestCredential credential = cred.forRequest(params);
+
+    CreateResponse resp = co_await net::call<CreateResponse>(
+        net_, node_, drive_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<CreateResponse>> {
+            auto r = co_await drive_.serveClone(credential, params);
+            co_return net::RpcReply<CreateResponse>{r, 16};
+        });
+
+    if (resp.status != NasdStatus::kOk)
+        co_return util::Err{resp.status};
+    co_return resp.object_id;
+}
+
+sim::Task<StoreResult<std::vector<ObjectId>>>
+NasdClient::listObjects(CredentialFactory &cred)
+{
+    RequestParams params{OpCode::kListObjects,
+                         cred.capability().pub.partition,
+                         cred.capability().pub.object_id, 0, 0};
+    const RequestCredential credential = cred.forRequest(params);
+
+    ListResponse resp = co_await net::call<ListResponse>(
+        net_, node_, drive_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<ListResponse>> {
+            auto r = co_await drive_.serveList(credential, params);
+            const std::uint64_t payload = r.ids.size() * sizeof(ObjectId);
+            co_return net::RpcReply<ListResponse>{std::move(r), payload};
+        });
+
+    if (resp.status != NasdStatus::kOk)
+        co_return util::Err{resp.status};
+    co_return std::move(resp.ids);
+}
+
+sim::Task<StoreResult<void>>
+NasdClient::setKey(CredentialFactory &cred)
+{
+    RequestParams params{OpCode::kSetKey, cred.capability().pub.partition,
+                         cred.capability().pub.object_id, 0, 0};
+    const RequestCredential credential = cred.forRequest(params);
+
+    StatusResponse resp = co_await net::call<StatusResponse>(
+        net_, node_, drive_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<StatusResponse>> {
+            auto r = co_await drive_.serveSetKey(credential, params);
+            co_return net::RpcReply<StatusResponse>{r, 0};
+        });
+
+    if (resp.status != NasdStatus::kOk)
+        co_return util::Err{resp.status};
+    co_return StoreResult<void>{};
+}
+
+namespace {
+
+/** Shared plumbing for the three partition-admin calls. */
+sim::Task<StoreResult<void>>
+partitionAdmin(net::Network &net, net::NetNode &node, NasdDrive &drive,
+               CredentialFactory &cred, OpCode op, PartitionId target,
+               std::uint64_t quota_bytes)
+{
+    RequestParams params{op, cred.capability().pub.partition,
+                         cred.capability().pub.object_id, target,
+                         quota_bytes};
+    const RequestCredential credential = cred.forRequest(params);
+
+    StatusResponse resp = co_await net::call<StatusResponse>(
+        net, node, drive.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<StatusResponse>> {
+            StatusResponse r;
+            switch (op) {
+              case OpCode::kCreatePartition:
+                r = co_await drive.serveCreatePartition(credential, params,
+                                                        target);
+                break;
+              case OpCode::kResizePartition:
+                r = co_await drive.serveResizePartition(credential, params,
+                                                        target);
+                break;
+              default:
+                r = co_await drive.serveRemovePartition(credential, params,
+                                                        target);
+                break;
+            }
+            co_return net::RpcReply<StatusResponse>{r, 16};
+        });
+
+    if (resp.status != NasdStatus::kOk)
+        co_return util::Err{resp.status};
+    co_return StoreResult<void>{};
+}
+
+} // namespace
+
+sim::Task<StoreResult<void>>
+NasdClient::createPartition(CredentialFactory &cred, PartitionId target,
+                            std::uint64_t quota_bytes)
+{
+    co_return co_await partitionAdmin(net_, node_, drive_, cred,
+                                      OpCode::kCreatePartition, target,
+                                      quota_bytes);
+}
+
+sim::Task<StoreResult<void>>
+NasdClient::resizePartition(CredentialFactory &cred, PartitionId target,
+                            std::uint64_t quota_bytes)
+{
+    co_return co_await partitionAdmin(net_, node_, drive_, cred,
+                                      OpCode::kResizePartition, target,
+                                      quota_bytes);
+}
+
+sim::Task<StoreResult<void>>
+NasdClient::removePartition(CredentialFactory &cred, PartitionId target)
+{
+    co_return co_await partitionAdmin(net_, node_, drive_, cred,
+                                      OpCode::kRemovePartition, target, 0);
+}
+
+sim::Task<void>
+NasdClient::flush()
+{
+    (void)co_await net::call<StatusResponse>(
+        net_, node_, drive_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<StatusResponse>> {
+            auto r = co_await drive_.serveFlush();
+            co_return net::RpcReply<StatusResponse>{r, 0};
+        });
+}
+
+} // namespace nasd

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Client-side NASD driver (the "NASD driver" box of Figure 1).
+ *
+ * Wraps every drive request in RPC timing from a given client node,
+ * attaches capability credentials, and converts wire responses into
+ * Result values. One NasdClient binds one client machine to one drive;
+ * higher layers (filesystems, Cheops) hold several.
+ */
+#ifndef NASD_NASD_CLIENT_H_
+#define NASD_NASD_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nasd/capability.h"
+#include "nasd/drive.h"
+#include "nasd/object_store.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/task.h"
+
+namespace nasd {
+
+/** RPC stub for one (client machine, drive) pair. */
+class NasdClient
+{
+  public:
+    NasdClient(net::Network &net, net::NetNode &node, NasdDrive &drive)
+        : net_(net), node_(node), drive_(drive)
+    {}
+
+    net::NetNode &node() { return node_; }
+    NasdDrive &drive() { return drive_; }
+
+    /** Read up to @p length bytes at @p offset of the capability's
+     *  object. */
+    sim::Task<StoreResult<std::vector<std::uint8_t>>>
+    read(CredentialFactory &cred, std::uint64_t offset,
+         std::uint64_t length);
+
+    /** Write @p data at @p offset of the capability's object. */
+    sim::Task<StoreResult<void>> write(CredentialFactory &cred,
+                                       std::uint64_t offset,
+                                       std::span<const std::uint8_t> data);
+
+    sim::Task<StoreResult<ObjectAttributes>>
+    getAttr(CredentialFactory &cred);
+
+    sim::Task<StoreResult<ObjectAttributes>>
+    setAttr(CredentialFactory &cred, const SetAttrRequest &changes);
+
+    /** Create an object (capability on the partition control object);
+     *  @p capacity_hint bytes are preallocated. */
+    sim::Task<StoreResult<ObjectId>> create(CredentialFactory &cred,
+                                            std::uint64_t capacity_hint);
+
+    sim::Task<StoreResult<void>> remove(CredentialFactory &cred);
+
+    /** Construct a copy-on-write version of the capability's object. */
+    sim::Task<StoreResult<ObjectId>> cloneVersion(CredentialFactory &cred);
+
+    /** List object names (capability on the partition control object). */
+    sim::Task<StoreResult<std::vector<ObjectId>>>
+    listObjects(CredentialFactory &cred);
+
+    /** Rotate the partition's working-key epoch, revoking every
+     *  outstanding capability for it. */
+    sim::Task<StoreResult<void>> setKey(CredentialFactory &cred);
+
+    /** Push the drive's write-behind data to media. */
+    sim::Task<void> flush();
+
+    /**
+     * Partition administration (drive-owner capability on partition
+     * 0's control object); quota in bytes.
+     */
+    sim::Task<StoreResult<void>> createPartition(CredentialFactory &cred,
+                                                 PartitionId target,
+                                                 std::uint64_t quota_bytes);
+    sim::Task<StoreResult<void>> resizePartition(CredentialFactory &cred,
+                                                 PartitionId target,
+                                                 std::uint64_t quota_bytes);
+    sim::Task<StoreResult<void>> removePartition(CredentialFactory &cred,
+                                                 PartitionId target);
+
+  private:
+    net::Network &net_;
+    net::NetNode &node_;
+    NasdDrive &drive_;
+};
+
+} // namespace nasd
+
+#endif // NASD_NASD_CLIENT_H_

@@ -1,0 +1,492 @@
+#include "nasd/drive.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/presets.h"
+#include "util/logging.h"
+
+namespace nasd {
+
+namespace {
+
+/** Compact a digest into the 64-bit nonce-window key. */
+std::uint64_t
+digestPrefix(const crypto::Digest &d)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(d[i]) << (i * 8);
+    return v;
+}
+
+constexpr std::size_t kNonceWindowCap = 8192;
+constexpr std::uint64_t kRequestArgBytes = 64; // MAC'd argument frame
+
+} // namespace
+
+DriveConfig
+prototypeDriveConfig(std::string name, DriveId id)
+{
+    DriveConfig cfg;
+    cfg.name = std::move(name);
+    cfg.drive_id = id;
+    cfg.disk_params = disk::medallistParams();
+    cfg.num_disks = 2;
+    cfg.stripe_unit_bytes = 32 * 1024;
+    cfg.cpu = net::alpha3000_400();
+    cfg.link = net::oc3Link();
+    cfg.rpc = net::dceRpcCosts();
+    // A deterministic, drive-unique master secret.
+    for (std::size_t i = 0; i < cfg.master_key.size(); ++i)
+        cfg.master_key[i] = static_cast<std::uint8_t>(0x5a ^ (id * 31 + i));
+    return cfg;
+}
+
+NasdDrive::NasdDrive(sim::Simulator &sim, net::Network &net,
+                     DriveConfig config)
+    : sim_(sim), config_(std::move(config)), keychain_(config_.master_key)
+{
+    NASD_ASSERT(config_.num_disks >= 1);
+    node_ = &net.addNode(config_.name, config_.cpu, config_.link,
+                         config_.rpc);
+    std::vector<disk::BlockDevice *> members;
+    for (int i = 0; i < config_.num_disks; ++i) {
+        disks_.push_back(
+            std::make_unique<disk::DiskModel>(sim, config_.disk_params));
+        members.push_back(disks_.back().get());
+    }
+    striped_ = std::make_unique<disk::StripingDriver>(
+        sim, std::move(members), config_.stripe_unit_bytes);
+    store_ = std::make_unique<ObjectStore>(sim, *striped_, config_.store);
+}
+
+sim::Task<void>
+NasdDrive::format()
+{
+    co_await store_->format();
+}
+
+double
+NasdDrive::rawMediaBytesPerSec() const
+{
+    return config_.disk_params.mediaBytesPerSec() * config_.num_disks;
+}
+
+sim::Task<NasdStatus>
+NasdDrive::verify(const RequestCredential &cred, const RequestParams &params,
+                  std::uint8_t required_rights, std::uint64_t data_bytes)
+{
+    if (failed_)
+        co_return NasdStatus::kDriveFailed;
+
+    const CapabilityPublic &pub = cred.pub;
+
+    // Fixed capability-parse cost is part of every request.
+    co_await node_->cpu().execute(config_.costs.capability_check_instr);
+
+    if (pub.drive_id != config_.drive_id)
+        co_return NasdStatus::kBadCapability;
+    auto part = store_->partitionInfo(pub.partition);
+    if (!part.ok())
+        co_return NasdStatus::kNoSuchPartition;
+
+    // Expiration (file managers bound capability lifetime).
+    if (sim_.now() >= pub.expiry_ns)
+        co_return NasdStatus::kExpiredCapability;
+
+    // A set-key request invalidates all capabilities of older epochs.
+    if (pub.key_epoch != part.value().key_epoch)
+        co_return NasdStatus::kBadCapability;
+
+    // Recompute the private portion from our keys and check the
+    // request digest. This is what makes capabilities unforgeable: the
+    // client can only produce the digest if it holds the private key,
+    // and only the file manager (sharing our secret) can mint that.
+    const crypto::Key working = keychain_.workingKey(
+        config_.drive_id, pub.partition, pub.key_kind, pub.key_epoch);
+    const crypto::Digest private_key = capabilityMac(working, pub);
+    const crypto::Digest expected =
+        requestMac(private_key, params, cred.nonce);
+    if (!crypto::constantTimeEqual(expected, cred.request_digest))
+        co_return NasdStatus::kBadCapability;
+
+    // Charge for the digest computation per the security level.
+    std::uint64_t mac_bytes = kRequestArgBytes;
+    switch (config_.security) {
+      case SecurityLevel::kNone:
+        mac_bytes = 0;
+        break;
+      case SecurityLevel::kIntegritySw:
+      case SecurityLevel::kIntegrityHw:
+        mac_bytes += data_bytes;
+        break;
+    }
+    if (mac_bytes > 0) {
+        const double per_byte =
+            config_.security == SecurityLevel::kIntegritySw
+                ? config_.costs.hmac_software_per_byte_instr
+                : config_.costs.hmac_hardware_per_byte_instr;
+        const auto instr = static_cast<std::uint64_t>(
+            per_byte * static_cast<double>(mac_bytes));
+        if (instr > 0)
+            co_await node_->cpu().executeAt(instr, node_->costs().data_cpi);
+    }
+
+    // Replay protection: the nonce must advance per capability.
+    const std::uint64_t key = digestPrefix(private_key);
+    auto it = nonce_window_.find(key);
+    if (it != nonce_window_.end() && cred.nonce <= it->second)
+        co_return NasdStatus::kReplayedRequest;
+    if (nonce_window_.size() >= kNonceWindowCap)
+        nonce_window_.erase(nonce_window_.begin());
+    nonce_window_[key] = cred.nonce;
+
+    // Rights.
+    if ((pub.rights & required_rights) != required_rights)
+        co_return NasdStatus::kRightsViolation;
+
+    // Object identity: the capability names one object (or the
+    // partition control object for create/list/set-key).
+    if (params.object_id != pub.object_id)
+        co_return NasdStatus::kBadCapability;
+
+    // Byte-range restriction (quota escrow in AFS builds on this).
+    if (params.length > 0 || params.offset > 0) {
+        const std::uint64_t end = params.offset + params.length;
+        if (params.offset < pub.region_start || end > pub.region_end)
+            co_return NasdStatus::kRangeViolation;
+    }
+
+    // Logical version: a version bump revokes outstanding capabilities.
+    if (params.object_id != kPartitionControlObject) {
+        auto version = store_->peekVersion(pub.partition, params.object_id);
+        if (version.ok() && version.value() != pub.approved_version)
+            co_return NasdStatus::kVersionMismatch;
+    }
+
+    co_return NasdStatus::kOk;
+}
+
+sim::Task<void>
+NasdDrive::chargeOpCost(std::uint64_t base_instr,
+                        std::uint64_t cold_extra_instr,
+                        double per_byte_instr, std::uint64_t bytes,
+                        const OpTrace &trace)
+{
+    std::uint64_t instr = base_instr;
+    double per_byte = per_byte_instr;
+    if (trace.meta_miss) {
+        instr += cold_extra_instr;
+        per_byte += config_.costs.cold_extra_per_byte_instr;
+    }
+    co_await node_->cpu().execute(instr);
+    const auto data_instr = static_cast<std::uint64_t>(
+        per_byte * static_cast<double>(bytes));
+    if (data_instr > 0)
+        co_await node_->cpu().executeAt(data_instr,
+                                        node_->costs().data_cpi);
+}
+
+sim::Task<void>
+NasdDrive::chargeSecurityBytes(std::uint64_t bytes)
+{
+    if (config_.security == SecurityLevel::kNone || bytes == 0)
+        co_return;
+    const double per_byte =
+        config_.security == SecurityLevel::kIntegritySw
+            ? config_.costs.hmac_software_per_byte_instr
+            : config_.costs.hmac_hardware_per_byte_instr;
+    const auto instr = static_cast<std::uint64_t>(
+        per_byte * static_cast<double>(bytes));
+    if (instr > 0)
+        co_await node_->cpu().executeAt(instr, node_->costs().data_cpi);
+}
+
+sim::Task<ReadResponse>
+NasdDrive::serveRead(RequestCredential cred, RequestParams params)
+{
+    ReadResponse resp;
+    const auto status = co_await verify(cred, params, kRightRead, 0);
+    if (status != NasdStatus::kOk) {
+        resp.status = status;
+        co_return resp;
+    }
+    resp.data.resize(params.length);
+    OpTrace trace;
+    auto result = co_await store_->read(params.partition, params.object_id,
+                                        params.offset, resp.data, &trace);
+    if (!result.ok()) {
+        resp.status = result.error();
+        resp.data.clear();
+        co_return resp;
+    }
+    resp.data.resize(result.value());
+    co_await chargeOpCost(config_.costs.read_base_instr,
+                          config_.costs.cold_extra_read_instr,
+                          config_.costs.read_per_byte_instr,
+                          result.value(), trace);
+    // Outgoing data is covered by the keyed digest too.
+    co_await chargeSecurityBytes(result.value());
+    ++ops_served_;
+    co_return resp;
+}
+
+sim::Task<StatusResponse>
+NasdDrive::serveWrite(RequestCredential cred, RequestParams params,
+                      std::span<const std::uint8_t> data)
+{
+    StatusResponse resp;
+    params.length = data.size();
+    const auto status =
+        co_await verify(cred, params, kRightWrite, data.size());
+    if (status != NasdStatus::kOk) {
+        resp.status = status;
+        co_return resp;
+    }
+    OpTrace trace;
+    auto result = co_await store_->write(params.partition, params.object_id,
+                                         params.offset, data, &trace);
+    if (!result.ok()) {
+        resp.status = result.error();
+        co_return resp;
+    }
+    co_await chargeOpCost(config_.costs.write_base_instr,
+                          config_.costs.cold_extra_write_instr,
+                          config_.costs.write_per_byte_instr, data.size(),
+                          trace);
+    ++ops_served_;
+    co_return resp;
+}
+
+sim::Task<AttrResponse>
+NasdDrive::serveGetAttr(RequestCredential cred, RequestParams params)
+{
+    AttrResponse resp;
+    const auto status = co_await verify(cred, params, kRightGetAttr, 0);
+    if (status != NasdStatus::kOk) {
+        resp.status = status;
+        co_return resp;
+    }
+    OpTrace trace;
+    auto result = co_await store_->getAttributes(params.partition,
+                                                 params.object_id, &trace);
+    if (!result.ok()) {
+        resp.status = result.error();
+        co_return resp;
+    }
+    resp.attrs = result.value();
+    co_await chargeOpCost(config_.costs.attr_base_instr,
+                          config_.costs.cold_extra_read_instr, 0.0, 0,
+                          trace);
+    ++ops_served_;
+    co_return resp;
+}
+
+sim::Task<AttrResponse>
+NasdDrive::serveSetAttr(RequestCredential cred, RequestParams params,
+                        SetAttrRequest changes)
+{
+    AttrResponse resp;
+    const auto status = co_await verify(cred, params, kRightSetAttr, 0);
+    if (status != NasdStatus::kOk) {
+        resp.status = status;
+        co_return resp;
+    }
+    OpTrace trace;
+    auto result = co_await store_->setAttributes(
+        params.partition, params.object_id, changes, &trace);
+    if (!result.ok()) {
+        resp.status = result.error();
+        co_return resp;
+    }
+    resp.attrs = result.value();
+    co_await chargeOpCost(config_.costs.attr_base_instr,
+                          config_.costs.cold_extra_write_instr, 0.0, 0,
+                          trace);
+    ++ops_served_;
+    co_return resp;
+}
+
+sim::Task<CreateResponse>
+NasdDrive::serveCreate(RequestCredential cred, RequestParams params)
+{
+    CreateResponse resp;
+    // Create authority is a capability on the partition control object;
+    // params.length carries the capacity hint.
+    const auto status = co_await verify(cred, params, kRightCreate, 0);
+    if (status != NasdStatus::kOk) {
+        resp.status = status;
+        co_return resp;
+    }
+    OpTrace trace;
+    auto result = co_await store_->createObject(params.partition,
+                                                params.length, &trace);
+    if (!result.ok()) {
+        resp.status = result.error();
+        co_return resp;
+    }
+    resp.object_id = result.value();
+    co_await chargeOpCost(config_.costs.create_base_instr,
+                          config_.costs.cold_extra_write_instr, 0.0, 0,
+                          trace);
+    ++ops_served_;
+    co_return resp;
+}
+
+sim::Task<StatusResponse>
+NasdDrive::serveRemove(RequestCredential cred, RequestParams params)
+{
+    StatusResponse resp;
+    const auto status = co_await verify(cred, params, kRightRemove, 0);
+    if (status != NasdStatus::kOk) {
+        resp.status = status;
+        co_return resp;
+    }
+    OpTrace trace;
+    auto result = co_await store_->removeObject(params.partition,
+                                                params.object_id, &trace);
+    if (!result.ok()) {
+        resp.status = result.error();
+        co_return resp;
+    }
+    co_await chargeOpCost(config_.costs.remove_base_instr,
+                          config_.costs.cold_extra_write_instr, 0.0, 0,
+                          trace);
+    ++ops_served_;
+    co_return resp;
+}
+
+sim::Task<CreateResponse>
+NasdDrive::serveClone(RequestCredential cred, RequestParams params)
+{
+    CreateResponse resp;
+    const auto status = co_await verify(cred, params, kRightVersion, 0);
+    if (status != NasdStatus::kOk) {
+        resp.status = status;
+        co_return resp;
+    }
+    OpTrace trace;
+    auto result = co_await store_->cloneVersion(params.partition,
+                                                params.object_id, &trace);
+    if (!result.ok()) {
+        resp.status = result.error();
+        co_return resp;
+    }
+    resp.object_id = result.value();
+    co_await chargeOpCost(config_.costs.create_base_instr,
+                          config_.costs.cold_extra_write_instr, 0.0, 0,
+                          trace);
+    ++ops_served_;
+    co_return resp;
+}
+
+sim::Task<ListResponse>
+NasdDrive::serveList(RequestCredential cred, RequestParams params)
+{
+    ListResponse resp;
+    const auto status = co_await verify(cred, params, kRightGetAttr, 0);
+    if (status != NasdStatus::kOk) {
+        resp.status = status;
+        co_return resp;
+    }
+    OpTrace trace;
+    auto result = co_await store_->listObjects(params.partition, &trace);
+    if (!result.ok()) {
+        resp.status = result.error();
+        co_return resp;
+    }
+    resp.ids = std::move(result.value());
+    co_await chargeOpCost(config_.costs.attr_base_instr, 0, 0.01,
+                          resp.ids.size() * sizeof(ObjectId), trace);
+    ++ops_served_;
+    co_return resp;
+}
+
+sim::Task<StatusResponse>
+NasdDrive::serveSetKey(RequestCredential cred, RequestParams params)
+{
+    StatusResponse resp;
+    const auto status = co_await verify(cred, params, kRightSetAttr, 0);
+    if (status != NasdStatus::kOk) {
+        resp.status = status;
+        co_return resp;
+    }
+    auto result = store_->rotateKeyEpoch(params.partition);
+    if (!result.ok()) {
+        resp.status = result.error();
+        co_return resp;
+    }
+    co_await node_->cpu().execute(config_.costs.attr_base_instr);
+    ++ops_served_;
+    co_return resp;
+}
+
+sim::Task<StatusResponse>
+NasdDrive::serveCreatePartition(RequestCredential cred,
+                                RequestParams params, PartitionId target)
+{
+    StatusResponse resp;
+    const auto status = co_await verify(cred, params, kRightCreate, 0);
+    if (status != NasdStatus::kOk) {
+        resp.status = status;
+        co_return resp;
+    }
+    auto made = store_->createPartition(target, params.length);
+    if (!made.ok())
+        resp.status = made.error();
+    else
+        co_await node_->cpu().execute(config_.costs.create_base_instr);
+    ++ops_served_;
+    co_return resp;
+}
+
+sim::Task<StatusResponse>
+NasdDrive::serveResizePartition(RequestCredential cred,
+                                RequestParams params, PartitionId target)
+{
+    StatusResponse resp;
+    const auto status = co_await verify(cred, params, kRightSetAttr, 0);
+    if (status != NasdStatus::kOk) {
+        resp.status = status;
+        co_return resp;
+    }
+    auto resized = store_->resizePartition(target, params.length);
+    if (!resized.ok())
+        resp.status = resized.error();
+    else
+        co_await node_->cpu().execute(config_.costs.attr_base_instr);
+    ++ops_served_;
+    co_return resp;
+}
+
+sim::Task<StatusResponse>
+NasdDrive::serveRemovePartition(RequestCredential cred,
+                                RequestParams params, PartitionId target)
+{
+    StatusResponse resp;
+    const auto status = co_await verify(cred, params, kRightRemove, 0);
+    if (status != NasdStatus::kOk) {
+        resp.status = status;
+        co_return resp;
+    }
+    auto removed = store_->removePartition(target);
+    if (!removed.ok())
+        resp.status = removed.error();
+    else
+        co_await node_->cpu().execute(config_.costs.remove_base_instr);
+    ++ops_served_;
+    co_return resp;
+}
+
+sim::Task<StatusResponse>
+NasdDrive::serveFlush()
+{
+    if (failed_)
+        co_return StatusResponse{NasdStatus::kDriveFailed};
+    co_await store_->flushAll();
+    ++ops_served_;
+    co_return StatusResponse{};
+}
+
+} // namespace nasd

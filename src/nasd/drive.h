@@ -1,0 +1,207 @@
+/**
+ * @file
+ * The NASD drive: object store + network personality + security.
+ *
+ * A NasdDrive owns its physical disks (the prototype used two
+ * Medallists behind a striping driver), the object store living on
+ * them, a network node (its embedded CPU and link), and the drive
+ * secret keys. Request handlers verify the cryptographic capability
+ * accompanying each request, charge the calibrated instruction costs,
+ * and execute against the object store.
+ *
+ * Handlers here are server-side; NasdClient wraps them in RPC timing.
+ */
+#ifndef NASD_NASD_DRIVE_H_
+#define NASD_NASD_DRIVE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/keychain.h"
+#include "disk/disk_model.h"
+#include "disk/params.h"
+#include "disk/striping.h"
+#include "nasd/capability.h"
+#include "nasd/costs.h"
+#include "nasd/object_store.h"
+#include "nasd/types.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace nasd {
+
+/** Everything needed to build one drive. */
+struct DriveConfig
+{
+    std::string name = "nasd";
+    DriveId drive_id = 1;
+    crypto::Key master_key{};
+    SecurityLevel security = SecurityLevel::kNone;
+    DriveCostModel costs;
+    StoreConfig store;
+
+    /// Physical media: num_disks instances of disk_params striped at
+    /// stripe_unit_bytes (prototype: 2 Medallists at 32 KB).
+    disk::DiskParams disk_params;
+    int num_disks = 2;
+    std::uint64_t stripe_unit_bytes = 32 * 1024;
+
+    net::CpuParams cpu{133.0, 2.2}; ///< prototype drive CPU
+    net::LinkParams link{};         ///< OC-3 by default
+    net::RpcCosts rpc{};            ///< DCE-weight stack by default
+};
+
+/** The prototype drive configuration from Section 4.2. */
+DriveConfig prototypeDriveConfig(std::string name, DriveId id);
+
+// Wire-format response types (plain structs so they cross the RPC
+// layer without fuss).
+
+struct ReadResponse
+{
+    NasdStatus status = NasdStatus::kOk;
+    std::vector<std::uint8_t> data;
+};
+
+struct StatusResponse
+{
+    NasdStatus status = NasdStatus::kOk;
+};
+
+struct AttrResponse
+{
+    NasdStatus status = NasdStatus::kOk;
+    ObjectAttributes attrs;
+};
+
+struct CreateResponse
+{
+    NasdStatus status = NasdStatus::kOk;
+    ObjectId object_id = 0;
+};
+
+struct ListResponse
+{
+    NasdStatus status = NasdStatus::kOk;
+    std::vector<ObjectId> ids;
+};
+
+/** One network-attached secure disk. */
+class NasdDrive
+{
+  public:
+    NasdDrive(sim::Simulator &sim, net::Network &net, DriveConfig config);
+
+    NasdDrive(const NasdDrive &) = delete;
+    NasdDrive &operator=(const NasdDrive &) = delete;
+
+    /** Format the object store (drive manufacturing / reinitialize). */
+    sim::Task<void> format();
+
+    DriveId id() const { return config_.drive_id; }
+    const std::string &name() const { return config_.name; }
+    net::NetNode &node() { return *node_; }
+    ObjectStore &store() { return *store_; }
+    const DriveConfig &config() const { return config_; }
+    SecurityLevel security() const { return config_.security; }
+    void setSecurity(SecurityLevel level) { config_.security = level; }
+
+    /** Fault injection: a failed drive rejects every request (after
+     *  paying the wire cost of discovering it). */
+    void setFailed(bool failed) { failed_ = failed; }
+    bool failed() const { return failed_; }
+
+    /** Aggregate raw media bandwidth (for benchmark reporting). */
+    double rawMediaBytesPerSec() const;
+
+    // Request handlers (Section 4.1's interface) -------------------------
+
+    sim::Task<ReadResponse> serveRead(RequestCredential cred,
+                                      RequestParams params);
+    sim::Task<StatusResponse> serveWrite(RequestCredential cred,
+                                         RequestParams params,
+                                         std::span<const std::uint8_t> data);
+    sim::Task<AttrResponse> serveGetAttr(RequestCredential cred,
+                                         RequestParams params);
+    sim::Task<AttrResponse> serveSetAttr(RequestCredential cred,
+                                         RequestParams params,
+                                         SetAttrRequest changes);
+    sim::Task<CreateResponse> serveCreate(RequestCredential cred,
+                                          RequestParams params);
+    sim::Task<StatusResponse> serveRemove(RequestCredential cred,
+                                          RequestParams params);
+    sim::Task<CreateResponse> serveClone(RequestCredential cred,
+                                         RequestParams params);
+    sim::Task<ListResponse> serveList(RequestCredential cred,
+                                      RequestParams params);
+    sim::Task<StatusResponse> serveSetKey(RequestCredential cred,
+                                          RequestParams params);
+    sim::Task<StatusResponse> serveFlush();
+
+    /**
+     * Partition administration over the wire. Authority is a
+     * capability on the partition control object of partition 0 (the
+     * drive's root partition) minted under the drive owner's keys;
+     * params.length carries the quota in bytes for create/resize.
+     */
+    sim::Task<StatusResponse> serveCreatePartition(RequestCredential cred,
+                                                   RequestParams params,
+                                                   PartitionId target);
+    sim::Task<StatusResponse> serveResizePartition(RequestCredential cred,
+                                                   RequestParams params,
+                                                   PartitionId target);
+    sim::Task<StatusResponse> serveRemovePartition(RequestCredential cred,
+                                                   RequestParams params,
+                                                   PartitionId target);
+
+    /** Operations completed (all types). */
+    std::uint64_t opsServed() const { return ops_served_; }
+
+    /**
+     * Verify a credential against the drive's keys and the request
+     * parameters; charges verification CPU cost. kOk means the request
+     * may proceed. Public so drive-resident extensions (Active Disks,
+     * Section 6) enforce the same security as the built-in requests.
+     */
+    sim::Task<NasdStatus> verify(const RequestCredential &cred,
+                                 const RequestParams &params,
+                                 std::uint8_t required_rights,
+                                 std::uint64_t data_bytes);
+
+  private:
+
+    /** Charge the op-path instruction costs for a completed store op. */
+    sim::Task<void> chargeOpCost(std::uint64_t base_instr,
+                                 std::uint64_t cold_extra_instr,
+                                 double per_byte_instr,
+                                 std::uint64_t bytes,
+                                 const OpTrace &trace);
+
+    /** Charge the keyed-digest cost over @p bytes of bulk data
+     *  (outgoing read payloads), per the configured security level. */
+    sim::Task<void> chargeSecurityBytes(std::uint64_t bytes);
+
+    sim::Simulator &sim_;
+    DriveConfig config_;
+    crypto::KeyChain keychain_;
+    net::NetNode *node_;
+
+    std::vector<std::unique_ptr<disk::DiskModel>> disks_;
+    std::unique_ptr<disk::StripingDriver> striped_;
+    std::unique_ptr<ObjectStore> store_;
+
+    /// Replay protection: highest nonce seen per capability (keyed by
+    /// a 64-bit prefix of the private portion).
+    std::unordered_map<std::uint64_t, std::uint64_t> nonce_window_;
+
+    std::uint64_t ops_served_ = 0;
+    bool failed_ = false;
+};
+
+} // namespace nasd
+
+#endif // NASD_NASD_DRIVE_H_

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * The NASD drive's object system (Section 4.2).
+ *
+ * Exports a flat namespace of variable-length objects grouped into
+ * soft, resizable partitions, with per-object attributes including an
+ * uninterpreted filesystem-specific field, logical version numbers for
+ * capability revocation, capacity reservation, and copy-on-write
+ * object versions. This is the component the paper sizes at ~16 kLoC
+ * in its prototype: object access, cache, and disk space management,
+ * independent of the host OS.
+ *
+ * Layout on the underlying block device:
+ *
+ *   block 0                superblock (partition table, region map)
+ *   refcount region        one byte per allocation unit
+ *   inode region           one 512 B inode block per object slot
+ *   data region            8 KB allocation units
+ *
+ * Bytes are real and persistent: mount() rebuilds the full store from
+ * the device. Simulated time is charged through the device for media
+ * traffic and through the unit cache for drive-DRAM hits.
+ */
+#ifndef NASD_NASD_OBJECT_STORE_H_
+#define NASD_NASD_OBJECT_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "disk/block_device.h"
+#include "nasd/allocator.h"
+#include "nasd/types.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "util/result.h"
+#include "util/stats.h"
+
+namespace nasd {
+
+/** Geometry and caching configuration of an object store. */
+struct StoreConfig
+{
+    std::uint32_t alloc_unit_bytes = 8192;
+    std::uint32_t max_inodes = 8192;
+    /// Drive DRAM available for caching object data.
+    std::uint64_t data_cache_bytes = 32ull * 1024 * 1024;
+    /// Number of inodes whose metadata stays cached.
+    std::uint32_t meta_cache_inodes = 2048;
+};
+
+/** What one store operation touched; drives cost accounting. */
+struct OpTrace
+{
+    bool meta_miss = false;
+    std::uint64_t device_bytes_read = 0;
+    std::uint64_t device_bytes_written = 0;
+    std::uint64_t cache_hit_bytes = 0;
+};
+
+/** Aggregate counters for tests and benchmarks. */
+struct StoreStats
+{
+    util::Counter reads;
+    util::Counter writes;
+    util::Counter creates;
+    util::Counter removes;
+    util::Counter clones;
+    util::Counter meta_misses;
+    util::Counter cache_hit_bytes;
+    util::Counter cache_miss_bytes;
+};
+
+/** Attribute updates applied by setAttributes. */
+struct SetAttrRequest
+{
+    std::optional<std::uint64_t> reserve_capacity;
+    std::optional<std::uint64_t> truncate_size;
+    std::optional<std::array<std::uint8_t, kFsSpecificBytes>> fs_specific;
+    std::optional<std::uint64_t> cluster_hint;
+    bool bump_version = false; ///< revokes outstanding capabilities
+};
+
+/** Summary of one partition's allocation state. */
+struct PartitionInfo
+{
+    std::uint64_t quota_bytes = 0;
+    std::uint64_t used_bytes = 0;
+    std::uint32_t object_count = 0;
+    std::uint32_t key_epoch = 0;
+};
+
+template <typename T>
+using StoreResult = util::Result<T, NasdStatus>;
+
+/** The object system of one NASD drive (see file comment). */
+class ObjectStore
+{
+  public:
+    ObjectStore(sim::Simulator &sim, disk::BlockDevice &device,
+                StoreConfig config = {});
+
+    ObjectStore(const ObjectStore &) = delete;
+    ObjectStore &operator=(const ObjectStore &) = delete;
+
+    /** Write a fresh, empty store to the device. */
+    sim::Task<void> format();
+
+    /** Rebuild all in-memory state from the device. */
+    sim::Task<void> mount();
+
+    bool mounted() const { return mounted_; }
+
+    // Partition administration (drive-owner operations) ------------------
+
+    StoreResult<void> createPartition(PartitionId pid,
+                                      std::uint64_t quota_bytes);
+    StoreResult<void> resizePartition(PartitionId pid,
+                                      std::uint64_t quota_bytes);
+    StoreResult<void> removePartition(PartitionId pid);
+    StoreResult<PartitionInfo> partitionInfo(PartitionId pid) const;
+
+    /** Bump a partition's working-key epoch (set-key request). */
+    StoreResult<void> rotateKeyEpoch(PartitionId pid);
+
+    // Object operations ---------------------------------------------------
+
+    /**
+     * Create an object; @p capacity_hint bytes are reserved up front
+     * (clustered, contiguous when possible).
+     */
+    sim::Task<StoreResult<ObjectId>>
+    createObject(PartitionId pid, std::uint64_t capacity_hint,
+                 OpTrace *trace = nullptr);
+
+    sim::Task<StoreResult<void>> removeObject(PartitionId pid, ObjectId oid,
+                                              OpTrace *trace = nullptr);
+
+    /**
+     * Read up to @p out.size() bytes at @p offset. Returns the byte
+     * count actually read (clamped at end of object).
+     */
+    sim::Task<StoreResult<std::uint64_t>>
+    read(PartitionId pid, ObjectId oid, std::uint64_t offset,
+         std::span<std::uint8_t> out, OpTrace *trace = nullptr);
+
+    /** Write @p data at @p offset, extending the object as needed. */
+    sim::Task<StoreResult<void>>
+    write(PartitionId pid, ObjectId oid, std::uint64_t offset,
+          std::span<const std::uint8_t> data, OpTrace *trace = nullptr);
+
+    sim::Task<StoreResult<ObjectAttributes>>
+    getAttributes(PartitionId pid, ObjectId oid, OpTrace *trace = nullptr);
+
+    sim::Task<StoreResult<ObjectAttributes>>
+    setAttributes(PartitionId pid, ObjectId oid, const SetAttrRequest &req,
+                  OpTrace *trace = nullptr);
+
+    /**
+     * Construct a copy-on-write version of @p oid: a new object
+     * sharing every extent; writes to either copy then relocate the
+     * written extents.
+     */
+    sim::Task<StoreResult<ObjectId>>
+    cloneVersion(PartitionId pid, ObjectId oid, OpTrace *trace = nullptr);
+
+    /** All allocated object names in the partition (the well-known
+     *  object directory's contents). */
+    sim::Task<StoreResult<std::vector<ObjectId>>>
+    listObjects(PartitionId pid, OpTrace *trace = nullptr);
+
+    /** Push all write-behind data to media. */
+    sim::Task<void> flushAll();
+
+    /**
+     * Zero-time version lookup used by capability verification (the
+     * drive pays the metadata fetch inside the operation itself).
+     */
+    StoreResult<ObjectVersion> peekVersion(PartitionId pid,
+                                           ObjectId oid) const;
+
+    const StoreStats &stats() const { return stats_; }
+    std::uint32_t allocUnitBytes() const { return config_.alloc_unit_bytes; }
+    std::uint32_t freeUnits() const { return alloc_->freeUnits(); }
+
+  private:
+    struct Inode
+    {
+        bool valid = false;
+        PartitionId partition = 0;
+        ObjectId id = 0;
+        ObjectAttributes attrs;
+        std::vector<Extent> extents;
+    };
+
+    struct Partition
+    {
+        bool valid = false;
+        std::uint64_t quota_units = 0;
+        std::uint64_t used_units = 0;
+        std::uint32_t object_count = 0;
+        std::uint32_t key_epoch = 0;
+    };
+
+    /** LRU set of resident data units (timing only; bytes live on the
+     *  device's backing store). */
+    class UnitCache
+    {
+      public:
+        explicit UnitCache(std::size_t capacity) : capacity_(capacity) {}
+
+        bool touch(std::uint32_t unit);         ///< hit test + promote
+        void insert(std::uint32_t unit);        ///< may evict LRU
+        void erase(std::uint32_t unit);
+        std::size_t size() const { return map_.size(); }
+
+      private:
+        std::size_t capacity_;
+        std::list<std::uint32_t> lru_; ///< front = most recent
+        std::unordered_map<std::uint32_t,
+                           std::list<std::uint32_t>::iterator>
+            map_;
+    };
+
+    // --- lookups ---------------------------------------------------------
+
+    StoreResult<std::uint32_t> findInode(PartitionId pid, ObjectId oid) const;
+
+    /** Charge a metadata fetch if the inode is not resident. */
+    sim::Task<void> touchInode(std::uint32_t index, OpTrace *trace);
+
+    // --- geometry ---------------------------------------------------------
+
+    std::uint32_t blocksPerUnit() const;
+    std::uint64_t unitStartByte(std::uint32_t unit) const;
+    std::uint64_t inodeBlock(std::uint32_t index) const;
+
+    /** Map logical unit number @p logical of @p inode to its physical
+     *  unit. @pre logical < total units of the object. */
+    std::uint32_t physicalUnit(const Inode &inode,
+                               std::uint64_t logical) const;
+
+    std::uint64_t
+    unitsForBytes(std::uint64_t bytes) const
+    {
+        return (bytes + config_.alloc_unit_bytes - 1) /
+               config_.alloc_unit_bytes;
+    }
+
+    // --- data path ---------------------------------------------------------
+
+    /** Read [offset, offset+length) of the object's data with cache
+     *  accounting; bytes land in @p out. */
+    sim::Task<void> readRange(const Inode &inode, std::uint64_t offset,
+                              std::span<std::uint8_t> out, OpTrace *trace);
+
+    /** Write @p data at @p offset; extents must already cover it and
+     *  be exclusively owned. */
+    sim::Task<void> writeRange(const Inode &inode, std::uint64_t offset,
+                               std::span<const std::uint8_t> data,
+                               OpTrace *trace);
+
+    /** Grow the object to cover @p units total units. */
+    StoreResult<void> growObject(Inode &inode, std::uint64_t units);
+
+    /** Copy-on-write: give the object exclusive ownership of every
+     *  extent overlapping logical units [first, last]. */
+    sim::Task<StoreResult<void>> ensureExclusive(Inode &inode,
+                                                 std::uint64_t first_unit,
+                                                 std::uint64_t last_unit,
+                                                 OpTrace *trace);
+
+    /** Drop all extents beyond @p units total units. */
+    void shrinkObject(Inode &inode, std::uint64_t units);
+
+    // --- persistence -------------------------------------------------------
+
+    std::vector<std::uint8_t> encodeSuperblock() const;
+    void decodeSuperblock(std::span<const std::uint8_t> block);
+    std::vector<std::uint8_t> encodeInode(const Inode &inode) const;
+    Inode decodeInode(std::span<const std::uint8_t> block) const;
+
+    /** Queue an asynchronous metadata write-back of the superblock. */
+    void writeBackSuperblock();
+    /** Queue an asynchronous write-back of one inode block. */
+    void writeBackInode(std::uint32_t index);
+    /** Queue an asynchronous write-back of the refcount region. */
+    void writeBackRefcounts();
+
+    sim::Simulator &sim_;
+    disk::BlockDevice &device_;
+    StoreConfig config_;
+    StoreStats stats_;
+    bool mounted_ = false;
+
+    // Region geometry (blocks), fixed at format time.
+    std::uint64_t refcount_start_block_ = 0;
+    std::uint64_t refcount_blocks_ = 0;
+    std::uint64_t inode_start_block_ = 0;
+    std::uint64_t data_start_block_ = 0;
+    std::uint32_t num_units_ = 0;
+
+    std::array<Partition, 16> partitions_{};
+    std::vector<Inode> inodes_;
+    std::map<std::pair<PartitionId, ObjectId>, std::uint32_t> index_;
+    std::vector<std::uint32_t> free_inodes_;
+    std::unique_ptr<ExtentAllocator> alloc_;
+    ObjectId next_object_id_ = kFirstUserObject;
+
+    std::unique_ptr<UnitCache> data_cache_;
+    std::unique_ptr<UnitCache> meta_cache_;
+};
+
+} // namespace nasd
+
+#endif // NASD_NASD_OBJECT_STORE_H_

@@ -1,0 +1,45 @@
+#include "nasd/types.h"
+
+namespace nasd {
+
+const char *
+toString(NasdStatus status)
+{
+    switch (status) {
+      case NasdStatus::kOk:
+        return "ok";
+      case NasdStatus::kNoSuchPartition:
+        return "no-such-partition";
+      case NasdStatus::kNoSuchObject:
+        return "no-such-object";
+      case NasdStatus::kObjectExists:
+        return "object-exists";
+      case NasdStatus::kBadCapability:
+        return "bad-capability";
+      case NasdStatus::kExpiredCapability:
+        return "expired-capability";
+      case NasdStatus::kVersionMismatch:
+        return "version-mismatch";
+      case NasdStatus::kRightsViolation:
+        return "rights-violation";
+      case NasdStatus::kRangeViolation:
+        return "range-violation";
+      case NasdStatus::kReplayedRequest:
+        return "replayed-request";
+      case NasdStatus::kNoSpace:
+        return "no-space";
+      case NasdStatus::kQuotaExceeded:
+        return "quota-exceeded";
+      case NasdStatus::kBadRequest:
+        return "bad-request";
+      case NasdStatus::kPartitionExists:
+        return "partition-exists";
+      case NasdStatus::kPartitionNotEmpty:
+        return "partition-not-empty";
+      case NasdStatus::kDriveFailed:
+        return "drive-failed";
+    }
+    return "unknown";
+}
+
+} // namespace nasd

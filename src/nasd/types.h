@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Core NASD interface types: identifiers, rights, status codes, and
+ * per-object attributes (Section 4.1 of the paper).
+ */
+#ifndef NASD_NASD_TYPES_H_
+#define NASD_NASD_TYPES_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace nasd {
+
+/** Identifies an object within a partition (flat namespace). */
+using ObjectId = std::uint64_t;
+
+/** Identifies a soft partition within a drive. */
+using PartitionId = std::uint16_t;
+
+/** Logical object version; bumping it revokes outstanding
+ *  capabilities for the object. */
+using ObjectVersion = std::uint32_t;
+
+/** Identifies a drive. */
+using DriveId = std::uint64_t;
+
+// Well-known object names (Section 4.1: "Objects with well-known names
+// and structures allow configuration and bootstrap of drives and
+// partitions").
+inline constexpr ObjectId kPartitionControlObject = 1;
+/// Holds the complete list of allocated object names in the partition.
+inline constexpr ObjectId kObjectDirectory = 2;
+/// User-visible objects are numbered from here.
+inline constexpr ObjectId kFirstUserObject = 0x100;
+
+/** Operation rights encoded into a capability. */
+enum Rights : std::uint8_t {
+    kRightRead = 1 << 0,
+    kRightWrite = 1 << 1,
+    kRightGetAttr = 1 << 2,
+    kRightSetAttr = 1 << 3,
+    kRightCreate = 1 << 4,  ///< on the partition control object
+    kRightRemove = 1 << 5,
+    kRightVersion = 1 << 6, ///< construct copy-on-write versions
+};
+
+/** Outcome of a NASD request. */
+enum class NasdStatus : std::uint8_t {
+    kOk = 0,
+    kNoSuchPartition,
+    kNoSuchObject,
+    kObjectExists,
+    kBadCapability,    ///< digest mismatch: forged or corrupted
+    kExpiredCapability,
+    kVersionMismatch,  ///< capability's approved version is stale
+    kRightsViolation,
+    kRangeViolation,   ///< outside the capability's byte range
+    kReplayedRequest,  ///< nonce not fresh
+    kNoSpace,
+    kQuotaExceeded,
+    kBadRequest,
+    kPartitionExists,
+    kPartitionNotEmpty,
+    kDriveFailed, ///< injected fault: the drive is not responding
+};
+
+/** Human-readable status name (for logs and test failures). */
+const char *toString(NasdStatus status);
+
+/** Size of the uninterpreted, filesystem-specific attribute field. */
+inline constexpr std::size_t kFsSpecificBytes = 64;
+
+/**
+ * Per-object attributes maintained by the drive. Timestamps are
+ * simulated nanoseconds. The fs_specific block is opaque to the drive:
+ * file managers keep access control lists, mode bits and the like in
+ * it (Section 4.1).
+ */
+struct ObjectAttributes
+{
+    std::uint64_t size = 0;           ///< current byte length
+    std::uint64_t capacity = 0;       ///< bytes of reserved space
+    ObjectVersion version = 1;        ///< bump to revoke capabilities
+    std::uint64_t create_time = 0;
+    std::uint64_t modify_time = 0;     ///< last data write
+    std::uint64_t attr_modify_time = 0;
+    std::uint64_t cluster_hint = 0;   ///< link for layout clustering
+    std::array<std::uint8_t, kFsSpecificBytes> fs_specific{};
+};
+
+} // namespace nasd
+
+#endif // NASD_NASD_TYPES_H_

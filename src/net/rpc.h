@@ -1,0 +1,128 @@
+/**
+ * @file
+ * RPC timing harness.
+ *
+ * Every service in the system (NASD drive, file manager, Cheops
+ * manager, NFS server) is an in-process object whose handlers are
+ * coroutines; this helper wraps a handler invocation with the network
+ * and CPU costs of a remote procedure call:
+ *
+ *   client send CPU -> network -> server recv CPU -> handler
+ *     -> server send CPU -> network -> client recv CPU
+ *
+ * Bulk payloads move as a pipeline of chunks: the sender's CPU, the
+ * wire, and the receiver's CPU are distinct FIFO resources, so chunk
+ * k+1's protocol work overlaps chunk k's transfer, exactly as a real
+ * protocol stack overlaps per-packet work. Sustained throughput is
+ * governed by the slowest stage — which is how a 233 MHz client
+ * running DCE RPC ends up capped near 80 Mb/s while the wire is
+ * 155 Mb/s.
+ *
+ * The handler reports its reply payload size so that read-like
+ * operations charge for the data they return.
+ */
+#ifndef NASD_NET_RPC_H_
+#define NASD_NET_RPC_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace nasd::net {
+
+/** What a server handler produces: a value plus its wire size. */
+template <typename T>
+struct RpcReply
+{
+    T value{};
+    std::uint64_t payload_bytes = 0;
+};
+
+/** Pipeline granularity for bulk transfers (a jumbo packet). */
+inline constexpr std::uint64_t kPipelineChunkBytes = 64 * 1024;
+
+namespace detail {
+
+/** Per-chunk CPU + wire path; FIFO resources form the pipeline. */
+inline sim::Task<void>
+moveChunk(Network &net, NetNode &src, NetNode &dst, std::uint64_t bytes,
+          bool first)
+{
+    const RpcCosts &sc = src.costs();
+    const RpcCosts &dc = dst.costs();
+
+    // Sender protocol work (base cost once per message).
+    if (first)
+        co_await src.cpu().execute(sc.send_base_instr);
+    const auto send_instr = static_cast<std::uint64_t>(
+        sc.send_per_byte_instr * static_cast<double>(bytes));
+    if (send_instr > 0)
+        co_await src.cpu().executeAt(send_instr, sc.data_cpi);
+
+    // Wire.
+    co_await net.transfer(src, dst, bytes + (first ? sc.header_bytes : 0));
+
+    // Receiver protocol work.
+    if (first)
+        co_await dst.cpu().execute(dc.recv_base_instr);
+    const auto recv_instr = static_cast<std::uint64_t>(
+        dc.recv_per_byte_instr * static_cast<double>(bytes));
+    if (recv_instr > 0)
+        co_await dst.cpu().executeAt(recv_instr, dc.data_cpi);
+}
+
+} // namespace detail
+
+/**
+ * Deliver one message of @p payload bytes from @p src to @p dst,
+ * charging protocol CPU on both ends. Large payloads pipeline.
+ */
+inline sim::Task<void>
+sendMessage(Network &net, NetNode &src, NetNode &dst,
+            std::uint64_t payload)
+{
+    if (payload <= kPipelineChunkBytes) {
+        co_await detail::moveChunk(net, src, dst, payload, true);
+        co_return;
+    }
+    std::vector<sim::Task<void>> chunks;
+    std::uint64_t sent = 0;
+    bool first = true;
+    while (sent < payload) {
+        const std::uint64_t n =
+            std::min(kPipelineChunkBytes, payload - sent);
+        chunks.push_back(detail::moveChunk(net, src, dst, n, first));
+        first = false;
+        sent += n;
+    }
+    co_await sim::parallelAll(net.simulator(), std::move(chunks));
+}
+
+/**
+ * Execute @p handler on @p server as an RPC from @p client.
+ *
+ * @param request_payload Bytes of arguments/data the client sends.
+ * @param handler Server-side work; its RpcReply reports result bytes.
+ * @return The handler's value, once the reply reaches the client.
+ */
+template <typename T>
+sim::Task<T>
+call(Network &net, NetNode &client, NetNode &server,
+     std::uint64_t request_payload,
+     std::function<sim::Task<RpcReply<T>>()> handler)
+{
+    co_await sendMessage(net, client, server, request_payload);
+    RpcReply<T> reply = co_await handler();
+    co_await sendMessage(net, server, client, reply.payload_bytes);
+    co_return std::move(reply.value);
+}
+
+} // namespace nasd::net
+
+#endif // NASD_NET_RPC_H_

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A minimal message-passing layer for parallel applications.
+ *
+ * Substitutes for the MPICH the paper uses: ranks are client machines
+ * on the simulated network, messages pay real wire and protocol time,
+ * values are delivered through typed mailboxes, and a barrier
+ * synchronizes phases. Only what the frequent-sets application needs —
+ * work assignment is static, so the traffic is result aggregation.
+ */
+#ifndef NASD_PFS_COMM_H_
+#define NASD_PFS_COMM_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "util/logging.h"
+
+namespace nasd::pfs {
+
+/** A set of ranks (client machines) cooperating on one job. */
+class Communicator
+{
+  public:
+    Communicator(net::Network &net, std::vector<net::NetNode *> ranks)
+        : net_(net), ranks_(std::move(ranks)),
+          barrier_(net.simulator(), static_cast<std::uint32_t>(
+                                        ranks_.size()))
+    {
+        NASD_ASSERT(!ranks_.empty());
+    }
+
+    std::size_t size() const { return ranks_.size(); }
+    net::NetNode &rank(std::size_t i) { return *ranks_.at(i); }
+
+    /** All ranks must arrive before any proceeds. */
+    sim::Task<void>
+    barrier()
+    {
+        co_await barrier_.arrive();
+    }
+
+    /** Pay the network+protocol cost of a @p bytes message. */
+    sim::Task<void>
+    transmit(std::size_t from, std::size_t to, std::uint64_t bytes)
+    {
+        co_await net::sendMessage(net_, rank(from), rank(to), bytes);
+    }
+
+    net::Network &network() { return net_; }
+
+  private:
+    net::Network &net_;
+    std::vector<net::NetNode *> ranks_;
+    sim::Barrier barrier_;
+};
+
+/**
+ * Typed point-to-point mailboxes over a Communicator. send() pays the
+ * wire cost for the stated byte size and delivers the value; recv()
+ * blocks until a message for the rank arrives.
+ */
+template <typename T>
+class Mailbox
+{
+  public:
+    explicit Mailbox(Communicator &comm)
+        : comm_(comm), queues_(comm.size())
+    {
+        for (std::size_t i = 0; i < comm.size(); ++i) {
+            arrivals_.push_back(std::make_unique<sim::Semaphore>(
+                comm.network().simulator(), 0));
+        }
+    }
+
+    /** Send @p value (accounted as @p bytes on the wire) to @p to. */
+    sim::Task<void>
+    send(std::size_t from, std::size_t to, T value, std::uint64_t bytes)
+    {
+        co_await comm_.transmit(from, to, bytes);
+        queues_.at(to).push_back(std::move(value));
+        arrivals_.at(to)->release();
+    }
+
+    /** Receive the next message addressed to @p rank. */
+    sim::Task<T>
+    recv(std::size_t rank)
+    {
+        co_await arrivals_.at(rank)->acquire();
+        NASD_ASSERT(!queues_.at(rank).empty());
+        T value = std::move(queues_.at(rank).front());
+        queues_.at(rank).pop_front();
+        co_return value;
+    }
+
+  private:
+    Communicator &comm_;
+    std::vector<std::deque<T>> queues_;
+    std::vector<std::unique_ptr<sim::Semaphore>> arrivals_;
+};
+
+} // namespace nasd::pfs
+
+#endif // NASD_PFS_COMM_H_

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * NASD PFS: a minimal parallel filesystem for NASD clusters
+ * (Section 5.2).
+ *
+ * Offers the SIO-style low-level parallel filesystem interface —
+ * open/read/write by byte range on files striped across every drive —
+ * and employs Cheops as its storage management layer. It inherits a
+ * flat name service from its manager (co-located with the Cheops
+ * manager) and passes the scalable bandwidth of the drives straight
+ * through to applications: an open costs one control message for the
+ * capability set, after which all data moves client-to-drive.
+ */
+#ifndef NASD_PFS_PFS_H_
+#define NASD_PFS_PFS_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+
+#include "cheops/cheops.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace nasd::pfs {
+
+/** PFS status codes. */
+enum class PfsStatus : std::uint8_t {
+    kOk = 0,
+    kNoSuchFile,
+    kExists,
+    kStorageError,
+};
+
+const char *toString(PfsStatus status);
+
+template <typename T>
+using PfsResult = util::Result<T, PfsStatus>;
+
+/** An open PFS file. */
+struct PfsHandle
+{
+    cheops::LogicalObjectId object = 0;
+    bool writable = false;
+
+    bool operator==(const PfsHandle &) const = default;
+};
+
+struct PfsOpenReply
+{
+    PfsStatus status = PfsStatus::kOk;
+    cheops::LogicalObjectId object = 0;
+    bool created = false;
+};
+
+struct PfsStatusReply
+{
+    PfsStatus status = PfsStatus::kOk;
+};
+
+/**
+ * The PFS name service, co-located with the Cheops manager (they share
+ * a machine, as the paper suggests for the storage manager).
+ */
+class PfsManager
+{
+  public:
+    explicit PfsManager(cheops::CheopsManager &storage)
+        : storage_(storage)
+    {}
+
+    net::NetNode &node() { return storage_.node(); }
+    cheops::CheopsManager &storage() { return storage_; }
+
+    /**
+     * Open @p name; optionally create it (striped over @p stripe_count
+     * drives, 0 = all, with the given stripe unit).
+     */
+    sim::Task<PfsOpenReply> serveOpen(std::string name, bool create,
+                                      std::uint64_t stripe_unit_bytes,
+                                      std::uint32_t stripe_count);
+
+    sim::Task<PfsStatusReply> serveUnlink(std::string name);
+
+  private:
+    cheops::CheopsManager &storage_;
+    std::map<std::string, cheops::LogicalObjectId> names_;
+};
+
+/** Default PFS stripe unit (the Figure 9 configuration). */
+inline constexpr std::uint64_t kDefaultStripeUnit = 512 * 1024;
+
+/** The PFS client library (SIO-flavoured interface). */
+class PfsClient
+{
+  public:
+    PfsClient(net::Network &net, net::NetNode &node, PfsManager &manager,
+              std::vector<NasdDrive *> drives);
+
+    net::NetNode &node() { return node_; }
+
+    /** Open (or create) a file by name. */
+    sim::Task<PfsResult<PfsHandle>>
+    open(std::string name, bool create, bool want_write,
+         std::uint64_t stripe_unit_bytes = kDefaultStripeUnit,
+         std::uint32_t stripe_count = 0);
+
+    /** Read a byte range; parallel across all drives in the stripe. */
+    sim::Task<PfsResult<std::uint64_t>> read(PfsHandle handle,
+                                             std::uint64_t offset,
+                                             std::span<std::uint8_t> out);
+
+    /** Write a byte range; parallel across all drives in the stripe. */
+    sim::Task<PfsResult<void>> write(PfsHandle handle, std::uint64_t offset,
+                                     std::span<const std::uint8_t> data);
+
+    /** Current file size. */
+    sim::Task<PfsResult<std::uint64_t>> size(PfsHandle handle);
+
+    sim::Task<PfsResult<void>> unlink(std::string name);
+
+    cheops::CheopsClient &storageClient() { return storage_client_; }
+
+  private:
+    net::Network &net_;
+    net::NetNode &node_;
+    PfsManager &manager_;
+    cheops::CheopsClient storage_client_;
+};
+
+} // namespace nasd::pfs
+
+#endif // NASD_PFS_PFS_H_

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Queued CPU resource.
+ *
+ * CpuResource models one processor (a client CPU, a server CPU, or the
+ * drive's embedded controller) as a single FIFO server. Work is
+ * expressed in instructions; the MHz/CPI pair converts instructions to
+ * simulated time, exactly the arithmetic the paper uses to project its
+ * Alpha instruction counts onto a 200 MHz drive controller (Table 1).
+ */
+#ifndef NASD_SIM_RESOURCE_H_
+#define NASD_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "sim/time.h"
+#include "util/stats.h"
+
+namespace nasd::sim {
+
+/** A single-server FIFO CPU with instruction-based service times. */
+class CpuResource
+{
+  public:
+    /**
+     * @param sim Owning simulator.
+     * @param name For diagnostics.
+     * @param mhz Clock rate in MHz.
+     * @param cpi Average cycles per instruction.
+     */
+    CpuResource(Simulator &sim, std::string name, double mhz, double cpi)
+        : sim_(sim), name_(std::move(name)), mhz_(mhz), cpi_(cpi),
+          server_(sim, 1)
+    {
+        NASD_ASSERT(mhz > 0 && cpi > 0);
+    }
+
+    /** Service time for @p instructions at this CPU's MHz and CPI. */
+    Tick
+    timeFor(std::uint64_t instructions) const
+    {
+        const double cycles = static_cast<double>(instructions) * cpi_;
+        const double ns = cycles * 1000.0 / mhz_;
+        return static_cast<Tick>(ns);
+    }
+
+    /** Queue for the CPU and burn @p instructions of work on it. */
+    Task<void>
+    execute(std::uint64_t instructions)
+    {
+        co_await occupy(timeFor(instructions));
+        instructions_retired_ += instructions;
+    }
+
+    /**
+     * Like execute(), but at an explicit CPI. Used for per-byte data
+     * paths (copies, checksums) whose CPI is much worse than the
+     * control path's.
+     */
+    Task<void>
+    executeAt(std::uint64_t instructions, double cpi)
+    {
+        const double cycles = static_cast<double>(instructions) * cpi;
+        co_await occupy(static_cast<Tick>(cycles * 1000.0 / mhz_));
+        instructions_retired_ += instructions;
+    }
+
+    /** Queue for the CPU and hold it busy for @p duration ticks. */
+    Task<void>
+    occupy(Tick duration)
+    {
+        co_await server_.acquire();
+        busy_.markBusy(sim_.now());
+        co_await sim_.delay(duration);
+        busy_.markIdle(sim_.now());
+        server_.release();
+    }
+
+    /** Fraction of [start, end] this CPU was idle (Figure 7 curves). */
+    double
+    idleFraction(Tick start, Tick end) const
+    {
+        return 1.0 - busy_.utilization(start, end);
+    }
+
+    const std::string &name() const { return name_; }
+    double mhz() const { return mhz_; }
+    double cpi() const { return cpi_; }
+    std::uint64_t instructionsRetired() const
+    {
+        return instructions_retired_;
+    }
+
+  private:
+    Simulator &sim_;
+    std::string name_;
+    double mhz_;
+    double cpi_;
+    Semaphore server_;
+    util::UtilizationTracker busy_;
+    std::uint64_t instructions_retired_ = 0;
+};
+
+} // namespace nasd::sim
+
+#endif // NASD_SIM_RESOURCE_H_

@@ -1,0 +1,99 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace nasd::sim {
+
+Simulator::~Simulator()
+{
+    // Destroy any still-suspended top-level processes. Their frames
+    // unwind normally (locals are destroyed), but no further simulation
+    // happens.
+    for (auto h : roots_) {
+        if (h)
+            h.destroy();
+    }
+}
+
+void
+Simulator::schedule(Tick when, std::function<void()> fn)
+{
+    NASD_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
+                now_);
+    events_.push(PendingEvent{when, next_seq_++, std::move(fn)});
+}
+
+void
+Simulator::spawn(Task<void> task)
+{
+    NASD_ASSERT(task.valid(), "spawning an empty task");
+    auto h = task.release();
+    roots_.push_back(h);
+    h.resume(); // run to first suspension (or completion)
+    sweepFinished();
+}
+
+bool
+Simulator::executeNext()
+{
+    if (events_.empty())
+        return false;
+    // Move the event out before popping so the handler may schedule
+    // more events (which mutates the heap).
+    PendingEvent ev = std::move(const_cast<PendingEvent &>(events_.top()));
+    events_.pop();
+    NASD_ASSERT(ev.when >= now_, "event queue time went backwards");
+    now_ = ev.when;
+    ++events_executed_;
+    ev.fn();
+    return true;
+}
+
+void
+Simulator::run()
+{
+    while (executeNext()) {
+    }
+    sweepFinished();
+}
+
+bool
+Simulator::runUntil(Tick deadline)
+{
+    while (!events_.empty() && events_.top().when <= deadline)
+        executeNext();
+    sweepFinished();
+    if (now_ < deadline)
+        now_ = deadline;
+    return !events_.empty();
+}
+
+void
+Simulator::sweepFinished()
+{
+    auto it = roots_.begin();
+    while (it != roots_.end()) {
+        auto h = *it;
+        if (h && h.done()) {
+            auto exc = h.promise().exception;
+            h.destroy();
+            it = roots_.erase(it);
+            if (exc)
+                std::rethrow_exception(exc);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::size_t
+Simulator::liveProcesses() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(roots_.begin(), roots_.end(),
+                      [](auto h) { return h && !h.done(); }));
+}
+
+} // namespace nasd::sim

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Discrete-event simulator core.
+ *
+ * A Simulator owns the event queue and the simulated clock. Simulation
+ * logic is expressed as coroutines (see task.h) spawned onto the
+ * simulator; they advance time by awaiting delay() or by queueing on
+ * resources (see resource.h / sync.h).
+ *
+ * Events at the same tick execute in FIFO order of scheduling, making
+ * every run deterministic.
+ */
+#ifndef NASD_SIM_SIMULATOR_H_
+#define NASD_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace nasd::sim {
+
+/** Discrete-event engine: clock, event queue, and process ownership. */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    ~Simulator();
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to run at absolute time @p when (>= now). */
+    void schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, std::function<void()> fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /**
+     * Start a top-level process. The simulator takes ownership of the
+     * coroutine frame; it runs synchronously until its first suspension.
+     * Exceptions escaping a spawned process are rethrown from run().
+     */
+    void spawn(Task<void> task);
+
+    /** Run until the event queue is empty. */
+    void run();
+
+    /**
+     * Run all events up to and including @p deadline, then set the
+     * clock to @p deadline.
+     * @return true if events remain scheduled after the deadline.
+     */
+    bool runUntil(Tick deadline);
+
+    /** Total events executed so far (for tests and sanity checks). */
+    std::uint64_t eventsExecuted() const { return events_executed_; }
+
+    /** Number of live (not yet finished) spawned processes. */
+    std::size_t liveProcesses() const;
+
+    // Awaitable helpers ---------------------------------------------------
+
+    /** Awaitable that suspends the coroutine for @p dt ticks. */
+    struct DelayAwaiter
+    {
+        Simulator &sim;
+        Tick dt;
+
+        bool await_ready() const { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            sim.scheduleIn(dt, [h] { h.resume(); });
+        }
+
+        void await_resume() const {}
+    };
+
+    /** co_await sim.delay(t): advance this process by @p dt ticks. */
+    DelayAwaiter delay(Tick dt) { return DelayAwaiter{*this, dt}; }
+
+  private:
+    struct PendingEvent
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+
+        bool
+        operator>(const PendingEvent &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    /** Reclaim finished top-level processes; rethrow their exceptions. */
+    void sweepFinished();
+
+    bool executeNext();
+
+    using EventHeap =
+        std::priority_queue<PendingEvent, std::vector<PendingEvent>,
+                            std::greater<PendingEvent>>;
+
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t events_executed_ = 0;
+    EventHeap events_;
+    std::vector<std::coroutine_handle<Task<void>::promise_type>> roots_;
+};
+
+} // namespace nasd::sim
+
+#endif // NASD_SIM_SIMULATOR_H_

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Coroutine task types for simulation processes.
+ *
+ * Simulation logic (clients, drives, file managers) is written as
+ * C++20 coroutines returning Task<T>. A Task is lazy: it starts running
+ * when awaited (or when handed to Simulator::spawn). Completion resumes
+ * the awaiting coroutine via symmetric transfer, so deep call chains
+ * cost no stack and no event-queue churn.
+ *
+ * Ownership: the Task object owns the coroutine frame and destroys it
+ * when the Task goes out of scope. Top-level processes are kept alive by
+ * the Simulator (see Simulator::spawn).
+ */
+#ifndef NASD_SIM_TASK_H_
+#define NASD_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace nasd::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/** Behaviour shared by Task promises: continuation + symmetric finish. */
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) const noexcept
+        {
+            auto cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void
+    unhandled_exception()
+    {
+        exception = std::current_exception();
+    }
+
+    std::exception_ptr exception;
+};
+
+} // namespace detail
+
+/**
+ * A lazily-started coroutine returning a value of type T.
+ *
+ * Await it from another coroutine to run it to completion and obtain
+ * the value. Tasks are move-only.
+ */
+template <typename T = void>
+class [[nodiscard]] Task
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        std::optional<T> value;
+
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void
+        return_value(T v)
+        {
+            value.emplace(std::move(v));
+        }
+    };
+
+    Task() = default;
+
+    Task(Task &&other) noexcept : handle_(std::exchange(other.handle_, {}))
+    {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return handle_ && handle_.done(); }
+
+    // Awaitable interface -------------------------------------------------
+
+    bool await_ready() const { return !handle_ || handle_.done(); }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont)
+    {
+        handle_.promise().continuation = cont;
+        return handle_; // symmetric transfer: start the child now
+    }
+
+    T
+    await_resume()
+    {
+        auto &p = handle_.promise();
+        if (p.exception)
+            std::rethrow_exception(p.exception);
+        NASD_ASSERT(p.value.has_value(), "Task finished without a value");
+        return std::move(*p.value);
+    }
+
+    /** Release ownership of the frame (used by Simulator::spawn). */
+    std::coroutine_handle<promise_type>
+    release()
+    {
+        return std::exchange(handle_, {});
+    }
+
+  private:
+    explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+/** Task specialization for coroutines that produce no value. */
+template <>
+class [[nodiscard]] Task<void>
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        void return_void() {}
+    };
+
+    Task() = default;
+
+    Task(Task &&other) noexcept : handle_(std::exchange(other.handle_, {}))
+    {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle_); }
+    bool done() const { return handle_ && handle_.done(); }
+
+    bool await_ready() const { return !handle_ || handle_.done(); }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<> cont)
+    {
+        handle_.promise().continuation = cont;
+        return handle_;
+    }
+
+    void
+    await_resume()
+    {
+        if (handle_.promise().exception)
+            std::rethrow_exception(handle_.promise().exception);
+    }
+
+    std::coroutine_handle<promise_type>
+    release()
+    {
+        return std::exchange(handle_, {});
+    }
+
+  private:
+    explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+} // namespace nasd::sim
+
+#endif // NASD_SIM_TASK_H_

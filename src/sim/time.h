@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Simulated time base.
+ *
+ * One Tick is one simulated nanosecond. 64 bits of nanoseconds covers
+ * ~584 years of simulated time, far beyond any experiment here.
+ */
+#ifndef NASD_SIM_TIME_H_
+#define NASD_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace nasd::sim {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Maximum representable tick (used as "never"). */
+inline constexpr Tick kTickMax = ~static_cast<Tick>(0);
+
+constexpr Tick
+nsec(double n)
+{
+    return static_cast<Tick>(n);
+}
+
+constexpr Tick
+usec(double u)
+{
+    return static_cast<Tick>(u * 1e3);
+}
+
+constexpr Tick
+msec(double m)
+{
+    return static_cast<Tick>(m * 1e6);
+}
+
+constexpr Tick
+sec(double s)
+{
+    return static_cast<Tick>(s * 1e9);
+}
+
+/** Convert ticks to floating-point seconds (for reporting). */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+/** Convert ticks to floating-point milliseconds (for reporting). */
+constexpr double
+toMillis(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+} // namespace nasd::sim
+
+#endif // NASD_SIM_TIME_H_

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Little-endian byte encoding/decoding for fixed on-disk and on-wire
+ * layouts (superblocks, inodes, capability fields).
+ */
+#ifndef NASD_UTIL_CODEC_H_
+#define NASD_UTIL_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace nasd::util {
+
+/** Appends little-endian values to a byte buffer. */
+class Encoder
+{
+  public:
+    explicit Encoder(std::vector<std::uint8_t> &out) : out_(out) {}
+
+    template <typename T>
+    void
+    put(T value)
+    {
+        static_assert(std::is_integral_v<T>);
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            out_.push_back(static_cast<std::uint8_t>(
+                static_cast<std::uint64_t>(value) >> (i * 8)));
+    }
+
+    void
+    putBytes(std::span<const std::uint8_t> bytes)
+    {
+        out_.insert(out_.end(), bytes.begin(), bytes.end());
+    }
+
+    /** Zero-pad the buffer to exactly @p size bytes. */
+    void
+    padTo(std::size_t size)
+    {
+        NASD_ASSERT(out_.size() <= size, "encoded data exceeds frame");
+        out_.resize(size, 0);
+    }
+
+    std::size_t size() const { return out_.size(); }
+
+  private:
+    std::vector<std::uint8_t> &out_;
+};
+
+/** Reads little-endian values from a byte buffer. */
+class Decoder
+{
+  public:
+    explicit Decoder(std::span<const std::uint8_t> in) : in_(in) {}
+
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_integral_v<T>);
+        NASD_ASSERT(pos_ + sizeof(T) <= in_.size(), "decode past end");
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            v |= static_cast<std::uint64_t>(in_[pos_ + i]) << (i * 8);
+        pos_ += sizeof(T);
+        return static_cast<T>(v);
+    }
+
+    void
+    getBytes(std::span<std::uint8_t> out)
+    {
+        NASD_ASSERT(pos_ + out.size() <= in_.size(), "decode past end");
+        std::memcpy(out.data(), in_.data() + pos_, out.size());
+        pos_ += out.size();
+    }
+
+    void
+    skip(std::size_t n)
+    {
+        NASD_ASSERT(pos_ + n <= in_.size(), "skip past end");
+        pos_ += n;
+    }
+
+    std::size_t position() const { return pos_; }
+    std::size_t remaining() const { return in_.size() - pos_; }
+
+  private:
+    std::span<const std::uint8_t> in_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace nasd::util
+
+#endif // NASD_UTIL_CODEC_H_

@@ -1,0 +1,69 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace nasd::util {
+
+namespace {
+
+LogLevel g_threshold = LogLevel::kWarn;
+std::mutex g_log_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug:
+        return "debug";
+      case LogLevel::kInform:
+        return "inform";
+      case LogLevel::kWarn:
+        return "warn";
+      case LogLevel::kError:
+        return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+void
+logMessage(LogLevel level, std::string_view file, int line,
+           const std::string &message)
+{
+    if (level < g_threshold)
+        return;
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "[%s] %.*s:%d: %s\n", levelName(level),
+                 static_cast<int>(file.size()), file.data(), line,
+                 message.c_str());
+}
+
+void
+panicImpl(std::string_view file, int line, const std::string &message)
+{
+    logMessage(LogLevel::kError, file, line, "panic: " + message);
+    std::abort();
+}
+
+void
+fatalImpl(std::string_view file, int line, const std::string &message)
+{
+    logMessage(LogLevel::kError, file, line, "fatal: " + message);
+    std::exit(1);
+}
+
+} // namespace nasd::util

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Logging and error-termination helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (a bug in this library), fatal() is for user/config errors
+ * that make continuing impossible. warn()/inform() never stop execution.
+ */
+#ifndef NASD_UTIL_LOGGING_H_
+#define NASD_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace nasd::util {
+
+/** Severity of a log record. */
+enum class LogLevel {
+    kDebug = 0,
+    kInform = 1,
+    kWarn = 2,
+    kError = 3,
+};
+
+/** Global minimum level that is actually emitted (default: kWarn). */
+LogLevel logThreshold();
+
+/** Set the global minimum emitted level. */
+void setLogThreshold(LogLevel level);
+
+/** Emit one log record to stderr if @p level passes the threshold. */
+void logMessage(LogLevel level, std::string_view file, int line,
+                const std::string &message);
+
+/** Terminate: internal invariant violated (library bug). Calls abort(). */
+[[noreturn]] void panicImpl(std::string_view file, int line,
+                            const std::string &message);
+
+/** Terminate: unrecoverable user/configuration error. Calls exit(1). */
+[[noreturn]] void fatalImpl(std::string_view file, int line,
+                            const std::string &message);
+
+namespace detail {
+
+/** Build a message from stream-formattable parts. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace nasd::util
+
+#define NASD_LOG(level, ...)                                               \
+    ::nasd::util::logMessage((level), __FILE__, __LINE__,                  \
+                             ::nasd::util::detail::concat(__VA_ARGS__))
+
+#define NASD_DEBUG(...) NASD_LOG(::nasd::util::LogLevel::kDebug, __VA_ARGS__)
+#define NASD_INFORM(...) NASD_LOG(::nasd::util::LogLevel::kInform, __VA_ARGS__)
+#define NASD_WARN(...) NASD_LOG(::nasd::util::LogLevel::kWarn, __VA_ARGS__)
+
+/** Internal invariant violated: this is a bug in the library. */
+#define NASD_PANIC(...)                                                    \
+    ::nasd::util::panicImpl(__FILE__, __LINE__,                            \
+                            ::nasd::util::detail::concat(__VA_ARGS__))
+
+/** Unrecoverable user error (bad configuration, invalid arguments). */
+#define NASD_FATAL(...)                                                    \
+    ::nasd::util::fatalImpl(__FILE__, __LINE__,                            \
+                            ::nasd::util::detail::concat(__VA_ARGS__))
+
+/** Always-on assertion that panics (library bug) when @p cond is false. */
+#define NASD_ASSERT(cond, ...)                                             \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            NASD_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__);     \
+        }                                                                  \
+    } while (0)
+
+#endif // NASD_UTIL_LOGGING_H_

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Minimal expected-like Result type.
+ *
+ * The NASD request path reports recoverable failures (bad capability,
+ * nonexistent object, quota exceeded) as values, not exceptions, because
+ * in the real system they travel back over the wire as RPC status codes.
+ * Result<T, E> is a tiny std::expected stand-in (we target C++20).
+ */
+#ifndef NASD_UTIL_RESULT_H_
+#define NASD_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace nasd::util {
+
+/** Wrapper to construct a Result in the error state unambiguously. */
+template <typename E>
+struct Err
+{
+    E error;
+};
+
+template <typename E>
+Err(E) -> Err<E>;
+
+/** Value-or-error sum type; @c E is typically a status enum. */
+template <typename T, typename E>
+class Result
+{
+  public:
+    /** Construct the success state (implicit, like std::expected). */
+    Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+
+    /** Construct the error state from Err{e}. */
+    Result(Err<E> err) : data_(std::in_place_index<1>, std::move(err.error))
+    {}
+
+    bool ok() const { return data_.index() == 0; }
+    explicit operator bool() const { return ok(); }
+
+    /** Access the value. @pre ok(). */
+    T &
+    value()
+    {
+        NASD_ASSERT(ok(), "value() on error Result");
+        return std::get<0>(data_);
+    }
+
+    const T &
+    value() const
+    {
+        NASD_ASSERT(ok(), "value() on error Result");
+        return std::get<0>(data_);
+    }
+
+    /** Access the error. @pre !ok(). */
+    const E &
+    error() const
+    {
+        NASD_ASSERT(!ok(), "error() on ok Result");
+        return std::get<1>(data_);
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+  private:
+    std::variant<T, E> data_;
+};
+
+/** Result specialization conveying success/failure with no payload. */
+template <typename E>
+class Result<void, E>
+{
+  public:
+    Result() : has_error_(false) {}
+    Result(Err<E> err) : has_error_(true), error_(std::move(err.error)) {}
+
+    bool ok() const { return !has_error_; }
+    explicit operator bool() const { return ok(); }
+
+    const E &
+    error() const
+    {
+        NASD_ASSERT(!ok(), "error() on ok Result");
+        return error_;
+    }
+
+  private:
+    bool has_error_;
+    E error_{};
+};
+
+} // namespace nasd::util
+
+#endif // NASD_UTIL_RESULT_H_

@@ -1,0 +1,74 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace nasd::util {
+
+double
+SampleStats::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double v : samples_) {
+        const double d = v - m;
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double
+SampleStats::percentile(double p) const
+{
+    NASD_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    if (samples_.size() == 1)
+        return samples_.front();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void
+UtilizationTracker::markBusy(std::uint64_t now)
+{
+    if (busy_)
+        return;
+    busy_ = true;
+    busy_since_ = now;
+}
+
+void
+UtilizationTracker::markIdle(std::uint64_t now)
+{
+    if (!busy_)
+        return;
+    NASD_ASSERT(now >= busy_since_);
+    busy_ns_ += now - busy_since_;
+    busy_ = false;
+}
+
+double
+UtilizationTracker::utilization(std::uint64_t start, std::uint64_t end) const
+{
+    if (end <= start)
+        return 0.0;
+    std::uint64_t busy = busy_ns_;
+    if (busy_ && end > busy_since_)
+        busy += end - std::max(busy_since_, start);
+    const double frac =
+        static_cast<double>(busy) / static_cast<double>(end - start);
+    return frac > 1.0 ? 1.0 : frac;
+}
+
+} // namespace nasd::util

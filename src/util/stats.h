@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Lightweight statistics accumulators for simulation results.
+ *
+ * Modeled loosely on gem5's stats package: named scalar counters and
+ * sample accumulators that modules update during a run and benchmarks
+ * read afterwards. Percentiles are exact (samples are retained), which
+ * is fine at the scale of our experiments.
+ */
+#ifndef NASD_UTIL_STATS_H_
+#define NASD_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace nasd::util {
+
+/** Accumulates scalar samples; reports mean, min/max, and percentiles. */
+class SampleStats
+{
+  public:
+    /** Record one sample. */
+    void
+    add(double value)
+    {
+        samples_.push_back(value);
+        sum_ += value;
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+        sorted_ = false;
+    }
+
+    std::size_t count() const { return samples_.size(); }
+    double sum() const { return sum_; }
+    double mean() const { return samples_.empty() ? 0.0 : sum_ / count(); }
+    double min() const { return samples_.empty() ? 0.0 : min_; }
+    double max() const { return samples_.empty() ? 0.0 : max_; }
+
+    /** Population standard deviation (0 for fewer than two samples). */
+    double stddev() const;
+
+    /**
+     * Exact percentile in [0, 100]; interpolates between samples.
+     * Returns 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Drop all recorded samples. */
+    void
+    reset()
+    {
+        samples_.clear();
+        sum_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+        sorted_ = false;
+    }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Monotonic named counter (operations completed, bytes moved, ...). */
+class Counter
+{
+  public:
+    void add(std::uint64_t delta = 1) { value_ += delta; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Tracks the fraction of simulated time a resource was busy.
+ *
+ * Call markBusy()/markIdle() with the current simulated time; utilization
+ * over [start, end] is busy-time / elapsed-time. Used for the "client
+ * idle" and "drive idle" curves of Figure 7.
+ */
+class UtilizationTracker
+{
+  public:
+    /** Begin a busy interval at simulated time @p now (nanoseconds). */
+    void markBusy(std::uint64_t now);
+
+    /** End the current busy interval at simulated time @p now. */
+    void markIdle(std::uint64_t now);
+
+    /** Busy fraction in [0,1] over the window [start, end]. */
+    double utilization(std::uint64_t start, std::uint64_t end) const;
+
+    std::uint64_t busyTime() const { return busy_ns_; }
+
+  private:
+    std::uint64_t busy_ns_ = 0;
+    std::uint64_t busy_since_ = 0;
+    bool busy_ = false;
+};
+
+} // namespace nasd::util
+
+#endif // NASD_UTIL_STATS_H_

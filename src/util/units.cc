@@ -1,0 +1,27 @@
+#include "util/units.h"
+
+#include <cstdio>
+
+namespace nasd::util {
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= kGB && bytes % kGB == 0) {
+        std::snprintf(buf, sizeof(buf), "%lluGB",
+                      static_cast<unsigned long long>(bytes / kGB));
+    } else if (bytes >= kMB && bytes % kMB == 0) {
+        std::snprintf(buf, sizeof(buf), "%lluMB",
+                      static_cast<unsigned long long>(bytes / kMB));
+    } else if (bytes >= kKB && bytes % kKB == 0) {
+        std::snprintf(buf, sizeof(buf), "%lluKB",
+                      static_cast<unsigned long long>(bytes / kKB));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+} // namespace nasd::util

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Byte-size and bandwidth unit helpers.
+ *
+ * Conventions (matching the paper's era): request and object sizes use
+ * binary units (KB = 1024), while link rates quoted in Mb/s are decimal
+ * (1 Mb/s = 1e6 bits/s). Bandwidth results are reported in MB/s with
+ * MB = 2^20 so that figures line up with the paper's axes.
+ */
+#ifndef NASD_UTIL_UNITS_H_
+#define NASD_UTIL_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nasd::util {
+
+inline constexpr std::uint64_t kKB = 1024;
+inline constexpr std::uint64_t kMB = 1024 * kKB;
+inline constexpr std::uint64_t kGB = 1024 * kMB;
+
+/** Decimal megabit, used for link rates quoted in Mb/s. */
+inline constexpr std::uint64_t kMbit = 1000 * 1000;
+
+/** Convert a decimal Mb/s link rate into bytes per second. */
+constexpr double
+mbpsToBytesPerSec(double mbps)
+{
+    return mbps * 1e6 / 8.0;
+}
+
+/** Convert bytes per second into MB/s (MB = 2^20) for reporting. */
+constexpr double
+bytesPerSecToMBs(double bps)
+{
+    return bps / static_cast<double>(kMB);
+}
+
+/** Render a byte count as a short human-readable string (e.g. "512KB"). */
+std::string formatBytes(std::uint64_t bytes);
+
+} // namespace nasd::util
+
+#endif // NASD_UTIL_UNITS_H_

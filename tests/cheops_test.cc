@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Tests for Cheops (striped logical objects, capability sets,
+ * revocation) and NASD PFS (name service, parallel byte-range I/O,
+ * and the communicator/mailbox layer).
+ */
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "cheops/cheops.h"
+#include "net/presets.h"
+#include "pfs/comm.h"
+#include "pfs/pfs.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace nasd::cheops {
+namespace {
+
+using sim::Simulator;
+using sim::Task;
+using util::kKB;
+using util::kMB;
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed = 1)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i * 23);
+    return v;
+}
+
+class CheopsTest : public ::testing::Test
+{
+  protected:
+    static constexpr int kDrives = 4;
+
+    CheopsTest()
+        : mgr_node(net.addNode("cheops-mgr", net::alphaStation500(),
+                               net::oc3Link(), net::dceRpcCosts())),
+          client_node(net.addNode("client", net::alphaStation255(),
+                                  net::oc3Link(), net::dceRpcCosts()))
+    {
+        for (int i = 0; i < kDrives; ++i) {
+            drives.push_back(std::make_unique<NasdDrive>(
+                sim, net,
+                prototypeDriveConfig("nasd" + std::to_string(i), i + 1)));
+        }
+        for (auto &d : drives)
+            raw.push_back(d.get());
+        mgr = std::make_unique<CheopsManager>(sim, net, mgr_node, raw, 0);
+        run(mgr->initialize(512 * kMB));
+        client = std::make_unique<CheopsClient>(net, client_node, *mgr,
+                                                raw);
+    }
+
+    void
+    run(Task<void> task)
+    {
+        sim.spawn(std::move(task));
+        sim.run();
+    }
+
+    template <typename T>
+    T
+    runFor(Task<T> task)
+    {
+        std::optional<T> result;
+        sim.spawn([](Task<T> t, std::optional<T> &out) -> Task<void> {
+            out = co_await std::move(t);
+        }(std::move(task), result));
+        sim.run();
+        return std::move(*result);
+    }
+
+    Simulator sim;
+    net::Network net{sim};
+    net::NetNode &mgr_node;
+    net::NetNode &client_node;
+    std::vector<std::unique_ptr<NasdDrive>> drives;
+    std::vector<NasdDrive *> raw;
+    std::unique_ptr<CheopsManager> mgr;
+    std::unique_ptr<CheopsClient> client;
+};
+
+TEST_F(CheopsTest, CreateProducesComponentPerDrive)
+{
+    auto id = runFor(client->create(64 * kKB, 0));
+    ASSERT_TRUE(id.ok());
+    auto map = runFor(client->open(id.value(), false));
+    ASSERT_TRUE(map.ok());
+    EXPECT_EQ(map.value()->components.size(), 4u);
+    EXPECT_EQ(map.value()->stripe_unit_bytes, 64 * kKB);
+}
+
+TEST_F(CheopsTest, PartialStripeCount)
+{
+    auto id = runFor(client->create(64 * kKB, 2));
+    ASSERT_TRUE(id.ok());
+    auto map = runFor(client->open(id.value(), false));
+    ASSERT_TRUE(map.ok());
+    EXPECT_EQ(map.value()->components.size(), 2u);
+}
+
+TEST_F(CheopsTest, StripedWriteReadRoundTrip)
+{
+    const auto id = runFor(client->create(64 * kKB, 0)).value();
+    // 1 MB spans all four components several times.
+    const auto data = pattern(kMB, 7);
+    ASSERT_TRUE(runFor(client->write(id, 0, data)).ok());
+
+    std::vector<std::uint8_t> out(kMB);
+    auto n = runFor(client->read(id, 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(n.value(), kMB);
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(CheopsTest, UnalignedRangeRoundTrip)
+{
+    const auto id = runFor(client->create(64 * kKB, 0)).value();
+    const auto data = pattern(300 * kKB, 9);
+    ASSERT_TRUE(runFor(client->write(id, 12345, data)).ok());
+    std::vector<std::uint8_t> out(300 * kKB);
+    auto n = runFor(client->read(id, 12345, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(n.value(), 300 * kKB);
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(CheopsTest, DataLandsOnAllDrives)
+{
+    const auto id = runFor(client->create(64 * kKB, 0)).value();
+    ASSERT_TRUE(runFor(client->write(id, 0, pattern(kMB))).ok());
+    for (auto &d : drives)
+        EXPECT_GT(d->store().stats().writes.value(), 0u);
+}
+
+TEST_F(CheopsTest, SizeReconstructsLogicalLength)
+{
+    const auto id = runFor(client->create(64 * kKB, 0)).value();
+    ASSERT_TRUE(runFor(client->write(id, 0, pattern(999 * kKB))).ok());
+    auto s = runFor(client->size(id));
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(s.value(), 999 * kKB);
+}
+
+TEST_F(CheopsTest, OpenIsOneControlMessageThenDirect)
+{
+    const auto id = runFor(client->create(64 * kKB, 0)).value();
+    ASSERT_TRUE(runFor(client->write(id, 0, pattern(kMB))).ok());
+    const auto calls = client->managerCalls();
+    std::vector<std::uint8_t> out(kMB);
+    (void)runFor(client->read(id, 0, out));
+    (void)runFor(client->read(id, 0, out));
+    EXPECT_EQ(client->managerCalls(), calls); // map cached: no manager
+}
+
+TEST_F(CheopsTest, RemoveFreesComponents)
+{
+    const auto id = runFor(client->create(64 * kKB, 0)).value();
+    ASSERT_TRUE(runFor(client->write(id, 0, pattern(kMB))).ok());
+    ASSERT_TRUE(runFor(client->remove(id)).ok());
+    for (auto &d : drives) {
+        auto info = d->store().partitionInfo(0);
+        EXPECT_EQ(info.value().object_count, 0u);
+    }
+}
+
+TEST_F(CheopsTest, RevokeInvalidatesCapabilitySet)
+{
+    const auto id = runFor(client->create(64 * kKB, 0)).value();
+    ASSERT_TRUE(runFor(client->write(id, 0, pattern(64 * kKB))).ok());
+
+    auto revoked = runFor([](CheopsManager &m, LogicalObjectId lid)
+                              -> Task<CheopsStatus> {
+        auto r = co_await m.serveRevoke(lid);
+        co_return r.status;
+    }(*mgr, id));
+    ASSERT_EQ(revoked, CheopsStatus::kOk);
+
+    // The client's cached capability set is now useless.
+    std::vector<std::uint8_t> out(64 * kKB);
+    auto n = runFor(client->read(id, 0, out));
+    ASSERT_FALSE(n.ok());
+
+    // A fresh client (fresh open, new capability set) succeeds.
+    CheopsClient fresh(net, client_node, *mgr, raw);
+    auto n2 = runFor(fresh.read(id, 0, out));
+    ASSERT_TRUE(n2.ok());
+    EXPECT_EQ(n2.value(), 64 * kKB);
+}
+
+TEST_F(CheopsTest, ParallelReadBeatsSingleDrive)
+{
+    // Striped object over 4 drives vs over 1 drive: large cached reads
+    // should be much faster striped.
+    const auto wide = runFor(client->create(512 * kKB, 4)).value();
+    const auto narrow = runFor(client->create(512 * kKB, 1)).value();
+    const auto data = pattern(2 * kMB);
+    ASSERT_TRUE(runFor(client->write(wide, 0, data)).ok());
+    ASSERT_TRUE(runFor(client->write(narrow, 0, data)).ok());
+
+    std::vector<std::uint8_t> out(2 * kMB);
+    (void)runFor(client->read(wide, 0, out)); // warm
+    (void)runFor(client->read(narrow, 0, out));
+
+    auto t0 = sim.now();
+    (void)runFor(client->read(wide, 0, out));
+    const auto wide_time = sim.now() - t0;
+    t0 = sim.now();
+    (void)runFor(client->read(narrow, 0, out));
+    const auto narrow_time = sim.now() - t0;
+    EXPECT_LT(wide_time, narrow_time);
+}
+
+} // namespace
+} // namespace cheops
+
+// ------------------------------------------------------------------- PFS
+
+namespace nasd::pfs {
+namespace {
+
+using cheops::CheopsManager;
+using sim::Simulator;
+using sim::Task;
+using util::kKB;
+using util::kMB;
+
+class PfsTest : public ::testing::Test
+{
+  protected:
+    static constexpr int kDrives = 4;
+
+    PfsTest()
+        : mgr_node(net.addNode("pfs-mgr", net::alphaStation500(),
+                               net::oc3Link(), net::dceRpcCosts())),
+          client_node(net.addNode("client", net::alphaStation255(),
+                                  net::oc3Link(), net::dceRpcCosts()))
+    {
+        for (int i = 0; i < kDrives; ++i) {
+            drives.push_back(std::make_unique<NasdDrive>(
+                sim, net,
+                prototypeDriveConfig("nasd" + std::to_string(i), i + 1)));
+        }
+        for (auto &d : drives)
+            raw.push_back(d.get());
+        storage = std::make_unique<CheopsManager>(sim, net, mgr_node, raw,
+                                                  0);
+        run(storage->initialize(512 * kMB));
+        manager = std::make_unique<PfsManager>(*storage);
+        client = std::make_unique<PfsClient>(net, client_node, *manager,
+                                             raw);
+    }
+
+    void
+    run(Task<void> task)
+    {
+        sim.spawn(std::move(task));
+        sim.run();
+    }
+
+    template <typename T>
+    T
+    runFor(Task<T> task)
+    {
+        std::optional<T> result;
+        sim.spawn([](Task<T> t, std::optional<T> &out) -> Task<void> {
+            out = co_await std::move(t);
+        }(std::move(task), result));
+        sim.run();
+        return std::move(*result);
+    }
+
+    std::vector<std::uint8_t>
+    pattern(std::size_t n, std::uint8_t seed = 1)
+    {
+        std::vector<std::uint8_t> v(n);
+        for (std::size_t i = 0; i < n; ++i)
+            v[i] = static_cast<std::uint8_t>(seed + i * 23);
+        return v;
+    }
+
+    Simulator sim;
+    net::Network net{sim};
+    net::NetNode &mgr_node;
+    net::NetNode &client_node;
+    std::vector<std::unique_ptr<NasdDrive>> drives;
+    std::vector<NasdDrive *> raw;
+    std::unique_ptr<CheopsManager> storage;
+    std::unique_ptr<PfsManager> manager;
+    std::unique_ptr<PfsClient> client;
+};
+
+TEST_F(PfsTest, CreateOpenByName)
+{
+    auto handle = runFor(client->open("dataset", true, true));
+    ASSERT_TRUE(handle.ok());
+    // Reopen resolves to the same logical object.
+    auto again = runFor(client->open("dataset", false, false));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value().object, handle.value().object);
+}
+
+TEST_F(PfsTest, MissingFileFails)
+{
+    auto handle = runFor(client->open("ghost", false, false));
+    ASSERT_FALSE(handle.ok());
+    EXPECT_EQ(handle.error(), PfsStatus::kNoSuchFile);
+}
+
+TEST_F(PfsTest, ByteRangeRoundTrip)
+{
+    auto handle = runFor(client->open("f", true, true)).value();
+    const auto data = pattern(3 * kMB, 5);
+    ASSERT_TRUE(runFor(client->write(handle, 0, data)).ok());
+    std::vector<std::uint8_t> out(3 * kMB);
+    auto n = runFor(client->read(handle, 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(out, data);
+    auto s = runFor(client->size(handle));
+    EXPECT_EQ(s.value(), 3 * kMB);
+}
+
+TEST_F(PfsTest, UnlinkRemoves)
+{
+    (void)runFor(client->open("tmp", true, true));
+    ASSERT_TRUE(runFor(client->unlink("tmp")).ok());
+    auto handle = runFor(client->open("tmp", false, false));
+    ASSERT_FALSE(handle.ok());
+}
+
+TEST_F(PfsTest, TwoClientsShareAFile)
+{
+    auto w = runFor(client->open("shared", true, true)).value();
+    const auto data = pattern(kMB, 3);
+    ASSERT_TRUE(runFor(client->write(w, 0, data)).ok());
+
+    auto &node2 = net.addNode("client2", net::alphaStation255(),
+                              net::oc3Link(), net::dceRpcCosts());
+    PfsClient other(net, node2, *manager, raw);
+    auto r = runFor(other.open("shared", false, false)).value();
+    std::vector<std::uint8_t> out(kMB);
+    auto n = runFor(other.read(r, 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(PfsTest, CommunicatorBarrierSynchronizes)
+{
+    std::vector<net::NetNode *> ranks;
+    for (int i = 0; i < 3; ++i) {
+        ranks.push_back(&net.addNode("rank" + std::to_string(i),
+                                     net::alphaStation255(), net::oc3Link(),
+                                     net::dceRpcCosts()));
+    }
+    Communicator comm(net, ranks);
+    std::vector<sim::Tick> done(3);
+    for (int i = 0; i < 3; ++i) {
+        sim.spawn([](Simulator &s, Communicator &c, sim::Tick delay,
+                     sim::Tick &out) -> Task<void> {
+            co_await s.delay(delay);
+            co_await c.barrier();
+            out = s.now();
+        }(sim, comm, sim::msec(i * 10), done[i]));
+    }
+    sim.run();
+    EXPECT_EQ(done[0], done[2]);
+    EXPECT_EQ(done[1], done[2]);
+}
+
+TEST_F(PfsTest, MailboxDeliversInOrderWithWireCost)
+{
+    std::vector<net::NetNode *> ranks;
+    for (int i = 0; i < 2; ++i) {
+        ranks.push_back(&net.addNode("mrank" + std::to_string(i),
+                                     net::alphaStation255(), net::oc3Link(),
+                                     net::dceRpcCosts()));
+    }
+    Communicator comm(net, ranks);
+    Mailbox<int> box(comm);
+
+    std::vector<int> received;
+    sim.spawn([](Communicator &c, Mailbox<int> &b,
+                 std::vector<int> &out) -> Task<void> {
+        (void)c;
+        out.push_back(co_await b.recv(1));
+        out.push_back(co_await b.recv(1));
+    }(comm, box, received));
+    sim.spawn([](Communicator &c, Mailbox<int> &b) -> Task<void> {
+        (void)c;
+        co_await b.send(0, 1, 42, 1000);
+        co_await b.send(0, 1, 43, 1000);
+    }(comm, box));
+    sim.run();
+    EXPECT_EQ(received, (std::vector<int>{42, 43}));
+    EXPECT_GT(sim.now(), 0u); // the wire cost was paid
+}
+
+} // namespace
+} // namespace nasd::pfs

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Unit tests for the disk substrate: sparse store, mechanical timing,
+ * cache/readahead behaviour, write-behind, and the striping driver.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "disk/disk_model.h"
+#include "disk/params.h"
+#include "disk/striping.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "util/sparse_store.h"
+#include "util/units.h"
+
+namespace nasd::disk {
+namespace {
+
+using sim::Simulator;
+using sim::Task;
+using sim::Tick;
+using util::kKB;
+using util::kMB;
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed = 1)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i * 7);
+    return v;
+}
+
+// ---------------------------------------------------------------- sparse
+
+TEST(SparseStore, UnwrittenReadsZero)
+{
+    util::SparseStore store;
+    std::vector<std::uint8_t> buf(100, 0xff);
+    store.read(12345, buf);
+    for (auto b : buf)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(store.allocatedBytes(), 0u);
+}
+
+TEST(SparseStore, WriteReadRoundTrip)
+{
+    util::SparseStore store(4096);
+    const auto data = pattern(10000);
+    store.write(777, data);
+    std::vector<std::uint8_t> out(10000);
+    store.read(777, out);
+    EXPECT_EQ(out, data);
+}
+
+TEST(SparseStore, CrossChunkBoundary)
+{
+    util::SparseStore store(4096);
+    const auto data = pattern(100);
+    store.write(4096 - 50, data); // straddles two chunks
+    std::vector<std::uint8_t> out(100);
+    store.read(4096 - 50, out);
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(store.allocatedBytes(), 2 * 4096u);
+}
+
+TEST(SparseStore, TrimFreesWholeChunks)
+{
+    util::SparseStore store(4096);
+    store.write(0, pattern(4096 * 3));
+    EXPECT_EQ(store.allocatedBytes(), 3 * 4096u);
+    store.trim(0, 4096);
+    EXPECT_EQ(store.allocatedBytes(), 2 * 4096u);
+    std::vector<std::uint8_t> out(10);
+    store.read(0, out);
+    for (auto b : out)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(SparseStore, PartialTrimZeroes)
+{
+    util::SparseStore store(4096);
+    store.write(0, pattern(4096));
+    store.trim(100, 50);
+    std::vector<std::uint8_t> out(4096);
+    store.read(0, out);
+    const auto orig = pattern(4096);
+    EXPECT_EQ(out[99], orig[99]);
+    for (int i = 100; i < 150; ++i)
+        EXPECT_EQ(out[i], 0);
+    EXPECT_EQ(out[150], orig[150]);
+}
+
+// ----------------------------------------------------------------- disk
+
+/** Run one task to completion and return the elapsed simulated time. */
+Tick
+timed(Simulator &sim, Task<void> task)
+{
+    const Tick start = sim.now();
+    sim.spawn(std::move(task));
+    sim.run();
+    return sim.now() - start;
+}
+
+TEST(DiskParams, DerivedQuantities)
+{
+    const auto p = medallistParams();
+    EXPECT_NEAR(p.mediaBytesPerSec(), 90.0 * 100 * 512, 1.0);
+    EXPECT_NEAR(p.rotationPeriodNs(), 60.0 / 5400 * 1e9, 1.0);
+    EXPECT_GT(p.totalBlocks() * 512ull, 2000ull * kMB);
+}
+
+TEST(DiskModel, SeekTimeCurve)
+{
+    Simulator sim;
+    DiskModel disk(sim, medallistParams());
+    const auto &p = disk.params();
+    EXPECT_EQ(disk.seekTime(100, 100), 0u);
+    EXPECT_GE(disk.seekTime(0, 1), sim::msec(p.track_to_track_ms));
+    // One-third stroke lands near the advertised average.
+    const Tick third = disk.seekTime(0, p.cylinders / 3);
+    EXPECT_NEAR(sim::toMillis(third), p.avg_seek_ms, 0.5);
+    // Full stroke respects the maximum.
+    EXPECT_LE(disk.seekTime(0, p.cylinders - 1),
+              sim::msec(p.max_seek_ms) + 1);
+    // Monotone in distance.
+    EXPECT_LT(disk.seekTime(0, 10), disk.seekTime(0, 1000));
+}
+
+TEST(DiskModel, DataRoundTrip)
+{
+    Simulator sim;
+    DiskModel disk(sim, medallistParams());
+    const auto data = pattern(8 * 512);
+    timed(sim, disk.write(100, 8, data));
+    std::vector<std::uint8_t> out(8 * 512);
+    timed(sim, disk.read(100, 8, out));
+    EXPECT_EQ(out, data);
+}
+
+TEST(DiskModel, ColdReadCostsMechanicalTime)
+{
+    Simulator sim;
+    DiskModel disk(sim, medallistParams());
+    std::vector<std::uint8_t> out(512);
+    const Tick t = timed(sim, disk.read(1000000, 1, out));
+    // Must include at least a seek and some rotation.
+    EXPECT_GT(t, sim::msec(2));
+    EXPECT_EQ(disk.stats().cache_misses.value(), 1u);
+}
+
+TEST(DiskModel, SequentialReadHitsReadahead)
+{
+    Simulator sim;
+    DiskModel disk(sim, medallistParams());
+    std::vector<std::uint8_t> out(16 * 512);
+    (void)timed(sim, disk.read(0, 16, out)); // cold: loads + readahead
+    const Tick t2 = timed(sim, disk.read(16, 16, out)); // prefetched
+    EXPECT_EQ(disk.stats().cache_hits.value(), 1u);
+    // A hit costs overhead + bus, but no seek: well under 5 ms.
+    EXPECT_LT(t2, sim::msec(5));
+}
+
+TEST(DiskModel, RandomReadsDoNotHit)
+{
+    Simulator sim;
+    DiskModel disk(sim, medallistParams());
+    std::vector<std::uint8_t> out(512);
+    (void)timed(sim, disk.read(0, 1, out));
+    (void)timed(sim, disk.read(2000000, 1, out));
+    (void)timed(sim, disk.read(500000, 1, out));
+    EXPECT_EQ(disk.stats().cache_hits.value(), 0u);
+    EXPECT_EQ(disk.stats().cache_misses.value(), 3u);
+}
+
+TEST(DiskModel, WriteBehindAcksFast)
+{
+    Simulator sim;
+    auto params = medallistParams();
+    DiskModel disk(sim, params);
+    const auto data = pattern(64 * 1024);
+    const Tick t = timed(sim, disk.write(0, 128, data));
+    // Ack after overhead + bus transfer (~13 ms at 5 MB/s), long before
+    // media drain completes.
+    EXPECT_LT(t, sim::msec(16));
+}
+
+TEST(DiskModel, WriteThroughWaitsForMedia)
+{
+    Simulator sim;
+    auto params = medallistParams();
+    params.write_behind = false;
+    DiskModel disk(sim, params);
+    const auto data = pattern(64 * 1024);
+    const Tick t = timed(sim, disk.write(0, 128, data));
+    // Media transfer alone is ~14 ms plus bus ~13 ms plus positioning.
+    EXPECT_GT(t, sim::msec(25));
+}
+
+TEST(DiskModel, SustainedWritesThrottleToMediaRate)
+{
+    Simulator sim;
+    DiskModel disk(sim, medallistParams());
+    // Write 8 MB in 256 KB chunks; buffer is 512 KB so the stream must
+    // throttle to the drain rate.
+    const auto chunk = pattern(256 * 1024);
+    const Tick start = sim.now();
+    for (int i = 0; i < 32; ++i)
+        (void)timed(sim, disk.write(i * 512ull, 512, chunk));
+    const double secs = sim::toSeconds(sim.now() - start);
+    const double mbs = 8.0 / secs;
+    // Drain rate is ~75% of 4.6 MB/s media: expect 3-5 MB/s apparent.
+    EXPECT_GT(mbs, 2.5);
+    EXPECT_LT(mbs, 5.0);
+}
+
+TEST(DiskModel, FlushDrainsBacklog)
+{
+    Simulator sim;
+    DiskModel disk(sim, medallistParams());
+    const auto data = pattern(256 * 1024);
+    (void)timed(sim, disk.write(0, 512, data));
+    const Tick t = timed(sim, disk.flush());
+    EXPECT_GT(t, sim::msec(10)); // 256 KB at ~3.5 MB/s drain
+}
+
+TEST(DiskModel, WriteInvalidatesCache)
+{
+    Simulator sim;
+    DiskModel disk(sim, medallistParams());
+    std::vector<std::uint8_t> out(512);
+    (void)timed(sim, disk.read(10, 1, out));
+    const auto data = pattern(512, 99);
+    (void)timed(sim, disk.write(10, 1, data));
+    (void)timed(sim, disk.read(10, 1, out));
+    EXPECT_EQ(out, data); // sees new data
+}
+
+TEST(DiskModel, BarracudaCachedSectorNearPaperNumber)
+{
+    Simulator sim;
+    DiskModel disk(sim, barracudaParams());
+    std::vector<std::uint8_t> out(512);
+    (void)timed(sim, disk.read(0, 1, out)); // cold
+    // Sequential cached single-sector reads: paper reports 0.30 ms.
+    const Tick t = timed(sim, disk.read(1, 1, out));
+    EXPECT_EQ(disk.stats().cache_hits.value(), 1u);
+    EXPECT_NEAR(sim::toMillis(t), 0.30, 0.1);
+}
+
+TEST(DiskModel, BarracudaRandomSectorNearPaperNumber)
+{
+    Simulator sim;
+    DiskModel disk(sim, barracudaParams());
+    std::vector<std::uint8_t> out(512);
+    // Average several random reads; paper reports 9.4 ms.
+    util::SampleStats times;
+    const std::uint64_t stride = 997 * 1000;
+    for (int i = 1; i <= 8; ++i) {
+        const Tick t = timed(
+            sim, disk.read((i * stride) % disk.numBlocks(), 1, out));
+        times.add(sim::toMillis(t));
+    }
+    EXPECT_NEAR(times.mean(), 9.4, 2.0);
+}
+
+// -------------------------------------------------------------- striping
+
+TEST(Striping, GeometryAndCapacity)
+{
+    Simulator sim;
+    DiskModel d0(sim, medallistParams());
+    DiskModel d1(sim, medallistParams());
+    StripingDriver stripe(sim, {&d0, &d1}, 32 * kKB);
+    EXPECT_EQ(stripe.blockSize(), 512u);
+    EXPECT_EQ(stripe.numBlocks(), 2 * d0.numBlocks());
+    EXPECT_EQ(stripe.stripeUnitBytes(), 32 * kKB);
+}
+
+TEST(Striping, RoundTripAcrossUnits)
+{
+    Simulator sim;
+    DiskModel d0(sim, medallistParams());
+    DiskModel d1(sim, medallistParams());
+    StripingDriver stripe(sim, {&d0, &d1}, 32 * kKB);
+
+    // 200 KB spans several stripe units on both disks.
+    const auto data = pattern(200 * 1024, 3);
+    timed(sim, stripe.write(64, 400, data));
+    std::vector<std::uint8_t> out(200 * 1024);
+    timed(sim, stripe.read(64, 400, out));
+    EXPECT_EQ(out, data);
+}
+
+TEST(Striping, LargeReadUsesBothDisks)
+{
+    Simulator sim;
+    DiskModel d0(sim, medallistParams());
+    DiskModel d1(sim, medallistParams());
+    StripingDriver stripe(sim, {&d0, &d1}, 32 * kKB);
+    std::vector<std::uint8_t> out(512 * 1024);
+    timed(sim, stripe.read(0, 1024, out));
+    EXPECT_GT(d0.stats().reads.value(), 0u);
+    EXPECT_GT(d1.stats().reads.value(), 0u);
+    // Coalescing: each disk should see exactly one request.
+    EXPECT_EQ(d0.stats().reads.value(), 1u);
+    EXPECT_EQ(d1.stats().reads.value(), 1u);
+}
+
+TEST(Striping, ParallelismBeatsSingleDisk)
+{
+    Simulator sim;
+    DiskModel d0(sim, medallistParams());
+    DiskModel d1(sim, medallistParams());
+    DiskModel solo(sim, medallistParams());
+    StripingDriver stripe(sim, {&d0, &d1}, 32 * kKB);
+
+    std::vector<std::uint8_t> out(512 * 1024);
+    const Tick striped = timed(sim, stripe.read(0, 1024, out));
+    const Tick single = timed(sim, solo.read(0, 1024, out));
+    EXPECT_LT(striped, single);
+    // Roughly 2x for large sequential reads.
+    EXPECT_LT(striped, single * 3 / 4);
+}
+
+TEST(Striping, SmallReadTouchesOneDisk)
+{
+    Simulator sim;
+    DiskModel d0(sim, medallistParams());
+    DiskModel d1(sim, medallistParams());
+    StripingDriver stripe(sim, {&d0, &d1}, 32 * kKB);
+    std::vector<std::uint8_t> out(4 * 1024);
+    timed(sim, stripe.read(0, 8, out)); // inside the first unit
+    EXPECT_EQ(d0.stats().reads.value() + d1.stats().reads.value(), 1u);
+}
+
+TEST(Striping, SequentialApparentBandwidthNearPaperRawRead)
+{
+    Simulator sim;
+    DiskModel d0(sim, medallistParams());
+    DiskModel d1(sim, medallistParams());
+    StripingDriver stripe(sim, {&d0, &d1}, 32 * kKB);
+
+    // Sequential 512 KB reads, single outstanding request, as in the
+    // Figure 6 raw-read measurement: paper reports ~5 MB/s.
+    std::vector<std::uint8_t> out(512 * 1024);
+    const Tick start = sim.now();
+    for (int i = 0; i < 8; ++i)
+        timed(sim, stripe.read(i * 1024ull, 1024, out));
+    const double mbs =
+        4.0 / sim::toSeconds(sim.now() - start); // 4 MB total
+    EXPECT_GT(mbs, 3.5);
+    EXPECT_LT(mbs, 7.0);
+}
+
+} // namespace
+} // namespace nasd::disk

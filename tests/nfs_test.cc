@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Tests for the NFS layer: the baseline store-and-forward server and
+ * the NASD-NFS port (capability piggybacking, direct data path,
+ * capability refresh after revocation).
+ */
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "disk/disk_model.h"
+#include "disk/params.h"
+#include "disk/striping.h"
+#include "fs/nfs/nasd_nfs.h"
+#include "fs/nfs/nfs_client.h"
+#include "fs/nfs/nfs_server.h"
+#include "net/presets.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace nasd::fs {
+namespace {
+
+using sim::Simulator;
+using sim::Task;
+using util::kKB;
+using util::kMB;
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed = 1)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i * 17);
+    return v;
+}
+
+// ---------------------------------------------------------- baseline NFS
+
+class NfsBaselineTest : public ::testing::Test
+{
+  protected:
+    NfsBaselineTest()
+        : server_node(net.addNode("server", net::alphaStation500(),
+                                  net::oc3Link(), net::dceRpcCosts())),
+          client_node(net.addNode("client", net::alphaStation255(),
+                                  net::oc3Link(), net::dceRpcCosts())),
+          d0(sim, disk::cheetahParams()), d1(sim, disk::cheetahParams()),
+          stripe(sim, {&d0, &d1}, 32 * kKB),
+          fs(sim, stripe, &server_node.cpu()), server(sim, server_node),
+          client(net, client_node, server)
+    {
+        run(fs.format());
+        volume = server.addVolume(fs);
+    }
+
+    void
+    run(Task<void> task)
+    {
+        sim.spawn(std::move(task));
+        sim.run();
+    }
+
+    template <typename T>
+    T
+    runFor(Task<T> task)
+    {
+        std::optional<T> result;
+        sim.spawn([](Task<T> t, std::optional<T> &out) -> Task<void> {
+            out = co_await std::move(t);
+        }(std::move(task), result));
+        sim.run();
+        return std::move(*result);
+    }
+
+    Simulator sim;
+    net::Network net{sim};
+    net::NetNode &server_node;
+    net::NetNode &client_node;
+    disk::DiskModel d0;
+    disk::DiskModel d1;
+    disk::StripingDriver stripe;
+    FfsFileSystem fs;
+    NfsServer server;
+    NfsClient client;
+    std::uint32_t volume = 0;
+};
+
+TEST_F(NfsBaselineTest, CreateLookupRoundTrip)
+{
+    const auto root = server.rootHandle(volume);
+    auto made = runFor(client.create(root, "file.txt"));
+    ASSERT_TRUE(made.ok());
+    auto found = runFor(client.lookup(root, "file.txt"));
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value(), made.value());
+}
+
+TEST_F(NfsBaselineTest, ReadWriteThroughServer)
+{
+    const auto root = server.rootHandle(volume);
+    const auto fh = runFor(client.create(root, "data")).value();
+    const auto data = pattern(100 * kKB);
+    ASSERT_TRUE(runFor(client.write(fh, 0, data)).ok());
+
+    std::vector<std::uint8_t> out(100 * kKB);
+    auto n = runFor(client.read(fh, 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(n.value(), 100 * kKB);
+    EXPECT_EQ(out, data);
+    // Every byte crossed the server: its CPU did protocol + FS work.
+    EXPECT_GT(server_node.cpu().instructionsRetired(), 1000000u);
+}
+
+TEST_F(NfsBaselineTest, GetattrAndSetattr)
+{
+    const auto root = server.rootHandle(volume);
+    const auto fh = runFor(client.create(root, "f")).value();
+    ASSERT_TRUE(runFor(client.setattr(fh, 0600, 10, 20)).ok());
+    auto attrs = runFor(client.getattr(fh));
+    ASSERT_TRUE(attrs.ok());
+    EXPECT_EQ(attrs.value().mode, 0600u);
+    EXPECT_EQ(attrs.value().uid, 10u);
+}
+
+TEST_F(NfsBaselineTest, MkdirReaddirRemove)
+{
+    const auto root = server.rootHandle(volume);
+    const auto sub = runFor(client.mkdir(root, "dir")).value();
+    (void)runFor(client.create(sub, "a"));
+    (void)runFor(client.create(sub, "b"));
+    auto listing = runFor(client.readdir(sub));
+    ASSERT_TRUE(listing.ok());
+    EXPECT_EQ(listing.value().size(), 2u);
+
+    ASSERT_TRUE(runFor(client.remove(sub, "a")).ok());
+    listing = runFor(client.readdir(sub));
+    EXPECT_EQ(listing.value().size(), 1u);
+}
+
+TEST_F(NfsBaselineTest, ResolveWalksPath)
+{
+    const auto root = server.rootHandle(volume);
+    const auto a = runFor(client.mkdir(root, "a")).value();
+    const auto b = runFor(client.mkdir(a, "b")).value();
+    const auto f = runFor(client.create(b, "leaf")).value();
+    auto resolved = runFor(client.resolve(volume, "/a/b/leaf"));
+    ASSERT_TRUE(resolved.ok());
+    EXPECT_EQ(resolved.value(), f);
+    (void)b;
+}
+
+TEST_F(NfsBaselineTest, SmallTransferUnitsSplitLargeReads)
+{
+    const auto root = server.rootHandle(volume);
+    const auto fh = runFor(client.create(root, "big")).value();
+    ASSERT_TRUE(runFor(client.write(fh, 0, pattern(256 * kKB))).ok());
+    const auto ops_before = server.opsServed();
+    std::vector<std::uint8_t> out(256 * kKB);
+    (void)runFor(client.read(fh, 0, out));
+    // 256 KB at rsize 8 KB = 32 wire reads.
+    EXPECT_EQ(server.opsServed() - ops_before, 32u);
+}
+
+// -------------------------------------------------------------- NASD-NFS
+
+class NasdNfsTest : public ::testing::Test
+{
+  protected:
+    static constexpr int kDrives = 2;
+
+    NasdNfsTest()
+        : fm_node(net.addNode("fm", net::alphaStation500(), net::oc3Link(),
+                              net::dceRpcCosts())),
+          client_node(net.addNode("client", net::alphaStation255(),
+                                  net::oc3Link(), net::dceRpcCosts()))
+    {
+        for (int i = 0; i < kDrives; ++i) {
+            drives.push_back(std::make_unique<NasdDrive>(
+                sim, net,
+                prototypeDriveConfig("nasd" + std::to_string(i), i + 1)));
+        }
+        std::vector<NasdDrive *> raw;
+        for (auto &d : drives)
+            raw.push_back(d.get());
+        fm = std::make_unique<NasdNfsFileManager>(sim, net, fm_node, raw,
+                                                  0);
+        run(fm->initialize(512 * kMB));
+        client = std::make_unique<NasdNfsClient>(net, client_node, *fm,
+                                                 raw);
+    }
+
+    void
+    run(Task<void> task)
+    {
+        sim.spawn(std::move(task));
+        sim.run();
+    }
+
+    template <typename T>
+    T
+    runFor(Task<T> task)
+    {
+        std::optional<T> result;
+        sim.spawn([](Task<T> t, std::optional<T> &out) -> Task<void> {
+            out = co_await std::move(t);
+        }(std::move(task), result));
+        sim.run();
+        return std::move(*result);
+    }
+
+    Simulator sim;
+    net::Network net{sim};
+    net::NetNode &fm_node;
+    net::NetNode &client_node;
+    std::vector<std::unique_ptr<NasdDrive>> drives;
+    std::unique_ptr<NasdNfsFileManager> fm;
+    std::unique_ptr<NasdNfsClient> client;
+};
+
+TEST_F(NasdNfsTest, CreateWriteReadRoundTrip)
+{
+    const auto root = fm->rootHandle();
+    auto fh = runFor(client->create(root, "data"));
+    ASSERT_TRUE(fh.ok());
+    const auto data = pattern(200 * kKB);
+    ASSERT_TRUE(runFor(client->write(fh.value(), 0, data)).ok());
+    std::vector<std::uint8_t> out(200 * kKB);
+    auto n = runFor(client->read(fh.value(), 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(NasdNfsTest, DataPathBypassesFileManager)
+{
+    const auto root = fm->rootHandle();
+    const auto fh = runFor(client->create(root, "direct")).value();
+    const auto data = pattern(512 * kKB);
+    ASSERT_TRUE(runFor(client->write(fh, 0, data)).ok());
+
+    const auto fm_calls_before = client->fmCalls();
+    std::vector<std::uint8_t> out(512 * kKB);
+    (void)runFor(client->read(fh, 0, out));
+    // The capability is cached from create: zero FM involvement.
+    EXPECT_EQ(client->fmCalls(), fm_calls_before);
+}
+
+TEST_F(NasdNfsTest, RoundRobinPlacementUsesAllDrives)
+{
+    const auto root = fm->rootHandle();
+    std::vector<NasdNfsFh> handles;
+    for (int i = 0; i < 4; ++i) {
+        handles.push_back(
+            runFor(client->create(root, "f" + std::to_string(i))).value());
+    }
+    bool drive0 = false;
+    bool drive1 = false;
+    for (const auto &fh : handles) {
+        drive0 = drive0 || fh.drive == 0;
+        drive1 = drive1 || fh.drive == 1;
+    }
+    EXPECT_TRUE(drive0);
+    EXPECT_TRUE(drive1);
+}
+
+TEST_F(NasdNfsTest, AttrsMapToObjectAttributes)
+{
+    const auto root = fm->rootHandle();
+    const auto fh = runFor(client->create(root, "sized")).value();
+    ASSERT_TRUE(runFor(client->write(fh, 0, pattern(12345))).ok());
+    auto attrs = runFor(client->getattr(fh));
+    ASSERT_TRUE(attrs.ok());
+    EXPECT_EQ(attrs.value().size, 12345u); // from NASD object attrs
+    EXPECT_EQ(attrs.value().mode, 0644u);  // from fs-specific field
+}
+
+TEST_F(NasdNfsTest, SetattrGoesThroughFileManager)
+{
+    const auto root = fm->rootHandle();
+    const auto fh = runFor(client->create(root, "m")).value();
+    const auto fm_before = client->fmCalls();
+    ASSERT_TRUE(runFor(client->setattr(fh, 0700, 5, 6)).ok());
+    EXPECT_GT(client->fmCalls(), fm_before);
+    auto attrs = runFor(client->getattr(fh));
+    EXPECT_EQ(attrs.value().mode, 0700u);
+    EXPECT_EQ(attrs.value().uid, 5u);
+}
+
+TEST_F(NasdNfsTest, LookupPiggybacksCapability)
+{
+    const auto root = fm->rootHandle();
+    const auto created = runFor(client->create(root, "pig")).value();
+    ASSERT_TRUE(runFor(client->write(created, 0, pattern(1000))).ok());
+
+    // A different client machine looks the file up, then reads it
+    // without any further FM traffic.
+    auto &node2 = net.addNode("client2", net::alphaStation255(),
+                              net::oc3Link(), net::dceRpcCosts());
+    std::vector<NasdDrive *> raw;
+    for (auto &d : drives)
+        raw.push_back(d.get());
+    NasdNfsClient other(net, node2, *fm, raw);
+    auto fh = runFor(other.lookup(root, "pig", false));
+    ASSERT_TRUE(fh.ok());
+    const auto fm_calls = other.fmCalls();
+    std::vector<std::uint8_t> out(1000);
+    auto n = runFor(other.read(fh.value(), 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(n.value(), 1000u);
+    EXPECT_EQ(other.fmCalls(), fm_calls); // no extra FM round trip
+}
+
+TEST_F(NasdNfsTest, RevocationForcesCapabilityRefresh)
+{
+    const auto root = fm->rootHandle();
+    const auto fh = runFor(client->create(root, "rev")).value();
+    ASSERT_TRUE(runFor(client->write(fh, 0, pattern(1000))).ok());
+
+    // The FM revokes (bumps the object version). The client's cached
+    // capability is now stale; its next read must refresh via the FM
+    // and still succeed.
+    ASSERT_TRUE(runFor([](NasdNfsFileManager &m, NasdNfsFh h)
+                           -> Task<NfsResult<void>> {
+        auto r = co_await m.serveRevoke(h);
+        if (r.status != NfsStatus::kOk)
+            co_return util::Err{r.status};
+        co_return NfsResult<void>{};
+    }(*fm, fh)).ok());
+
+    const auto fm_before = client->fmCalls();
+    std::vector<std::uint8_t> out(1000);
+    auto n = runFor(client->read(fh, 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(n.value(), 1000u);
+    EXPECT_GT(client->fmCalls(), fm_before); // had to re-fetch
+}
+
+TEST_F(NasdNfsTest, RemoveUpdatesDirectory)
+{
+    const auto root = fm->rootHandle();
+    (void)runFor(client->create(root, "gone"));
+    ASSERT_TRUE(runFor(client->remove(root, "gone")).ok());
+    auto found = runFor(client->lookup(root, "gone", false));
+    ASSERT_FALSE(found.ok());
+    EXPECT_EQ(found.error(), NfsStatus::kNoEnt);
+}
+
+TEST_F(NasdNfsTest, MkdirNestsNamespaces)
+{
+    const auto root = fm->rootHandle();
+    const auto sub = runFor(client->mkdir(root, "dir")).value();
+    const auto leaf = runFor(client->create(sub, "leaf")).value();
+    auto found = runFor(client->lookup(sub, "leaf", false));
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value(), leaf);
+
+    auto listing = runFor(client->readdir(root));
+    ASSERT_TRUE(listing.ok());
+    ASSERT_EQ(listing.value().size(), 1u);
+    EXPECT_TRUE(listing.value()[0].is_directory);
+}
+
+} // namespace
+} // namespace nasd::fs

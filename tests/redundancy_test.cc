@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Fault injection and redundancy: failed drives reject requests;
+ * mirrored Cheops objects keep serving reads and absorbing writes in
+ * degraded mode; unmirrored objects fail visibly.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cheops/cheops.h"
+#include "net/presets.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace nasd::cheops {
+namespace {
+
+using sim::Simulator;
+using sim::Task;
+using util::kKB;
+using util::kMB;
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed = 1)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i * 37);
+    return v;
+}
+
+class RedundancyTest : public ::testing::Test
+{
+  protected:
+    static constexpr int kDrives = 4;
+
+    RedundancyTest()
+        : mgr_node(net.addNode("mgr", net::alphaStation500(),
+                               net::oc3Link(), net::dceRpcCosts())),
+          client_node(net.addNode("client", net::alphaStation255(),
+                                  net::oc3Link(), net::dceRpcCosts()))
+    {
+        for (int i = 0; i < kDrives; ++i) {
+            drives.push_back(std::make_unique<NasdDrive>(
+                sim, net,
+                prototypeDriveConfig("nasd" + std::to_string(i), i + 1)));
+            raw.push_back(drives.back().get());
+        }
+        mgr = std::make_unique<CheopsManager>(sim, net, mgr_node, raw, 0);
+        run(mgr->initialize(512 * kMB));
+        client = std::make_unique<CheopsClient>(net, client_node, *mgr,
+                                                raw);
+    }
+
+    void
+    run(Task<void> task)
+    {
+        sim.spawn(std::move(task));
+        sim.run();
+    }
+
+    template <typename T>
+    T
+    runFor(Task<T> task)
+    {
+        std::optional<T> result;
+        sim.spawn([](Task<T> t, std::optional<T> &out) -> Task<void> {
+            out = co_await std::move(t);
+        }(std::move(task), result));
+        sim.run();
+        return std::move(*result);
+    }
+
+    Simulator sim;
+    net::Network net{sim};
+    net::NetNode &mgr_node;
+    net::NetNode &client_node;
+    std::vector<std::unique_ptr<NasdDrive>> drives;
+    std::vector<NasdDrive *> raw;
+    std::unique_ptr<CheopsManager> mgr;
+    std::unique_ptr<CheopsClient> client;
+};
+
+// --------------------------------------------------------- drive failure
+
+TEST_F(RedundancyTest, FailedDriveRejectsEverything)
+{
+    CapabilityIssuer issuer(drives[0]->config().master_key, 1);
+    NasdClient direct(net, client_node, *drives[0]);
+
+    CapabilityPublic pc;
+    pc.partition = 0;
+    pc.object_id = kPartitionControlObject;
+    pc.rights = kRightCreate;
+    CredentialFactory pcred(issuer.mint(pc));
+    const ObjectId oid = runFor(direct.create(pcred, 0)).value();
+
+    CapabilityPublic po;
+    po.partition = 0;
+    po.object_id = oid;
+    po.rights = kRightRead | kRightWrite | kRightGetAttr;
+    CredentialFactory cred(issuer.mint(po));
+    ASSERT_TRUE(runFor(direct.write(cred, 0, pattern(kKB))).ok());
+
+    drives[0]->setFailed(true);
+    auto r = runFor(direct.read(cred, 0, kKB));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error(), NasdStatus::kDriveFailed);
+    auto w = runFor(direct.write(cred, 0, pattern(kKB)));
+    ASSERT_FALSE(w.ok());
+    auto a = runFor(direct.getAttr(cred));
+    ASSERT_FALSE(a.ok());
+
+    // Recovery: requests succeed again.
+    drives[0]->setFailed(false);
+    EXPECT_TRUE(runFor(direct.read(cred, 0, kKB)).ok());
+}
+
+TEST_F(RedundancyTest, UnmirroredObjectLosesDataPathOnFailure)
+{
+    const auto id =
+        runFor(client->create(64 * kKB, 0, 0, Redundancy::kNone)).value();
+    ASSERT_TRUE(runFor(client->write(id, 0, pattern(512 * kKB))).ok());
+
+    drives[1]->setFailed(true);
+    std::vector<std::uint8_t> out(512 * kKB);
+    auto r = runFor(client->read(id, 0, out));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error(), CheopsStatus::kDriveError);
+}
+
+// -------------------------------------------------------------- mirroring
+
+TEST_F(RedundancyTest, MirroredCreateAllocatesReplicas)
+{
+    const auto id =
+        runFor(client->create(64 * kKB, 0, 0, Redundancy::kMirror))
+            .value();
+    auto map = runFor(client->open(id, false));
+    ASSERT_TRUE(map.ok());
+    EXPECT_EQ(map.value()->redundancy, Redundancy::kMirror);
+    ASSERT_EQ(map.value()->mirrors.size(),
+              map.value()->components.size());
+    for (std::size_t i = 0; i < map.value()->components.size(); ++i) {
+        // A replica never shares a drive with its primary.
+        EXPECT_NE(map.value()->components[i].drive,
+                  map.value()->mirrors[i].drive);
+    }
+}
+
+TEST_F(RedundancyTest, MirroredRoundTrip)
+{
+    const auto id =
+        runFor(client->create(64 * kKB, 0, 0, Redundancy::kMirror))
+            .value();
+    const auto data = pattern(700 * kKB, 9);
+    ASSERT_TRUE(runFor(client->write(id, 0, data)).ok());
+    std::vector<std::uint8_t> out(700 * kKB);
+    auto n = runFor(client->read(id, 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(RedundancyTest, WritesLandOnBothCopies)
+{
+    const auto id =
+        runFor(client->create(64 * kKB, 0, 0, Redundancy::kMirror))
+            .value();
+    ASSERT_TRUE(runFor(client->write(id, 0, pattern(kMB))).ok());
+    // Every drive hosts primaries AND mirrors: with 4 drives and 1 MB
+    // striped twice, each drive sees writes for both roles.
+    for (auto &d : drives)
+        EXPECT_GE(d->store().stats().writes.value(), 2u);
+}
+
+TEST_F(RedundancyTest, DegradedReadSurvivesSingleDriveFailure)
+{
+    const auto id =
+        runFor(client->create(64 * kKB, 0, 0, Redundancy::kMirror))
+            .value();
+    const auto data = pattern(kMB, 5);
+    ASSERT_TRUE(runFor(client->write(id, 0, data)).ok());
+
+    drives[2]->setFailed(true);
+    std::vector<std::uint8_t> out(kMB);
+    auto n = runFor(client->read(id, 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(RedundancyTest, DegradedReadSurvivesAnySingleFailure)
+{
+    // Property over which drive fails.
+    for (int victim = 0; victim < kDrives; ++victim) {
+        for (auto &d : drives)
+            d->setFailed(false);
+        const auto id =
+            runFor(client->create(64 * kKB, 0, 0, Redundancy::kMirror))
+                .value();
+        const auto data = pattern(512 * kKB,
+                                  static_cast<std::uint8_t>(victim + 1));
+        ASSERT_TRUE(runFor(client->write(id, 0, data)).ok());
+
+        drives[victim]->setFailed(true);
+        std::vector<std::uint8_t> out(512 * kKB);
+        auto n = runFor(client->read(id, 0, out));
+        ASSERT_TRUE(n.ok()) << "victim drive " << victim;
+        EXPECT_EQ(out, data) << "victim drive " << victim;
+    }
+}
+
+TEST_F(RedundancyTest, DegradedWriteThenRecoveredRead)
+{
+    const auto id =
+        runFor(client->create(64 * kKB, 0, 0, Redundancy::kMirror))
+            .value();
+    ASSERT_TRUE(runFor(client->write(id, 0, pattern(kMB, 1))).ok());
+
+    // Write while one drive is down: succeeds on the surviving copy.
+    drives[1]->setFailed(true);
+    const auto updated = pattern(kMB, 77);
+    ASSERT_TRUE(runFor(client->write(id, 0, updated)).ok());
+
+    // Reads while degraded see the update.
+    std::vector<std::uint8_t> out(kMB);
+    ASSERT_TRUE(runFor(client->read(id, 0, out)).ok());
+    EXPECT_EQ(out, updated);
+}
+
+TEST_F(RedundancyTest, DoubleFaultOnAPairLosesData)
+{
+    const auto id =
+        runFor(client->create(64 * kKB, 0, 0, Redundancy::kMirror))
+            .value();
+    ASSERT_TRUE(runFor(client->write(id, 0, pattern(kMB))).ok());
+
+    // Primary on drive 0 mirrors to drive 1: failing both kills the
+    // stripe units they host.
+    drives[0]->setFailed(true);
+    drives[1]->setFailed(true);
+    std::vector<std::uint8_t> out(kMB);
+    auto r = runFor(client->read(id, 0, out));
+    ASSERT_FALSE(r.ok());
+}
+
+TEST_F(RedundancyTest, MirrorRequiresTwoDrives)
+{
+    // A one-drive manager cannot satisfy kMirror.
+    std::vector<NasdDrive *> one = {raw[0]};
+    auto &node = net.addNode("mgr1", net::alphaStation500(),
+                             net::oc3Link(), net::dceRpcCosts());
+    CheopsManager small(sim, net, node, one, 1);
+    run(small.initialize(64 * kMB));
+    CheopsClient c(net, client_node, small, one);
+    auto id = runFor(c.create(64 * kKB, 0, 0, Redundancy::kMirror));
+    ASSERT_FALSE(id.ok());
+}
+
+TEST_F(RedundancyTest, RemoveCleansUpReplicas)
+{
+    const auto id =
+        runFor(client->create(64 * kKB, 0, 0, Redundancy::kMirror))
+            .value();
+    ASSERT_TRUE(runFor(client->write(id, 0, pattern(kMB))).ok());
+    ASSERT_TRUE(runFor(client->remove(id)).ok());
+    for (auto &d : drives) {
+        auto info = d->store().partitionInfo(0);
+        EXPECT_EQ(info.value().object_count, 0u);
+        EXPECT_EQ(info.value().used_bytes, 0u);
+    }
+}
+
+TEST_F(RedundancyTest, MirroringCostsOneExtraWrite)
+{
+    // Timing sanity: mirrored writes are slower than unmirrored (two
+    // copies move), but reads cost the same when healthy.
+    const auto plain =
+        runFor(client->create(64 * kKB, 0, 0, Redundancy::kNone)).value();
+    const auto mirrored =
+        runFor(client->create(64 * kKB, 0, 0, Redundancy::kMirror))
+            .value();
+    const auto data = pattern(kMB);
+
+    sim::Tick t0 = sim.now();
+    ASSERT_TRUE(runFor(client->write(plain, 0, data)).ok());
+    const sim::Tick plain_write = sim.now() - t0;
+    t0 = sim.now();
+    ASSERT_TRUE(runFor(client->write(mirrored, 0, data)).ok());
+    const sim::Tick mirrored_write = sim.now() - t0;
+    EXPECT_GT(mirrored_write, plain_write);
+}
+
+} // namespace
+} // namespace nasd::cheops

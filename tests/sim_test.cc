@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Unit tests for the discrete-event core: event ordering, coroutine
+ * tasks, delays, semaphores, gates, barriers, CPU resources, and
+ * parallel joins.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace nasd::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30, [&] { order.push_back(3); });
+    sim.schedule(10, [&] { order.push_back(1); });
+    sim.schedule(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, SameTickIsFifo)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        sim.schedule(100, [&order, i] { order.push_back(i); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10, [&] { ++fired; });
+    sim.schedule(100, [&] { ++fired; });
+    const bool more = sim.runUntil(50);
+    EXPECT_TRUE(more);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 50u);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, HandlerMayScheduleMore)
+{
+    Simulator sim;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 10)
+            sim.scheduleIn(5, chain);
+    };
+    sim.schedule(0, chain);
+    sim.run();
+    EXPECT_EQ(count, 10);
+    EXPECT_EQ(sim.now(), 45u);
+}
+
+Task<void>
+delayTwice(Simulator &sim, std::vector<Tick> &stamps)
+{
+    co_await sim.delay(10);
+    stamps.push_back(sim.now());
+    co_await sim.delay(15);
+    stamps.push_back(sim.now());
+}
+
+TEST(Task, DelaysAdvanceClock)
+{
+    Simulator sim;
+    std::vector<Tick> stamps;
+    sim.spawn(delayTwice(sim, stamps));
+    sim.run();
+    EXPECT_EQ(stamps, (std::vector<Tick>{10, 25}));
+}
+
+Task<int>
+addLater(Simulator &sim, int a, int b)
+{
+    co_await sim.delay(5);
+    co_return a + b;
+}
+
+Task<void>
+awaitChild(Simulator &sim, int &out)
+{
+    out = co_await addLater(sim, 2, 3);
+}
+
+TEST(Task, NestedAwaitReturnsValue)
+{
+    Simulator sim;
+    int result = 0;
+    sim.spawn(awaitChild(sim, result));
+    sim.run();
+    EXPECT_EQ(result, 5);
+    EXPECT_EQ(sim.now(), 5u);
+}
+
+Task<int>
+deepRecurse(Simulator &sim, int depth)
+{
+    if (depth == 0) {
+        co_await sim.delay(1);
+        co_return 0;
+    }
+    const int below = co_await deepRecurse(sim, depth - 1);
+    co_return below + 1;
+}
+
+Task<void>
+runDeep(Simulator &sim, int &out)
+{
+    out = co_await deepRecurse(sim, 500);
+}
+
+TEST(Task, DeepNestingViaSymmetricTransfer)
+{
+    Simulator sim;
+    int result = -1;
+    sim.spawn(runDeep(sim, result));
+    sim.run();
+    EXPECT_EQ(result, 500);
+}
+
+Task<void>
+throwLater(Simulator &sim)
+{
+    co_await sim.delay(3);
+    throw std::runtime_error("boom");
+}
+
+TEST(Task, SpawnedExceptionSurfacesFromRun)
+{
+    Simulator sim;
+    sim.spawn(throwLater(sim));
+    EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+Task<void>
+rethrowChild(Simulator &sim, bool &caught)
+{
+    try {
+        co_await throwLater(sim);
+    } catch (const std::runtime_error &) {
+        caught = true;
+    }
+}
+
+TEST(Task, AwaitedExceptionPropagatesToParent)
+{
+    Simulator sim;
+    bool caught = false;
+    sim.spawn(rethrowChild(sim, caught));
+    sim.run();
+    EXPECT_TRUE(caught);
+}
+
+TEST(Simulator, LiveProcessCount)
+{
+    Simulator sim;
+    std::vector<Tick> stamps;
+    sim.spawn(delayTwice(sim, stamps));
+    EXPECT_EQ(sim.liveProcesses(), 1u);
+    sim.run();
+    EXPECT_EQ(sim.liveProcesses(), 0u);
+}
+
+Task<void>
+holdSemaphore(Simulator &sim, Semaphore &sem, Tick hold,
+              std::vector<std::pair<int, Tick>> &log, int id)
+{
+    co_await sem.acquire();
+    log.emplace_back(id, sim.now());
+    co_await sim.delay(hold);
+    sem.release();
+}
+
+TEST(Semaphore, SerializesSinglePermit)
+{
+    Simulator sim;
+    Semaphore sem(sim, 1);
+    std::vector<std::pair<int, Tick>> log;
+    for (int i = 0; i < 3; ++i)
+        sim.spawn(holdSemaphore(sim, sem, 10, log, i));
+    sim.run();
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log[0], (std::pair<int, Tick>{0, 0}));
+    EXPECT_EQ(log[1], (std::pair<int, Tick>{1, 10}));
+    EXPECT_EQ(log[2], (std::pair<int, Tick>{2, 20}));
+}
+
+TEST(Semaphore, TwoPermitsOverlap)
+{
+    Simulator sim;
+    Semaphore sem(sim, 2);
+    std::vector<std::pair<int, Tick>> log;
+    for (int i = 0; i < 4; ++i)
+        sim.spawn(holdSemaphore(sim, sem, 10, log, i));
+    sim.run();
+    ASSERT_EQ(log.size(), 4u);
+    EXPECT_EQ(log[1].second, 0u); // two start immediately
+    EXPECT_EQ(log[2].second, 10u);
+    EXPECT_EQ(log[3].second, 10u);
+}
+
+Task<void>
+waitGate(Simulator &sim, Gate &gate, Tick &when)
+{
+    co_await gate.wait();
+    when = sim.now();
+}
+
+TEST(Gate, ReleasesAllWaiters)
+{
+    Simulator sim;
+    Gate gate(sim);
+    Tick a = 0;
+    Tick b = 0;
+    sim.spawn(waitGate(sim, gate, a));
+    sim.spawn(waitGate(sim, gate, b));
+    sim.schedule(42, [&] { gate.open(); });
+    sim.run();
+    EXPECT_EQ(a, 42u);
+    EXPECT_EQ(b, 42u);
+}
+
+TEST(Gate, OpenGateIsPassThrough)
+{
+    Simulator sim;
+    Gate gate(sim);
+    gate.open();
+    Tick when = 99;
+    sim.spawn(waitGate(sim, gate, when));
+    sim.run();
+    EXPECT_EQ(when, 0u);
+}
+
+Task<void>
+meetAtBarrier(Simulator &sim, Barrier &barrier, Tick arrive_at,
+              std::vector<Tick> &done)
+{
+    co_await sim.delay(arrive_at);
+    co_await barrier.arrive();
+    done.push_back(sim.now());
+}
+
+TEST(Barrier, AllPartiesLeaveTogether)
+{
+    Simulator sim;
+    Barrier barrier(sim, 3);
+    std::vector<Tick> done;
+    sim.spawn(meetAtBarrier(sim, barrier, 5, done));
+    sim.spawn(meetAtBarrier(sim, barrier, 20, done));
+    sim.spawn(meetAtBarrier(sim, barrier, 50, done));
+    sim.run();
+    ASSERT_EQ(done.size(), 3u);
+    for (Tick t : done)
+        EXPECT_EQ(t, 50u);
+}
+
+Task<void>
+burn(Simulator &sim, CpuResource &cpu, std::uint64_t instructions)
+{
+    (void)sim;
+    co_await cpu.execute(instructions);
+}
+
+TEST(Cpu, TimeForMatchesArithmetic)
+{
+    Simulator sim;
+    // 200 MHz, CPI 2.2: one instruction = 2.2 cycles = 11 ns.
+    CpuResource cpu(sim, "drive", 200.0, 2.2);
+    EXPECT_EQ(cpu.timeFor(1000), 11000u);
+}
+
+TEST(Cpu, SerializesWork)
+{
+    Simulator sim;
+    CpuResource cpu(sim, "cpu", 100.0, 1.0); // 10ns per instruction
+    sim.spawn(burn(sim, cpu, 100));
+    sim.spawn(burn(sim, cpu, 100));
+    sim.run();
+    EXPECT_EQ(sim.now(), 2000u);
+    EXPECT_EQ(cpu.instructionsRetired(), 200u);
+}
+
+TEST(Cpu, IdleFractionTracked)
+{
+    Simulator sim;
+    CpuResource cpu(sim, "cpu", 100.0, 1.0);
+    sim.spawn(burn(sim, cpu, 100)); // busy 0..1000
+    sim.run();
+    sim.runUntil(2000);
+    EXPECT_NEAR(cpu.idleFraction(0, 2000), 0.5, 1e-9);
+}
+
+Task<void>
+gatherSquares(Simulator &sim, std::vector<int> &out)
+{
+    std::vector<Task<int>> tasks;
+    for (int i = 1; i <= 4; ++i)
+        tasks.push_back(addLater(sim, i * i, 0));
+    out = co_await parallelGather(sim, std::move(tasks));
+}
+
+TEST(Parallel, GatherKeepsOrderAndOverlaps)
+{
+    Simulator sim;
+    std::vector<int> results;
+    sim.spawn(gatherSquares(sim, results));
+    sim.run();
+    EXPECT_EQ(results, (std::vector<int>{1, 4, 9, 16}));
+    // Each addLater delays 5; run in parallel they finish together.
+    EXPECT_EQ(sim.now(), 5u);
+}
+
+Task<void>
+joinAll(Simulator &sim, Semaphore &sem,
+        std::vector<std::pair<int, Tick>> &log, Tick &finished)
+{
+    std::vector<Task<void>> tasks;
+    for (int i = 0; i < 3; ++i)
+        tasks.push_back(holdSemaphore(sim, sem, 10, log, i));
+    co_await parallelAll(sim, std::move(tasks));
+    finished = sim.now();
+}
+
+TEST(Parallel, AllWaitsForEveryTask)
+{
+    Simulator sim;
+    Semaphore sem(sim, 1);
+    std::vector<std::pair<int, Tick>> log;
+    Tick finished = 0;
+    sim.spawn(joinAll(sim, sem, log, finished));
+    sim.run();
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_EQ(finished, 30u);
+}
+
+TEST(Parallel, EmptyBatchCompletesImmediately)
+{
+    Simulator sim;
+    bool done = false;
+    sim.spawn([](Simulator &s, bool &flag) -> Task<void> {
+        co_await parallelAll(s, {});
+        flag = true;
+    }(sim, done));
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(Time, ConversionHelpers)
+{
+    EXPECT_EQ(usec(1), 1000u);
+    EXPECT_EQ(msec(1.5), 1500000u);
+    EXPECT_EQ(sec(2), 2000000000u);
+    EXPECT_DOUBLE_EQ(toSeconds(sec(3)), 3.0);
+    EXPECT_DOUBLE_EQ(toMillis(msec(7)), 7.0);
+}
+
+} // namespace
+} // namespace nasd::sim

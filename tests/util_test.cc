@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Unit tests for src/util: RNG determinism and distributions, stats
+ * accumulators, unit conversion, Result.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace nasd::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowOneIsZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.between(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u); // all three values appear
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMeanConverges)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    Rng rng(17);
+    ZipfSampler zipf(100, 0.99);
+    std::map<std::size_t, int> counts;
+    for (int i = 0; i < 20000; ++i)
+        counts[zipf.sample(rng)]++;
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(Zipf, ThetaZeroIsUniformish)
+{
+    Rng rng(19);
+    ZipfSampler zipf(10, 0.0);
+    std::map<std::size_t, int> counts;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        counts[zipf.sample(rng)]++;
+    for (const auto &[rank, count] : counts)
+        EXPECT_NEAR(count, n / 10, n / 10 * 0.15);
+}
+
+TEST(Zipf, AllRanksReachable)
+{
+    Rng rng(23);
+    ZipfSampler zipf(5, 0.5);
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 5000; ++i)
+        seen.insert(zipf.sample(rng));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(SampleStats, BasicMoments)
+{
+    SampleStats s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(SampleStats, EmptyIsZero)
+{
+    SampleStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.percentile(50), 0.0);
+}
+
+TEST(SampleStats, PercentileInterpolates)
+{
+    SampleStats s;
+    for (double v : {10.0, 20.0, 30.0, 40.0, 50.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 30.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+}
+
+TEST(SampleStats, PercentileAfterAddResorts)
+{
+    SampleStats s;
+    s.add(5.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+    s.add(9.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 9.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(Utilization, BusyFractionOverWindow)
+{
+    UtilizationTracker u;
+    u.markBusy(100);
+    u.markIdle(200);
+    u.markBusy(300);
+    u.markIdle(400);
+    EXPECT_DOUBLE_EQ(u.utilization(0, 400), 0.5);
+    EXPECT_DOUBLE_EQ(u.busyTime(), 200.0);
+}
+
+TEST(Utilization, OpenIntervalCounted)
+{
+    UtilizationTracker u;
+    u.markBusy(0);
+    EXPECT_DOUBLE_EQ(u.utilization(0, 100), 1.0);
+}
+
+TEST(Utilization, RedundantMarksIgnored)
+{
+    UtilizationTracker u;
+    u.markBusy(10);
+    u.markBusy(20); // ignored
+    u.markIdle(30);
+    u.markIdle(40); // ignored
+    EXPECT_EQ(u.busyTime(), 20u);
+}
+
+TEST(Units, Formatting)
+{
+    EXPECT_EQ(formatBytes(512), "512B");
+    EXPECT_EQ(formatBytes(4 * kKB), "4KB");
+    EXPECT_EQ(formatBytes(3 * kMB), "3MB");
+    EXPECT_EQ(formatBytes(2 * kGB), "2GB");
+    EXPECT_EQ(formatBytes(kKB + 1), "1025B");
+}
+
+TEST(Units, Conversions)
+{
+    // 155 Mb/s OC-3 is 19.375 decimal MB/s.
+    EXPECT_DOUBLE_EQ(mbpsToBytesPerSec(155), 19375000.0);
+    EXPECT_DOUBLE_EQ(bytesPerSecToMBs(kMB), 1.0);
+}
+
+enum class TestError { kBad, kWorse };
+
+TEST(Result, ValueRoundTrip)
+{
+    Result<int, TestError> r(7);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, 7);
+}
+
+TEST(Result, ErrorRoundTrip)
+{
+    Result<int, TestError> r(Err{TestError::kWorse});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error(), TestError::kWorse);
+}
+
+TEST(Result, VoidSpecialization)
+{
+    Result<void, TestError> ok;
+    EXPECT_TRUE(ok.ok());
+    Result<void, TestError> bad(Err{TestError::kBad});
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error(), TestError::kBad);
+}
+
+} // namespace
+} // namespace nasd::util
