@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rpc"
+  "../bench/ablation_rpc.pdb"
+  "CMakeFiles/ablation_rpc.dir/ablation_rpc.cc.o"
+  "CMakeFiles/ablation_rpc.dir/ablation_rpc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_security"
+  "../bench/ablation_security.pdb"
+  "CMakeFiles/ablation_security.dir/ablation_security.cc.o"
+  "CMakeFiles/ablation_security.dir/ablation_security.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

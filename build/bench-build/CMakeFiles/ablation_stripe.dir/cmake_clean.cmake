@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_stripe"
+  "../bench/ablation_stripe.pdb"
+  "CMakeFiles/ablation_stripe.dir/ablation_stripe.cc.o"
+  "CMakeFiles/ablation_stripe.dir/ablation_stripe.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/active_disks"
+  "../bench/active_disks.pdb"
+  "CMakeFiles/active_disks.dir/active_disks.cc.o"
+  "CMakeFiles/active_disks.dir/active_disks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_disks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/andrew_benchmark"
+  "../bench/andrew_benchmark.pdb"
+  "CMakeFiles/andrew_benchmark.dir/andrew_benchmark.cc.o"
+  "CMakeFiles/andrew_benchmark.dir/andrew_benchmark.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/andrew_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

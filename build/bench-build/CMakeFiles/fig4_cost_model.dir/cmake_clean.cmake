@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_cost_model"
+  "../bench/fig4_cost_model.pdb"
+  "CMakeFiles/fig4_cost_model.dir/fig4_cost_model.cc.o"
+  "CMakeFiles/fig4_cost_model.dir/fig4_cost_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

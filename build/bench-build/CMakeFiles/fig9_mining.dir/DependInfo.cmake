@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_mining.cc" "bench-build/CMakeFiles/fig9_mining.dir/fig9_mining.cc.o" "gcc" "bench-build/CMakeFiles/fig9_mining.dir/fig9_mining.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/active/CMakeFiles/nasd_active.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/afs/CMakeFiles/nasd_afs.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/nasd_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cheops/CMakeFiles/nasd_cheops.dir/DependInfo.cmake"
+  "/root/repo/build/src/nasd/CMakeFiles/nasd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/nasd_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/ffs/CMakeFiles/nasd_ffs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/nfs/CMakeFiles/nasd_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/nasd_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/nasd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/nasd_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nasd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nasd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nasd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

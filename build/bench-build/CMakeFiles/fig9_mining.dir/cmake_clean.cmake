@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_mining"
+  "../bench/fig9_mining.pdb"
+  "CMakeFiles/fig9_mining.dir/fig9_mining.cc.o"
+  "CMakeFiles/fig9_mining.dir/fig9_mining.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

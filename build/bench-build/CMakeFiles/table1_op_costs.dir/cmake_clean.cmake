@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_op_costs"
+  "../bench/table1_op_costs.pdb"
+  "CMakeFiles/table1_op_costs.dir/table1_op_costs.cc.o"
+  "CMakeFiles/table1_op_costs.dir/table1_op_costs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_op_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/active_disk_filter"
+  "../examples/active_disk_filter.pdb"
+  "CMakeFiles/active_disk_filter.dir/active_disk_filter.cpp.o"
+  "CMakeFiles/active_disk_filter.dir/active_disk_filter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_disk_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/mining_cluster"
+  "../examples/mining_cluster.pdb"
+  "CMakeFiles/mining_cluster.dir/mining_cluster.cpp.o"
+  "CMakeFiles/mining_cluster.dir/mining_cluster.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/nfs_port"
+  "../examples/nfs_port.pdb"
+  "CMakeFiles/nfs_port.dir/nfs_port.cpp.o"
+  "CMakeFiles/nfs_port.dir/nfs_port.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfs_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

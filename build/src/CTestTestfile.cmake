@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("crypto")
+subdirs("disk")
+subdirs("net")
+subdirs("nasd")
+subdirs("fs/ffs")
+subdirs("fs/nfs")
+subdirs("fs/afs")
+subdirs("cheops")
+subdirs("pfs")
+subdirs("apps")
+subdirs("active")
+subdirs("cost")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_active.dir/active.cc.o"
+  "CMakeFiles/nasd_active.dir/active.cc.o.d"
+  "libnasd_active.a"
+  "libnasd_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nasd_active.
+# This may be replaced when dependencies are built.

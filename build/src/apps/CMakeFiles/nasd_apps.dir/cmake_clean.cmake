@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_apps.dir/andrew.cc.o"
+  "CMakeFiles/nasd_apps.dir/andrew.cc.o.d"
+  "CMakeFiles/nasd_apps.dir/andrew_targets.cc.o"
+  "CMakeFiles/nasd_apps.dir/andrew_targets.cc.o.d"
+  "CMakeFiles/nasd_apps.dir/frequent_sets.cc.o"
+  "CMakeFiles/nasd_apps.dir/frequent_sets.cc.o.d"
+  "CMakeFiles/nasd_apps.dir/transactions.cc.o"
+  "CMakeFiles/nasd_apps.dir/transactions.cc.o.d"
+  "libnasd_apps.a"
+  "libnasd_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_cheops.dir/cheops.cc.o"
+  "CMakeFiles/nasd_cheops.dir/cheops.cc.o.d"
+  "libnasd_cheops.a"
+  "libnasd_cheops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_cheops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_cost.dir/cost_model.cc.o"
+  "CMakeFiles/nasd_cost.dir/cost_model.cc.o.d"
+  "libnasd_cost.a"
+  "libnasd_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

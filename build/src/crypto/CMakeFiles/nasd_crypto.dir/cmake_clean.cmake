@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_crypto.dir/hmac.cc.o"
+  "CMakeFiles/nasd_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/nasd_crypto.dir/keychain.cc.o"
+  "CMakeFiles/nasd_crypto.dir/keychain.cc.o.d"
+  "CMakeFiles/nasd_crypto.dir/sha256.cc.o"
+  "CMakeFiles/nasd_crypto.dir/sha256.cc.o.d"
+  "libnasd_crypto.a"
+  "libnasd_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_disk.dir/disk_model.cc.o"
+  "CMakeFiles/nasd_disk.dir/disk_model.cc.o.d"
+  "CMakeFiles/nasd_disk.dir/params.cc.o"
+  "CMakeFiles/nasd_disk.dir/params.cc.o.d"
+  "CMakeFiles/nasd_disk.dir/striping.cc.o"
+  "CMakeFiles/nasd_disk.dir/striping.cc.o.d"
+  "libnasd_disk.a"
+  "libnasd_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_afs.dir/afs.cc.o"
+  "CMakeFiles/nasd_afs.dir/afs.cc.o.d"
+  "libnasd_afs.a"
+  "libnasd_afs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_afs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

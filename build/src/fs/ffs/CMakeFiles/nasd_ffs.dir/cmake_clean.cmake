@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_ffs.dir/ffs.cc.o"
+  "CMakeFiles/nasd_ffs.dir/ffs.cc.o.d"
+  "libnasd_ffs.a"
+  "libnasd_ffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_ffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnasd_ffs.a"
+)

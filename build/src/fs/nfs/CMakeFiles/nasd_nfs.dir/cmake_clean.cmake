@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_nfs.dir/nasd_nfs.cc.o"
+  "CMakeFiles/nasd_nfs.dir/nasd_nfs.cc.o.d"
+  "CMakeFiles/nasd_nfs.dir/nfs_client.cc.o"
+  "CMakeFiles/nasd_nfs.dir/nfs_client.cc.o.d"
+  "CMakeFiles/nasd_nfs.dir/nfs_server.cc.o"
+  "CMakeFiles/nasd_nfs.dir/nfs_server.cc.o.d"
+  "libnasd_nfs.a"
+  "libnasd_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nasd/allocator.cc" "src/nasd/CMakeFiles/nasd_core.dir/allocator.cc.o" "gcc" "src/nasd/CMakeFiles/nasd_core.dir/allocator.cc.o.d"
+  "/root/repo/src/nasd/capability.cc" "src/nasd/CMakeFiles/nasd_core.dir/capability.cc.o" "gcc" "src/nasd/CMakeFiles/nasd_core.dir/capability.cc.o.d"
+  "/root/repo/src/nasd/client.cc" "src/nasd/CMakeFiles/nasd_core.dir/client.cc.o" "gcc" "src/nasd/CMakeFiles/nasd_core.dir/client.cc.o.d"
+  "/root/repo/src/nasd/drive.cc" "src/nasd/CMakeFiles/nasd_core.dir/drive.cc.o" "gcc" "src/nasd/CMakeFiles/nasd_core.dir/drive.cc.o.d"
+  "/root/repo/src/nasd/object_store.cc" "src/nasd/CMakeFiles/nasd_core.dir/object_store.cc.o" "gcc" "src/nasd/CMakeFiles/nasd_core.dir/object_store.cc.o.d"
+  "/root/repo/src/nasd/types.cc" "src/nasd/CMakeFiles/nasd_core.dir/types.cc.o" "gcc" "src/nasd/CMakeFiles/nasd_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/nasd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/nasd_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nasd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nasd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nasd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

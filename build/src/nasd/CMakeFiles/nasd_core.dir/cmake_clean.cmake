@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_core.dir/allocator.cc.o"
+  "CMakeFiles/nasd_core.dir/allocator.cc.o.d"
+  "CMakeFiles/nasd_core.dir/capability.cc.o"
+  "CMakeFiles/nasd_core.dir/capability.cc.o.d"
+  "CMakeFiles/nasd_core.dir/client.cc.o"
+  "CMakeFiles/nasd_core.dir/client.cc.o.d"
+  "CMakeFiles/nasd_core.dir/drive.cc.o"
+  "CMakeFiles/nasd_core.dir/drive.cc.o.d"
+  "CMakeFiles/nasd_core.dir/object_store.cc.o"
+  "CMakeFiles/nasd_core.dir/object_store.cc.o.d"
+  "CMakeFiles/nasd_core.dir/types.cc.o"
+  "CMakeFiles/nasd_core.dir/types.cc.o.d"
+  "libnasd_core.a"
+  "libnasd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_net.dir/network.cc.o"
+  "CMakeFiles/nasd_net.dir/network.cc.o.d"
+  "libnasd_net.a"
+  "libnasd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_pfs.dir/pfs.cc.o"
+  "CMakeFiles/nasd_pfs.dir/pfs.cc.o.d"
+  "libnasd_pfs.a"
+  "libnasd_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_sim.dir/simulator.cc.o"
+  "CMakeFiles/nasd_sim.dir/simulator.cc.o.d"
+  "libnasd_sim.a"
+  "libnasd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

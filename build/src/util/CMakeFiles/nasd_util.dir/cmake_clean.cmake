@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_util.dir/logging.cc.o"
+  "CMakeFiles/nasd_util.dir/logging.cc.o.d"
+  "CMakeFiles/nasd_util.dir/sparse_store.cc.o"
+  "CMakeFiles/nasd_util.dir/sparse_store.cc.o.d"
+  "CMakeFiles/nasd_util.dir/stats.cc.o"
+  "CMakeFiles/nasd_util.dir/stats.cc.o.d"
+  "CMakeFiles/nasd_util.dir/units.cc.o"
+  "CMakeFiles/nasd_util.dir/units.cc.o.d"
+  "libnasd_util.a"
+  "libnasd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

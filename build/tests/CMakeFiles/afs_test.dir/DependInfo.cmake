@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/afs_test.cc" "tests/CMakeFiles/afs_test.dir/afs_test.cc.o" "gcc" "tests/CMakeFiles/afs_test.dir/afs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fs/afs/CMakeFiles/nasd_afs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nasd/CMakeFiles/nasd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/nasd_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/ffs/CMakeFiles/nasd_ffs.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/nasd_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nasd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nasd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nasd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

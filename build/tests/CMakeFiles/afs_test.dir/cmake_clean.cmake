@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afs_test.dir/afs_test.cc.o"
+  "CMakeFiles/afs_test.dir/afs_test.cc.o.d"
+  "afs_test"
+  "afs_test.pdb"
+  "afs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheops_test.dir/cheops_test.cc.o"
+  "CMakeFiles/cheops_test.dir/cheops_test.cc.o.d"
+  "cheops_test"
+  "cheops_test.pdb"
+  "cheops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

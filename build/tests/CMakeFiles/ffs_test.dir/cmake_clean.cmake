@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffs_test.dir/ffs_test.cc.o"
+  "CMakeFiles/ffs_test.dir/ffs_test.cc.o.d"
+  "ffs_test"
+  "ffs_test.pdb"
+  "ffs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_drive_test.dir/nasd_drive_test.cc.o"
+  "CMakeFiles/nasd_drive_test.dir/nasd_drive_test.cc.o.d"
+  "nasd_drive_test"
+  "nasd_drive_test.pdb"
+  "nasd_drive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_drive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasd_store_test.dir/nasd_store_test.cc.o"
+  "CMakeFiles/nasd_store_test.dir/nasd_store_test.cc.o.d"
+  "nasd_store_test"
+  "nasd_store_test.pdb"
+  "nasd_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasd_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
