@@ -27,6 +27,7 @@
 #include "fs/nfs/nfs_server.h"
 #include "net/presets.h"
 #include "sim/simulator.h"
+#include "util/logging.h"
 #include "util/units.h"
 
 using namespace nasd;
@@ -99,6 +100,7 @@ nfsTime(int n)
         auto sub = bench::runFor(
             sim, clients.back()->mkdir(server.rootHandle(volume),
                                        "w" + std::to_string(i)));
+        NASD_ASSERT(sub.ok(), "andrew setup: nfs mkdir failed");
         targets.push_back(std::make_unique<apps::NfsAndrewTarget>(
             *clients.back(), volume, sub.value()));
         cpus.push_back(&node.cpu());
@@ -137,6 +139,7 @@ nasdTime(int n)
         auto sub = bench::runFor(
             sim, clients.back()->mkdir(fm.rootHandle(),
                                        "w" + std::to_string(i)));
+        NASD_ASSERT(sub.ok(), "andrew setup: nasd-nfs mkdir failed");
         targets.push_back(std::make_unique<apps::NasdNfsAndrewTarget>(
             *clients.back(), sub.value()));
         cpus.push_back(&node.cpu());

@@ -31,6 +31,7 @@
 #include "nasd/object_store.h"
 #include "sim/resource.h"
 #include "sim/simulator.h"
+#include "util/logging.h"
 #include "util/units.h"
 
 using namespace nasd;
@@ -153,6 +154,7 @@ struct NasdRig : Rig
     makeObject(std::uint64_t bytes)
     {
         auto oid = bench::runFor(sim, store.createObject(0, 0, nullptr));
+        NASD_ASSERT(oid.ok(), "fig6 setup: createObject failed");
         std::vector<std::uint8_t> chunk(kMB, 7);
         for (std::uint64_t off = 0; off < bytes; off += kMB) {
             auto r = bench::runFor(
@@ -243,6 +245,7 @@ struct FfsRig : Rig
     makeFile(const std::string &name, std::uint64_t bytes)
     {
         auto ino = bench::runFor(sim, ffs.create(fs::kRootInode, name));
+        NASD_ASSERT(ino.ok(), "fig6 setup: ffs create failed");
         std::vector<std::uint8_t> chunk(kMB, 7);
         for (std::uint64_t off = 0; off < bytes; off += kMB) {
             auto r = bench::runFor(

@@ -37,6 +37,7 @@
 #include "net/presets.h"
 #include "pfs/pfs.h"
 #include "sim/simulator.h"
+#include "util/logging.h"
 #include "util/units.h"
 
 using namespace nasd;
@@ -239,6 +240,7 @@ runNfs(int n, bool parallel_files)
             auto ino = bench::runFor(
                 sim, vol.create(fs::kRootInode,
                                 "sales" + std::to_string(i)));
+            NASD_ASSERT(ino.ok(), "fig9 setup: create failed");
             const std::uint64_t per_client =
                 chunks / n_clients + (i < static_cast<int>(chunks %
                                                            n_clients)
@@ -256,6 +258,7 @@ runNfs(int n, bool parallel_files)
     } else {
         auto &vol = *volumes[0];
         auto ino = bench::runFor(sim, vol.create(fs::kRootInode, "sales"));
+        NASD_ASSERT(ino.ok(), "fig9 setup: create failed");
         for (std::uint64_t c = 0; c < chunks; ++c) {
             auto w = bench::runFor(
                 sim, vol.write(ino.value(), c * apps::kChunkBytes,

@@ -56,7 +56,7 @@ class ActiveMethod
 /** Factory so each scan gets a fresh method instance. */
 using MethodFactory = std::function<std::unique_ptr<ActiveMethod>()>;
 
-struct ScanResponse
+struct [[nodiscard]] ScanResponse
 {
     NasdStatus status = NasdStatus::kOk;
     std::vector<std::uint8_t> result;

@@ -40,7 +40,7 @@ namespace nasd::cheops {
 using LogicalObjectId = std::uint64_t;
 
 /** Cheops status codes. */
-enum class CheopsStatus : std::uint8_t {
+enum class [[nodiscard]] CheopsStatus : std::uint8_t {
     kOk = 0,
     kNoSuchObject,
     kStaleMap,   ///< client's layout map version is out of date
@@ -79,24 +79,24 @@ struct CheopsMap
     Redundancy redundancy = Redundancy::kNone;
 };
 
-struct OpenReply
+struct [[nodiscard]] OpenReply
 {
     CheopsStatus status = CheopsStatus::kOk;
     CheopsMap map;
 };
 
-struct CreateReply
+struct [[nodiscard]] CreateReply
 {
     CheopsStatus status = CheopsStatus::kOk;
     LogicalObjectId id = 0;
 };
 
-struct CheopsStatusReply
+struct [[nodiscard]] CheopsStatusReply
 {
     CheopsStatus status = CheopsStatus::kOk;
 };
 
-struct SizeReply
+struct [[nodiscard]] SizeReply
 {
     CheopsStatus status = CheopsStatus::kOk;
     std::uint64_t size = 0;

@@ -99,7 +99,7 @@ Sha256::update(std::span<const std::uint8_t> data)
 {
     total_bytes_ += data.size();
     std::size_t offset = 0;
-    if (buffered_ > 0) {
+    if (buffered_ > 0 && !data.empty()) {
         const std::size_t take =
             std::min(data.size(), buffer_.size() - buffered_);
         std::memcpy(buffer_.data() + buffered_, data.data(), take);

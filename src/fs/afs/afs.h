@@ -55,19 +55,19 @@ struct AfsFid
     }
 };
 
-struct AfsFetchCapReply
+struct [[nodiscard]] AfsFetchCapReply
 {
     NfsStatus status = NfsStatus::kOk;
     Capability capability;
     NfsAttr attrs;
 };
 
-struct AfsStatusReply
+struct [[nodiscard]] AfsStatusReply
 {
     NfsStatus status = NfsStatus::kOk;
 };
 
-struct AfsCreateReply
+struct [[nodiscard]] AfsCreateReply
 {
     NfsStatus status = NfsStatus::kOk;
     AfsFid fid;

@@ -43,7 +43,7 @@
 namespace nasd::fs {
 
 /** FFS error codes. */
-enum class FsStatus : std::uint8_t {
+enum class [[nodiscard]] FsStatus : std::uint8_t {
     kOk = 0,
     kNoSuchFile,
     kExists,

@@ -48,7 +48,7 @@ struct NasdNfsFh
 };
 
 /** Lookup/create reply: handle + attrs + piggybacked capability. */
-struct NasdNfsLookupReply
+struct [[nodiscard]] NasdNfsLookupReply
 {
     NfsStatus status = NfsStatus::kOk;
     NasdNfsFh fh;
@@ -63,13 +63,13 @@ struct NasdNfsDirEntry
     bool is_directory = false;
 };
 
-struct NasdNfsReaddirReply
+struct [[nodiscard]] NasdNfsReaddirReply
 {
     NfsStatus status = NfsStatus::kOk;
     std::vector<NasdNfsDirEntry> entries;
 };
 
-struct NasdNfsStatusReply
+struct [[nodiscard]] NasdNfsStatusReply
 {
     NfsStatus status = NfsStatus::kOk;
 };

@@ -31,33 +31,33 @@ namespace nasd::fs {
 
 // Wire reply types (plain structs).
 
-struct NfsLookupReply
+struct [[nodiscard]] NfsLookupReply
 {
     NfsStatus status = NfsStatus::kOk;
     NfsFileHandle handle;
     NfsAttr attrs;
 };
 
-struct NfsAttrReply
+struct [[nodiscard]] NfsAttrReply
 {
     NfsStatus status = NfsStatus::kOk;
     NfsAttr attrs;
 };
 
-struct NfsReadReply
+struct [[nodiscard]] NfsReadReply
 {
     NfsStatus status = NfsStatus::kOk;
     std::vector<std::uint8_t> data;
     bool eof = false;
 };
 
-struct NfsWriteReply
+struct [[nodiscard]] NfsWriteReply
 {
     NfsStatus status = NfsStatus::kOk;
     NfsAttr attrs;
 };
 
-struct NfsStatusReply
+struct [[nodiscard]] NfsStatusReply
 {
     NfsStatus status = NfsStatus::kOk;
 };
@@ -69,7 +69,7 @@ struct NfsDirEntryWire
     bool is_directory = false;
 };
 
-struct NfsReaddirReply
+struct [[nodiscard]] NfsReaddirReply
 {
     NfsStatus status = NfsStatus::kOk;
     std::vector<NfsDirEntryWire> entries;

@@ -13,7 +13,7 @@
 namespace nasd::fs {
 
 /** NFS-level status (both baseline NFS and NASD-NFS use these). */
-enum class NfsStatus : std::uint8_t {
+enum class [[nodiscard]] NfsStatus : std::uint8_t {
     kOk = 0,
     kNoEnt,
     kExist,

@@ -40,7 +40,7 @@ class ExtentAllocator
      * (for clustering related objects). Returns one or more extents
      * whose counts sum to @p units, each with refcount 1.
      */
-    util::Result<std::vector<Extent>, NasdStatus>
+    [[nodiscard]] util::Result<std::vector<Extent>, NasdStatus>
     allocate(std::uint32_t units, std::uint32_t hint = 0);
 
     /** Increment the refcount of every unit in @p extent (COW share). */

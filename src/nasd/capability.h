@@ -84,11 +84,11 @@ struct RequestParams
 };
 
 /** Compute the private portion for @p pub under @p working_key. */
-crypto::Digest capabilityMac(const crypto::Key &working_key,
+[[nodiscard]] crypto::Digest capabilityMac(const crypto::Key &working_key,
                              const CapabilityPublic &pub);
 
 /** Compute the per-request digest proving possession of @p private_key. */
-crypto::Digest requestMac(const crypto::Digest &private_key,
+[[nodiscard]] crypto::Digest requestMac(const crypto::Digest &private_key,
                           const RequestParams &params, std::uint64_t nonce);
 
 /**
@@ -107,7 +107,7 @@ class CapabilityIssuer
     DriveId driveId() const { return drive_id_; }
 
     /** Mint a capability; fills in drive id and MACs the public part. */
-    Capability mint(CapabilityPublic pub) const;
+    [[nodiscard]] Capability mint(CapabilityPublic pub) const;
 
   private:
     crypto::KeyChain chain_;
@@ -130,7 +130,7 @@ class CredentialFactory
     const Capability &capability() const { return cap_; }
 
     /** Build the security header for one request. */
-    RequestCredential forRequest(const RequestParams &params);
+    [[nodiscard]] RequestCredential forRequest(const RequestParams &params);
 
   private:
     Capability cap_;

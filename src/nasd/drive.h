@@ -61,30 +61,30 @@ DriveConfig prototypeDriveConfig(std::string name, DriveId id);
 // Wire-format response types (plain structs so they cross the RPC
 // layer without fuss).
 
-struct ReadResponse
+struct [[nodiscard]] ReadResponse
 {
     NasdStatus status = NasdStatus::kOk;
     std::vector<std::uint8_t> data;
 };
 
-struct StatusResponse
+struct [[nodiscard]] StatusResponse
 {
     NasdStatus status = NasdStatus::kOk;
 };
 
-struct AttrResponse
+struct [[nodiscard]] AttrResponse
 {
     NasdStatus status = NasdStatus::kOk;
     ObjectAttributes attrs;
 };
 
-struct CreateResponse
+struct [[nodiscard]] CreateResponse
 {
     NasdStatus status = NasdStatus::kOk;
     ObjectId object_id = 0;
 };
 
-struct ListResponse
+struct [[nodiscard]] ListResponse
 {
     NasdStatus status = NasdStatus::kOk;
     std::vector<ObjectId> ids;
@@ -167,7 +167,7 @@ class NasdDrive
      * may proceed. Public so drive-resident extensions (Active Disks,
      * Section 6) enforce the same security as the built-in requests.
      */
-    sim::Task<NasdStatus> verify(const RequestCredential &cred,
+    [[nodiscard]] sim::Task<NasdStatus> verify(const RequestCredential &cred,
                                  const RequestParams &params,
                                  std::uint8_t required_rights,
                                  std::uint64_t data_bytes);

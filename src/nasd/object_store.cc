@@ -245,7 +245,8 @@ ObjectStore::writeBackRefcounts()
     const std::uint32_t bs = device_.blockSize();
     std::vector<std::uint8_t> region(refcount_blocks_ * bs, 0);
     const auto refs = alloc_->serializeRefcounts();
-    std::memcpy(region.data(), refs.data(), refs.size());
+    if (!refs.empty())
+        std::memcpy(region.data(), refs.data(), refs.size());
     device_.poke(refcount_start_block_ * bs, region);
     sim_.spawn(writeBlocksOwned(device_, refcount_start_block_,
                                 std::move(region)));

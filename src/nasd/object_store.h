@@ -119,15 +119,16 @@ class ObjectStore
 
     // Partition administration (drive-owner operations) ------------------
 
-    StoreResult<void> createPartition(PartitionId pid,
+    [[nodiscard]] StoreResult<void> createPartition(PartitionId pid,
                                       std::uint64_t quota_bytes);
-    StoreResult<void> resizePartition(PartitionId pid,
+    [[nodiscard]] StoreResult<void> resizePartition(PartitionId pid,
                                       std::uint64_t quota_bytes);
-    StoreResult<void> removePartition(PartitionId pid);
-    StoreResult<PartitionInfo> partitionInfo(PartitionId pid) const;
+    [[nodiscard]] StoreResult<void> removePartition(PartitionId pid);
+    [[nodiscard]] StoreResult<PartitionInfo>
+    partitionInfo(PartitionId pid) const;
 
     /** Bump a partition's working-key epoch (set-key request). */
-    StoreResult<void> rotateKeyEpoch(PartitionId pid);
+    [[nodiscard]] StoreResult<void> rotateKeyEpoch(PartitionId pid);
 
     // Object operations ---------------------------------------------------
 
@@ -182,7 +183,7 @@ class ObjectStore
      * Zero-time version lookup used by capability verification (the
      * drive pays the metadata fetch inside the operation itself).
      */
-    StoreResult<ObjectVersion> peekVersion(PartitionId pid,
+    [[nodiscard]] StoreResult<ObjectVersion> peekVersion(PartitionId pid,
                                            ObjectId oid) const;
 
     const StoreStats &stats() const { return stats_; }
@@ -230,7 +231,8 @@ class ObjectStore
 
     // --- lookups ---------------------------------------------------------
 
-    StoreResult<std::uint32_t> findInode(PartitionId pid, ObjectId oid) const;
+    [[nodiscard]] StoreResult<std::uint32_t>
+    findInode(PartitionId pid, ObjectId oid) const;
 
     /** Charge a metadata fetch if the inode is not resident. */
     sim::Task<void> touchInode(std::uint32_t index, OpTrace *trace);
@@ -267,7 +269,7 @@ class ObjectStore
                                OpTrace *trace);
 
     /** Grow the object to cover @p units total units. */
-    StoreResult<void> growObject(Inode &inode, std::uint64_t units);
+    [[nodiscard]] StoreResult<void> growObject(Inode &inode, std::uint64_t units);
 
     /** Copy-on-write: give the object exclusive ownership of every
      *  extent overlapping logical units [first, last]. */

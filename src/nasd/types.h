@@ -46,7 +46,7 @@ enum Rights : std::uint8_t {
 };
 
 /** Outcome of a NASD request. */
-enum class NasdStatus : std::uint8_t {
+enum class [[nodiscard]] NasdStatus : std::uint8_t {
     kOk = 0,
     kNoSuchPartition,
     kNoSuchObject,

@@ -26,7 +26,7 @@
 namespace nasd::pfs {
 
 /** PFS status codes. */
-enum class PfsStatus : std::uint8_t {
+enum class [[nodiscard]] PfsStatus : std::uint8_t {
     kOk = 0,
     kNoSuchFile,
     kExists,
@@ -47,14 +47,14 @@ struct PfsHandle
     bool operator==(const PfsHandle &) const = default;
 };
 
-struct PfsOpenReply
+struct [[nodiscard]] PfsOpenReply
 {
     PfsStatus status = PfsStatus::kOk;
     cheops::LogicalObjectId object = 0;
     bool created = false;
 };
 
-struct PfsStatusReply
+struct [[nodiscard]] PfsStatusReply
 {
     PfsStatus status = PfsStatus::kOk;
 };

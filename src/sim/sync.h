@@ -53,8 +53,14 @@ class Semaphore
         void
         await_suspend(std::coroutine_handle<> h)
         {
+            // await_ready() declined, so either the queue is non-empty
+            // (permits must be 0 by the drain invariant) or no permits
+            // remain. Either way there is nothing to hand out: just
+            // enqueue. Calling drain() here could schedule a resume of
+            // h while its frame is still mid-suspend.
+            NASD_ASSERT(sem.permits_ == 0,
+                        "semaphore held permits while a waiter queued");
             sem.waiters_.push_back(h);
-            sem.drain();
         }
 
         void await_resume() const {}
@@ -156,25 +162,26 @@ class Barrier
     {
         Barrier &barrier;
 
-        bool
-        await_ready() const
-        {
-            // The last arriver does not suspend; it releases the rest.
-            return barrier.waiters_.size() + 1 == barrier.parties_;
-        }
+        bool await_ready() const { return barrier.parties_ == 1; }
 
-        void
+        bool
         await_suspend(std::coroutine_handle<> h)
         {
+            // The last arriver releases the rest and continues without
+            // suspending (return false). Releasing here — not in
+            // await_resume — keeps the release decision off the resume
+            // path, where waiters_ may already hold arrivals for the
+            // *next* generation and a stale size check could release
+            // them early.
+            if (barrier.waiters_.size() + 1 == barrier.parties_) {
+                barrier.releaseAll();
+                return false;
+            }
             barrier.waiters_.push_back(h);
+            return true;
         }
 
-        void
-        await_resume() const
-        {
-            if (barrier.waiters_.size() + 1 == barrier.parties_)
-                barrier.releaseAll();
-        }
+        void await_resume() const {}
     };
 
     /** co_await arrive(): block until all parties have arrived. */

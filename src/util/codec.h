@@ -74,7 +74,10 @@ class Decoder
     getBytes(std::span<std::uint8_t> out)
     {
         NASD_ASSERT(pos_ + out.size() <= in_.size(), "decode past end");
-        std::memcpy(out.data(), in_.data() + pos_, out.size());
+        // memcpy's pointer arguments must be non-null even for n == 0,
+        // and an empty span (or empty source buffer) has a null data().
+        if (!out.empty())
+            std::memcpy(out.data(), in_.data() + pos_, out.size());
         pos_ += out.size();
     }
 

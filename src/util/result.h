@@ -6,10 +6,16 @@
  * nonexistent object, quota exceeded) as values, not exceptions, because
  * in the real system they travel back over the wire as RPC status codes.
  * Result<T, E> is a tiny std::expected stand-in (we target C++20).
+ *
+ * Both Result and Err are [[nodiscard]]: a dropped status on the request
+ * path is exactly the class of bug a capability-enforcing drive cannot
+ * tolerate, so ignoring any status-returning call is a compile error
+ * under -Werror.
  */
 #ifndef NASD_UTIL_RESULT_H_
 #define NASD_UTIL_RESULT_H_
 
+#include <type_traits>
 #include <utility>
 #include <variant>
 
@@ -17,9 +23,12 @@
 
 namespace nasd::util {
 
+template <typename T, typename E>
+class Result;
+
 /** Wrapper to construct a Result in the error state unambiguously. */
 template <typename E>
-struct Err
+struct [[nodiscard]] Err
 {
     E error;
 };
@@ -29,7 +38,7 @@ Err(E) -> Err<E>;
 
 /** Value-or-error sum type; @c E is typically a status enum. */
 template <typename T, typename E>
-class Result
+class [[nodiscard]] Result
 {
   public:
     /** Construct the success state (implicit, like std::expected). */
@@ -39,18 +48,18 @@ class Result
     Result(Err<E> err) : data_(std::in_place_index<1>, std::move(err.error))
     {}
 
-    bool ok() const { return data_.index() == 0; }
+    [[nodiscard]] bool ok() const { return data_.index() == 0; }
     explicit operator bool() const { return ok(); }
 
     /** Access the value. @pre ok(). */
-    T &
+    [[nodiscard]] T &
     value()
     {
         NASD_ASSERT(ok(), "value() on error Result");
         return std::get<0>(data_);
     }
 
-    const T &
+    [[nodiscard]] const T &
     value() const
     {
         NASD_ASSERT(ok(), "value() on error Result");
@@ -58,11 +67,82 @@ class Result
     }
 
     /** Access the error. @pre !ok(). */
-    const E &
+    [[nodiscard]] const E &
     error() const
     {
         NASD_ASSERT(!ok(), "error() on ok Result");
         return std::get<1>(data_);
+    }
+
+    /** The value if ok, else @p fallback. */
+    [[nodiscard]] T
+    value_or(T fallback) const &
+    {
+        return ok() ? std::get<0>(data_) : std::move(fallback);
+    }
+
+    /** The error if failed, else @p fallback (typically the OK code). */
+    [[nodiscard]] E
+    error_or(E fallback) const
+    {
+        return ok() ? std::move(fallback) : std::get<1>(data_);
+    }
+
+    /**
+     * Apply @p fn to the value, propagating errors untouched.
+     * fn: T -> U yields Result<U, E> (U may be void).
+     */
+    template <typename F>
+    [[nodiscard]] auto
+    map(F &&fn) const & -> Result<std::invoke_result_t<F, const T &>, E>
+    {
+        using U = std::invoke_result_t<F, const T &>;
+        if (!ok())
+            return Err<E>{error()};
+        if constexpr (std::is_void_v<U>) {
+            std::forward<F>(fn)(value());
+            return Result<void, E>();
+        } else {
+            return Result<U, E>(std::forward<F>(fn)(value()));
+        }
+    }
+
+    template <typename F>
+    [[nodiscard]] auto
+    map(F &&fn) && -> Result<std::invoke_result_t<F, T &&>, E>
+    {
+        using U = std::invoke_result_t<F, T &&>;
+        if (!ok())
+            return Err<E>{error()};
+        if constexpr (std::is_void_v<U>) {
+            std::forward<F>(fn)(std::move(value()));
+            return Result<void, E>();
+        } else {
+            return Result<U, E>(std::forward<F>(fn)(std::move(value())));
+        }
+    }
+
+    /**
+     * Chain a fallible step: fn: T -> Result<U, E>. Errors short-circuit.
+     */
+    template <typename F>
+    [[nodiscard]] auto
+    and_then(F &&fn) const & -> std::invoke_result_t<F, const T &>
+    {
+        using R = std::invoke_result_t<F, const T &>;
+        if (!ok())
+            return R(Err<E>{error()});
+        return std::forward<F>(fn)(value());
+    }
+
+    template <typename F>
+    [[nodiscard]] auto
+    and_then(F &&fn) && -> std::invoke_result_t<F, T &&>
+    {
+        using R = std::invoke_result_t<F, T &&>;
+        if (!ok())
+            return R(Err<E>{error()});
+        return std::forward<F>(fn)(std::move(value()));
     }
 
     T &operator*() { return value(); }
@@ -76,20 +156,54 @@ class Result
 
 /** Result specialization conveying success/failure with no payload. */
 template <typename E>
-class Result<void, E>
+class [[nodiscard]] Result<void, E>
 {
   public:
     Result() : has_error_(false) {}
     Result(Err<E> err) : has_error_(true), error_(std::move(err.error)) {}
 
-    bool ok() const { return !has_error_; }
+    [[nodiscard]] bool ok() const { return !has_error_; }
     explicit operator bool() const { return ok(); }
 
-    const E &
+    [[nodiscard]] const E &
     error() const
     {
         NASD_ASSERT(!ok(), "error() on ok Result");
         return error_;
+    }
+
+    /** The error if failed, else @p fallback (typically the OK code). */
+    [[nodiscard]] E
+    error_or(E fallback) const
+    {
+        return ok() ? std::move(fallback) : error_;
+    }
+
+    /** Apply @p fn (no arguments) on success; errors propagate. */
+    template <typename F>
+    [[nodiscard]] auto
+    map(F &&fn) const -> Result<std::invoke_result_t<F>, E>
+    {
+        using U = std::invoke_result_t<F>;
+        if (!ok())
+            return Err<E>{error_};
+        if constexpr (std::is_void_v<U>) {
+            std::forward<F>(fn)();
+            return Result<void, E>();
+        } else {
+            return Result<U, E>(std::forward<F>(fn)());
+        }
+    }
+
+    /** Chain a fallible step: fn: () -> Result<U, E>. */
+    template <typename F>
+    [[nodiscard]] auto
+    and_then(F &&fn) const -> std::invoke_result_t<F>
+    {
+        using R = std::invoke_result_t<F>;
+        if (!ok())
+            return R(Err<E>{error_});
+        return std::forward<F>(fn)();
     }
 
   private:

@@ -217,6 +217,54 @@ TEST(Semaphore, TwoPermitsOverlap)
     EXPECT_EQ(log[3].second, 10u);
 }
 
+// Regression (sync.h): Semaphore::Awaiter::await_suspend used to call
+// drain(), which could schedule a resume of the just-pushed handle at
+// the current tick while its frame was still mid-suspend. The fix
+// relies on the invariant that a semaphore never holds permits while
+// waiters queue; these tests pin down the same-tick handoff behaviour
+// that invariant guarantees.
+Task<void>
+acquireLog(Simulator &sim, Semaphore &sem, std::vector<int> &order, int id)
+{
+    co_await sem.acquire();
+    order.push_back(id);
+    // Check the drain invariant at every resume point: if anyone is
+    // still queued, all permits must be spoken for.
+    if (sem.waiterCount() > 0) {
+        EXPECT_EQ(sem.availablePermits(), 0u);
+    }
+    co_await sim.delay(1);
+    sem.release();
+}
+
+TEST(Semaphore, SameTickReleaseHandsOffAtSameTick)
+{
+    Simulator sim;
+    Semaphore sem(sim, 1);
+    std::vector<std::pair<int, Tick>> log;
+    sim.spawn(holdSemaphore(sim, sem, 0, log, 0)); // release at tick 0
+    sim.spawn(holdSemaphore(sim, sem, 0, log, 1)); // queued behind 0
+    sim.run();
+    ASSERT_EQ(log.size(), 2u);
+    // Both critical sections run at tick 0, strictly FIFO.
+    EXPECT_EQ(log[0], (std::pair<int, Tick>{0, 0}));
+    EXPECT_EQ(log[1], (std::pair<int, Tick>{1, 0}));
+}
+
+TEST(Semaphore, ManySameTickAcquirersResumeOnceInFifoOrder)
+{
+    Simulator sim;
+    Semaphore sem(sim, 2);
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        sim.spawn(acquireLog(sim, sem, order, i));
+    sim.run();
+    // Every acquirer entered exactly once, in spawn order.
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+    EXPECT_EQ(sem.availablePermits(), 2u);
+    EXPECT_EQ(sem.waiterCount(), 0u);
+}
+
 Task<void>
 waitGate(Simulator &sim, Gate &gate, Tick &when)
 {
@@ -270,6 +318,49 @@ TEST(Barrier, AllPartiesLeaveTogether)
     ASSERT_EQ(done.size(), 3u);
     for (Tick t : done)
         EXPECT_EQ(t, 50u);
+}
+
+// Regression (sync.h): Barrier release used to live in await_resume,
+// which re-checked waiters_ *after* the resume was scheduled. A party
+// arriving for the next generation between the release and the
+// scheduled resume would be counted against the old generation and
+// released early. The third party here arrives (same tick) after the
+// first generation's release; it must wait for a genuinely new arrival.
+TEST(Barrier, NextGenerationArrivalIsNotReleasedEarly)
+{
+    Simulator sim;
+    Barrier barrier(sim, 2);
+    std::vector<std::pair<int, Tick>> done;
+    auto arrival = [&](int id) -> Task<void> {
+        co_await barrier.arrive();
+        done.emplace_back(id, sim.now());
+    };
+    sim.spawn(arrival(0)); // gen 1, suspends
+    sim.spawn(arrival(1)); // gen 1 last arriver: releases 0 at tick 0
+    sim.spawn(arrival(2)); // gen 2 first arriver: must NOT ride along
+    sim.schedule(10, [&] { sim.spawn(arrival(3)); }); // gen 2 completes
+    sim.run();
+    ASSERT_EQ(done.size(), 4u);
+    EXPECT_EQ(done[0], (std::pair<int, Tick>{1, 0}));
+    EXPECT_EQ(done[1], (std::pair<int, Tick>{0, 0}));
+    EXPECT_EQ(done[2], (std::pair<int, Tick>{3, 10}));
+    EXPECT_EQ(done[3], (std::pair<int, Tick>{2, 10}));
+}
+
+TEST(Barrier, SinglePartyNeverSuspends)
+{
+    Simulator sim;
+    Barrier barrier(sim, 1);
+    std::vector<std::pair<int, Tick>> done;
+    auto arrival = [&](int id) -> Task<void> {
+        co_await sim.delay(7);
+        co_await barrier.arrive();
+        done.emplace_back(id, sim.now());
+    };
+    sim.spawn(arrival(0));
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0], (std::pair<int, Tick>{0, 7}));
 }
 
 Task<void>
@@ -349,6 +440,74 @@ TEST(Parallel, AllWaitsForEveryTask)
     sim.run();
     EXPECT_EQ(log.size(), 3u);
     EXPECT_EQ(finished, 30u);
+}
+
+TEST(Parallel, GatherZeroTasksYieldsEmptyVector)
+{
+    Simulator sim;
+    bool done = false;
+    sim.spawn([](Simulator &s, bool &flag) -> Task<void> {
+        auto results =
+            co_await parallelGather(s, std::vector<Task<int>>{});
+        EXPECT_TRUE(results.empty());
+        flag = true;
+    }(sim, done));
+    sim.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(Parallel, GatherSingleTask)
+{
+    Simulator sim;
+    std::vector<int> results;
+    sim.spawn([](Simulator &s, std::vector<int> &out) -> Task<void> {
+        std::vector<Task<int>> tasks;
+        tasks.push_back(addLater(s, 20, 22));
+        out = co_await parallelGather(s, std::move(tasks));
+    }(sim, results));
+    sim.run();
+    EXPECT_EQ(results, (std::vector<int>{42}));
+    EXPECT_EQ(sim.now(), 5u);
+}
+
+Task<int>
+immediately(int v)
+{
+    co_return v; // completes without ever suspending
+}
+
+// A task that finishes synchronously opens the join gate before the
+// gathering coroutine reaches gate.wait(); the gate is level-triggered,
+// so the wait must pass straight through.
+TEST(Parallel, GatherSynchronousTaskCompletes)
+{
+    Simulator sim;
+    std::vector<int> results;
+    sim.spawn([](Simulator &s, std::vector<int> &out) -> Task<void> {
+        std::vector<Task<int>> tasks;
+        tasks.push_back(immediately(7));
+        out = co_await parallelGather(s, std::move(tasks));
+    }(sim, results));
+    sim.run();
+    EXPECT_EQ(results, (std::vector<int>{7}));
+    EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(Parallel, GatherMixedSyncAndAsyncKeepsOrder)
+{
+    Simulator sim;
+    std::vector<int> results;
+    sim.spawn([](Simulator &s, std::vector<int> &out) -> Task<void> {
+        std::vector<Task<int>> tasks;
+        tasks.push_back(addLater(s, 1, 0)); // resolves at tick 5
+        tasks.push_back(immediately(2));    // resolves at tick 0
+        tasks.push_back(addLater(s, 3, 0));
+        out = co_await parallelGather(s, std::move(tasks));
+    }(sim, results));
+    sim.run();
+    EXPECT_EQ(results, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 5u);
 }
 
 TEST(Parallel, EmptyBatchCompletesImmediately)

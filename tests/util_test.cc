@@ -8,6 +8,7 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <string>
 
 #include "util/result.h"
 #include "util/rng.h"
@@ -227,6 +228,143 @@ TEST(Result, VoidSpecialization)
     Result<void, TestError> bad(Err{TestError::kBad});
     EXPECT_FALSE(bad.ok());
     EXPECT_EQ(bad.error(), TestError::kBad);
+}
+
+// Result is a [[nodiscard]] class: ignoring a status-returning drive,
+// Cheops, or PFS operation is a compile error under -Werror. There is
+// no portable way to assert "this must not compile" in a unit test, so
+// the demonstration is kept behind an opt-in macro; building with
+//   g++ ... -DNASD_DEMONSTRATE_NODISCARD -Werror=unused-result
+// fails on exactly the two statements below:
+//
+//   error: ignoring returned value of type 'Result<int, TestError>',
+//          declared with attribute 'nodiscard'
+#ifdef NASD_DEMONSTRATE_NODISCARD
+Result<int, TestError>
+makeResult()
+{
+    return 1;
+}
+
+void
+dropsStatus()
+{
+    makeResult();                      // compile error: discarded Result
+    Result<void, TestError> r;
+    r.ok();                            // compile error: discarded status
+}
+#endif
+
+TEST(Result, MapTransformsValueAndPropagatesError)
+{
+    Result<int, TestError> ok(21);
+    auto doubled = ok.map([](const int &v) { return v * 2; });
+    ASSERT_TRUE(doubled.ok());
+    EXPECT_EQ(*doubled, 42);
+
+    Result<int, TestError> bad(Err{TestError::kWorse});
+    auto still_bad = bad.map([](const int &v) { return v * 2; });
+    ASSERT_FALSE(still_bad.ok());
+    EXPECT_EQ(still_bad.error(), TestError::kWorse);
+}
+
+TEST(Result, MapToVoidRunsSideEffectOnlyOnOk)
+{
+    int calls = 0;
+    Result<int, TestError> ok(5);
+    auto unit = ok.map([&](const int &) { ++calls; });
+    EXPECT_TRUE(unit.ok());
+    EXPECT_EQ(calls, 1);
+
+    Result<int, TestError> bad(Err{TestError::kBad});
+    auto unit2 = bad.map([&](const int &) { ++calls; });
+    EXPECT_FALSE(unit2.ok());
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Result, MapRvalueMovesValue)
+{
+    Result<std::string, TestError> ok(std::string("abc"));
+    auto len = std::move(ok).map(
+        [](std::string &&s) { return s.size(); });
+    ASSERT_TRUE(len.ok());
+    EXPECT_EQ(*len, 3u);
+}
+
+TEST(Result, AndThenChainsAndShortCircuits)
+{
+    auto half = [](const int &v) -> Result<int, TestError> {
+        if (v % 2 != 0)
+            return Err{TestError::kBad};
+        return v / 2;
+    };
+
+    Result<int, TestError> ok(8);
+    auto q = ok.and_then(half).and_then(half);
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(*q, 2);
+
+    // 8 -> 4 -> 2 -> 1, then half(1) fails.
+    auto odd =
+        ok.and_then(half).and_then(half).and_then(half).and_then(half);
+    ASSERT_FALSE(odd.ok());
+    EXPECT_EQ(odd.error(), TestError::kBad);
+
+    // Errors short-circuit: the continuation must never run.
+    Result<int, TestError> bad(Err{TestError::kWorse});
+    bool ran = false;
+    auto r = bad.and_then([&](const int &) -> Result<int, TestError> {
+        ran = true;
+        return 0;
+    });
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(r.error(), TestError::kWorse);
+}
+
+TEST(Result, ErrorOrYieldsFallbackOnOk)
+{
+    Result<int, TestError> ok(3);
+    EXPECT_EQ(ok.error_or(TestError::kBad), TestError::kBad);
+    Result<int, TestError> bad(Err{TestError::kWorse});
+    EXPECT_EQ(bad.error_or(TestError::kBad), TestError::kWorse);
+}
+
+TEST(Result, ValueOr)
+{
+    Result<int, TestError> ok(3);
+    EXPECT_EQ(ok.value_or(9), 3);
+    Result<int, TestError> bad(Err{TestError::kBad});
+    EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(Result, VoidMonadicHelpers)
+{
+    Result<void, TestError> ok;
+    auto n = ok.map([] { return 7; });
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, 7);
+    EXPECT_EQ(ok.error_or(TestError::kBad), TestError::kBad);
+
+    Result<void, TestError> bad(Err{TestError::kWorse});
+    auto n2 = bad.map([] { return 7; });
+    ASSERT_FALSE(n2.ok());
+    EXPECT_EQ(n2.error(), TestError::kWorse);
+    EXPECT_EQ(bad.error_or(TestError::kBad), TestError::kWorse);
+
+    bool ran = false;
+    auto chained = bad.and_then([&]() -> Result<void, TestError> {
+        ran = true;
+        return {};
+    });
+    EXPECT_FALSE(ran);
+    EXPECT_FALSE(chained.ok());
+
+    auto chained_ok = ok.and_then([&]() -> Result<void, TestError> {
+        ran = true;
+        return {};
+    });
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(chained_ok.ok());
 }
 
 } // namespace

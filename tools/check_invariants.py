@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Project-specific invariant checker for the NASD tree.
+
+Greps non-test sources for patterns the compiler cannot reject but
+that violate project invariants:
+
+  1. Naked ``x.value()`` with no visible ``x.ok()`` / truthiness guard in
+     the preceding lines of the same scope. ``Result::value()`` panics on
+     an error Result, so an unguarded call is either a latent crash or a
+     missing status propagation.
+  2. ``schedule`` / ``scheduleIn`` lambdas capturing by reference. The
+     callback outlives the scheduling scope by construction (it runs when
+     the event fires), so reference captures of locals are use-after-free
+     bait. Coroutine handles and similar small values must be captured by
+     value.
+  3. Headers without an include guard.
+
+Usage: tools/check_invariants.py [repo-root]
+Exit status is the number of violations (0 == clean).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Hard cap on how many lines above a .value() call we search for its
+# guard; the scan normally stops earlier, at the enclosing function's
+# boundary (a column-0 '}' per project brace style).
+GUARD_WINDOW = 400
+
+SOURCE_DIRS = ("src", "bench", "examples")
+HEADER_DIRS = ("src", "bench")
+
+# Plain-identifier receivers only: `x.value()`. Member chains like
+# `node->counter.value()` are accessors on other types (util::Counter),
+# not Result statuses.
+VALUE_CALL = re.compile(r"(?<![\w.>])(\w+(?:\[\w+\])?)(?:\s*)\.value\(\)")
+REF_CAPTURE_SCHEDULE = re.compile(
+    r"\bschedule(?:In)?\s*\([^;]*?\[\s*&[\]\w]", re.DOTALL
+)
+
+
+def fail(violations, path, line_no, message):
+    violations.append(f"{path}:{line_no}: {message}")
+
+
+def guard_patterns(var):
+    """Regexes that count as an ok-check for variable `var`."""
+    v = re.escape(var)
+    return [
+        re.compile(rf"\b{v}\s*\.\s*ok\s*\(\)"),
+        re.compile(rf"\b{v}\s*\.\s*has_value\s*\(\)"),
+        re.compile(rf"if\s*\(\s*!?\s*{v}\s*[\)&|]"),  # if (x) / if (!x)
+        re.compile(rf"NASD_ASSERT\s*\(\s*!?\s*{v}\b"),
+        re.compile(rf"ASSERT_TRUE\s*\(\s*{v}\b"),
+        re.compile(rf"while\s*\(\s*!?\s*{v}\s*[\)&|]"),
+    ]
+
+
+def check_value_calls(path, lines, violations):
+    for i, line in enumerate(lines):
+        stripped = line.split("//")[0]
+        for match in VALUE_CALL.finditer(stripped):
+            var = match.group(1)
+            base = var.split("[")[0]
+            guards = guard_patterns(base) + guard_patterns(var)
+            # Guard on the same line (ternary / assert) counts; else
+            # scan back to the top of the enclosing function (a
+            # column-0 '}' closes the previous one).
+            window = [stripped[: match.start()]]
+            for j in range(i - 1, max(-1, i - GUARD_WINDOW - 1), -1):
+                prev = lines[j]
+                if prev.startswith("}"):
+                    break
+                window.append(prev.split("//")[0])
+            if not any(g.search(text) for text in window for g in guards):
+                fail(
+                    violations, path, i + 1,
+                    f"naked '{var}.value()' without a preceding "
+                    f"'{base}.ok()' check in the enclosing function",
+                )
+
+
+def check_schedule_captures(path, text, lines, violations):
+    for match in REF_CAPTURE_SCHEDULE.finditer(text):
+        line_no = text.count("\n", 0, match.start()) + 1
+        fail(
+            violations, path, line_no,
+            "schedule/scheduleIn lambda captures by reference; the "
+            "callback outlives this scope — capture by value",
+        )
+    del lines  # line-based context unused; kept for symmetric signature
+
+
+def check_include_guard(path, text, violations):
+    if "#pragma once" in text:
+        return
+    guard = re.search(r"#ifndef\s+(\w+)\s*\n\s*#define\s+(\w+)", text)
+    if not guard or guard.group(1) != guard.group(2):
+        fail(violations, path, 1, "header missing an include guard")
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__
+    ).resolve().parent.parent
+    violations = []
+
+    for top in SOURCE_DIRS:
+        for path in sorted((root / top).rglob("*.cc")):
+            rel = path.relative_to(root)
+            lines = path.read_text().splitlines()
+            check_value_calls(rel, lines, violations)
+            check_schedule_captures(
+                rel, "\n".join(lines), lines, violations
+            )
+
+    for top in HEADER_DIRS:
+        for path in sorted((root / top).rglob("*.h")):
+            rel = path.relative_to(root)
+            text = path.read_text()
+            lines = text.splitlines()
+            check_value_calls(rel, lines, violations)
+            check_schedule_captures(rel, text, lines, violations)
+            check_include_guard(rel, text, violations)
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"\n{len(violations)} invariant violation(s)")
+    else:
+        print("invariants clean")
+    return min(len(violations), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
