@@ -107,7 +107,7 @@ measure(int n_clients)
                                                  file - offset);
                 auto got = co_await c.read(oid, offset, buf);
                 if (got.ok())
-                    bytes += got.value();
+                    bytes += got.value().bytes;
                 offset += n;
                 if (offset >= file)
                     offset = 0;

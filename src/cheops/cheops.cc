@@ -30,6 +30,8 @@ toString(CheopsStatus status)
         return "drive-error";
       case CheopsStatus::kAccess:
         return "access";
+      case CheopsStatus::kDegraded:
+        return "degraded";
     }
     return "unknown";
 }
@@ -346,6 +348,49 @@ CheopsClient::ensureOpen(LogicalObjectId id, bool want_write)
     co_return &pos->second;
 }
 
+sim::Task<bool>
+CheopsClient::refreshCaps(LogicalObjectId id, bool want_write)
+{
+    auto it = open_objects_.find(id);
+    if (it == open_objects_.end())
+        co_return false;
+    OpenState &state = it->second;
+    const bool writable = state.writable || want_write;
+
+    ++manager_calls_;
+    auto reply = co_await net::call<OpenReply>(
+        net_, node_, mgr_.node(), kControlPayload,
+        [&]() -> sim::Task<net::RpcReply<OpenReply>> {
+            auto r = co_await mgr_.serveOpen(id, writable);
+            const std::uint64_t payload =
+                64 + 160 * r.map.components.size();
+            co_return net::RpcReply<OpenReply>{std::move(r), payload};
+        });
+    if (reply.status != CheopsStatus::kOk)
+        co_return false;
+    if (reply.map.components.size() != state.creds.size() ||
+        reply.map.mirrors.size() != state.mirror_creds.size())
+        co_return false; // layout changed under us; caller re-opens
+
+    // Rebind in place: parallel fetch/push runs hold references to the
+    // existing factories and into the map's component vectors, so fresh
+    // capabilities are installed element-wise — never by replacing the
+    // map or swapping the unique_ptrs, either of which would dangle.
+    for (std::size_t i = 0; i < state.creds.size(); ++i) {
+        state.creds[i]->rebind(reply.map.components[i].capability);
+        state.map.components[i].capability =
+            reply.map.components[i].capability;
+    }
+    for (std::size_t i = 0; i < state.mirror_creds.size(); ++i) {
+        state.mirror_creds[i]->rebind(reply.map.mirrors[i].capability);
+        state.map.mirrors[i].capability =
+            reply.map.mirrors[i].capability;
+    }
+    state.map.map_version = reply.map.map_version;
+    state.writable = writable;
+    co_return true;
+}
+
 sim::Task<util::Result<const CheopsMap *, CheopsStatus>>
 CheopsClient::open(LogicalObjectId id, bool want_write)
 {
@@ -446,7 +491,7 @@ CheopsClient::mapRange(const CheopsMap &map, std::uint64_t offset,
     return runs;
 }
 
-sim::Task<util::Result<std::uint64_t, CheopsStatus>>
+sim::Task<util::Result<ReadOutcome, CheopsStatus>>
 CheopsClient::read(LogicalObjectId id, std::uint64_t offset,
                    std::span<std::uint8_t> out)
 {
@@ -455,22 +500,44 @@ CheopsClient::read(LogicalObjectId id, std::uint64_t offset,
         co_return util::Err{state.error()};
     OpenState *open = state.value();
     const auto runs = mapRange(open->map, offset, out.size());
+    bool degraded = false;
 
     // One parallel component read per run; reassemble into `out`.
-    auto fetchRun = [this, open, &out](const ComponentRun &run)
+    auto fetchRun = [this, open, id, &out, &degraded](const ComponentRun &run)
         -> sim::Task<util::Result<std::uint64_t, CheopsStatus>> {
         auto &comp = open->map.components[run.component];
         auto &cred = *open->creds[run.component];
         auto data = co_await drive_clients_[comp.drive]->read(
             cred, run.component_offset, run.length);
+        if (!data.ok() && data.error() == NasdStatus::kExpiredCapability) {
+            // Refresh once, then retry the primary. Only expiry earns
+            // a refresh — a revoked (version-bumped) capability must
+            // stay revoked.
+            if (co_await refreshCaps(id, open->writable)) {
+                data = co_await drive_clients_[comp.drive]->read(
+                    cred, run.component_offset, run.length);
+            }
+        }
         if (!data.ok() &&
             open->map.redundancy == Redundancy::kMirror) {
             // Degraded mode: the replica carries the same bytes at
             // the same component offsets.
             auto &mirror = open->map.mirrors[run.component];
             auto &mcred = *open->mirror_creds[run.component];
-            data = co_await drive_clients_[mirror.drive]->read(
+            auto mdata = co_await drive_clients_[mirror.drive]->read(
                 mcred, run.component_offset, run.length);
+            if (!mdata.ok() &&
+                mdata.error() == NasdStatus::kExpiredCapability) {
+                if (co_await refreshCaps(id, open->writable)) {
+                    mdata = co_await drive_clients_[mirror.drive]->read(
+                        mcred, run.component_offset, run.length);
+                }
+            }
+            if (mdata.ok()) {
+                open->map.degraded = true;
+                degraded = true;
+            }
+            data = std::move(mdata);
         }
         if (!data.ok())
             co_return util::Err{CheopsStatus::kDriveError};
@@ -505,7 +572,10 @@ CheopsClient::read(LogicalObjectId id, std::uint64_t offset,
             co_return util::Err{r.error()};
         total += r.value();
     }
-    co_return total;
+    ReadOutcome outcome;
+    outcome.bytes = total;
+    outcome.status = degraded ? CheopsStatus::kDegraded : CheopsStatus::kOk;
+    co_return outcome;
 }
 
 sim::Task<util::Result<void, CheopsStatus>>
@@ -518,7 +588,7 @@ CheopsClient::write(LogicalObjectId id, std::uint64_t offset,
     OpenState *open = state.value();
     const auto runs = mapRange(open->map, offset, data.size());
 
-    auto pushRun = [this, open, &data](const ComponentRun &run)
+    auto pushRun = [this, open, id, &data](const ComponentRun &run)
         -> sim::Task<util::Result<void, CheopsStatus>> {
         // Gather the run's pieces into one contiguous component write.
         std::vector<std::uint8_t> buf(run.length);
@@ -534,12 +604,26 @@ CheopsClient::write(LogicalObjectId id, std::uint64_t offset,
         auto &cred = *open->creds[run.component];
         auto wrote = co_await drive_clients_[comp.drive]->write(
             cred, run.component_offset, buf);
+        if (!wrote.ok() &&
+            wrote.error() == NasdStatus::kExpiredCapability) {
+            if (co_await refreshCaps(id, true)) {
+                wrote = co_await drive_clients_[comp.drive]->write(
+                    cred, run.component_offset, buf);
+            }
+        }
         bool any_ok = wrote.ok();
         if (open->map.redundancy == Redundancy::kMirror) {
             auto &mirror = open->map.mirrors[run.component];
             auto &mcred = *open->mirror_creds[run.component];
             auto mirrored = co_await drive_clients_[mirror.drive]->write(
                 mcred, run.component_offset, buf);
+            if (!mirrored.ok() &&
+                mirrored.error() == NasdStatus::kExpiredCapability) {
+                if (co_await refreshCaps(id, true)) {
+                    mirrored = co_await drive_clients_[mirror.drive]->write(
+                        mcred, run.component_offset, buf);
+                }
+            }
             any_ok = any_ok || mirrored.ok();
         }
         if (!any_ok)

@@ -47,6 +47,7 @@ enum class [[nodiscard]] CheopsStatus : std::uint8_t {
     kNoSpace,
     kDriveError,
     kAccess,
+    kDegraded,   ///< success, but served from redundancy (not an error)
 };
 
 const char *toString(CheopsStatus status);
@@ -77,6 +78,23 @@ struct CheopsMap
     /// Parallel to components when redundancy == kMirror, else empty.
     std::vector<ComponentRef> mirrors;
     Redundancy redundancy = Redundancy::kNone;
+    /// Set once any read had to fall back to a redundancy component;
+    /// survives capability refreshes until the map is re-opened.
+    bool degraded = false;
+};
+
+/**
+ * Result of a logical read: bytes delivered plus whether any stripe
+ * unit had to be reconstructed from a redundancy component (degraded
+ * success is still success — callers that only check ok() keep
+ * working).
+ */
+struct ReadOutcome
+{
+    std::uint64_t bytes = 0;
+    CheopsStatus status = CheopsStatus::kOk;
+
+    bool degraded() const { return status == CheopsStatus::kDegraded; }
 };
 
 struct [[nodiscard]] OpenReply
@@ -207,9 +225,11 @@ class CheopsClient
     /**
      * Read [offset, offset+out.size()) of the logical object: splits
      * by stripe, issues per-drive reads in parallel, reassembles.
-     * Returns bytes actually read.
+     * An unavailable component drive is served from its mirror when
+     * one exists: the read succeeds with ReadOutcome::degraded() set
+     * and the cached map marked degraded.
      */
-    sim::Task<util::Result<std::uint64_t, CheopsStatus>>
+    sim::Task<util::Result<ReadOutcome, CheopsStatus>>
     read(LogicalObjectId id, std::uint64_t offset,
          std::span<std::uint8_t> out);
 
@@ -249,6 +269,14 @@ class CheopsClient
 
     sim::Task<util::Result<OpenState *, CheopsStatus>>
     ensureOpen(LogicalObjectId id, bool want_write);
+
+    /**
+     * Re-fetch the capability set after an expiry and rebind the
+     * existing CredentialFactory objects in place (coroutines
+     * suspended mid-transfer hold references to them).
+     * @return true if fresh capabilities were installed.
+     */
+    sim::Task<bool> refreshCaps(LogicalObjectId id, bool want_write);
 
     net::Network &net_;
     net::NetNode &node_;

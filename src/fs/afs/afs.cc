@@ -187,6 +187,11 @@ AfsFileManager::serveFetchCap(AfsFid fid, bool want_write,
             state.writer_done = std::make_unique<sim::Gate>(sim_);
         co_await state.writer_done->wait();
     }
+    if (state.write_holder == client_id) {
+        // The current holder is re-fetching (capability refresh after
+        // expiry): settle the stale grant so we don't escrow twice.
+        co_await serveReleaseCap(fid, client_id);
+    }
 
     auto attrs = co_await fetchObjectAttrs(fid);
     if (!attrs.ok()) {
@@ -224,7 +229,7 @@ AfsFileManager::serveFetchCap(AfsFid fid, bool want_write,
     quota_used_ += escrow_extra;
     state.escrowed_bytes = escrow_extra;
     state.write_holder = client_id;
-    state.write_expiry_ns = sim_.now() + kWriteCapLifetimeNs;
+    state.write_expiry_ns = sim_.now() + write_cap_lifetime_ns_;
     state.writer_done = std::make_unique<sim::Gate>(sim_);
 
     reply.capability =
@@ -417,6 +422,23 @@ AfsClient::fetchFile(AfsFid fid)
     if (reply.attrs.size > 0) {
         auto data = co_await drive_clients_[fid.drive]->read(
             cred, 0, reply.attrs.size);
+        if (!data.ok() && data.error() == NasdStatus::kExpiredCapability) {
+            // The capability aged out between the FM round trip and the
+            // drive read (long queueing, or a deliberately short
+            // lifetime). Refresh once, then fail honestly.
+            auto again = co_await net::call<AfsFetchCapReply>(
+                net_, node_, fm_.node(), kControlPayload,
+                [&]() -> sim::Task<net::RpcReply<AfsFetchCapReply>> {
+                    auto r = co_await fm_.serveFetchCap(fid, false, id_);
+                    co_return net::RpcReply<AfsFetchCapReply>{std::move(r),
+                                                              256};
+                });
+            if (again.status != NfsStatus::kOk)
+                co_return util::Err{again.status};
+            cred.rebind(again.capability);
+            data = co_await drive_clients_[fid.drive]->read(
+                cred, 0, again.attrs.size);
+        }
         if (!data.ok())
             co_return util::Err{afsFromNasd(data.error())};
         entry.data = std::move(data.value());
@@ -486,6 +508,25 @@ AfsClient::write(AfsFid fid, std::uint64_t offset,
     CredentialFactory cred(reply.capability);
     auto wrote =
         co_await drive_clients_[fid.drive]->write(cred, offset, data);
+    if (!wrote.ok() && wrote.error() == NasdStatus::kExpiredCapability) {
+        // The write capability expired mid-flight (e.g. the drive was
+        // unreachable past the cap lifetime). Refresh once — the FM
+        // settles the stale grant and re-escrows — then retry before
+        // relinquishing.
+        auto again = co_await net::call<AfsFetchCapReply>(
+            net_, node_, fm_.node(), kControlPayload,
+            [&]() -> sim::Task<net::RpcReply<AfsFetchCapReply>> {
+                auto r = co_await fm_.serveFetchCap(fid, true, id_,
+                                                    offset + data.size());
+                co_return net::RpcReply<AfsFetchCapReply>{std::move(r),
+                                                          256};
+            });
+        if (again.status == NfsStatus::kOk) {
+            cred.rebind(again.capability);
+            wrote = co_await drive_clients_[fid.drive]->write(cred, offset,
+                                                              data);
+        }
+    }
 
     // Update the local whole-file copy.
     auto &entry = cache_[fid];

@@ -130,9 +130,13 @@ class AfsFileManager
     /** Escrow granted beyond the current size of a file. */
     static constexpr std::uint64_t kEscrowBytes = 1024 * 1024;
 
-    /** Write capability lifetime (bounds reader waiting time). */
-    static constexpr std::uint64_t kWriteCapLifetimeNs =
-        30ull * 1000000000;
+    /** Write capability lifetime (bounds reader waiting time).
+     *  Runtime-configurable so fault tests can expire caps quickly. */
+    std::uint64_t writeCapLifetimeNs() const { return write_cap_lifetime_ns_; }
+    void setWriteCapLifetime(sim::Tick lifetime)
+    {
+        write_cap_lifetime_ns_ = static_cast<std::uint64_t>(lifetime);
+    }
 
   private:
     struct FileState
@@ -164,6 +168,7 @@ class AfsFileManager
     PartitionId partition_;
     AfsFid root_;
     std::uint64_t volume_quota_;
+    std::uint64_t write_cap_lifetime_ns_ = 30ull * 1000000000;
     std::uint64_t quota_used_ = 0;
     std::uint32_t next_placement_ = 0;
     std::map<AfsFid, FileState> files_;

@@ -39,6 +39,21 @@ fromNasdStatus(NasdStatus status)
     }
 }
 
+/**
+ * Statuses a transparent capability refresh can cure: expiry (the file
+ * manager re-mints happily) and a version bump (revocation that the
+ * NFS consistency protocol resolves by re-fetching, see
+ * RevocationForcesCapabilityRefresh). Anything else — drive failure,
+ * timeout, rights violations — must surface to the caller unchanged,
+ * never be masked by a silent retry.
+ */
+bool
+staleCapability(NasdStatus status)
+{
+    return status == NasdStatus::kExpiredCapability ||
+           status == NasdStatus::kVersionMismatch;
+}
+
 } // namespace
 
 std::array<std::uint8_t, kFsSpecificBytes>
@@ -591,6 +606,8 @@ NasdNfsClient::getattr(NasdNfsFh fh)
         co_return util::Err{cred.error()};
     auto attrs = co_await drive_clients_[fh.drive]->getAttr(*cred.value());
     if (!attrs.ok()) {
+        if (!staleCapability(attrs.error()))
+            co_return util::Err{fromNasdStatus(attrs.error())};
         // Stale capability: refresh once and retry.
         invalidateCap(fh);
         auto fresh = co_await capabilityFor(fh, false);
@@ -636,7 +653,7 @@ NasdNfsClient::readChunk(NasdNfsFh fh, std::uint64_t offset,
     }
     auto data = co_await drive_clients_[fh.drive]->read(*cred.value(),
                                                         offset, out.size());
-    if (!data.ok()) {
+    if (!data.ok() && staleCapability(data.error())) {
         invalidateCap(fh);
         auto fresh = co_await capabilityFor(fh, false);
         if (fresh.ok()) {
@@ -686,7 +703,7 @@ NasdNfsClient::writeChunk(NasdNfsFh fh, std::uint64_t offset,
     }
     auto wrote =
         co_await drive_clients_[fh.drive]->write(*cred.value(), offset, d);
-    if (!wrote.ok()) {
+    if (!wrote.ok() && staleCapability(wrote.error())) {
         invalidateCap(fh);
         auto fresh = co_await capabilityFor(fh, true);
         if (fresh.ok()) {

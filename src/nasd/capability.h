@@ -129,6 +129,13 @@ class CredentialFactory
 
     const Capability &capability() const { return cap_; }
 
+    /**
+     * Swap in a freshly-minted capability (after expiry or revocation)
+     * without destroying the factory: in-flight coroutines hold
+     * references to this object, so refresh must happen in place.
+     */
+    void rebind(Capability cap) { cap_ = std::move(cap); }
+
     /** Build the security header for one request. */
     [[nodiscard]] RequestCredential forRequest(const RequestParams &params);
 

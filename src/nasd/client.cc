@@ -1,5 +1,8 @@
 #include "nasd/client.h"
 
+#include <algorithm>
+#include <memory>
+
 namespace nasd {
 
 namespace {
@@ -12,7 +15,83 @@ constexpr std::uint64_t kControlPayload = 128;
 /// Wire size of an attribute frame in replies.
 constexpr std::uint64_t kAttrPayload = 128;
 
+/// Per-attempt handler factory for attemptLoop. GCC 12 miscompiles a
+/// prvalue std::function temporary passed as a by-value coroutine
+/// parameter (the temporary is destroyed twice, over-releasing any
+/// owning captures), so every MakeFn — and every handler it returns —
+/// must be materialized as a named lvalue before it crosses a
+/// coroutine boundary.
+template <typename Resp>
+using MakeFn =
+    std::function<std::function<sim::Task<net::RpcReply<Resp>>()>()>;
+
+/** Deterministic per-(node, drive) jitter seed (FNV-1a). */
+std::uint64_t
+jitterSeed(const std::string &node_name, DriveId drive_id)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : node_name) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    h ^= drive_id;
+    h *= 0x100000001b3ULL;
+    return h;
+}
+
+/**
+ * Run one drive RPC under the retry policy.
+ *
+ * @p make builds a fresh server-side handler per attempt; it must
+ * value-capture everything the handler touches (a timed-out attempt's
+ * handler keeps running in the background after the caller's frame has
+ * moved on) and mint a fresh credential so each attempt carries a new
+ * nonce. kReplayedRequest also retries for idempotent ops: it means a
+ * duplicate copy of an earlier attempt reached the drive first and the
+ * surviving reply raced badly — a fresh nonce resolves it.
+ */
+template <typename Resp>
+sim::Task<Resp>
+attemptLoop(net::Network &net, net::NetNode &node, NasdDrive &drive,
+            const DriveRetryPolicy &policy, util::Rng &rng, bool retryable,
+            sim::Tick timeout, std::uint64_t request_payload,
+            MakeFn<Resp> make)
+{
+    const int attempts = retryable ? std::max(policy.max_attempts, 1) : 1;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            const sim::Tick base =
+                std::min(policy.backoff_base << (attempt - 1),
+                         policy.backoff_cap);
+            const auto jitter = static_cast<sim::Tick>(
+                rng.below(static_cast<std::uint64_t>(base / 2) + 1));
+            co_await net.simulator().delay(base + jitter);
+        }
+        auto handler = make();
+        net::RpcOutcome<Resp> outcome =
+            co_await net::callWithDeadline<Resp>(net, node, drive.node(),
+                                                 request_payload, handler,
+                                                 timeout);
+        if (!outcome.ok())
+            continue; // deadline expired; retry if attempts remain
+        Resp resp = std::move(outcome.value);
+        if (retryable && resp.status == NasdStatus::kReplayedRequest &&
+            attempt + 1 < attempts)
+            continue;
+        co_return resp;
+    }
+    Resp failed{};
+    failed.status = NasdStatus::kTimeout;
+    co_return failed;
+}
+
 } // namespace
+
+NasdClient::NasdClient(net::Network &net, net::NetNode &node,
+                       NasdDrive &drive)
+    : net_(net), node_(node), drive_(drive),
+      retry_rng_(jitterSeed(node.name(), drive.id()))
+{}
 
 sim::Task<StoreResult<std::vector<std::uint8_t>>>
 NasdClient::read(CredentialFactory &cred, std::uint64_t offset,
@@ -20,15 +99,21 @@ NasdClient::read(CredentialFactory &cred, std::uint64_t offset,
 {
     RequestParams params{OpCode::kReadData, cred.capability().pub.partition,
                          cred.capability().pub.object_id, offset, length};
-    const RequestCredential credential = cred.forRequest(params);
+    NasdDrive *drive = &drive_;
 
-    ReadResponse resp = co_await net::call<ReadResponse>(
-        net_, node_, drive_.node(), kControlPayload,
-        [&]() -> sim::Task<net::RpcReply<ReadResponse>> {
-            auto r = co_await drive_.serveRead(credential, params);
-            const std::uint64_t payload = r.data.size();
-            co_return net::RpcReply<ReadResponse>{std::move(r), payload};
-        });
+    const MakeFn<ReadResponse> make = [&cred, params, drive] {
+        const RequestCredential credential = cred.forRequest(params);
+        return std::function<sim::Task<net::RpcReply<ReadResponse>>()>(
+            [drive, credential,
+             params]() -> sim::Task<net::RpcReply<ReadResponse>> {
+                auto r = co_await drive->serveRead(credential, params);
+                const std::uint64_t payload = r.data.size();
+                co_return net::RpcReply<ReadResponse>{std::move(r), payload};
+            });
+    };
+    ReadResponse resp = co_await attemptLoop<ReadResponse>(
+        net_, node_, drive_, policy_, retry_rng_, true, policy_.timeout,
+        kControlPayload, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -43,14 +128,25 @@ NasdClient::write(CredentialFactory &cred, std::uint64_t offset,
                          cred.capability().pub.partition,
                          cred.capability().pub.object_id, offset,
                          data.size()};
-    const RequestCredential credential = cred.forRequest(params);
+    NasdDrive *drive = &drive_;
+    // The caller's buffer may die before a timed-out attempt's handler
+    // runs; every attempt shares one heap copy instead.
+    auto bytes = std::make_shared<std::vector<std::uint8_t>>(data.begin(),
+                                                             data.end());
 
-    StatusResponse resp = co_await net::call<StatusResponse>(
-        net_, node_, drive_.node(), kControlPayload + data.size(),
-        [&]() -> sim::Task<net::RpcReply<StatusResponse>> {
-            auto r = co_await drive_.serveWrite(credential, params, data);
-            co_return net::RpcReply<StatusResponse>{r, 0};
-        });
+    const MakeFn<StatusResponse> make = [&cred, params, drive, bytes] {
+        const RequestCredential credential = cred.forRequest(params);
+        return std::function<sim::Task<net::RpcReply<StatusResponse>>()>(
+            [drive, credential, params,
+             bytes]() -> sim::Task<net::RpcReply<StatusResponse>> {
+                auto r = co_await drive->serveWrite(credential, params,
+                                                    *bytes);
+                co_return net::RpcReply<StatusResponse>{r, 0};
+            });
+    };
+    StatusResponse resp = co_await attemptLoop<StatusResponse>(
+        net_, node_, drive_, policy_, retry_rng_, true, policy_.timeout,
+        kControlPayload + data.size(), make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -62,14 +158,20 @@ NasdClient::getAttr(CredentialFactory &cred)
 {
     RequestParams params{OpCode::kGetAttr, cred.capability().pub.partition,
                          cred.capability().pub.object_id, 0, 0};
-    const RequestCredential credential = cred.forRequest(params);
+    NasdDrive *drive = &drive_;
 
-    AttrResponse resp = co_await net::call<AttrResponse>(
-        net_, node_, drive_.node(), kControlPayload,
-        [&]() -> sim::Task<net::RpcReply<AttrResponse>> {
-            auto r = co_await drive_.serveGetAttr(credential, params);
-            co_return net::RpcReply<AttrResponse>{r, kAttrPayload};
-        });
+    const MakeFn<AttrResponse> make = [&cred, params, drive] {
+        const RequestCredential credential = cred.forRequest(params);
+        return std::function<sim::Task<net::RpcReply<AttrResponse>>()>(
+            [drive, credential,
+             params]() -> sim::Task<net::RpcReply<AttrResponse>> {
+                auto r = co_await drive->serveGetAttr(credential, params);
+                co_return net::RpcReply<AttrResponse>{r, kAttrPayload};
+            });
+    };
+    AttrResponse resp = co_await attemptLoop<AttrResponse>(
+        net_, node_, drive_, policy_, retry_rng_, true, policy_.timeout,
+        kControlPayload, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -81,15 +183,21 @@ NasdClient::setAttr(CredentialFactory &cred, const SetAttrRequest &changes)
 {
     RequestParams params{OpCode::kSetAttr, cred.capability().pub.partition,
                          cred.capability().pub.object_id, 0, 0};
-    const RequestCredential credential = cred.forRequest(params);
+    NasdDrive *drive = &drive_;
 
-    AttrResponse resp = co_await net::call<AttrResponse>(
-        net_, node_, drive_.node(), kControlPayload + kAttrPayload,
-        [&]() -> sim::Task<net::RpcReply<AttrResponse>> {
-            auto r =
-                co_await drive_.serveSetAttr(credential, params, changes);
-            co_return net::RpcReply<AttrResponse>{r, kAttrPayload};
-        });
+    const MakeFn<AttrResponse> make = [&cred, params, drive, changes] {
+        const RequestCredential credential = cred.forRequest(params);
+        return std::function<sim::Task<net::RpcReply<AttrResponse>>()>(
+            [drive, credential, params,
+             changes]() -> sim::Task<net::RpcReply<AttrResponse>> {
+                auto r = co_await drive->serveSetAttr(credential, params,
+                                                      changes);
+                co_return net::RpcReply<AttrResponse>{r, kAttrPayload};
+            });
+    };
+    AttrResponse resp = co_await attemptLoop<AttrResponse>(
+        net_, node_, drive_, policy_, retry_rng_, false, policy_.timeout,
+        kControlPayload + kAttrPayload, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -102,14 +210,20 @@ NasdClient::create(CredentialFactory &cred, std::uint64_t capacity_hint)
     RequestParams params{OpCode::kCreateObject,
                          cred.capability().pub.partition,
                          cred.capability().pub.object_id, 0, capacity_hint};
-    const RequestCredential credential = cred.forRequest(params);
+    NasdDrive *drive = &drive_;
 
-    CreateResponse resp = co_await net::call<CreateResponse>(
-        net_, node_, drive_.node(), kControlPayload,
-        [&]() -> sim::Task<net::RpcReply<CreateResponse>> {
-            auto r = co_await drive_.serveCreate(credential, params);
-            co_return net::RpcReply<CreateResponse>{r, 16};
-        });
+    const MakeFn<CreateResponse> make = [&cred, params, drive] {
+        const RequestCredential credential = cred.forRequest(params);
+        return std::function<sim::Task<net::RpcReply<CreateResponse>>()>(
+            [drive, credential,
+             params]() -> sim::Task<net::RpcReply<CreateResponse>> {
+                auto r = co_await drive->serveCreate(credential, params);
+                co_return net::RpcReply<CreateResponse>{r, 16};
+            });
+    };
+    CreateResponse resp = co_await attemptLoop<CreateResponse>(
+        net_, node_, drive_, policy_, retry_rng_, false, policy_.timeout,
+        kControlPayload, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -122,14 +236,20 @@ NasdClient::remove(CredentialFactory &cred)
     RequestParams params{OpCode::kRemoveObject,
                          cred.capability().pub.partition,
                          cred.capability().pub.object_id, 0, 0};
-    const RequestCredential credential = cred.forRequest(params);
+    NasdDrive *drive = &drive_;
 
-    StatusResponse resp = co_await net::call<StatusResponse>(
-        net_, node_, drive_.node(), kControlPayload,
-        [&]() -> sim::Task<net::RpcReply<StatusResponse>> {
-            auto r = co_await drive_.serveRemove(credential, params);
-            co_return net::RpcReply<StatusResponse>{r, 0};
-        });
+    const MakeFn<StatusResponse> make = [&cred, params, drive] {
+        const RequestCredential credential = cred.forRequest(params);
+        return std::function<sim::Task<net::RpcReply<StatusResponse>>()>(
+            [drive, credential,
+             params]() -> sim::Task<net::RpcReply<StatusResponse>> {
+                auto r = co_await drive->serveRemove(credential, params);
+                co_return net::RpcReply<StatusResponse>{r, 0};
+            });
+    };
+    StatusResponse resp = co_await attemptLoop<StatusResponse>(
+        net_, node_, drive_, policy_, retry_rng_, false, policy_.timeout,
+        kControlPayload, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -142,14 +262,20 @@ NasdClient::cloneVersion(CredentialFactory &cred)
     RequestParams params{OpCode::kCloneVersion,
                          cred.capability().pub.partition,
                          cred.capability().pub.object_id, 0, 0};
-    const RequestCredential credential = cred.forRequest(params);
+    NasdDrive *drive = &drive_;
 
-    CreateResponse resp = co_await net::call<CreateResponse>(
-        net_, node_, drive_.node(), kControlPayload,
-        [&]() -> sim::Task<net::RpcReply<CreateResponse>> {
-            auto r = co_await drive_.serveClone(credential, params);
-            co_return net::RpcReply<CreateResponse>{r, 16};
-        });
+    const MakeFn<CreateResponse> make = [&cred, params, drive] {
+        const RequestCredential credential = cred.forRequest(params);
+        return std::function<sim::Task<net::RpcReply<CreateResponse>>()>(
+            [drive, credential,
+             params]() -> sim::Task<net::RpcReply<CreateResponse>> {
+                auto r = co_await drive->serveClone(credential, params);
+                co_return net::RpcReply<CreateResponse>{r, 16};
+            });
+    };
+    CreateResponse resp = co_await attemptLoop<CreateResponse>(
+        net_, node_, drive_, policy_, retry_rng_, false, policy_.timeout,
+        kControlPayload, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -162,15 +288,22 @@ NasdClient::listObjects(CredentialFactory &cred)
     RequestParams params{OpCode::kListObjects,
                          cred.capability().pub.partition,
                          cred.capability().pub.object_id, 0, 0};
-    const RequestCredential credential = cred.forRequest(params);
+    NasdDrive *drive = &drive_;
 
-    ListResponse resp = co_await net::call<ListResponse>(
-        net_, node_, drive_.node(), kControlPayload,
-        [&]() -> sim::Task<net::RpcReply<ListResponse>> {
-            auto r = co_await drive_.serveList(credential, params);
-            const std::uint64_t payload = r.ids.size() * sizeof(ObjectId);
-            co_return net::RpcReply<ListResponse>{std::move(r), payload};
-        });
+    const MakeFn<ListResponse> make = [&cred, params, drive] {
+        const RequestCredential credential = cred.forRequest(params);
+        return std::function<sim::Task<net::RpcReply<ListResponse>>()>(
+            [drive, credential,
+             params]() -> sim::Task<net::RpcReply<ListResponse>> {
+                auto r = co_await drive->serveList(credential, params);
+                const std::uint64_t payload =
+                    r.ids.size() * sizeof(ObjectId);
+                co_return net::RpcReply<ListResponse>{std::move(r), payload};
+            });
+    };
+    ListResponse resp = co_await attemptLoop<ListResponse>(
+        net_, node_, drive_, policy_, retry_rng_, true, policy_.timeout,
+        kControlPayload, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -182,14 +315,20 @@ NasdClient::setKey(CredentialFactory &cred)
 {
     RequestParams params{OpCode::kSetKey, cred.capability().pub.partition,
                          cred.capability().pub.object_id, 0, 0};
-    const RequestCredential credential = cred.forRequest(params);
+    NasdDrive *drive = &drive_;
 
-    StatusResponse resp = co_await net::call<StatusResponse>(
-        net_, node_, drive_.node(), kControlPayload,
-        [&]() -> sim::Task<net::RpcReply<StatusResponse>> {
-            auto r = co_await drive_.serveSetKey(credential, params);
-            co_return net::RpcReply<StatusResponse>{r, 0};
-        });
+    const MakeFn<StatusResponse> make = [&cred, params, drive] {
+        const RequestCredential credential = cred.forRequest(params);
+        return std::function<sim::Task<net::RpcReply<StatusResponse>>()>(
+            [drive, credential,
+             params]() -> sim::Task<net::RpcReply<StatusResponse>> {
+                auto r = co_await drive->serveSetKey(credential, params);
+                co_return net::RpcReply<StatusResponse>{r, 0};
+            });
+    };
+    StatusResponse resp = co_await attemptLoop<StatusResponse>(
+        net_, node_, drive_, policy_, retry_rng_, false, policy_.timeout,
+        kControlPayload, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -201,34 +340,42 @@ namespace {
 /** Shared plumbing for the three partition-admin calls. */
 sim::Task<StoreResult<void>>
 partitionAdmin(net::Network &net, net::NetNode &node, NasdDrive &drive,
+               const DriveRetryPolicy &policy, util::Rng &rng,
                CredentialFactory &cred, OpCode op, PartitionId target,
                std::uint64_t quota_bytes)
 {
     RequestParams params{op, cred.capability().pub.partition,
                          cred.capability().pub.object_id, target,
                          quota_bytes};
-    const RequestCredential credential = cred.forRequest(params);
+    NasdDrive *drive_ptr = &drive;
 
-    StatusResponse resp = co_await net::call<StatusResponse>(
-        net, node, drive.node(), kControlPayload,
-        [&]() -> sim::Task<net::RpcReply<StatusResponse>> {
-            StatusResponse r;
-            switch (op) {
-              case OpCode::kCreatePartition:
-                r = co_await drive.serveCreatePartition(credential, params,
-                                                        target);
-                break;
-              case OpCode::kResizePartition:
-                r = co_await drive.serveResizePartition(credential, params,
-                                                        target);
-                break;
-              default:
-                r = co_await drive.serveRemovePartition(credential, params,
-                                                        target);
-                break;
-            }
-            co_return net::RpcReply<StatusResponse>{r, 16};
-        });
+    const MakeFn<StatusResponse> make = [&cred, params, drive_ptr, op,
+                                         target] {
+        const RequestCredential credential = cred.forRequest(params);
+        return std::function<sim::Task<net::RpcReply<StatusResponse>>()>(
+            [drive_ptr, credential, params, op,
+             target]() -> sim::Task<net::RpcReply<StatusResponse>> {
+                StatusResponse r;
+                switch (op) {
+                  case OpCode::kCreatePartition:
+                    r = co_await drive_ptr->serveCreatePartition(
+                        credential, params, target);
+                    break;
+                  case OpCode::kResizePartition:
+                    r = co_await drive_ptr->serveResizePartition(
+                        credential, params, target);
+                    break;
+                  default:
+                    r = co_await drive_ptr->serveRemovePartition(
+                        credential, params, target);
+                    break;
+                }
+                co_return net::RpcReply<StatusResponse>{r, 16};
+            });
+    };
+    StatusResponse resp = co_await attemptLoop<StatusResponse>(
+        net, node, drive, policy, rng, false, policy.timeout,
+        kControlPayload, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -241,7 +388,8 @@ sim::Task<StoreResult<void>>
 NasdClient::createPartition(CredentialFactory &cred, PartitionId target,
                             std::uint64_t quota_bytes)
 {
-    co_return co_await partitionAdmin(net_, node_, drive_, cred,
+    co_return co_await partitionAdmin(net_, node_, drive_, policy_,
+                                      retry_rng_, cred,
                                       OpCode::kCreatePartition, target,
                                       quota_bytes);
 }
@@ -250,7 +398,8 @@ sim::Task<StoreResult<void>>
 NasdClient::resizePartition(CredentialFactory &cred, PartitionId target,
                             std::uint64_t quota_bytes)
 {
-    co_return co_await partitionAdmin(net_, node_, drive_, cred,
+    co_return co_await partitionAdmin(net_, node_, drive_, policy_,
+                                      retry_rng_, cred,
                                       OpCode::kResizePartition, target,
                                       quota_bytes);
 }
@@ -258,19 +407,25 @@ NasdClient::resizePartition(CredentialFactory &cred, PartitionId target,
 sim::Task<StoreResult<void>>
 NasdClient::removePartition(CredentialFactory &cred, PartitionId target)
 {
-    co_return co_await partitionAdmin(net_, node_, drive_, cred,
+    co_return co_await partitionAdmin(net_, node_, drive_, policy_,
+                                      retry_rng_, cred,
                                       OpCode::kRemovePartition, target, 0);
 }
 
 sim::Task<void>
 NasdClient::flush()
 {
-    (void)co_await net::call<StatusResponse>(
-        net_, node_, drive_.node(), kControlPayload,
-        [&]() -> sim::Task<net::RpcReply<StatusResponse>> {
-            auto r = co_await drive_.serveFlush();
-            co_return net::RpcReply<StatusResponse>{r, 0};
-        });
+    NasdDrive *drive = &drive_;
+    const MakeFn<StatusResponse> make = [drive] {
+        return std::function<sim::Task<net::RpcReply<StatusResponse>>()>(
+            [drive]() -> sim::Task<net::RpcReply<StatusResponse>> {
+                auto r = co_await drive->serveFlush();
+                co_return net::RpcReply<StatusResponse>{r, 0};
+            });
+    };
+    (void)co_await attemptLoop<StatusResponse>(
+        net_, node_, drive_, policy_, retry_rng_, true,
+        policy_.flush_timeout, kControlPayload, make);
 }
 
 } // namespace nasd

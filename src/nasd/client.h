@@ -6,6 +6,15 @@
  * attaches capability credentials, and converts wire responses into
  * Result values. One NasdClient binds one client machine to one drive;
  * higher layers (filesystems, Cheops) hold several.
+ *
+ * Every request carries a deadline on the simulator clock so a dropped
+ * message surfaces as NasdStatus::kTimeout instead of a hung
+ * coroutine. Idempotent operations (read, same-bytes write, getAttr,
+ * list, flush) retry with capped exponential backoff and jitter; a
+ * fresh credential (fresh nonce) is minted per attempt so retries pass
+ * the drive's replay window. Non-idempotent operations (create,
+ * remove, clone, setAttr, setKey, partition admin) get a single
+ * deadline-protected attempt.
  */
 #ifndef NASD_NASD_CLIENT_H_
 #define NASD_NASD_CLIENT_H_
@@ -20,19 +29,33 @@
 #include "net/network.h"
 #include "net/rpc.h"
 #include "sim/task.h"
+#include "sim/time.h"
+#include "util/rng.h"
 
 namespace nasd {
+
+/** Deadline and retry knobs for drive RPCs. */
+struct DriveRetryPolicy
+{
+    sim::Tick timeout = sim::msec(2000);      ///< per-attempt deadline
+    int max_attempts = 4;                     ///< for idempotent ops
+    sim::Tick backoff_base = sim::msec(20);   ///< first retry delay
+    sim::Tick backoff_cap = sim::msec(500);   ///< backoff ceiling
+    /// Flush drains the whole write-behind queue; give it room.
+    sim::Tick flush_timeout = sim::sec(120);
+};
 
 /** RPC stub for one (client machine, drive) pair. */
 class NasdClient
 {
   public:
-    NasdClient(net::Network &net, net::NetNode &node, NasdDrive &drive)
-        : net_(net), node_(node), drive_(drive)
-    {}
+    NasdClient(net::Network &net, net::NetNode &node, NasdDrive &drive);
 
     net::NetNode &node() { return node_; }
     NasdDrive &drive() { return drive_; }
+
+    const DriveRetryPolicy &policy() const { return policy_; }
+    void setPolicy(const DriveRetryPolicy &policy) { policy_ = policy; }
 
     /** Read up to @p length bytes at @p offset of the capability's
      *  object. */
@@ -89,6 +112,8 @@ class NasdClient
     net::Network &net_;
     net::NetNode &node_;
     NasdDrive &drive_;
+    DriveRetryPolicy policy_;
+    util::Rng retry_rng_; ///< backoff jitter; seeded per (node, drive)
 };
 
 } // namespace nasd

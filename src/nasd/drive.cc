@@ -67,6 +67,19 @@ NasdDrive::format()
     co_await store_->format();
 }
 
+sim::Task<void>
+NasdDrive::restart()
+{
+    // The old store's in-RAM state (caches, write-behind queues) died
+    // with the crash; its frame must outlive us only because suspended
+    // coroutines may still reference it.
+    retired_stores_.push_back(std::move(store_));
+    store_ = std::make_unique<ObjectStore>(sim_, *striped_, config_.store);
+    co_await store_->mount();
+    nonce_window_.clear(); // replay window was RAM-resident
+    crashed_ = false;
+}
+
 double
 NasdDrive::rawMediaBytesPerSec() const
 {
@@ -77,6 +90,8 @@ sim::Task<NasdStatus>
 NasdDrive::verify(const RequestCredential &cred, const RequestParams &params,
                   std::uint8_t required_rights, std::uint64_t data_bytes)
 {
+    if (crashed_)
+        co_return NasdStatus::kDriveUnavailable;
     if (failed_)
         co_return NasdStatus::kDriveFailed;
 
@@ -136,8 +151,10 @@ NasdDrive::verify(const RequestCredential &cred, const RequestParams &params,
     // Replay protection: the nonce must advance per capability.
     const std::uint64_t key = digestPrefix(private_key);
     auto it = nonce_window_.find(key);
-    if (it != nonce_window_.end() && cred.nonce <= it->second)
+    if (it != nonce_window_.end() && cred.nonce <= it->second) {
+        ++replays_rejected_;
         co_return NasdStatus::kReplayedRequest;
+    }
     if (nonce_window_.size() >= kNonceWindowCap)
         nonce_window_.erase(nonce_window_.begin());
     nonce_window_[key] = cred.nonce;
@@ -221,6 +238,13 @@ NasdDrive::serveRead(RequestCredential cred, RequestParams params)
         resp.data.clear();
         co_return resp;
     }
+    if (crashed_) {
+        // The drive died while the op was inside the store: in-flight
+        // requests are rejected too, data never leaves the drive.
+        resp.status = NasdStatus::kDriveUnavailable;
+        resp.data.clear();
+        co_return resp;
+    }
     resp.data.resize(result.value());
     co_await chargeOpCost(config_.costs.read_base_instr,
                           config_.costs.cold_extra_read_instr,
@@ -249,6 +273,10 @@ NasdDrive::serveWrite(RequestCredential cred, RequestParams params,
                                          params.offset, data, &trace);
     if (!result.ok()) {
         resp.status = result.error();
+        co_return resp;
+    }
+    if (crashed_) {
+        resp.status = NasdStatus::kDriveUnavailable;
         co_return resp;
     }
     co_await chargeOpCost(config_.costs.write_base_instr,
@@ -482,6 +510,8 @@ NasdDrive::serveRemovePartition(RequestCredential cred,
 sim::Task<StatusResponse>
 NasdDrive::serveFlush()
 {
+    if (crashed_)
+        co_return StatusResponse{NasdStatus::kDriveUnavailable};
     if (failed_)
         co_return StatusResponse{NasdStatus::kDriveFailed};
     co_await store_->flushAll();

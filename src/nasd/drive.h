@@ -115,6 +115,25 @@ class NasdDrive
     void setFailed(bool failed) { failed_ = failed; }
     bool failed() const { return failed_; }
 
+    /**
+     * Crash the drive: RAM state (nonce window, clean cache) is lost,
+     * and every request — including ops already inside the store — is
+     * rejected with kDriveUnavailable until restart().
+     */
+    void crash() { crashed_ = true; }
+    bool crashed() const { return crashed_; }
+
+    /**
+     * Restart after a crash: rebuild the object store from the
+     * persistent on-disk image (attributes, refcounts, and flushed data
+     * survive; write-behind data that never reached media does not).
+     */
+    sim::Task<void> restart();
+
+    /** Requests rejected by the nonce replay window (duplicates and
+     *  stale retries). */
+    std::uint64_t replaysRejected() const { return replays_rejected_; }
+
     /** Aggregate raw media bandwidth (for benchmark reporting). */
     double rawMediaBytesPerSec() const;
 
@@ -194,12 +213,19 @@ class NasdDrive
     std::unique_ptr<disk::StripingDriver> striped_;
     std::unique_ptr<ObjectStore> store_;
 
+    /// Stores discarded by restart(). Kept alive until drive
+    /// destruction: coroutines that entered the old store before the
+    /// crash may still be suspended inside it.
+    std::vector<std::unique_ptr<ObjectStore>> retired_stores_;
+
     /// Replay protection: highest nonce seen per capability (keyed by
     /// a 64-bit prefix of the private portion).
     std::unordered_map<std::uint64_t, std::uint64_t> nonce_window_;
 
     std::uint64_t ops_served_ = 0;
+    std::uint64_t replays_rejected_ = 0;
     bool failed_ = false;
+    bool crashed_ = false;
 };
 
 } // namespace nasd

@@ -38,6 +38,10 @@ toString(NasdStatus status)
         return "partition-not-empty";
       case NasdStatus::kDriveFailed:
         return "drive-failed";
+      case NasdStatus::kDriveUnavailable:
+        return "drive-unavailable";
+      case NasdStatus::kTimeout:
+        return "timeout";
     }
     return "unknown";
 }

@@ -62,7 +62,9 @@ enum class [[nodiscard]] NasdStatus : std::uint8_t {
     kBadRequest,
     kPartitionExists,
     kPartitionNotEmpty,
-    kDriveFailed, ///< injected fault: the drive is not responding
+    kDriveFailed,      ///< injected fault: the drive is not responding
+    kDriveUnavailable, ///< drive crashed; restart required before service
+    kTimeout,          ///< client-side: RPC deadline exhausted all retries
 };
 
 /** Human-readable status name (for logs and test failures). */

@@ -58,4 +58,57 @@ Network::transfer(NetNode &src, NetNode &dst, std::uint64_t bytes)
     dst.bytes_received.add(bytes);
 }
 
+sim::Task<void>
+Network::occupyTx(NetNode &src, std::uint64_t bytes)
+{
+    // The sender serializes the frame at its own link rate; the switch
+    // discards it, so no receiver resource is touched and no latency is
+    // experienced by anyone.
+    const auto serialize = static_cast<sim::Tick>(
+        static_cast<double>(bytes) / src.link().bytesPerSec() * 1e9);
+    co_await src.tx().acquire();
+    co_await sim_.delay(serialize);
+    src.tx().release();
+    src.bytes_sent.add(bytes);
+}
+
+void
+Network::setFaultPlan(const FaultPlan &plan)
+{
+    fault_plan_ = plan;
+    fault_rng_ = util::Rng(plan.seed);
+}
+
+FaultDecision
+Network::faultDecision(NetNode &src, NetNode &dst)
+{
+    FaultDecision d;
+    if (partitioned(src, dst)) {
+        d.drop = true;
+        src.faults_dropped.add(1);
+        return d;
+    }
+    if (!fault_plan_)
+        return d;
+    const FaultPlan &plan = *fault_plan_;
+    if (fault_rng_.chance(plan.drop_probability)) {
+        d.drop = true;
+        src.faults_dropped.add(1);
+        return d;
+    }
+    if (fault_rng_.chance(plan.duplicate_probability)) {
+        d.copies = 2;
+        src.faults_duplicated.add(1);
+    }
+    if (fault_rng_.chance(plan.delay_probability)) {
+        d.delay = plan.delay_min +
+                  static_cast<sim::Tick>(fault_rng_.below(
+                      static_cast<std::uint64_t>(
+                          plan.delay_max - plan.delay_min) +
+                      1));
+        src.faults_delayed.add(1);
+    }
+    return d;
+}
+
 } // namespace nasd::net

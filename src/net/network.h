@@ -15,12 +15,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/resource.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/units.h"
 
@@ -63,6 +66,34 @@ struct RpcCosts
     std::uint32_t header_bytes = 200; ///< net + RPC + security headers
 };
 
+/**
+ * Seeded fault-injection plan for unreliable messages. Probabilities
+ * are per message; every decision draws from one deterministic
+ * util::Rng so a (plan, workload) pair replays bit-for-bit.
+ *
+ * Faults apply only to messages sent on the unreliable path (the
+ * deadline-protected drive data path in net/rpc.h). Control-plane
+ * sessions model a reliable transport and are exempt, as are raw
+ * transfer() calls.
+ */
+struct FaultPlan
+{
+    double drop_probability = 0.0;      ///< message vanishes in the switch
+    double duplicate_probability = 0.0; ///< delivered twice
+    double delay_probability = 0.0;     ///< held in a queue, then delivered
+    sim::Tick delay_min = 0;            ///< extra delivery delay range
+    sim::Tick delay_max = sim::msec(5);
+    std::uint64_t seed = 1;             ///< fault Rng seed
+};
+
+/** The fate of one unreliable message. */
+struct FaultDecision
+{
+    bool drop = false;
+    int copies = 1;       ///< 2 when duplicated
+    sim::Tick delay = 0;  ///< extra delivery delay
+};
+
 /** The heavyweight DCE RPC / UDP / IP stack of the prototype. */
 RpcCosts dceRpcCosts();
 
@@ -96,6 +127,15 @@ class NetNode
     util::Counter bytes_sent;
     util::Counter bytes_received;
 
+    // Per-link fault accounting. The sender's link counts injected
+    // drop/duplicate/delay events; the client side of an RPC counts
+    // expired deadlines and replies that arrived after one.
+    util::Counter faults_dropped;
+    util::Counter faults_duplicated;
+    util::Counter faults_delayed;
+    util::Counter rpc_timeouts;
+    util::Counter rpc_late_replies;
+
   private:
     std::string name_;
     sim::CpuResource cpu_;
@@ -126,11 +166,51 @@ class Network
     sim::Task<void> transfer(NetNode &src, NetNode &dst,
                              std::uint64_t bytes);
 
+    /**
+     * Occupy only the sender's TX side for @p bytes (a frame the
+     * switch will drop): the NIC did the work even though nobody
+     * receives it.
+     */
+    sim::Task<void> occupyTx(NetNode &src, std::uint64_t bytes);
+
+    // Fault injection -----------------------------------------------------
+
+    /** Install (or replace) the fault plan; reseeds the fault Rng. */
+    void setFaultPlan(const FaultPlan &plan);
+
+    /** Remove the fault plan (partitions are kept). */
+    void clearFaultPlan() { fault_plan_.reset(); }
+
+    const std::optional<FaultPlan> &faultPlan() const { return fault_plan_; }
+
+    /** Cut every unreliable message to and from @p node. */
+    void partitionNode(const NetNode &node) { partitioned_.insert(&node); }
+
+    /** Reconnect @p node. */
+    void healNode(const NetNode &node) { partitioned_.erase(&node); }
+
+    bool
+    partitioned(const NetNode &a, const NetNode &b) const
+    {
+        return partitioned_.contains(&a) || partitioned_.contains(&b);
+    }
+
+    /**
+     * Decide the fate of one unreliable message from @p src to @p dst
+     * and charge the per-link fault counters. Partition always drops;
+     * otherwise the plan's probabilities apply in drop > duplicate >
+     * delay order.
+     */
+    FaultDecision faultDecision(NetNode &src, NetNode &dst);
+
     sim::Simulator &simulator() { return sim_; }
 
   private:
     sim::Simulator &sim_;
     std::vector<std::unique_ptr<NetNode>> nodes_;
+    std::optional<FaultPlan> fault_plan_;
+    util::Rng fault_rng_{1};
+    std::unordered_set<const NetNode *> partitioned_;
 };
 
 } // namespace nasd::net

@@ -25,8 +25,10 @@
 #define NASD_NET_RPC_H_
 
 #include <algorithm>
+#include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -49,7 +51,15 @@ inline constexpr std::uint64_t kPipelineChunkBytes = 64 * 1024;
 
 namespace detail {
 
-/** Per-chunk CPU + wire path; FIFO resources form the pipeline. */
+/**
+ * Per-chunk CPU + wire path; FIFO resources form the pipeline.
+ *
+ * The base cost and header ride only on the first chunk of a message.
+ * A retried RPC is a *new* message — each attempt enters sendMessage()
+ * from the top with first=true, so the full protocol cost (base
+ * instructions + header bytes) is paid again per attempt, never
+ * amortized across retries.
+ */
 inline sim::Task<void>
 moveChunk(Network &net, NetNode &src, NetNode &dst, std::uint64_t bytes,
           bool first)
@@ -75,6 +85,23 @@ moveChunk(Network &net, NetNode &src, NetNode &dst, std::uint64_t bytes,
         dc.recv_per_byte_instr * static_cast<double>(bytes));
     if (recv_instr > 0)
         co_await dst.cpu().executeAt(recv_instr, dc.data_cpi);
+}
+
+/**
+ * Cost of a message the switch drops: the sender still pays full send
+ * CPU and serializes the frame onto its own link; nothing reaches the
+ * receiver.
+ */
+inline sim::Task<void>
+chargeLostSend(Network &net, NetNode &src, std::uint64_t bytes)
+{
+    const RpcCosts &sc = src.costs();
+    co_await src.cpu().execute(sc.send_base_instr);
+    const auto send_instr = static_cast<std::uint64_t>(
+        sc.send_per_byte_instr * static_cast<double>(bytes));
+    if (send_instr > 0)
+        co_await src.cpu().executeAt(send_instr, sc.data_cpi);
+    co_await net.occupyTx(src, bytes + sc.header_bytes);
 }
 
 } // namespace detail
@@ -121,6 +148,163 @@ call(Network &net, NetNode &client, NetNode &server,
     RpcReply<T> reply = co_await handler();
     co_await sendMessage(net, server, client, reply.payload_bytes);
     co_return std::move(reply.value);
+}
+
+// Unreliable datagram path ----------------------------------------------
+
+/**
+ * Like sendMessage(), but subject to the network's FaultPlan and
+ * partitions: the message may be dropped (sender still pays CPU + TX
+ * serialization), duplicated, or delayed.
+ *
+ * @return Number of copies delivered to @p dst (0 = dropped).
+ */
+inline sim::Task<int>
+sendUnreliableMessage(Network &net, NetNode &src, NetNode &dst,
+                      std::uint64_t payload)
+{
+    const FaultDecision d = net.faultDecision(src, dst);
+    if (d.drop) {
+        co_await detail::chargeLostSend(net, src, payload);
+        co_return 0;
+    }
+    if (d.delay > 0)
+        co_await net.simulator().delay(d.delay);
+    for (int i = 0; i < d.copies; ++i)
+        co_await sendMessage(net, src, dst, payload);
+    co_return d.copies;
+}
+
+/** Result classification of a deadline-protected RPC. */
+enum class [[nodiscard]] RpcStatus
+{
+    kOk,
+    kTimeout, ///< deadline expired before any reply copy arrived
+};
+
+/** Value + status of a deadline-protected RPC. */
+template <typename T>
+struct RpcOutcome
+{
+    RpcStatus status = RpcStatus::kTimeout;
+    T value{};
+
+    bool ok() const { return status == RpcStatus::kOk; }
+};
+
+namespace detail {
+
+/**
+ * Shared between the awaiting caller, the background delivery task,
+ * and the deadline timer. shared_ptr-owned: the caller's frame may be
+ * resumed (and destroyed) by the timer while the delivery task is
+ * still in flight.
+ */
+template <typename T>
+struct CallState
+{
+    bool done = false;      ///< first reply copy landed before deadline
+    bool timed_out = false; ///< deadline fired first
+    std::coroutine_handle<> waiter;
+    T value{};
+    bool timer_armed = false;
+    std::uint64_t timer_id = 0;
+};
+
+template <typename T>
+struct ReplyAwaiter
+{
+    CallState<T> *state;
+
+    bool await_ready() const { return state->done || state->timed_out; }
+    void await_suspend(std::coroutine_handle<> h) { state->waiter = h; }
+    void await_resume() const {}
+};
+
+/**
+ * Background delivery of one RPC attempt. Runs to completion even if
+ * the caller timed out and went away: the handler executes once per
+ * delivered request copy (a duplicated request reaches the server
+ * twice — replay protection is the server's job), and late replies are
+ * counted on the client link instead of being delivered.
+ */
+template <typename T>
+sim::Task<void>
+runCall(Network &net, NetNode &client, NetNode &server,
+        std::uint64_t request_payload,
+        std::function<sim::Task<RpcReply<T>>()> handler,
+        std::shared_ptr<CallState<T>> state)
+{
+    const int copies =
+        co_await sendUnreliableMessage(net, client, server,
+                                       request_payload);
+    for (int i = 0; i < copies; ++i) {
+        RpcReply<T> reply = co_await handler();
+        const int delivered = co_await sendUnreliableMessage(
+            net, server, client, reply.payload_bytes);
+        if (delivered == 0)
+            continue; // reply lost on the way back
+        if (state->timed_out) {
+            client.rpc_late_replies.add(1);
+            continue;
+        }
+        if (state->done)
+            continue; // duplicate reply; first copy won
+        state->done = true;
+        state->value = std::move(reply.value);
+        if (state->timer_armed)
+            net.simulator().cancelScheduled(state->timer_id);
+        if (auto h = std::exchange(state->waiter, nullptr)) {
+            // Defer one tick-0 event so the caller resumes from the
+            // event loop, not from inside this frame (Gate idiom).
+            net.simulator().scheduleIn(0, [h] { h.resume(); });
+        }
+    }
+}
+
+} // namespace detail
+
+/**
+ * Execute @p handler on @p server as an RPC from @p client with a
+ * deadline on the simulator clock. The request and reply travel the
+ * unreliable path; if no reply copy arrives within @p timeout the call
+ * returns RpcStatus::kTimeout instead of hanging. The server-side work
+ * keeps running in the background — a late reply is counted in
+ * client.rpc_late_replies, never delivered.
+ */
+template <typename T>
+sim::Task<RpcOutcome<T>>
+callWithDeadline(Network &net, NetNode &client, NetNode &server,
+                 std::uint64_t request_payload,
+                 std::function<sim::Task<RpcReply<T>>()> handler,
+                 sim::Tick timeout)
+{
+    auto state = std::make_shared<detail::CallState<T>>();
+    auto &sim = net.simulator();
+    sim.spawn(detail::runCall<T>(net, client, server, request_payload,
+                                 std::move(handler), state));
+    if (!state->done && !state->timed_out) {
+        NetNode *client_ptr = &client;
+        state->timer_armed = true;
+        state->timer_id =
+            sim.scheduleCancelableIn(timeout, [state, client_ptr] {
+                if (state->done || state->timed_out)
+                    return;
+                state->timed_out = true;
+                client_ptr->rpc_timeouts.add(1);
+                if (auto h = std::exchange(state->waiter, nullptr))
+                    h.resume();
+            });
+        co_await detail::ReplyAwaiter<T>{state.get()};
+    }
+    RpcOutcome<T> out;
+    if (state->done) {
+        out.status = RpcStatus::kOk;
+        out.value = std::move(state->value);
+    } else {
+        out.status = RpcStatus::kTimeout;
+    }
+    co_return out;
 }
 
 } // namespace nasd::net

@@ -106,7 +106,7 @@ PfsClient::read(PfsHandle handle, std::uint64_t offset,
     auto n = co_await storage_client_.read(handle.object, offset, out);
     if (!n.ok())
         co_return util::Err{PfsStatus::kStorageError};
-    co_return n.value();
+    co_return n.value().bytes;
 }
 
 sim::Task<PfsResult<void>>

@@ -25,6 +25,16 @@ Simulator::schedule(Tick when, std::function<void()> fn)
     events_.push(PendingEvent{when, next_seq_++, std::move(fn)});
 }
 
+std::uint64_t
+Simulator::scheduleCancelable(Tick when, std::function<void()> fn)
+{
+    NASD_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
+                now_);
+    const std::uint64_t id = next_seq_++;
+    events_.push(PendingEvent{when, id, std::move(fn)});
+    return id;
+}
+
 void
 Simulator::spawn(Task<void> task)
 {
@@ -45,6 +55,13 @@ Simulator::executeNext()
     PendingEvent ev = std::move(const_cast<PendingEvent &>(events_.top()));
     events_.pop();
     NASD_ASSERT(ev.when >= now_, "event queue time went backwards");
+    if (cancelled_.erase(ev.seq) > 0) {
+        // Revoked timer: discard without touching the clock, so a
+        // cancelled deadline never stretches a measured interval.
+        // Single-step so runUntil() re-checks its deadline before the
+        // next (possibly later) event runs.
+        return true;
+    }
     now_ = ev.when;
     ++events_executed_;
     ev.fn();

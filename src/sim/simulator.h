@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/task.h"
@@ -47,6 +48,33 @@ class Simulator
     {
         schedule(now_ + delta, std::move(fn));
     }
+
+    /**
+     * Schedule @p fn at absolute time @p when and return a handle that
+     * cancelScheduled() accepts. Used for timers that usually do not
+     * fire (RPC deadlines): a cancelled event is skipped when popped
+     * and — critically — does NOT advance the clock, so pending timers
+     * of already-completed operations never inflate measured times in
+     * run-until-empty loops.
+     */
+    std::uint64_t scheduleCancelable(Tick when, std::function<void()> fn);
+
+    /** scheduleCancelable() relative to now. */
+    std::uint64_t
+    scheduleCancelableIn(Tick delta, std::function<void()> fn)
+    {
+        return scheduleCancelable(now_ + delta, std::move(fn));
+    }
+
+    /**
+     * Revoke a scheduleCancelable() event. Lazy deletion: the entry
+     * stays in the heap and is discarded when popped. Cancelling an
+     * event that already fired is harmless only if the id is never
+     * reused, which holds because seq numbers are unique — but callers
+     * should still guard with their own "fired" flag to keep the
+     * cancelled set from accumulating.
+     */
+    void cancelScheduled(std::uint64_t id) { cancelled_.insert(id); }
 
     /**
      * Start a top-level process. The simulator takes ownership of the
@@ -122,6 +150,7 @@ class Simulator
     std::uint64_t next_seq_ = 0;
     std::uint64_t events_executed_ = 0;
     EventHeap events_;
+    std::unordered_set<std::uint64_t> cancelled_;
     std::vector<std::coroutine_handle<Task<void>::promise_type>> roots_;
 };
 

@@ -257,8 +257,7 @@ TEST_F(AfsTest, ExpiredWriteCapUnblocksReaders)
 
     // After the write capability lifetime passes, a reader succeeds:
     // expiration bounds the waiting time (paper, Section 5.1).
-    sim.runUntil(sim.now() + AfsFileManager::kWriteCapLifetimeNs +
-                 sim::msec(1));
+    sim.runUntil(sim.now() + fm->writeCapLifetimeNs() + sim::msec(1));
     std::vector<std::uint8_t> out(kKB);
     auto n = runFor(client_b->read(fid, 0, out));
     ASSERT_TRUE(n.ok());

@@ -115,7 +115,8 @@ TEST_F(CheopsTest, StripedWriteReadRoundTrip)
     std::vector<std::uint8_t> out(kMB);
     auto n = runFor(client->read(id, 0, out));
     ASSERT_TRUE(n.ok());
-    EXPECT_EQ(n.value(), kMB);
+    EXPECT_EQ(n.value().bytes, kMB);
+    EXPECT_FALSE(n.value().degraded());
     EXPECT_EQ(out, data);
 }
 
@@ -127,7 +128,7 @@ TEST_F(CheopsTest, UnalignedRangeRoundTrip)
     std::vector<std::uint8_t> out(300 * kKB);
     auto n = runFor(client->read(id, 12345, out));
     ASSERT_TRUE(n.ok());
-    EXPECT_EQ(n.value(), 300 * kKB);
+    EXPECT_EQ(n.value().bytes, 300 * kKB);
     EXPECT_EQ(out, data);
 }
 
@@ -191,7 +192,7 @@ TEST_F(CheopsTest, RevokeInvalidatesCapabilitySet)
     CheopsClient fresh(net, client_node, *mgr, raw);
     auto n2 = runFor(fresh.read(id, 0, out));
     ASSERT_TRUE(n2.ok());
-    EXPECT_EQ(n2.value(), 64 * kKB);
+    EXPECT_EQ(n2.value().bytes, 64 * kKB);
 }
 
 TEST_F(CheopsTest, ParallelReadBeatsSingleDrive)

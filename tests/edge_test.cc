@@ -314,6 +314,32 @@ TEST_F(DriveEdge, CloneOfCloneChains)
     EXPECT_EQ(head.value(), pattern(64 * kKB));
 }
 
+TEST_F(DriveEdge, RestartPreservesCloneRefcounts)
+{
+    const ObjectId oid = makeObject();
+    auto cred = objectCred(oid);
+    ASSERT_TRUE(runFor(sim, client.write(cred, 0, pattern(64 * kKB))).ok());
+    auto clone = runFor(sim, client.cloneVersion(cred));
+    ASSERT_TRUE(clone.ok());
+    runTask(sim, client.flush());
+
+    // Rebuilding the store from the on-disk image must preserve the
+    // copy-on-write sharing: removing the clone after the restart may
+    // not free extents the original still references.
+    drive.crash();
+    runTask(sim, drive.restart());
+
+    auto clone_cred = objectCred(clone.value());
+    auto tail = runFor(sim, client.read(clone_cred, 0, 64 * kKB));
+    ASSERT_TRUE(tail.ok());
+    EXPECT_EQ(tail.value(), pattern(64 * kKB));
+    ASSERT_TRUE(runFor(sim, client.remove(clone_cred)).ok());
+
+    auto head = runFor(sim, client.read(cred, 0, 64 * kKB));
+    ASSERT_TRUE(head.ok());
+    EXPECT_EQ(head.value(), pattern(64 * kKB));
+}
+
 // -------------------------------------------------------- active corner
 
 TEST(ActiveEdge, ScanOfEmptyObjectReturnsEmptyCounts)

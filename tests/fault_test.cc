@@ -1,0 +1,496 @@
+/**
+ * @file
+ * End-to-end fault injection: message drop/duplicate/delay plans,
+ * drive crash and restart, network partitions, and capability expiry
+ * mid-stream — driven through the raw NASD client, Cheops, NFS, and
+ * AFS. Every scenario uses a fixed Rng seed so failures replay
+ * bit-for-bit.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cheops/cheops.h"
+#include "fs/afs/afs.h"
+#include "fs/nfs/nasd_nfs.h"
+#include "nasd/capability.h"
+#include "nasd/client.h"
+#include "nasd/drive.h"
+#include "net/network.h"
+#include "net/presets.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace nasd {
+namespace {
+
+using sim::Simulator;
+using sim::Task;
+using util::kKB;
+using util::kMB;
+
+template <typename T>
+T
+runFor(Simulator &sim, Task<T> task)
+{
+    std::optional<T> result;
+    sim.spawn([](Task<T> t, std::optional<T> &out) -> Task<void> {
+        out = co_await std::move(t);
+    }(std::move(task), result));
+    sim.run();
+    return std::move(*result);
+}
+
+void
+runTask(Simulator &sim, Task<void> task)
+{
+    sim.spawn(std::move(task));
+    sim.run();
+}
+
+std::vector<std::uint8_t>
+pattern(std::size_t n, std::uint8_t seed = 1)
+{
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(seed + i * 13);
+    return v;
+}
+
+/** A quick retry policy so fault scenarios finish in simulated ms. */
+DriveRetryPolicy
+fastPolicy(int attempts, sim::Tick timeout = sim::msec(50))
+{
+    DriveRetryPolicy p;
+    p.timeout = timeout;
+    p.max_attempts = attempts;
+    p.backoff_base = sim::msec(2);
+    p.backoff_cap = sim::msec(20);
+    return p;
+}
+
+// ------------------------------------------------------ raw drive RPCs
+
+class DriveFaultTest : public ::testing::Test
+{
+  protected:
+    DriveFaultTest()
+        : drive(sim, net, prototypeDriveConfig("nasd0", 1)),
+          issuer(drive.config().master_key, 1),
+          node(net.addNode("client", net::alphaStation255(),
+                           net::oc3Link(), net::dceRpcCosts())),
+          client(net, node, drive)
+    {
+        runTask(sim, drive.format());
+        EXPECT_TRUE(drive.store().createPartition(0, 256 * kMB).ok());
+    }
+
+    CredentialFactory
+    objectCred(ObjectId oid)
+    {
+        CapabilityPublic pub;
+        pub.partition = 0;
+        pub.object_id = oid;
+        pub.rights = kRightRead | kRightWrite | kRightGetAttr |
+                     kRightSetAttr | kRightRemove | kRightVersion;
+        return CredentialFactory(issuer.mint(pub));
+    }
+
+    ObjectId
+    makeObject()
+    {
+        CapabilityPublic pub;
+        pub.partition = 0;
+        pub.object_id = kPartitionControlObject;
+        pub.rights = kRightCreate;
+        CredentialFactory cred(issuer.mint(pub));
+        return runFor(sim, client.create(cred, 0)).value();
+    }
+
+    Simulator sim;
+    net::Network net{sim};
+    NasdDrive drive;
+    CapabilityIssuer issuer;
+    net::NetNode &node;
+    NasdClient client;
+};
+
+TEST_F(DriveFaultTest, DropTimeoutRetrySucceeds)
+{
+    const ObjectId oid = makeObject();
+    auto cred = objectCred(oid);
+    const auto data = pattern(8 * kKB);
+    ASSERT_TRUE(runFor(sim, client.write(cred, 0, data)).ok());
+
+    client.setPolicy(fastPolicy(6));
+    net::FaultPlan plan;
+    plan.drop_probability = 0.2;
+    plan.seed = 9;
+    net.setFaultPlan(plan);
+
+    // A lossy network costs retries, never answers: every read still
+    // returns the right bytes.
+    for (int i = 0; i < 25; ++i) {
+        auto r = runFor(sim, client.read(cred, 0, 8 * kKB));
+        ASSERT_TRUE(r.ok()) << "read " << i;
+        EXPECT_EQ(r.value(), data);
+    }
+    EXPECT_GT(node.faults_dropped.value() + drive.node().faults_dropped.value(),
+              0u);
+    EXPECT_GT(node.rpc_timeouts.value(), 0u);
+}
+
+TEST_F(DriveFaultTest, CrashedDriveRejectsThenRestartServes)
+{
+    const ObjectId oid = makeObject();
+    auto cred = objectCred(oid);
+    const auto data = pattern(16 * kKB, 5);
+    ASSERT_TRUE(runFor(sim, client.write(cred, 0, data)).ok());
+    runTask(sim, client.flush()); // push write-behind to media
+
+    drive.crash();
+    auto while_down = runFor(sim, client.read(cred, 0, 16 * kKB));
+    ASSERT_FALSE(while_down.ok());
+    EXPECT_EQ(while_down.error(), NasdStatus::kDriveUnavailable);
+
+    runTask(sim, drive.restart());
+    auto after = runFor(sim, client.read(cred, 0, 16 * kKB));
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(after.value(), data);
+}
+
+TEST_F(DriveFaultTest, PartitionSurfacesTimeoutThenHeals)
+{
+    const ObjectId oid = makeObject();
+    auto cred = objectCred(oid);
+    ASSERT_TRUE(runFor(sim, client.write(cred, 0, pattern(4 * kKB))).ok());
+
+    client.setPolicy(fastPolicy(2, sim::msec(30)));
+    net.partitionNode(drive.node());
+    const auto timeouts_before = node.rpc_timeouts.value();
+    auto r = runFor(sim, client.read(cred, 0, 4 * kKB));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error(), NasdStatus::kTimeout);
+    EXPECT_GE(node.rpc_timeouts.value(), timeouts_before + 2);
+
+    net.healNode(drive.node());
+    auto healed = runFor(sim, client.read(cred, 0, 4 * kKB));
+    ASSERT_TRUE(healed.ok());
+    EXPECT_EQ(healed.value(), pattern(4 * kKB));
+}
+
+TEST_F(DriveFaultTest, DuplicateDeliveryWriteNotDoubleApplied)
+{
+    const ObjectId oid = makeObject();
+    auto cred = objectCred(oid);
+
+    net::FaultPlan plan;
+    plan.duplicate_probability = 1.0;
+    plan.seed = 3;
+    net.setFaultPlan(plan);
+
+    // Both copies of the write request reach the drive; the nonce
+    // window must reject the second so the op applies exactly once.
+    const auto data = pattern(8 * kKB, 21);
+    ASSERT_TRUE(runFor(sim, client.write(cred, 0, data)).ok());
+    EXPECT_GE(drive.replaysRejected(), 1u);
+
+    auto attrs = runFor(sim, client.getAttr(cred));
+    ASSERT_TRUE(attrs.ok());
+    EXPECT_EQ(attrs.value().size, 8 * kKB);
+    auto r = runFor(sim, client.read(cred, 0, 8 * kKB));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), data);
+}
+
+TEST_F(DriveFaultTest, TimeoutRacesLateReply)
+{
+    const ObjectId oid = makeObject();
+    auto cred = objectCred(oid);
+    ASSERT_TRUE(runFor(sim, client.write(cred, 0, pattern(kKB))).ok());
+
+    client.setPolicy(fastPolicy(2));
+    net::FaultPlan plan;
+    plan.delay_probability = 1.0;
+    plan.delay_min = sim::msec(120);
+    plan.delay_max = sim::msec(120);
+    plan.seed = 5;
+    net.setFaultPlan(plan);
+
+    // Every message is held past the 50 ms deadline: the caller gets a
+    // typed timeout and the replies that straggle in afterwards are
+    // counted, not delivered.
+    auto r = runFor(sim, client.read(cred, 0, kKB));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error(), NasdStatus::kTimeout);
+    EXPECT_GE(node.rpc_late_replies.value(), 1u);
+}
+
+TEST_F(DriveFaultTest, DroppedSendStillChargesSender)
+{
+    const ObjectId oid = makeObject();
+    auto cred = objectCred(oid);
+    ASSERT_TRUE(runFor(sim, client.write(cred, 0, pattern(4 * kKB))).ok());
+
+    client.setPolicy(fastPolicy(4, sim::msec(20)));
+    net::FaultPlan plan;
+    plan.drop_probability = 1.0;
+    plan.seed = 1;
+    net.setFaultPlan(plan);
+
+    // A dropped frame is free for the switch, not for the sender: each
+    // of the four attempts pays the full protocol send cost again.
+    const auto instr_before = node.cpu().instructionsRetired();
+    auto r = runFor(sim, client.read(cred, 0, 4 * kKB));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error(), NasdStatus::kTimeout);
+    const auto delta = node.cpu().instructionsRetired() - instr_before;
+    EXPECT_GE(delta, 4 * node.costs().send_base_instr);
+}
+
+// ------------------------------------------------------------- Cheops
+
+class CheopsFaultTest : public ::testing::Test
+{
+  protected:
+    static constexpr int kDrives = 4;
+
+    CheopsFaultTest()
+        : mgr_node(net.addNode("cheops-mgr", net::alphaStation500(),
+                               net::oc3Link(), net::dceRpcCosts())),
+          client_node(net.addNode("client", net::alphaStation255(),
+                                  net::oc3Link(), net::dceRpcCosts()))
+    {
+        for (int i = 0; i < kDrives; ++i) {
+            drives.push_back(std::make_unique<NasdDrive>(
+                sim, net,
+                prototypeDriveConfig("nasd" + std::to_string(i), i + 1)));
+        }
+        for (auto &d : drives)
+            raw.push_back(d.get());
+        mgr = std::make_unique<cheops::CheopsManager>(sim, net, mgr_node,
+                                                      raw, 0);
+        runTask(sim, mgr->initialize(512 * kMB));
+        client = std::make_unique<cheops::CheopsClient>(net, client_node,
+                                                        *mgr, raw);
+    }
+
+    Simulator sim;
+    net::Network net{sim};
+    net::NetNode &mgr_node;
+    net::NetNode &client_node;
+    std::vector<std::unique_ptr<NasdDrive>> drives;
+    std::vector<NasdDrive *> raw;
+    std::unique_ptr<cheops::CheopsManager> mgr;
+    std::unique_ptr<cheops::CheopsClient> client;
+};
+
+TEST_F(CheopsFaultTest, DriveCrashServedDegradedFromMirror)
+{
+    const auto id =
+        runFor(sim, client->create(64 * kKB, 0, 0,
+                                   cheops::Redundancy::kMirror))
+            .value();
+    const auto data = pattern(512 * kKB, 31);
+    ASSERT_TRUE(runFor(sim, client->write(id, 0, data)).ok());
+
+    // A healthy read is not degraded.
+    std::vector<std::uint8_t> out(512 * kKB);
+    auto healthy = runFor(sim, client->read(id, 0, out));
+    ASSERT_TRUE(healthy.ok());
+    EXPECT_FALSE(healthy.value().degraded());
+
+    drives[0]->crash();
+    std::fill(out.begin(), out.end(), 0);
+    auto degraded = runFor(sim, client->read(id, 0, out));
+    ASSERT_TRUE(degraded.ok());
+    EXPECT_TRUE(degraded.value().degraded());
+    EXPECT_EQ(degraded.value().bytes, 512 * kKB);
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(CheopsFaultTest, CapExpiryRefreshedBetweenReads)
+{
+    const auto id = runFor(sim, client->create(64 * kKB, 0)).value();
+    const auto data = pattern(256 * kKB, 17);
+    ASSERT_TRUE(runFor(sim, client->write(id, 0, data)).ok());
+
+    std::vector<std::uint8_t> out(256 * kKB);
+    ASSERT_TRUE(runFor(sim, client->read(id, 0, out)).ok());
+
+    // Outlive the component capability set (1 h lifetime); the next
+    // read must refresh the set through the manager, transparently.
+    sim.runUntil(sim.now() + sim::sec(3601));
+    const auto mgr_calls = client->managerCalls();
+    std::fill(out.begin(), out.end(), 0);
+    auto r = runFor(sim, client->read(id, 0, out));
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value().degraded());
+    EXPECT_EQ(out, data);
+    EXPECT_GT(client->managerCalls(), mgr_calls);
+}
+
+// ---------------------------------------------------------------- NFS
+
+class NfsFaultTest : public ::testing::Test
+{
+  protected:
+    static constexpr int kDrives = 2;
+
+    NfsFaultTest()
+        : fm_node(net.addNode("fm", net::alphaStation500(), net::oc3Link(),
+                              net::dceRpcCosts())),
+          client_node(net.addNode("client", net::alphaStation255(),
+                                  net::oc3Link(), net::dceRpcCosts()))
+    {
+        for (int i = 0; i < kDrives; ++i) {
+            drives.push_back(std::make_unique<NasdDrive>(
+                sim, net,
+                prototypeDriveConfig("nasd" + std::to_string(i), i + 1)));
+        }
+        std::vector<NasdDrive *> raw;
+        for (auto &d : drives)
+            raw.push_back(d.get());
+        fm = std::make_unique<fs::NasdNfsFileManager>(sim, net, fm_node,
+                                                      raw, 0);
+        runTask(sim, fm->initialize(512 * kMB));
+        client = std::make_unique<fs::NasdNfsClient>(net, client_node, *fm,
+                                                     raw);
+    }
+
+    Simulator sim;
+    net::Network net{sim};
+    net::NetNode &fm_node;
+    net::NetNode &client_node;
+    std::vector<std::unique_ptr<NasdDrive>> drives;
+    std::unique_ptr<fs::NasdNfsFileManager> fm;
+    std::unique_ptr<fs::NasdNfsClient> client;
+};
+
+TEST_F(NfsFaultTest, CapExpiryMidStreamRefreshedTransparently)
+{
+    const auto root = fm->rootHandle();
+    const auto fh = runFor(sim, client->create(root, "longlived")).value();
+    const auto data = pattern(64 * kKB, 3);
+    ASSERT_TRUE(runFor(sim, client->write(fh, 0, data)).ok());
+
+    std::vector<std::uint8_t> out(64 * kKB);
+    ASSERT_TRUE(runFor(sim, client->read(fh, 0, out)).ok());
+
+    // Outlive the 600 s capability; the cached credential is now
+    // stale, and the next read must re-fetch it from the file manager
+    // without surfacing an error.
+    sim.runUntil(sim.now() + sim::sec(601));
+    const auto fm_calls = client->fmCalls();
+    std::fill(out.begin(), out.end(), 0);
+    auto n = runFor(sim, client->read(fh, 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(out, data);
+    EXPECT_GT(client->fmCalls(), fm_calls);
+}
+
+TEST_F(NfsFaultTest, NonCapabilityErrorPropagatesWithoutRefresh)
+{
+    const auto root = fm->rootHandle();
+    const auto fh = runFor(sim, client->create(root, "doomed")).value();
+    ASSERT_TRUE(runFor(sim, client->write(fh, 0, pattern(8 * kKB))).ok());
+    std::vector<std::uint8_t> out(8 * kKB);
+    ASSERT_TRUE(runFor(sim, client->read(fh, 0, out)).ok());
+
+    // An I/O failure is not a stale capability: it must come back as
+    // an error, not trigger a pointless capability refresh.
+    for (auto &d : drives)
+        d->setFailed(true);
+    const auto fm_calls = client->fmCalls();
+    auto n = runFor(sim, client->read(fh, 0, out));
+    ASSERT_FALSE(n.ok());
+    EXPECT_EQ(n.error(), fs::NfsStatus::kIoError);
+    EXPECT_EQ(client->fmCalls(), fm_calls);
+}
+
+// ---------------------------------------------------------------- AFS
+
+class AfsFaultTest : public ::testing::Test
+{
+  protected:
+    static constexpr int kDrives = 2;
+
+    AfsFaultTest()
+        : fm_node(net.addNode("afs-fm", net::alphaStation500(),
+                              net::oc3Link(), net::dceRpcCosts()))
+    {
+        for (int i = 0; i < kDrives; ++i) {
+            drives.push_back(std::make_unique<NasdDrive>(
+                sim, net,
+                prototypeDriveConfig("nasd" + std::to_string(i), i + 1)));
+            raw.push_back(drives.back().get());
+        }
+        fm = std::make_unique<fs::AfsFileManager>(sim, net, fm_node, raw,
+                                                  0, 64 * kMB);
+        runTask(sim, fm->initialize(512 * kMB));
+        client_a = makeClient("alice", 1);
+        client_b = makeClient("bob", 2);
+    }
+
+    std::unique_ptr<fs::AfsClient>
+    makeClient(const std::string &name, std::uint32_t id)
+    {
+        auto &n = net.addNode(name, net::alphaStation255(), net::oc3Link(),
+                              net::dceRpcCosts());
+        return std::make_unique<fs::AfsClient>(net, n, *fm, raw, id);
+    }
+
+    Simulator sim;
+    net::Network net{sim};
+    net::NetNode &fm_node;
+    std::vector<std::unique_ptr<NasdDrive>> drives;
+    std::vector<NasdDrive *> raw;
+    std::unique_ptr<fs::AfsFileManager> fm;
+    std::unique_ptr<fs::AfsClient> client_a;
+    std::unique_ptr<fs::AfsClient> client_b;
+};
+
+TEST_F(AfsFaultTest, WriteCapExpiryRefreshedOnce)
+{
+    const auto root = fm->rootFid();
+    const auto fid = runFor(sim, client_a->create(root, "slow")).value();
+
+    // A short capability lifetime plus a delayed network: the write
+    // capability expires while the store request is in flight, so the
+    // drive rejects it and the client must refresh and retry.
+    fm->setWriteCapLifetime(sim::msec(10));
+    net::FaultPlan plan;
+    plan.delay_probability = 1.0;
+    plan.delay_min = sim::msec(50);
+    plan.delay_max = sim::msec(50);
+    plan.seed = 11;
+    net.setFaultPlan(plan);
+
+    // Heal the network once the drive has sent its (delayed) rejection
+    // so the refreshed attempt travels a healthy path.
+    NasdDrive *data_drive = raw[fid.drive];
+    sim.spawn([](Simulator &s, net::Network &n,
+                 NasdDrive *d) -> Task<void> {
+        for (int i = 0; i < 1000; ++i) {
+            if (d->node().faults_delayed.value() >= 1) {
+                n.clearFaultPlan();
+                co_return;
+            }
+            co_await s.delay(sim::msec(1));
+        }
+    }(sim, net, data_drive));
+
+    const auto data = pattern(16 * kKB, 9);
+    auto wrote = runFor(sim, client_a->write(fid, 0, data));
+    ASSERT_TRUE(wrote.ok());
+
+    std::vector<std::uint8_t> out(16 * kKB);
+    auto n = runFor(sim, client_b->read(fid, 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(out, data);
+}
+
+} // namespace
+} // namespace nasd

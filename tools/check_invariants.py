@@ -8,12 +8,18 @@ that violate project invariants:
      the preceding lines of the same scope. ``Result::value()`` panics on
      an error Result, so an unguarded call is either a latent crash or a
      missing status propagation.
-  2. ``schedule`` / ``scheduleIn`` lambdas capturing by reference. The
+  2. ``schedule`` / ``scheduleIn`` / ``scheduleCancelable`` /
+     ``scheduleCancelableIn`` lambdas capturing by reference. The
      callback outlives the scheduling scope by construction (it runs when
      the event fires), so reference captures of locals are use-after-free
      bait. Coroutine handles and similar small values must be captured by
      value.
   3. Headers without an include guard.
+  4. Deadline-free drive RPCs in the NASD client driver. Every RPC the
+     driver sends rides the unreliable data path, where a dropped
+     message would otherwise hang the caller forever: src/nasd/client.cc
+     must use ``net::callWithDeadline`` (via its retry loop), never the
+     reliable-transport ``net::call``.
 
 Usage: tools/check_invariants.py [repo-root]
 Exit status is the number of violations (0 == clean).
@@ -36,8 +42,14 @@ HEADER_DIRS = ("src", "bench")
 # not Result statuses.
 VALUE_CALL = re.compile(r"(?<![\w.>])(\w+(?:\[\w+\])?)(?:\s*)\.value\(\)")
 REF_CAPTURE_SCHEDULE = re.compile(
-    r"\bschedule(?:In)?\s*\([^;]*?\[\s*&[\]\w]", re.DOTALL
+    r"\bschedule(?:In|Cancelable|CancelableIn)?\s*\([^;]*?\[\s*&[\]\w]",
+    re.DOTALL,
 )
+
+# Files whose RPCs ride the unreliable data path and therefore need a
+# deadline (net::callWithDeadline), mapped from repo-relative path.
+DEADLINE_ONLY_FILES = ("src/nasd/client.cc",)
+RELIABLE_CALL = re.compile(r"\bnet::call\s*<")
 
 
 def fail(violations, path, line_no, message):
@@ -92,6 +104,19 @@ def check_schedule_captures(path, text, lines, violations):
     del lines  # line-based context unused; kept for symmetric signature
 
 
+def check_drive_rpc_deadlines(path, lines, violations):
+    if str(path) not in DEADLINE_ONLY_FILES:
+        return
+    for i, line in enumerate(lines):
+        if RELIABLE_CALL.search(line.split("//")[0]):
+            fail(
+                violations, path, i + 1,
+                "drive RPC without a deadline: use "
+                "net::callWithDeadline so a dropped message surfaces "
+                "as kTimeout instead of a hung coroutine",
+            )
+
+
 def check_include_guard(path, text, violations):
     if "#pragma once" in text:
         return
@@ -114,6 +139,7 @@ def main():
             check_schedule_captures(
                 rel, "\n".join(lines), lines, violations
             )
+            check_drive_rpc_deadlines(rel, lines, violations)
 
     for top in HEADER_DIRS:
         for path in sorted((root / top).rglob("*.h")):
