@@ -88,11 +88,13 @@ measure(const net::RpcCosts &costs)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner(
         "ablation_rpc — DCE-weight vs lean SAN communications",
         "Section 4.4 (communications dominate request cost)");
+
+    const bench::BenchOptions opts = bench::parseOptions("ablation_rpc", argc, argv);
 
     const auto dce = measure(net::dceRpcCosts());
     const auto lean = measure(net::leanRpcCosts());
@@ -111,5 +113,8 @@ main()
                 "a commodity NASD would ship a\nlean protocol stack "
                 "rather than workstation DCE RPC, recovering most of the "
                 "70-97%%\nof instructions spent on communications.\n");
+    bench::writeBenchJson(opts, "ablation_rpc",
+                          "Section 4.4 (communications dominate request cost)");
+
     return 0;
 }

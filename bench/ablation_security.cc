@@ -76,10 +76,12 @@ measure(SecurityLevel level)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("ablation_security — cost of request integrity",
                   "Section 4.1 (cryptographic integrity; Figure 5)");
+
+    const bench::BenchOptions opts = bench::parseOptions("ablation_security", argc, argv);
 
     const double none = measure(SecurityLevel::kNone);
     const double sw = measure(SecurityLevel::kIntegritySw);
@@ -98,5 +100,8 @@ main()
                 "viable on a drive controller, but\nDES-class digest "
                 "hardware (tens of kilogates) runs faster than the media "
                 "rate,\nmaking integrity nearly free.\n");
+    bench::writeBenchJson(opts, "ablation_security",
+                          "Section 4.1 (cryptographic integrity; Figure 5)");
+
     return 0;
 }

@@ -118,10 +118,12 @@ measure(std::uint64_t stripe_unit)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("ablation_stripe — Cheops stripe unit sweep",
                   "Section 5.2 design point (512KB stripe unit)");
+
+    const bench::BenchOptions opts = bench::parseOptions("ablation_stripe", argc, argv);
 
     std::printf("\n8 drives, 8 clients, 2MB chunks, 96MB scanned:\n\n");
     std::printf("  %12s %16s\n", "stripe unit", "aggregate MB/s");
@@ -136,5 +138,8 @@ main()
                 "paper's 512KB design point at the knee, then a clear\n"
                 "drop once the unit is so large that each chunk engages "
                 "only a fraction of the\ndrives (>= 1MB).\n");
+    bench::writeBenchJson(opts, "ablation_stripe",
+                          "Section 5.2 design point (512KB stripe unit)");
+
     return 0;
 }

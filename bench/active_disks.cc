@@ -110,10 +110,12 @@ struct Setup
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("active_disks — on-drive frequent-sets counting",
                   "Section 6 (Active Disks, 10 Mb/s Ethernet)");
+
+    const bench::BenchOptions opts = bench::parseOptions("active_disks", argc, argv);
 
     // --- on-drive execution -------------------------------------------
     apps::ItemCounts active_counts(kCatalogItems, 0);
@@ -207,5 +209,8 @@ main()
                 "effective scan bandwidth over\n10 Mb/s Ethernet with a "
                 "third of the hardware; shipping the data cannot exceed "
                 "the\n~1.2 MB/s the wire allows.\n");
+    bench::writeBenchJson(opts, "active_disks",
+                          "Section 6 (Active Disks, 10 Mb/s Ethernet)");
+
     return 0;
 }

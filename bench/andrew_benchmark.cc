@@ -150,10 +150,12 @@ nasdTime(int n)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("andrew_benchmark — NFS vs NASD-NFS",
                   "Section 5.1 (Andrew benchmark within 5%)");
+
+    const bench::BenchOptions opts = bench::parseOptions("andrew_benchmark", argc, argv);
 
     std::printf("\n%22s %12s %12s %10s\n", "configuration", "NFS (s)",
                 "NASD-NFS (s)", "delta");
@@ -169,5 +171,8 @@ main()
     std::printf("\nPaper anchor: benchmark times within 5%% of each other "
                 "for both the 1 drive / 1 client\nand 8 drive / 8 client "
                 "configurations.\n");
+    bench::writeBenchJson(opts, "andrew_benchmark",
+                          "Section 5.1 (Andrew benchmark within 5%)");
+
     return 0;
 }

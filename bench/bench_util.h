@@ -1,8 +1,11 @@
 /**
  * @file
  * Shared helpers for the figure/table reproduction benches: run a
- * coroutine to completion, format aligned table rows, and common
- * banner output.
+ * coroutine to completion, common banner output, and the observability
+ * plumbing every bench binary shares — `--json PATH` / `--no-json`
+ * select the metrics dump (default BENCH_<name>.json), `--trace PATH`
+ * installs a util::Tracer for the run and writes a Chrome trace_event
+ * timeline on exit.
  */
 #ifndef NASD_BENCH_BENCH_UTIL_H_
 #define NASD_BENCH_BENCH_UTIL_H_
@@ -10,10 +13,14 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/simulator.h"
 #include "sim/task.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace nasd::bench {
 
@@ -50,6 +57,95 @@ banner(const char *title, const char *paper_reference)
     std::printf("==============================================================="
                 "=================\n");
 }
+
+/** Command-line options shared by every bench binary. */
+struct BenchOptions
+{
+    std::string json_path;  ///< metrics dump path; empty = skip
+    std::string trace_path; ///< Chrome trace path; empty = tracing off
+};
+
+/** Parse `--json PATH`, `--no-json`, and `--trace PATH`; the metrics
+ *  dump defaults to BENCH_<name>.json in the working directory. */
+inline BenchOptions
+parseOptions(const char *bench_name, int argc, char **argv)
+{
+    BenchOptions opts;
+    opts.json_path = std::string("BENCH_") + bench_name + ".json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            opts.json_path = argv[++i];
+        } else if (arg == "--no-json") {
+            opts.json_path.clear();
+        } else if (arg == "--trace" && i + 1 < argc) {
+            opts.trace_path = argv[++i];
+        } else {
+            NASD_WARN(bench_name, ": ignoring unknown argument '", argv[i],
+                      "' (known: --json PATH, --no-json, --trace PATH)");
+        }
+    }
+    return opts;
+}
+
+/**
+ * Dump the current MetricsRegistry as the bench's machine-readable
+ * result file: {"schema_version", "bench", "reference", "metrics"}.
+ * tools/check_bench_json.py validates this shape in CI.
+ */
+inline void
+writeBenchJson(const BenchOptions &opts, const char *bench_name,
+               const char *reference)
+{
+    if (opts.json_path.empty())
+        return;
+    std::FILE *f = std::fopen(opts.json_path.c_str(), "w");
+    NASD_ASSERT(f != nullptr, "bench: cannot open metrics dump for write");
+    const std::string metrics = util::metrics().toJson();
+    std::fprintf(f,
+                 "{\"schema_version\": 1, \"bench\": \"%s\", "
+                 "\"reference\": \"%s\", \"metrics\": %s}\n",
+                 bench_name, reference, metrics.c_str());
+    std::fclose(f);
+    std::printf("\nwrote %s\n", opts.json_path.c_str());
+}
+
+/**
+ * RAII tracer installation for `--trace`: installs a process-wide
+ * util::Tracer for the bench's lifetime and writes the Chrome
+ * trace_event timeline when destroyed. A default-constructed options
+ * struct (no --trace) makes this a no-op, so benches can declare one
+ * unconditionally.
+ */
+class BenchTracer
+{
+  public:
+    explicit BenchTracer(const BenchOptions &opts) : path_(opts.trace_path)
+    {
+        if (!path_.empty())
+            util::setTracer(&tracer_);
+    }
+
+    BenchTracer(const BenchTracer &) = delete;
+    BenchTracer &operator=(const BenchTracer &) = delete;
+
+    ~BenchTracer()
+    {
+        if (path_.empty())
+            return;
+        util::setTracer(nullptr);
+        tracer_.writeJson(path_);
+        std::printf("wrote %s (%zu spans) — load into chrome://tracing "
+                    "or https://ui.perfetto.dev\n",
+                    path_.c_str(), tracer_.spanCount());
+    }
+
+    bool enabled() const { return !path_.empty(); }
+
+  private:
+    std::string path_;
+    util::Tracer tracer_;
+};
 
 } // namespace nasd::bench
 

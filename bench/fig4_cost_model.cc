@@ -49,10 +49,12 @@ printServerTable(const cost::ServerCostModel &model)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("fig4_cost_model — server cost overhead vs. disk count",
                   "Figure 4 (Section 3, cost-ineffective storage servers)");
+
+    const bench::BenchOptions opts = bench::parseOptions("fig4_cost_model", argc, argv);
 
     cost::ServerCostModel low(cost::lowCostServer());
     cost::ServerCostModel high(cost::highEndServer());
@@ -81,5 +83,8 @@ main()
                 "high-end 1300%% @1 disk, 115%% @14 disks;\n"
                 "NASD bound => >=10x overhead reduction, >50%% total "
                 "system saving.\n");
+    bench::writeBenchJson(opts, "fig4_cost_model",
+                          "Figure 4 (Section 3, cost-ineffective storage servers)");
+
     return 0;
 }

@@ -32,6 +32,7 @@
 #include "sim/resource.h"
 #include "sim/simulator.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/units.h"
 
 using namespace nasd;
@@ -113,6 +114,7 @@ sizes()
 double
 rawRead(std::uint64_t size)
 {
+    const util::MetricsScope rig_metrics;
     Rig rig;
     std::vector<std::uint8_t> buf(size);
     return sweepPoint(rig, size, 64 * kMB,
@@ -128,6 +130,7 @@ rawRead(std::uint64_t size)
 double
 rawWrite(std::uint64_t size)
 {
+    const util::MetricsScope rig_metrics;
     Rig rig;
     std::vector<std::uint8_t> buf(size, 5);
     return sweepPoint(rig, size, 64 * kMB,
@@ -170,6 +173,7 @@ struct NasdRig : Rig
 double
 nasdRead(std::uint64_t size, bool hit)
 {
+    const util::MetricsScope rig_metrics;
     StoreConfig config;
     config.data_cache_bytes = hit ? 32 * kMB : 2 * kMB;
     NasdRig rig(config);
@@ -197,6 +201,7 @@ nasdRead(std::uint64_t size, bool hit)
 double
 nasdWrite(std::uint64_t size, bool hit)
 {
+    const util::MetricsScope rig_metrics;
     StoreConfig config;
     if (!hit)
         config.meta_cache_inodes = 1; // every op misses metadata
@@ -261,6 +266,7 @@ struct FfsRig : Rig
 double
 ffsRead(std::uint64_t size, bool hit)
 {
+    const util::MetricsScope rig_metrics;
     fs::FfsParams params = FfsRig::makeParams();
     params.buffer_cache_bytes = hit ? 32 * kMB : 2 * kMB;
     FfsRig rig(params);
@@ -284,6 +290,7 @@ ffsRead(std::uint64_t size, bool hit)
 double
 ffsWrite(std::uint64_t size, bool hit)
 {
+    const util::MetricsScope rig_metrics;
     FfsRig rig;
     const std::uint64_t file_bytes = 4 * kMB;
     const auto a = rig.makeFile("a", file_bytes);
@@ -301,23 +308,39 @@ ffsWrite(std::uint64_t size, bool hit)
         });
 }
 
+/** Record one measured point as a result gauge ("fig6/<...>_mbps"). */
+double
+record(const std::string &series, std::uint64_t size, double mbps)
+{
+    util::metrics()
+        .gauge("fig6/" + series + "/" + util::formatBytes(size) + "_mbps")
+        .set(mbps);
+    return mbps;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *kReference = "Figure 6 (Section 4.2, prototype bandwidth)";
+    const bench::BenchOptions opts =
+        bench::parseOptions("fig6", argc, argv);
     bench::banner(
         "fig6_bandwidth — NASD vs FFS vs raw, sequential reads/writes",
-        "Figure 6 (Section 4.2, prototype bandwidth)");
+        kReference);
 
     std::printf("\n(a) reads, apparent MB/s\n");
     std::printf("%8s %9s %9s %9s %12s %12s\n", "size", "raw", "FFS-hit",
                 "NASD-hit", "FFS-miss", "NASD-miss");
     for (const auto size : sizes()) {
         std::printf("%8s %9.1f %9.1f %9.1f %12.1f %12.1f\n",
-                    util::formatBytes(size).c_str(), rawRead(size),
-                    ffsRead(size, true), nasdRead(size, true),
-                    ffsRead(size, false), nasdRead(size, false));
+                    util::formatBytes(size).c_str(),
+                    record("read/raw", size, rawRead(size)),
+                    record("read/ffs_hit", size, ffsRead(size, true)),
+                    record("read/nasd_hit", size, nasdRead(size, true)),
+                    record("read/ffs_miss", size, ffsRead(size, false)),
+                    record("read/nasd_miss", size, nasdRead(size, false)));
     }
 
     std::printf("\n(b) writes, apparent MB/s\n");
@@ -325,9 +348,12 @@ main()
                 "NASD", "FFS-miss", "NASD-miss");
     for (const auto size : sizes()) {
         std::printf("%8s %9.1f %9.1f %9.1f %12.1f %12.1f\n",
-                    util::formatBytes(size).c_str(), rawWrite(size),
-                    ffsWrite(size, true), nasdWrite(size, true),
-                    ffsWrite(size, false), nasdWrite(size, false));
+                    util::formatBytes(size).c_str(),
+                    record("write/raw", size, rawWrite(size)),
+                    record("write/ffs", size, ffsWrite(size, true)),
+                    record("write/nasd", size, nasdWrite(size, true)),
+                    record("write/ffs_miss", size, ffsWrite(size, false)),
+                    record("write/nasd_miss", size, nasdWrite(size, false)));
     }
 
     std::printf(
@@ -336,5 +362,7 @@ main()
         "(one fewer copy), both drooping past L2;\nmiss reads NASD ~5 > "
         "FFS ~2.5 (extent- vs cluster-sized disk I/O);\nFFS writes ack "
         "early only <=64KB, so apparent write bandwidth drops beyond.\n");
+
+    bench::writeBenchJson(opts, "fig6", kReference);
     return 0;
 }

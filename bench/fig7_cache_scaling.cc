@@ -135,10 +135,12 @@ measure(int n_clients)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("fig7_cache_scaling — aggregate cached-read bandwidth",
                   "Figure 7 (Section 4.3, scalability)");
+
+    const bench::BenchOptions opts = bench::parseOptions("fig7_cache_scaling", argc, argv);
 
     std::printf("\n13 NASD drives, 512KB stripe unit, 2MB client reads "
                 "from drive cache, OC-3 links, DCE RPC\n\n");
@@ -154,5 +156,8 @@ main()
                 "DCE client saturates near 80 Mb/s (~10 MB/s);\nclient "
                 "idle falls toward zero while average NASD idle stays "
                 "high (drives are not the bottleneck).\n");
+    bench::writeBenchJson(opts, "fig7_cache_scaling",
+                          "Figure 7 (Section 4.3, scalability)");
+
     return 0;
 }

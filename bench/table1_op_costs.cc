@@ -23,6 +23,7 @@
 #include "nasd/drive.h"
 #include "net/presets.h"
 #include "sim/simulator.h"
+#include "util/metrics.h"
 #include "util/units.h"
 
 using namespace nasd;
@@ -108,43 +109,55 @@ class Table1Bench
         }
     }
 
+    /** Instructions the drive retired for one request, split into
+     *  total and protocol-stack (communications) share — both read
+     *  from the metrics registry, which is where the CPU and RPC
+     *  layers account their work. */
+    struct MeasuredCost
+    {
+        std::uint64_t total_instr = 0;
+        std::uint64_t comm_instr = 0;
+    };
+
     /** Drive instructions for one read of @p size from @p oid. */
-    std::uint64_t
+    MeasuredCost
     measureRead(ObjectId oid, std::uint64_t size)
     {
         auto cred = credFor(oid);
-        const auto before = drive->node().cpu().instructionsRetired();
+        const auto cpu0 = drive_cpu_instr.value();
+        const auto comm0 = drive_send_instr.value() +
+                           drive_recv_instr.value();
         auto r = bench::runFor(sim, client->read(cred, 0, size));
         (void)r;
-        return drive->node().cpu().instructionsRetired() - before;
+        return MeasuredCost{drive_cpu_instr.value() - cpu0,
+                            drive_send_instr.value() +
+                                drive_recv_instr.value() - comm0};
     }
 
-    std::uint64_t
+    MeasuredCost
     measureWrite(ObjectId oid, const std::vector<std::uint8_t> &data)
     {
         auto cred = credFor(oid);
-        const auto before = drive->node().cpu().instructionsRetired();
+        const auto cpu0 = drive_cpu_instr.value();
+        const auto comm0 = drive_send_instr.value() +
+                           drive_recv_instr.value();
         auto r = bench::runFor(sim, client->write(cred, 0, data));
         (void)r;
-        return drive->node().cpu().instructionsRetired() - before;
-    }
-
-    /** Drive-side communications instructions for one request pair. */
-    std::uint64_t
-    commInstructions(std::uint64_t req_payload,
-                     std::uint64_t resp_payload) const
-    {
-        const auto &c = drive->node().costs();
-        return c.recv_base_instr + c.send_base_instr +
-               static_cast<std::uint64_t>(c.recv_per_byte_instr *
-                                          static_cast<double>(req_payload)) +
-               static_cast<std::uint64_t>(c.send_per_byte_instr *
-                                          static_cast<double>(resp_payload));
+        return MeasuredCost{drive_cpu_instr.value() - cpu0,
+                            drive_send_instr.value() +
+                                drive_recv_instr.value() - comm0};
     }
 
     Row
     makeRow(const std::string &label, std::uint64_t size,
-            std::uint64_t total, std::uint64_t comm)
+            const MeasuredCost &cost)
+    {
+        return makeRowImpl(label, size, cost.total_instr, cost.comm_instr);
+    }
+
+    Row
+    makeRowImpl(const std::string &label, std::uint64_t size,
+                std::uint64_t total, std::uint64_t comm)
     {
         Row row;
         row.label = label;
@@ -160,6 +173,14 @@ class Table1Bench
 
     sim::Simulator sim;
     net::Network net{sim};
+    // Registry instruments the drive registers during construction:
+    // its embedded CPU and the protocol-stack counters on its node.
+    util::Counter &drive_cpu_instr =
+        util::metrics().counter("nasd0/cpu/instructions");
+    util::Counter &drive_send_instr =
+        util::metrics().counter("nasd0/net/send_instr");
+    util::Counter &drive_recv_instr =
+        util::metrics().counter("nasd0/net/recv_instr");
     std::unique_ptr<NasdDrive> drive;
     std::unique_ptr<CapabilityIssuer> issuer;
     net::NetNode *client_node = nullptr;
@@ -167,15 +188,15 @@ class Table1Bench
     std::vector<ObjectId> fillers;
 };
 
-constexpr std::uint64_t kRequestFrame = 128; // control payload
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("table1_op_costs — NASD request service cost",
                   "Table 1 (Section 4.4, computational requirements)");
+
+    const bench::BenchOptions opts = bench::parseOptions("table1_op_costs", argc, argv);
 
     Table1Bench bench_state;
     const std::vector<std::uint64_t> sizes = {1, 8 * kKB, 64 * kKB,
@@ -190,15 +211,13 @@ main()
                                                   size, 1),
                                               3));
         bench_state.evictCaches();
-        const auto cold_total = bench_state.measureRead(oid, size);
-        const auto comm_read =
-            bench_state.commInstructions(kRequestFrame, size);
-        rows.push_back(bench_state.makeRow("read - cold cache", size,
-                                           cold_total, comm_read));
+        const auto cold = bench_state.measureRead(oid, size);
+        rows.push_back(
+            bench_state.makeRow("read - cold cache", size, cold));
 
-        const auto warm_total = bench_state.measureRead(oid, size);
-        rows.push_back(bench_state.makeRow("read - warm cache", size,
-                                           warm_total, comm_read));
+        const auto warm = bench_state.measureRead(oid, size);
+        rows.push_back(
+            bench_state.makeRow("read - warm cache", size, warm));
 
         // --- write, cold then warm ----------------------------------
         const ObjectId woid = bench_state.createObject();
@@ -207,15 +226,13 @@ main()
                                              9);
         bench_state.writeAll(woid, 0, data); // allocate
         bench_state.evictCaches();
-        const auto wcold_total = bench_state.measureWrite(woid, data);
-        const auto comm_write =
-            bench_state.commInstructions(kRequestFrame + size, 16);
-        rows.push_back(bench_state.makeRow("write - cold cache", size,
-                                           wcold_total, comm_write));
+        const auto wcold = bench_state.measureWrite(woid, data);
+        rows.push_back(
+            bench_state.makeRow("write - cold cache", size, wcold));
 
-        const auto wwarm_total = bench_state.measureWrite(woid, data);
-        rows.push_back(bench_state.makeRow("write - warm cache", size,
-                                           wwarm_total, comm_write));
+        const auto wwarm = bench_state.measureWrite(woid, data);
+        rows.push_back(
+            bench_state.makeRow("write - warm cache", size, wwarm));
     }
 
     std::printf("\n%-20s %10s %14s %8s %14s\n", "operation", "size",
@@ -280,5 +297,8 @@ main()
     }
     std::printf("  64KB random from media:   %6.2f ms (paper: 11.1)\n",
                 random64_ms.mean());
+    bench::writeBenchJson(opts, "table1_op_costs",
+                          "Table 1 (Section 4.4, computational requirements)");
+
     return 0;
 }

@@ -43,7 +43,10 @@ CheopsManager::CheopsManager(sim::Simulator &sim, net::Network &net,
                              std::vector<NasdDrive *> drives,
                              PartitionId partition)
     : sim_(sim), node_(node), drives_(std::move(drives)),
-      partition_(partition)
+      partition_(partition),
+      control_ops_(util::metrics().counter(
+          util::metrics().uniquePrefix(node.name() + "/cheops_mgr") +
+          "/control_ops"))
 {
     NASD_ASSERT(!drives_.empty());
     for (auto *drive : drives_) {
@@ -140,7 +143,7 @@ CheopsManager::serveCreate(std::uint64_t stripe_unit_bytes,
     const LogicalObjectId id = next_id_++;
     objects_[id] = std::move(obj);
     reply.id = id;
-    ++control_ops_;
+    control_ops_.add(1);
     co_return reply;
 }
 
@@ -181,7 +184,7 @@ CheopsManager::serveOpen(LogicalObjectId id, bool want_write)
     // Minting a capability set is pure CPU work at the manager.
     co_await node_.cpu().execute(4000 +
                                  2000 * reply.map.components.size());
-    ++control_ops_;
+    control_ops_.add(1);
     co_return reply;
 }
 
@@ -219,7 +222,7 @@ CheopsManager::serveRemove(LogicalObjectId id)
             reply.status = CheopsStatus::kDriveError;
     }
     objects_.erase(it);
-    ++control_ops_;
+    control_ops_.add(1);
     co_return reply;
 }
 
@@ -263,7 +266,7 @@ CheopsManager::serveGetSize(LogicalObjectId id)
         logical = std::max(logical, logical_last + 1);
     }
     reply.size = logical;
-    ++control_ops_;
+    control_ops_.add(1);
     co_return reply;
 }
 
@@ -294,7 +297,7 @@ CheopsManager::serveRevoke(LogicalObjectId id)
             reply.status = CheopsStatus::kDriveError;
     }
     ++obj.map_version;
-    ++control_ops_;
+    control_ops_.add(1);
     co_return reply;
 }
 
@@ -303,7 +306,10 @@ CheopsManager::serveRevoke(LogicalObjectId id)
 CheopsClient::CheopsClient(net::Network &net, net::NetNode &node,
                            CheopsManager &mgr,
                            std::vector<NasdDrive *> drives)
-    : net_(net), node_(node), mgr_(mgr)
+    : net_(net), node_(node), mgr_(mgr),
+      manager_calls_(util::metrics().counter(
+          util::metrics().uniquePrefix(node.name() + "/cheops") +
+          "/manager_calls"))
 {
     for (auto *drive : drives) {
         drive_clients_.push_back(
@@ -320,7 +326,7 @@ CheopsClient::ensureOpen(LogicalObjectId id, bool want_write)
         co_return &it->second;
     }
 
-    ++manager_calls_;
+    manager_calls_.add(1);
     auto reply = co_await net::call<OpenReply>(
         net_, node_, mgr_.node(), kControlPayload,
         [&]() -> sim::Task<net::RpcReply<OpenReply>> {
@@ -357,7 +363,7 @@ CheopsClient::refreshCaps(LogicalObjectId id, bool want_write)
     OpenState &state = it->second;
     const bool writable = state.writable || want_write;
 
-    ++manager_calls_;
+    manager_calls_.add(1);
     auto reply = co_await net::call<OpenReply>(
         net_, node_, mgr_.node(), kControlPayload,
         [&]() -> sim::Task<net::RpcReply<OpenReply>> {
@@ -405,7 +411,7 @@ CheopsClient::create(std::uint64_t stripe_unit_bytes,
                      std::uint32_t stripe_count,
                      std::uint64_t capacity_hint, Redundancy redundancy)
 {
-    ++manager_calls_;
+    manager_calls_.add(1);
     auto reply = co_await net::call<CreateReply>(
         net_, node_, mgr_.node(), kControlPayload,
         [&]() -> sim::Task<net::RpcReply<CreateReply>> {
@@ -423,7 +429,7 @@ sim::Task<util::Result<void, CheopsStatus>>
 CheopsClient::remove(LogicalObjectId id)
 {
     open_objects_.erase(id);
-    ++manager_calls_;
+    manager_calls_.add(1);
     auto reply = co_await net::call<CheopsStatusReply>(
         net_, node_, mgr_.node(), kControlPayload,
         [&]() -> sim::Task<net::RpcReply<CheopsStatusReply>> {
@@ -438,7 +444,7 @@ CheopsClient::remove(LogicalObjectId id)
 sim::Task<util::Result<std::uint64_t, CheopsStatus>>
 CheopsClient::size(LogicalObjectId id)
 {
-    ++manager_calls_;
+    manager_calls_.add(1);
     auto reply = co_await net::call<SizeReply>(
         net_, node_, mgr_.node(), kControlPayload,
         [&]() -> sim::Task<net::RpcReply<SizeReply>> {
@@ -493,8 +499,14 @@ CheopsClient::mapRange(const CheopsMap &map, std::uint64_t offset,
 
 sim::Task<util::Result<ReadOutcome, CheopsStatus>>
 CheopsClient::read(LogicalObjectId id, std::uint64_t offset,
-                   std::span<std::uint8_t> out)
+                   std::span<std::uint8_t> out, util::TraceContext parent)
 {
+    util::TraceContext ctx;
+    if (auto *t = util::tracer())
+        ctx = t->childOf(parent);
+    util::ScopedSpan span("cheops/read", node_.name(),
+                          static_cast<std::uint64_t>(net_.simulator().now()),
+                          ctx, parent.span_id);
     auto state = co_await ensureOpen(id, false);
     if (!state.ok())
         co_return util::Err{state.error()};
@@ -503,19 +515,22 @@ CheopsClient::read(LogicalObjectId id, std::uint64_t offset,
     bool degraded = false;
 
     // One parallel component read per run; reassemble into `out`.
-    auto fetchRun = [this, open, id, &out, &degraded](const ComponentRun &run)
+    // Each component RPC is a child span of this read, so the trace
+    // timeline shows the per-drive fan-out.
+    auto fetchRun = [this, open, id, ctx, &out,
+                     &degraded](const ComponentRun &run)
         -> sim::Task<util::Result<std::uint64_t, CheopsStatus>> {
         auto &comp = open->map.components[run.component];
         auto &cred = *open->creds[run.component];
         auto data = co_await drive_clients_[comp.drive]->read(
-            cred, run.component_offset, run.length);
+            cred, run.component_offset, run.length, ctx);
         if (!data.ok() && data.error() == NasdStatus::kExpiredCapability) {
             // Refresh once, then retry the primary. Only expiry earns
             // a refresh — a revoked (version-bumped) capability must
             // stay revoked.
             if (co_await refreshCaps(id, open->writable)) {
                 data = co_await drive_clients_[comp.drive]->read(
-                    cred, run.component_offset, run.length);
+                    cred, run.component_offset, run.length, ctx);
             }
         }
         if (!data.ok() &&
@@ -525,12 +540,12 @@ CheopsClient::read(LogicalObjectId id, std::uint64_t offset,
             auto &mirror = open->map.mirrors[run.component];
             auto &mcred = *open->mirror_creds[run.component];
             auto mdata = co_await drive_clients_[mirror.drive]->read(
-                mcred, run.component_offset, run.length);
+                mcred, run.component_offset, run.length, ctx);
             if (!mdata.ok() &&
                 mdata.error() == NasdStatus::kExpiredCapability) {
                 if (co_await refreshCaps(id, open->writable)) {
                     mdata = co_await drive_clients_[mirror.drive]->read(
-                        mcred, run.component_offset, run.length);
+                        mcred, run.component_offset, run.length, ctx);
                 }
             }
             if (mdata.ok()) {
@@ -566,6 +581,8 @@ CheopsClient::read(LogicalObjectId id, std::uint64_t offset,
     auto results =
         co_await sim::parallelGather(net_.simulator(), std::move(tasks));
 
+    span.endAt(static_cast<std::uint64_t>(net_.simulator().now()));
+
     std::uint64_t total = 0;
     for (auto &r : results) {
         if (!r.ok())
@@ -580,15 +597,22 @@ CheopsClient::read(LogicalObjectId id, std::uint64_t offset,
 
 sim::Task<util::Result<void, CheopsStatus>>
 CheopsClient::write(LogicalObjectId id, std::uint64_t offset,
-                    std::span<const std::uint8_t> data)
+                    std::span<const std::uint8_t> data,
+                    util::TraceContext parent)
 {
+    util::TraceContext ctx;
+    if (auto *t = util::tracer())
+        ctx = t->childOf(parent);
+    util::ScopedSpan span("cheops/write", node_.name(),
+                          static_cast<std::uint64_t>(net_.simulator().now()),
+                          ctx, parent.span_id);
     auto state = co_await ensureOpen(id, true);
     if (!state.ok())
         co_return util::Err{state.error()};
     OpenState *open = state.value();
     const auto runs = mapRange(open->map, offset, data.size());
 
-    auto pushRun = [this, open, id, &data](const ComponentRun &run)
+    auto pushRun = [this, open, id, ctx, &data](const ComponentRun &run)
         -> sim::Task<util::Result<void, CheopsStatus>> {
         // Gather the run's pieces into one contiguous component write.
         std::vector<std::uint8_t> buf(run.length);
@@ -603,12 +627,12 @@ CheopsClient::write(LogicalObjectId id, std::uint64_t offset,
         auto &comp = open->map.components[run.component];
         auto &cred = *open->creds[run.component];
         auto wrote = co_await drive_clients_[comp.drive]->write(
-            cred, run.component_offset, buf);
+            cred, run.component_offset, buf, ctx);
         if (!wrote.ok() &&
             wrote.error() == NasdStatus::kExpiredCapability) {
             if (co_await refreshCaps(id, true)) {
                 wrote = co_await drive_clients_[comp.drive]->write(
-                    cred, run.component_offset, buf);
+                    cred, run.component_offset, buf, ctx);
             }
         }
         bool any_ok = wrote.ok();
@@ -616,12 +640,12 @@ CheopsClient::write(LogicalObjectId id, std::uint64_t offset,
             auto &mirror = open->map.mirrors[run.component];
             auto &mcred = *open->mirror_creds[run.component];
             auto mirrored = co_await drive_clients_[mirror.drive]->write(
-                mcred, run.component_offset, buf);
+                mcred, run.component_offset, buf, ctx);
             if (!mirrored.ok() &&
                 mirrored.error() == NasdStatus::kExpiredCapability) {
                 if (co_await refreshCaps(id, true)) {
                     mirrored = co_await drive_clients_[mirror.drive]->write(
-                        mcred, run.component_offset, buf);
+                        mcred, run.component_offset, buf, ctx);
                 }
             }
             any_ok = any_ok || mirrored.ok();

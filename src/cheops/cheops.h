@@ -33,6 +33,8 @@
 #include "nasd/drive.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace nasd::cheops {
 
@@ -166,7 +168,7 @@ class CheopsManager
      */
     sim::Task<CheopsStatusReply> serveRevoke(LogicalObjectId id);
 
-    std::uint64_t controlOps() const { return control_ops_; }
+    std::uint64_t controlOps() const { return control_ops_.value(); }
 
   private:
     struct LogicalObject
@@ -191,7 +193,8 @@ class CheopsManager
     PartitionId partition_;
     std::map<LogicalObjectId, LogicalObject> objects_;
     LogicalObjectId next_id_ = 1;
-    std::uint64_t control_ops_ = 0;
+    /// Control-path requests served ("<node>/cheops_mgr/control_ops").
+    util::Counter &control_ops_;
 
     static constexpr std::uint64_t kCapLifetimeNs = 3600ull * 1000000000;
 };
@@ -231,18 +234,19 @@ class CheopsClient
      */
     sim::Task<util::Result<ReadOutcome, CheopsStatus>>
     read(LogicalObjectId id, std::uint64_t offset,
-         std::span<std::uint8_t> out);
+         std::span<std::uint8_t> out, util::TraceContext parent = {});
 
     /** Striped parallel write. */
     sim::Task<util::Result<void, CheopsStatus>>
     write(LogicalObjectId id, std::uint64_t offset,
-          std::span<const std::uint8_t> data);
+          std::span<const std::uint8_t> data,
+          util::TraceContext parent = {});
 
     /** Logical size via the manager. */
     sim::Task<util::Result<std::uint64_t, CheopsStatus>>
     size(LogicalObjectId id);
 
-    std::uint64_t managerCalls() const { return manager_calls_; }
+    std::uint64_t managerCalls() const { return manager_calls_.value(); }
 
   private:
     /** A contiguous run on one component plus its host-buffer slices. */
@@ -283,7 +287,8 @@ class CheopsClient
     CheopsManager &mgr_;
     std::vector<std::unique_ptr<NasdClient>> drive_clients_;
     std::map<LogicalObjectId, OpenState> open_objects_;
-    std::uint64_t manager_calls_ = 0;
+    /// Round trips to the manager ("<node>/cheops/manager_calls").
+    util::Counter &manager_calls_;
 };
 
 } // namespace nasd::cheops

@@ -4,8 +4,21 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace nasd::disk {
+
+DiskStats::DiskStats(const std::string &prefix)
+    : reads(util::metrics().counter(prefix + "/reads")),
+      writes(util::metrics().counter(prefix + "/writes")),
+      cache_hits(util::metrics().counter(prefix + "/cache_hits")),
+      cache_misses(util::metrics().counter(prefix + "/cache_misses")),
+      media_blocks_read(
+          util::metrics().counter(prefix + "/media_blocks_read")),
+      media_blocks_written(
+          util::metrics().counter(prefix + "/media_blocks_written")),
+      seeks(util::metrics().counter(prefix + "/seeks"))
+{}
 
 namespace {
 
@@ -16,8 +29,9 @@ constexpr double kWriteDrainEfficiency = 0.75;
 } // namespace
 
 DiskModel::DiskModel(sim::Simulator &sim, DiskParams params)
-    : sim_(sim), params_(std::move(params)), mech_(sim, 1), bus_(sim, 1),
-      segments_(params_.cache_segments)
+    : sim_(sim), params_(std::move(params)),
+      stats_(util::metrics().uniquePrefix("disk")), mech_(sim, 1),
+      bus_(sim, 1), segments_(params_.cache_segments)
 {
     NASD_ASSERT(params_.cache_segments > 0);
 }

@@ -33,16 +33,19 @@
 
 namespace nasd::disk {
 
-/** Operation counters exposed for tests and benchmarks. */
+/** Operation counters exposed for tests and benchmarks; each one is
+ *  registry-backed under "<prefix>/..." in the current registry. */
 struct DiskStats
 {
-    util::Counter reads;
-    util::Counter writes;
-    util::Counter cache_hits;   ///< reads served entirely from cache
-    util::Counter cache_misses; ///< reads requiring media access
-    util::Counter media_blocks_read;
-    util::Counter media_blocks_written;
-    util::Counter seeks; ///< mechanical ops with nonzero cylinder motion
+    explicit DiskStats(const std::string &prefix);
+
+    util::Counter &reads;
+    util::Counter &writes;
+    util::Counter &cache_hits;   ///< reads served entirely from cache
+    util::Counter &cache_misses; ///< reads requiring media access
+    util::Counter &media_blocks_read;
+    util::Counter &media_blocks_written;
+    util::Counter &seeks; ///< mechanical ops with nonzero cylinder motion
 };
 
 /** One simulated disk drive (see file comment). */

@@ -75,7 +75,10 @@ AfsFileManager::AfsFileManager(sim::Simulator &sim, net::Network &net,
                                PartitionId partition,
                                std::uint64_t volume_quota_bytes)
     : sim_(sim), net_(net), node_(node), drives_(std::move(drives)),
-      partition_(partition), volume_quota_(volume_quota_bytes)
+      partition_(partition), volume_quota_(volume_quota_bytes),
+      callbacks_broken_(util::metrics().counter(
+          util::metrics().uniquePrefix(node.name() + "/afs_fm") +
+          "/callbacks_broken"))
 {
     NASD_ASSERT(!drives_.empty());
     for (auto *drive : drives_) {
@@ -162,7 +165,7 @@ AfsFileManager::breakCallbacks(AfsFid fid, std::uint32_t except)
         // The break is a small message from FM to client.
         co_await net::sendMessage(net_, node_, it->second->node(), 64);
         it->second->onCallbackBreak(fid);
-        ++callbacks_broken_;
+        callbacks_broken_.add(1);
     }
 }
 
@@ -378,7 +381,10 @@ AfsFileManager::serveRemove(AfsFid dir, std::string name)
 AfsClient::AfsClient(net::Network &net, net::NetNode &node,
                      AfsFileManager &fm, std::vector<NasdDrive *> drives,
                      std::uint32_t client_id)
-    : net_(net), node_(node), fm_(fm), id_(client_id)
+    : net_(net), node_(node), fm_(fm), id_(client_id),
+      metric_prefix_(util::metrics().uniquePrefix(node.name() + "/afs")),
+      cache_hits_(util::metrics().counter(metric_prefix_ + "/cache_hits")),
+      cache_misses_(util::metrics().counter(metric_prefix_ + "/cache_misses"))
 {
     NASD_ASSERT(client_id != 0, "client id 0 is reserved");
     for (auto *drive : drives) {
@@ -401,10 +407,10 @@ AfsClient::fetchFile(AfsFid fid)
 {
     auto &entry = cache_[fid];
     if (entry.valid) {
-        ++cache_hits_;
+        cache_hits_.add(1);
         co_return &entry;
     }
-    ++cache_misses_;
+    cache_misses_.add(1);
 
     // Explicit RPC to obtain the capability (no piggybacking in AFS).
     auto reply = co_await net::call<AfsFetchCapReply>(

@@ -37,6 +37,7 @@
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
+#include "util/metrics.h"
 
 namespace nasd::fs {
 
@@ -125,7 +126,7 @@ class AfsFileManager
     std::uint64_t quotaUsedBytes() const { return quota_used_; }
     std::uint64_t quotaBytes() const { return volume_quota_; }
 
-    std::uint64_t callbacksBroken() const { return callbacks_broken_; }
+    std::uint64_t callbacksBroken() const { return callbacks_broken_.value(); }
 
     /** Escrow granted beyond the current size of a file. */
     static constexpr std::uint64_t kEscrowBytes = 1024 * 1024;
@@ -173,7 +174,8 @@ class AfsFileManager
     std::uint32_t next_placement_ = 0;
     std::map<AfsFid, FileState> files_;
     std::map<std::uint32_t, AfsClient *> clients_;
-    std::uint64_t callbacks_broken_ = 0;
+    /// Callback breaks delivered ("<node>/afs_fm/callbacks_broken").
+    util::Counter &callbacks_broken_;
 };
 
 /** One directory entry as parsed by the client. */
@@ -227,8 +229,8 @@ class AfsClient
     /** Callback break delivered by the file manager. */
     void onCallbackBreak(AfsFid fid);
 
-    std::uint64_t cacheHits() const { return cache_hits_; }
-    std::uint64_t cacheMisses() const { return cache_misses_; }
+    std::uint64_t cacheHits() const { return cache_hits_.value(); }
+    std::uint64_t cacheMisses() const { return cache_misses_.value(); }
 
   private:
     struct CachedFile
@@ -246,8 +248,10 @@ class AfsClient
     std::vector<std::unique_ptr<NasdClient>> drive_clients_;
     std::uint32_t id_;
     std::map<AfsFid, CachedFile> cache_;
-    std::uint64_t cache_hits_ = 0;
-    std::uint64_t cache_misses_ = 0;
+    std::string metric_prefix_; ///< registry subtree ("<node>/afs")
+    /// Whole-file cache accounting ("<node>/afs/cache_{hits,misses}").
+    util::Counter &cache_hits_;
+    util::Counter &cache_misses_;
 };
 
 } // namespace nasd::fs

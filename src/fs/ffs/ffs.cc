@@ -6,8 +6,22 @@
 #include "sim/sync.h"
 #include "util/codec.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace nasd::fs {
+
+FfsStats::FfsStats(const std::string &prefix)
+    : reads(util::metrics().counter(prefix + "/reads")),
+      writes(util::metrics().counter(prefix + "/writes")),
+      creates(util::metrics().counter(prefix + "/creates")),
+      lookups(util::metrics().counter(prefix + "/lookups")),
+      cache_hit_bytes(util::metrics().counter(prefix + "/cache_hit_bytes")),
+      cache_miss_bytes(
+          util::metrics().counter(prefix + "/cache_miss_bytes")),
+      readahead_hits(util::metrics().counter(prefix + "/readahead_hits")),
+      readahead_defeats(
+          util::metrics().counter(prefix + "/readahead_defeats"))
+{}
 
 namespace {
 
@@ -90,7 +104,8 @@ FfsFileSystem::BlockCache::erase(std::uint32_t block)
 
 FfsFileSystem::FfsFileSystem(sim::Simulator &sim, disk::BlockDevice &device,
                              sim::CpuResource *host_cpu, FfsParams params)
-    : sim_(sim), device_(device), host_cpu_(host_cpu), params_(params)
+    : sim_(sim), device_(device), host_cpu_(host_cpu), params_(params),
+      stats_(util::metrics().uniquePrefix("ffs"))
 {
     NASD_ASSERT(params_.fs_block_bytes % device_.blockSize() == 0);
     NASD_ASSERT(params_.cluster_bytes % params_.fs_block_bytes == 0);

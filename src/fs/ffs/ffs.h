@@ -115,14 +115,16 @@ using FsResult = util::Result<T, FsStatus>;
 /** Operation counters for tests and benches. */
 struct FfsStats
 {
-    util::Counter reads;
-    util::Counter writes;
-    util::Counter creates;
-    util::Counter lookups;
-    util::Counter cache_hit_bytes;
-    util::Counter cache_miss_bytes;
-    util::Counter readahead_hits;
-    util::Counter readahead_defeats; ///< sequential detector misses
+    explicit FfsStats(const std::string &prefix);
+
+    util::Counter &reads;
+    util::Counter &writes;
+    util::Counter &creates;
+    util::Counter &lookups;
+    util::Counter &cache_hit_bytes;
+    util::Counter &cache_miss_bytes;
+    util::Counter &readahead_hits;
+    util::Counter &readahead_defeats; ///< sequential detector misses
 };
 
 /** The filesystem (see file comment). */

@@ -114,7 +114,7 @@ NfsServer::serveLookup(NfsFileHandle dir, std::string name)
     auto st = co_await vol.value()->stat(found.value());
     if (st.ok())
         reply.attrs = toAttr(st.value());
-    ++ops_served_;
+    ops_served_.add(1);
     co_return reply;
 }
 
@@ -133,7 +133,7 @@ NfsServer::serveGetattr(NfsFileHandle fh)
         co_return reply;
     }
     reply.attrs = toAttr(st.value());
-    ++ops_served_;
+    ops_served_.add(1);
     co_return reply;
 }
 
@@ -155,7 +155,7 @@ NfsServer::serveSetattr(NfsFileHandle fh, std::uint32_t mode,
     auto st = co_await vol.value()->stat(fh.ino);
     if (st.ok())
         reply.attrs = toAttr(st.value());
-    ++ops_served_;
+    ops_served_.add(1);
     co_return reply;
 }
 
@@ -178,7 +178,7 @@ NfsServer::serveRead(NfsFileHandle fh, std::uint64_t offset,
     }
     reply.data.resize(n.value());
     reply.eof = n.value() < count;
-    ++ops_served_;
+    ops_served_.add(1);
     co_return reply;
 }
 
@@ -200,7 +200,7 @@ NfsServer::serveWrite(NfsFileHandle fh, std::uint64_t offset,
     auto st = co_await vol.value()->stat(fh.ino);
     if (st.ok())
         reply.attrs = toAttr(st.value());
-    ++ops_served_;
+    ops_served_.add(1);
     co_return reply;
 }
 
@@ -222,7 +222,7 @@ NfsServer::serveCreate(NfsFileHandle dir, std::string name)
     auto st = co_await vol.value()->stat(made.value());
     if (st.ok())
         reply.attrs = toAttr(st.value());
-    ++ops_served_;
+    ops_served_.add(1);
     co_return reply;
 }
 
@@ -244,7 +244,7 @@ NfsServer::serveMkdir(NfsFileHandle dir, std::string name)
     auto st = co_await vol.value()->stat(made.value());
     if (st.ok())
         reply.attrs = toAttr(st.value());
-    ++ops_served_;
+    ops_served_.add(1);
     co_return reply;
 }
 
@@ -262,7 +262,7 @@ NfsServer::serveRemove(NfsFileHandle dir, std::string name)
         reply.status = fromFsStatus(removed.error());
         co_return reply;
     }
-    ++ops_served_;
+    ops_served_.add(1);
     co_return reply;
 }
 
@@ -284,7 +284,7 @@ NfsServer::serveReaddir(NfsFileHandle dir)
         reply.entries.push_back(NfsDirEntryWire{
             e.name, NfsFileHandle{dir.volume, e.ino}, e.is_directory});
     }
-    ++ops_served_;
+    ops_served_.add(1);
     co_return reply;
 }
 

@@ -26,6 +26,7 @@
 #include "fs/nfs/types.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "util/metrics.h"
 
 namespace nasd::fs {
 
@@ -85,7 +86,10 @@ class NfsServer
      *        this node's CPU as their host CPU).
      */
     NfsServer(sim::Simulator &sim, net::NetNode &node)
-        : sim_(sim), node_(node)
+        : sim_(sim), node_(node),
+          ops_served_(util::metrics().counter(
+              util::metrics().uniquePrefix(node.name() + "/nfs") +
+              "/ops_served"))
     {}
 
     NfsServer(const NfsServer &) = delete;
@@ -121,7 +125,7 @@ class NfsServer
                                           std::string name);
     sim::Task<NfsReaddirReply> serveReaddir(NfsFileHandle dir);
 
-    std::uint64_t opsServed() const { return ops_served_; }
+    std::uint64_t opsServed() const { return ops_served_.value(); }
 
   private:
     FsResult<FfsFileSystem *> volumeOf(const NfsFileHandle &fh);
@@ -131,7 +135,8 @@ class NfsServer
     sim::Simulator &sim_;
     net::NetNode &node_;
     std::vector<FfsFileSystem *> volumes_;
-    std::uint64_t ops_served_ = 0;
+    /// All handler invocations ("<node>/nfs/ops_served").
+    util::Counter &ops_served_;
 };
 
 } // namespace nasd::fs

@@ -20,6 +20,7 @@
 #include "crypto/hmac.h"
 #include "crypto/keychain.h"
 #include "nasd/types.h"
+#include "util/trace.h"
 
 namespace nasd {
 
@@ -73,7 +74,12 @@ struct RequestCredential
     crypto::Digest request_digest{}; ///< MAC(private, op params + nonce)
 };
 
-/** Fixed-layout request parameters bound into the request digest. */
+/** Fixed-layout request parameters bound into the request digest.
+ *
+ *  The trace context is a transport-level annotation, like the packet
+ *  headers the RPC layer charges for: requestMac() binds exactly the
+ *  five op fields plus the nonce, so the trace ids are NOT covered by
+ *  the digest and the drive never makes a security decision on them. */
 struct RequestParams
 {
     OpCode op;
@@ -81,6 +87,7 @@ struct RequestParams
     ObjectId object_id = 0;
     std::uint64_t offset = 0;
     std::uint64_t length = 0;
+    util::TraceContext trace{};
 };
 
 /** Compute the private portion for @p pub under @p working_key. */

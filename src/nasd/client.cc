@@ -95,10 +95,15 @@ NasdClient::NasdClient(net::Network &net, net::NetNode &node,
 
 sim::Task<StoreResult<std::vector<std::uint8_t>>>
 NasdClient::read(CredentialFactory &cred, std::uint64_t offset,
-                 std::uint64_t length)
+                 std::uint64_t length, util::TraceContext parent)
 {
     RequestParams params{OpCode::kReadData, cred.capability().pub.partition,
                          cred.capability().pub.object_id, offset, length};
+    if (auto *t = util::tracer())
+        params.trace = t->childOf(parent);
+    util::ScopedSpan span("nasd/read", node_.name(),
+                          static_cast<std::uint64_t>(net_.simulator().now()),
+                          params.trace, parent.span_id);
     NasdDrive *drive = &drive_;
 
     const MakeFn<ReadResponse> make = [&cred, params, drive] {
@@ -114,6 +119,7 @@ NasdClient::read(CredentialFactory &cred, std::uint64_t offset,
     ReadResponse resp = co_await attemptLoop<ReadResponse>(
         net_, node_, drive_, policy_, retry_rng_, true, policy_.timeout,
         kControlPayload, make);
+    span.endAt(static_cast<std::uint64_t>(net_.simulator().now()));
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -122,12 +128,18 @@ NasdClient::read(CredentialFactory &cred, std::uint64_t offset,
 
 sim::Task<StoreResult<void>>
 NasdClient::write(CredentialFactory &cred, std::uint64_t offset,
-                  std::span<const std::uint8_t> data)
+                  std::span<const std::uint8_t> data,
+                  util::TraceContext parent)
 {
     RequestParams params{OpCode::kWriteData,
                          cred.capability().pub.partition,
                          cred.capability().pub.object_id, offset,
                          data.size()};
+    if (auto *t = util::tracer())
+        params.trace = t->childOf(parent);
+    util::ScopedSpan span("nasd/write", node_.name(),
+                          static_cast<std::uint64_t>(net_.simulator().now()),
+                          params.trace, parent.span_id);
     NasdDrive *drive = &drive_;
     // The caller's buffer may die before a timed-out attempt's handler
     // runs; every attempt shares one heap copy instead.
@@ -147,6 +159,7 @@ NasdClient::write(CredentialFactory &cred, std::uint64_t offset,
     StatusResponse resp = co_await attemptLoop<StatusResponse>(
         net_, node_, drive_, policy_, retry_rng_, true, policy_.timeout,
         kControlPayload + data.size(), make);
+    span.endAt(static_cast<std::uint64_t>(net_.simulator().now()));
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};

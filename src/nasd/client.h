@@ -58,15 +58,17 @@ class NasdClient
     void setPolicy(const DriveRetryPolicy &policy) { policy_ = policy; }
 
     /** Read up to @p length bytes at @p offset of the capability's
-     *  object. */
+     *  object. @p parent, when valid, makes the request a child span
+     *  of the caller's trace (see util/trace.h). */
     sim::Task<StoreResult<std::vector<std::uint8_t>>>
     read(CredentialFactory &cred, std::uint64_t offset,
-         std::uint64_t length);
+         std::uint64_t length, util::TraceContext parent = {});
 
     /** Write @p data at @p offset of the capability's object. */
     sim::Task<StoreResult<void>> write(CredentialFactory &cred,
                                        std::uint64_t offset,
-                                       std::span<const std::uint8_t> data);
+                                       std::span<const std::uint8_t> data,
+                                       util::TraceContext parent = {});
 
     sim::Task<StoreResult<ObjectAttributes>>
     getAttr(CredentialFactory &cred);

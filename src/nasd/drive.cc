@@ -45,7 +45,12 @@ prototypeDriveConfig(std::string name, DriveId id)
 
 NasdDrive::NasdDrive(sim::Simulator &sim, net::Network &net,
                      DriveConfig config)
-    : sim_(sim), config_(std::move(config)), keychain_(config_.master_key)
+    : sim_(sim), config_(std::move(config)),
+      metric_prefix_(util::metrics().uniquePrefix(config_.name + "/ops")),
+      keychain_(config_.master_key),
+      ops_served_(util::metrics().counter(metric_prefix_ + "/served")),
+      replays_rejected_(
+          util::metrics().counter(metric_prefix_ + "/replays_rejected"))
 {
     NASD_ASSERT(config_.num_disks >= 1);
     node_ = &net.addNode(config_.name, config_.cpu, config_.link,
@@ -152,7 +157,7 @@ NasdDrive::verify(const RequestCredential &cred, const RequestParams &params,
     const std::uint64_t key = digestPrefix(private_key);
     auto it = nonce_window_.find(key);
     if (it != nonce_window_.end() && cred.nonce <= it->second) {
-        ++replays_rejected_;
+        replays_rejected_.add(1);
         co_return NasdStatus::kReplayedRequest;
     }
     if (nonce_window_.size() >= kNonceWindowCap)
@@ -183,6 +188,43 @@ NasdDrive::verify(const RequestCredential &cred, const RequestParams &params,
     }
 
     co_return NasdStatus::kOk;
+}
+
+NasdDrive::OpInstruments &
+NasdDrive::opInstruments(const std::string &op)
+{
+    auto it = op_instruments_.find(op);
+    if (it == op_instruments_.end()) {
+        auto &reg = util::metrics();
+        const std::string base = metric_prefix_ + "/" + op;
+        it = op_instruments_
+                 .emplace(op,
+                          OpInstruments{reg.counter(base + "/count"),
+                                        reg.histogram(base + "/latency_ns")})
+                 .first;
+    }
+    return it->second;
+}
+
+util::ScopedSpan
+NasdDrive::beginOp(const char *op, const RequestParams &params)
+{
+    util::TraceContext ctx;
+    if (auto *t = util::tracer())
+        ctx = t->childOf(params.trace);
+    return util::ScopedSpan(std::string("drive/") + op, config_.name,
+                            static_cast<std::uint64_t>(sim_.now()), ctx,
+                            params.trace.span_id);
+}
+
+void
+NasdDrive::finishOp(const char *op, sim::Tick start, util::ScopedSpan &span)
+{
+    span.endAt(static_cast<std::uint64_t>(sim_.now()));
+    ops_served_.add(1);
+    OpInstruments &m = opInstruments(op);
+    m.count.add(1);
+    m.latency_ns.add(static_cast<double>(sim_.now() - start));
 }
 
 sim::Task<void>
@@ -223,6 +265,8 @@ NasdDrive::chargeSecurityBytes(std::uint64_t bytes)
 sim::Task<ReadResponse>
 NasdDrive::serveRead(RequestCredential cred, RequestParams params)
 {
+    const sim::Tick op_start = sim_.now();
+    auto op_span = beginOp("read", params);
     ReadResponse resp;
     const auto status = co_await verify(cred, params, kRightRead, 0);
     if (status != NasdStatus::kOk) {
@@ -252,7 +296,7 @@ NasdDrive::serveRead(RequestCredential cred, RequestParams params)
                           result.value(), trace);
     // Outgoing data is covered by the keyed digest too.
     co_await chargeSecurityBytes(result.value());
-    ++ops_served_;
+    finishOp("read", op_start, op_span);
     co_return resp;
 }
 
@@ -260,6 +304,8 @@ sim::Task<StatusResponse>
 NasdDrive::serveWrite(RequestCredential cred, RequestParams params,
                       std::span<const std::uint8_t> data)
 {
+    const sim::Tick op_start = sim_.now();
+    auto op_span = beginOp("write", params);
     StatusResponse resp;
     params.length = data.size();
     const auto status =
@@ -283,13 +329,15 @@ NasdDrive::serveWrite(RequestCredential cred, RequestParams params,
                           config_.costs.cold_extra_write_instr,
                           config_.costs.write_per_byte_instr, data.size(),
                           trace);
-    ++ops_served_;
+    finishOp("write", op_start, op_span);
     co_return resp;
 }
 
 sim::Task<AttrResponse>
 NasdDrive::serveGetAttr(RequestCredential cred, RequestParams params)
 {
+    const sim::Tick op_start = sim_.now();
+    auto op_span = beginOp("getattr", params);
     AttrResponse resp;
     const auto status = co_await verify(cred, params, kRightGetAttr, 0);
     if (status != NasdStatus::kOk) {
@@ -307,7 +355,7 @@ NasdDrive::serveGetAttr(RequestCredential cred, RequestParams params)
     co_await chargeOpCost(config_.costs.attr_base_instr,
                           config_.costs.cold_extra_read_instr, 0.0, 0,
                           trace);
-    ++ops_served_;
+    finishOp("getattr", op_start, op_span);
     co_return resp;
 }
 
@@ -315,6 +363,8 @@ sim::Task<AttrResponse>
 NasdDrive::serveSetAttr(RequestCredential cred, RequestParams params,
                         SetAttrRequest changes)
 {
+    const sim::Tick op_start = sim_.now();
+    auto op_span = beginOp("setattr", params);
     AttrResponse resp;
     const auto status = co_await verify(cred, params, kRightSetAttr, 0);
     if (status != NasdStatus::kOk) {
@@ -332,13 +382,15 @@ NasdDrive::serveSetAttr(RequestCredential cred, RequestParams params,
     co_await chargeOpCost(config_.costs.attr_base_instr,
                           config_.costs.cold_extra_write_instr, 0.0, 0,
                           trace);
-    ++ops_served_;
+    finishOp("setattr", op_start, op_span);
     co_return resp;
 }
 
 sim::Task<CreateResponse>
 NasdDrive::serveCreate(RequestCredential cred, RequestParams params)
 {
+    const sim::Tick op_start = sim_.now();
+    auto op_span = beginOp("create", params);
     CreateResponse resp;
     // Create authority is a capability on the partition control object;
     // params.length carries the capacity hint.
@@ -358,13 +410,15 @@ NasdDrive::serveCreate(RequestCredential cred, RequestParams params)
     co_await chargeOpCost(config_.costs.create_base_instr,
                           config_.costs.cold_extra_write_instr, 0.0, 0,
                           trace);
-    ++ops_served_;
+    finishOp("create", op_start, op_span);
     co_return resp;
 }
 
 sim::Task<StatusResponse>
 NasdDrive::serveRemove(RequestCredential cred, RequestParams params)
 {
+    const sim::Tick op_start = sim_.now();
+    auto op_span = beginOp("remove", params);
     StatusResponse resp;
     const auto status = co_await verify(cred, params, kRightRemove, 0);
     if (status != NasdStatus::kOk) {
@@ -381,13 +435,15 @@ NasdDrive::serveRemove(RequestCredential cred, RequestParams params)
     co_await chargeOpCost(config_.costs.remove_base_instr,
                           config_.costs.cold_extra_write_instr, 0.0, 0,
                           trace);
-    ++ops_served_;
+    finishOp("remove", op_start, op_span);
     co_return resp;
 }
 
 sim::Task<CreateResponse>
 NasdDrive::serveClone(RequestCredential cred, RequestParams params)
 {
+    const sim::Tick op_start = sim_.now();
+    auto op_span = beginOp("clone", params);
     CreateResponse resp;
     const auto status = co_await verify(cred, params, kRightVersion, 0);
     if (status != NasdStatus::kOk) {
@@ -405,13 +461,15 @@ NasdDrive::serveClone(RequestCredential cred, RequestParams params)
     co_await chargeOpCost(config_.costs.create_base_instr,
                           config_.costs.cold_extra_write_instr, 0.0, 0,
                           trace);
-    ++ops_served_;
+    finishOp("clone", op_start, op_span);
     co_return resp;
 }
 
 sim::Task<ListResponse>
 NasdDrive::serveList(RequestCredential cred, RequestParams params)
 {
+    const sim::Tick op_start = sim_.now();
+    auto op_span = beginOp("list", params);
     ListResponse resp;
     const auto status = co_await verify(cred, params, kRightGetAttr, 0);
     if (status != NasdStatus::kOk) {
@@ -427,13 +485,15 @@ NasdDrive::serveList(RequestCredential cred, RequestParams params)
     resp.ids = std::move(result.value());
     co_await chargeOpCost(config_.costs.attr_base_instr, 0, 0.01,
                           resp.ids.size() * sizeof(ObjectId), trace);
-    ++ops_served_;
+    finishOp("list", op_start, op_span);
     co_return resp;
 }
 
 sim::Task<StatusResponse>
 NasdDrive::serveSetKey(RequestCredential cred, RequestParams params)
 {
+    const sim::Tick op_start = sim_.now();
+    auto op_span = beginOp("setkey", params);
     StatusResponse resp;
     const auto status = co_await verify(cred, params, kRightSetAttr, 0);
     if (status != NasdStatus::kOk) {
@@ -446,7 +506,7 @@ NasdDrive::serveSetKey(RequestCredential cred, RequestParams params)
         co_return resp;
     }
     co_await node_->cpu().execute(config_.costs.attr_base_instr);
-    ++ops_served_;
+    finishOp("setkey", op_start, op_span);
     co_return resp;
 }
 
@@ -454,6 +514,8 @@ sim::Task<StatusResponse>
 NasdDrive::serveCreatePartition(RequestCredential cred,
                                 RequestParams params, PartitionId target)
 {
+    const sim::Tick op_start = sim_.now();
+    auto op_span = beginOp("create_partition", params);
     StatusResponse resp;
     const auto status = co_await verify(cred, params, kRightCreate, 0);
     if (status != NasdStatus::kOk) {
@@ -465,7 +527,7 @@ NasdDrive::serveCreatePartition(RequestCredential cred,
         resp.status = made.error();
     else
         co_await node_->cpu().execute(config_.costs.create_base_instr);
-    ++ops_served_;
+    finishOp("create_partition", op_start, op_span);
     co_return resp;
 }
 
@@ -473,6 +535,8 @@ sim::Task<StatusResponse>
 NasdDrive::serveResizePartition(RequestCredential cred,
                                 RequestParams params, PartitionId target)
 {
+    const sim::Tick op_start = sim_.now();
+    auto op_span = beginOp("resize_partition", params);
     StatusResponse resp;
     const auto status = co_await verify(cred, params, kRightSetAttr, 0);
     if (status != NasdStatus::kOk) {
@@ -484,7 +548,7 @@ NasdDrive::serveResizePartition(RequestCredential cred,
         resp.status = resized.error();
     else
         co_await node_->cpu().execute(config_.costs.attr_base_instr);
-    ++ops_served_;
+    finishOp("resize_partition", op_start, op_span);
     co_return resp;
 }
 
@@ -492,6 +556,8 @@ sim::Task<StatusResponse>
 NasdDrive::serveRemovePartition(RequestCredential cred,
                                 RequestParams params, PartitionId target)
 {
+    const sim::Tick op_start = sim_.now();
+    auto op_span = beginOp("remove_partition", params);
     StatusResponse resp;
     const auto status = co_await verify(cred, params, kRightRemove, 0);
     if (status != NasdStatus::kOk) {
@@ -503,7 +569,7 @@ NasdDrive::serveRemovePartition(RequestCredential cred,
         resp.status = removed.error();
     else
         co_await node_->cpu().execute(config_.costs.remove_base_instr);
-    ++ops_served_;
+    finishOp("remove_partition", op_start, op_span);
     co_return resp;
 }
 
@@ -514,8 +580,11 @@ NasdDrive::serveFlush()
         co_return StatusResponse{NasdStatus::kDriveUnavailable};
     if (failed_)
         co_return StatusResponse{NasdStatus::kDriveFailed};
+    const sim::Tick op_start = sim_.now();
+    const RequestParams flush_params{OpCode::kFlush};
+    auto op_span = beginOp("flush", flush_params);
     co_await store_->flushAll();
-    ++ops_served_;
+    finishOp("flush", op_start, op_span);
     co_return StatusResponse{};
 }
 

@@ -15,6 +15,7 @@
 #define NASD_NASD_DRIVE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
 #include <string>
@@ -31,6 +32,8 @@
 #include "nasd/types.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace nasd {
 
@@ -132,7 +135,10 @@ class NasdDrive
 
     /** Requests rejected by the nonce replay window (duplicates and
      *  stale retries). */
-    std::uint64_t replaysRejected() const { return replays_rejected_; }
+    std::uint64_t replaysRejected() const { return replays_rejected_.value(); }
+
+    /** Metrics subtree for this drive's op counters ("<name>/ops"). */
+    const std::string &metricPrefix() const { return metric_prefix_; }
 
     /** Aggregate raw media bandwidth (for benchmark reporting). */
     double rawMediaBytesPerSec() const;
@@ -178,7 +184,7 @@ class NasdDrive
                                                    PartitionId target);
 
     /** Operations completed (all types). */
-    std::uint64_t opsServed() const { return ops_served_; }
+    std::uint64_t opsServed() const { return ops_served_.value(); }
 
     /**
      * Verify a credential against the drive's keys and the request
@@ -192,6 +198,25 @@ class NasdDrive
                                  std::uint64_t data_bytes);
 
   private:
+    /** Per-op-type registry instruments ("<drive>/ops/<op>/..."). */
+    struct OpInstruments
+    {
+        util::Counter &count;
+        util::SampleStats &latency_ns;
+    };
+
+    /** Lazily create (and cache) the instruments for op type @p op. */
+    OpInstruments &opInstruments(const std::string &op);
+
+    /**
+     * Open the drive-side span for one request: a child of the trace
+     * context the client put in @p params (no span when tracing is
+     * off or the request carries no context).
+     */
+    util::ScopedSpan beginOp(const char *op, const RequestParams &params);
+
+    /** Count the completed op and stamp its latency/span end. */
+    void finishOp(const char *op, sim::Tick start, util::ScopedSpan &span);
 
     /** Charge the op-path instruction costs for a completed store op. */
     sim::Task<void> chargeOpCost(std::uint64_t base_instr,
@@ -206,6 +231,7 @@ class NasdDrive
 
     sim::Simulator &sim_;
     DriveConfig config_;
+    std::string metric_prefix_; ///< registry subtree ("<name>/ops")
     crypto::KeyChain keychain_;
     net::NetNode *node_;
 
@@ -222,8 +248,9 @@ class NasdDrive
     /// a 64-bit prefix of the private portion).
     std::unordered_map<std::uint64_t, std::uint64_t> nonce_window_;
 
-    std::uint64_t ops_served_ = 0;
-    std::uint64_t replays_rejected_ = 0;
+    util::Counter &ops_served_;
+    util::Counter &replays_rejected_;
+    std::map<std::string, OpInstruments> op_instruments_;
     bool failed_ = false;
     bool crashed_ = false;
 };

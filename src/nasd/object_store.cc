@@ -5,8 +5,21 @@
 
 #include "util/codec.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace nasd {
+
+StoreStats::StoreStats(const std::string &prefix)
+    : reads(util::metrics().counter(prefix + "/reads")),
+      writes(util::metrics().counter(prefix + "/writes")),
+      creates(util::metrics().counter(prefix + "/creates")),
+      removes(util::metrics().counter(prefix + "/removes")),
+      clones(util::metrics().counter(prefix + "/clones")),
+      meta_misses(util::metrics().counter(prefix + "/meta_misses")),
+      cache_hit_bytes(util::metrics().counter(prefix + "/cache_hit_bytes")),
+      cache_miss_bytes(
+          util::metrics().counter(prefix + "/cache_miss_bytes"))
+{}
 
 namespace {
 
@@ -65,7 +78,8 @@ ObjectStore::UnitCache::erase(std::uint32_t unit)
 
 ObjectStore::ObjectStore(sim::Simulator &sim, disk::BlockDevice &device,
                          StoreConfig config)
-    : sim_(sim), device_(device), config_(config)
+    : sim_(sim), device_(device), config_(config),
+      stats_(util::metrics().uniquePrefix("store"))
 {
     NASD_ASSERT(config_.alloc_unit_bytes % device_.blockSize() == 0,
                 "allocation unit must be a multiple of the block size");

@@ -64,17 +64,20 @@ struct OpTrace
     std::uint64_t cache_hit_bytes = 0;
 };
 
-/** Aggregate counters for tests and benchmarks. */
+/** Aggregate counters for tests and benchmarks; registry-backed under
+ *  "<prefix>/..." in the current util::MetricsRegistry. */
 struct StoreStats
 {
-    util::Counter reads;
-    util::Counter writes;
-    util::Counter creates;
-    util::Counter removes;
-    util::Counter clones;
-    util::Counter meta_misses;
-    util::Counter cache_hit_bytes;
-    util::Counter cache_miss_bytes;
+    explicit StoreStats(const std::string &prefix);
+
+    util::Counter &reads;
+    util::Counter &writes;
+    util::Counter &creates;
+    util::Counter &removes;
+    util::Counter &clones;
+    util::Counter &meta_misses;
+    util::Counter &cache_hit_bytes;
+    util::Counter &cache_miss_bytes;
 };
 
 /** Attribute updates applied by setAttributes. */

@@ -23,6 +23,7 @@
 #include "sim/resource.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/units.h"
@@ -101,13 +102,32 @@ RpcCosts dceRpcCosts();
  *  drive would ship instead of workstation DCE RPC). */
 RpcCosts leanRpcCosts();
 
-/** A node attached to the network: CPU + full-duplex access link. */
+/** A node attached to the network: CPU + full-duplex access link.
+ *
+ *  All counters live in the current util::MetricsRegistry under
+ *  "<node>/net/..."; the public references below keep call sites
+ *  unchanged. Member declaration order is load-bearing: the private
+ *  name/prefix block precedes the references that are built from it. */
 class NetNode
 {
+  private:
+    std::string name_;
+    std::string metric_prefix_; ///< registry subtree ("<node>/net")
+
   public:
     NetNode(sim::Simulator &sim, std::string name, CpuParams cpu,
             LinkParams link, RpcCosts costs)
         : name_(std::move(name)),
+          metric_prefix_(util::metrics().uniquePrefix(name_ + "/net")),
+          bytes_sent(netCounter("bytes_sent")),
+          bytes_received(netCounter("bytes_received")),
+          send_instr(netCounter("send_instr")),
+          recv_instr(netCounter("recv_instr")),
+          faults_dropped(netCounter("faults_dropped")),
+          faults_duplicated(netCounter("faults_duplicated")),
+          faults_delayed(netCounter("faults_delayed")),
+          rpc_timeouts(netCounter("rpc_timeouts")),
+          rpc_late_replies(netCounter("rpc_late_replies")),
           cpu_(sim, name_ + ".cpu", cpu.mhz, cpu.cpi),
           link_(link), costs_(costs), tx_(sim, 1), rx_(sim, 1)
     {}
@@ -116,6 +136,7 @@ class NetNode
     NetNode &operator=(const NetNode &) = delete;
 
     const std::string &name() const { return name_; }
+    const std::string &metricPrefix() const { return metric_prefix_; }
     sim::CpuResource &cpu() { return cpu_; }
     const sim::CpuResource &cpu() const { return cpu_; }
     const LinkParams &link() const { return link_; }
@@ -124,20 +145,31 @@ class NetNode
     sim::Semaphore &tx() { return tx_; }
     sim::Semaphore &rx() { return rx_; }
 
-    util::Counter bytes_sent;
-    util::Counter bytes_received;
+    util::Counter &bytes_sent;
+    util::Counter &bytes_received;
+
+    // Protocol-stack instructions this node's CPU burned on RPC sends
+    // and receives (charged by net/rpc.h alongside the CPU occupancy);
+    // Table 1 derives its "communications" share from these.
+    util::Counter &send_instr;
+    util::Counter &recv_instr;
 
     // Per-link fault accounting. The sender's link counts injected
     // drop/duplicate/delay events; the client side of an RPC counts
     // expired deadlines and replies that arrived after one.
-    util::Counter faults_dropped;
-    util::Counter faults_duplicated;
-    util::Counter faults_delayed;
-    util::Counter rpc_timeouts;
-    util::Counter rpc_late_replies;
+    util::Counter &faults_dropped;
+    util::Counter &faults_duplicated;
+    util::Counter &faults_delayed;
+    util::Counter &rpc_timeouts;
+    util::Counter &rpc_late_replies;
 
   private:
-    std::string name_;
+    util::Counter &
+    netCounter(const char *leaf)
+    {
+        return util::metrics().counter(metric_prefix_ + "/" + leaf);
+    }
+
     sim::CpuResource cpu_;
     LinkParams link_;
     RpcCosts costs_;

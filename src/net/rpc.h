@@ -68,23 +68,31 @@ moveChunk(Network &net, NetNode &src, NetNode &dst, std::uint64_t bytes,
     const RpcCosts &dc = dst.costs();
 
     // Sender protocol work (base cost once per message).
-    if (first)
+    if (first) {
         co_await src.cpu().execute(sc.send_base_instr);
+        src.send_instr.add(sc.send_base_instr);
+    }
     const auto send_instr = static_cast<std::uint64_t>(
         sc.send_per_byte_instr * static_cast<double>(bytes));
-    if (send_instr > 0)
+    if (send_instr > 0) {
         co_await src.cpu().executeAt(send_instr, sc.data_cpi);
+        src.send_instr.add(send_instr);
+    }
 
     // Wire.
     co_await net.transfer(src, dst, bytes + (first ? sc.header_bytes : 0));
 
     // Receiver protocol work.
-    if (first)
+    if (first) {
         co_await dst.cpu().execute(dc.recv_base_instr);
+        dst.recv_instr.add(dc.recv_base_instr);
+    }
     const auto recv_instr = static_cast<std::uint64_t>(
         dc.recv_per_byte_instr * static_cast<double>(bytes));
-    if (recv_instr > 0)
+    if (recv_instr > 0) {
         co_await dst.cpu().executeAt(recv_instr, dc.data_cpi);
+        dst.recv_instr.add(recv_instr);
+    }
 }
 
 /**
@@ -97,10 +105,13 @@ chargeLostSend(Network &net, NetNode &src, std::uint64_t bytes)
 {
     const RpcCosts &sc = src.costs();
     co_await src.cpu().execute(sc.send_base_instr);
+    src.send_instr.add(sc.send_base_instr);
     const auto send_instr = static_cast<std::uint64_t>(
         sc.send_per_byte_instr * static_cast<double>(bytes));
-    if (send_instr > 0)
+    if (send_instr > 0) {
         co_await src.cpu().executeAt(send_instr, sc.data_cpi);
+        src.send_instr.add(send_instr);
+    }
     co_await net.occupyTx(src, bytes + sc.header_bytes);
 }
 

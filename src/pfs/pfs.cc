@@ -103,7 +103,16 @@ sim::Task<PfsResult<std::uint64_t>>
 PfsClient::read(PfsHandle handle, std::uint64_t offset,
                 std::span<std::uint8_t> out)
 {
-    auto n = co_await storage_client_.read(handle.object, offset, out);
+    // Each application-level read is one trace root: everything below
+    // (Cheops translation, per-drive RPCs, drive ops) hangs off it.
+    util::TraceContext root;
+    if (auto *t = util::tracer())
+        root = t->newRoot();
+    util::ScopedSpan span("pfs/read", node_.name(),
+                          static_cast<std::uint64_t>(net_.simulator().now()),
+                          root);
+    auto n = co_await storage_client_.read(handle.object, offset, out, root);
+    span.endAt(static_cast<std::uint64_t>(net_.simulator().now()));
     if (!n.ok())
         co_return util::Err{PfsStatus::kStorageError};
     co_return n.value().bytes;
@@ -114,7 +123,15 @@ PfsClient::write(PfsHandle handle, std::uint64_t offset,
                  std::span<const std::uint8_t> data)
 {
     NASD_ASSERT(handle.writable, "write on a read-only PFS handle");
-    auto wrote = co_await storage_client_.write(handle.object, offset, data);
+    util::TraceContext root;
+    if (auto *t = util::tracer())
+        root = t->newRoot();
+    util::ScopedSpan span("pfs/write", node_.name(),
+                          static_cast<std::uint64_t>(net_.simulator().now()),
+                          root);
+    auto wrote =
+        co_await storage_client_.write(handle.object, offset, data, root);
+    span.endAt(static_cast<std::uint64_t>(net_.simulator().now()));
     if (!wrote.ok())
         co_return util::Err{PfsStatus::kStorageError};
     co_return PfsResult<void>{};

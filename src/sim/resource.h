@@ -11,6 +11,7 @@
 #ifndef NASD_SIM_RESOURCE_H_
 #define NASD_SIM_RESOURCE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -18,6 +19,7 @@
 #include "sim/sync.h"
 #include "sim/task.h"
 #include "sim/time.h"
+#include "util/metrics.h"
 #include "util/stats.h"
 
 namespace nasd::sim {
@@ -33,8 +35,11 @@ class CpuResource
      * @param cpi Average cycles per instruction.
      */
     CpuResource(Simulator &sim, std::string name, double mhz, double cpi)
-        : sim_(sim), name_(std::move(name)), mhz_(mhz), cpi_(cpi),
-          server_(sim, 1)
+        : sim_(sim), name_(std::move(name)),
+          metric_prefix_(util::metrics().uniquePrefix(metricStem(name_))),
+          mhz_(mhz), cpi_(cpi), server_(sim, 1),
+          instructions_(
+              util::metrics().counter(metric_prefix_ + "/instructions"))
     {
         NASD_ASSERT(mhz > 0 && cpi > 0);
     }
@@ -53,7 +58,7 @@ class CpuResource
     execute(std::uint64_t instructions)
     {
         co_await occupy(timeFor(instructions));
-        instructions_retired_ += instructions;
+        instructions_.add(instructions);
     }
 
     /**
@@ -66,7 +71,7 @@ class CpuResource
     {
         const double cycles = static_cast<double>(instructions) * cpi;
         co_await occupy(static_cast<Tick>(cycles * 1000.0 / mhz_));
-        instructions_retired_ += instructions;
+        instructions_.add(instructions);
     }
 
     /** Queue for the CPU and hold it busy for @p duration ticks. */
@@ -90,19 +95,34 @@ class CpuResource
     const std::string &name() const { return name_; }
     double mhz() const { return mhz_; }
     double cpi() const { return cpi_; }
+
+    /** Metrics subtree for this CPU ("client0/cpu", "drive/cpu", ...). */
+    const std::string &metricPrefix() const { return metric_prefix_; }
+
     std::uint64_t instructionsRetired() const
     {
-        return instructions_retired_;
+        return instructions_.value();
     }
 
   private:
+    /** Metric path stem: the diagnostic name with '.' as a level split,
+     *  so "client0.cpu" lands at "client0/cpu/...". */
+    static std::string
+    metricStem(const std::string &name)
+    {
+        std::string stem = name;
+        std::replace(stem.begin(), stem.end(), '.', '/');
+        return stem;
+    }
+
     Simulator &sim_;
     std::string name_;
+    std::string metric_prefix_;
     double mhz_;
     double cpi_;
     Semaphore server_;
     util::UtilizationTracker busy_;
-    std::uint64_t instructions_retired_ = 0;
+    util::Counter &instructions_; ///< registry-backed retired-instr count
 };
 
 } // namespace nasd::sim

@@ -7,7 +7,6 @@ namespace nasd::util {
 
 namespace {
 
-LogLevel g_threshold = LogLevel::kWarn;
 std::mutex g_log_mutex;
 
 const char *
@@ -26,25 +25,60 @@ levelName(LogLevel level)
     return "?";
 }
 
+/**
+ * Initial threshold: NASD_LOG_LEVEL from the environment ("debug",
+ * "inform", "warn", "error", or the numeric enum value), else kWarn.
+ * Lets tests and benches enable debug output without recompiling.
+ */
+LogLevel
+initialThreshold()
+{
+    const char *env = std::getenv("NASD_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::kWarn;
+    const std::string_view v(env);
+    if (v == "debug" || v == "0")
+        return LogLevel::kDebug;
+    if (v == "inform" || v == "info" || v == "1")
+        return LogLevel::kInform;
+    if (v == "warn" || v == "2")
+        return LogLevel::kWarn;
+    if (v == "error" || v == "3")
+        return LogLevel::kError;
+    std::fprintf(stderr,
+                 "[warn] NASD_LOG_LEVEL='%s' not recognized "
+                 "(debug|inform|warn|error); using warn\n",
+                 env);
+    return LogLevel::kWarn;
+}
+
+/** Lazily initialized so static-init-order cannot race getenv(). */
+LogLevel &
+threshold()
+{
+    static LogLevel level = initialThreshold();
+    return level;
+}
+
 } // namespace
 
 LogLevel
 logThreshold()
 {
-    return g_threshold;
+    return threshold();
 }
 
 void
 setLogThreshold(LogLevel level)
 {
-    g_threshold = level;
+    threshold() = level;
 }
 
 void
 logMessage(LogLevel level, std::string_view file, int line,
            const std::string &message)
 {
-    if (level < g_threshold)
+    if (level < threshold())
         return;
     std::lock_guard<std::mutex> lock(g_log_mutex);
     std::fprintf(stderr, "[%s] %.*s:%d: %s\n", levelName(level),

@@ -6,13 +6,60 @@
 
 namespace nasd::util {
 
+std::uint64_t
+SampleStats::nextRandom()
+{
+    // splitmix64: small, fast, and deterministic across platforms.
+    std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+void
+SampleStats::add(double value)
+{
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    if (capacity_ == 0 || samples_.size() < capacity_) {
+        samples_.push_back(value);
+        sorted_ = false;
+        return;
+    }
+    // Algorithm R: keep the new sample with probability capacity/count,
+    // evicting a uniformly random resident.
+    const std::uint64_t slot = nextRandom() % count_;
+    if (slot < capacity_) {
+        samples_[slot] = value;
+        sorted_ = false;
+    }
+}
+
+void
+SampleStats::reset()
+{
+    samples_.clear();
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+    sorted_ = false;
+    sort_count_ = 0;
+    count_ = 0;
+    rng_state_ = kRngSeed;
+}
+
 double
 SampleStats::stddev() const
 {
     if (samples_.size() < 2)
         return 0.0;
-    const double m = mean();
     double acc = 0.0;
+    double retained_sum = 0.0;
+    for (double v : samples_)
+        retained_sum += v;
+    const double m = retained_sum / static_cast<double>(samples_.size());
     for (double v : samples_) {
         const double d = v - m;
         acc += d * d;
@@ -29,6 +76,7 @@ SampleStats::percentile(double p) const
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;
+        ++sort_count_;
     }
     if (samples_.size() == 1)
         return samples_.front();

@@ -4,8 +4,10 @@
  *
  * Modeled loosely on gem5's stats package: named scalar counters and
  * sample accumulators that modules update during a run and benchmarks
- * read afterwards. Percentiles are exact (samples are retained), which
- * is fine at the scale of our experiments.
+ * read afterwards. By default percentiles are exact (all samples are
+ * retained); for long runs a bounded reservoir (Vitter's Algorithm R
+ * with a deterministic generator) keeps memory constant at the cost of
+ * approximate percentiles. Sum/mean/min/max stay exact either way.
  */
 #ifndef NASD_UTIL_STATS_H_
 #define NASD_UTIL_STATS_H_
@@ -22,49 +24,68 @@ namespace nasd::util {
 class SampleStats
 {
   public:
-    /** Record one sample. */
-    void
-    add(double value)
+    /** Retain every sample (exact percentiles). */
+    SampleStats() = default;
+
+    /**
+     * Retain at most @p reservoir_capacity samples via reservoir
+     * sampling; percentiles become approximate once the reservoir
+     * overflows. Capacity 0 means unbounded.
+     */
+    explicit SampleStats(std::size_t reservoir_capacity)
+        : capacity_(reservoir_capacity)
     {
-        samples_.push_back(value);
-        sum_ += value;
-        min_ = std::min(min_, value);
-        max_ = std::max(max_, value);
-        sorted_ = false;
     }
 
-    std::size_t count() const { return samples_.size(); }
-    double sum() const { return sum_; }
-    double mean() const { return samples_.empty() ? 0.0 : sum_ / count(); }
-    double min() const { return samples_.empty() ? 0.0 : min_; }
-    double max() const { return samples_.empty() ? 0.0 : max_; }
+    /** Record one sample. */
+    void add(double value);
 
-    /** Population standard deviation (0 for fewer than two samples). */
+    /** Total samples recorded (including any evicted from a reservoir). */
+    std::size_t count() const { return count_; }
+
+    /** Samples currently retained for percentile computation. */
+    std::size_t retained() const { return samples_.size(); }
+
+    double sum() const { return sum_; }
+    double mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+    double min() const { return count_ == 0 ? 0.0 : min_; }
+    double max() const { return count_ == 0 ? 0.0 : max_; }
+
+    /** Population standard deviation of the retained samples. */
     double stddev() const;
 
     /**
-     * Exact percentile in [0, 100]; interpolates between samples.
-     * Returns 0 when empty.
+     * Percentile in [0, 100]; interpolates between retained samples
+     * (exact unless a bounded reservoir overflowed). Returns 0 when
+     * empty. Consecutive calls without intervening add() reuse the
+     * sorted order.
      */
     double percentile(double p) const;
 
-    /** Drop all recorded samples. */
-    void
-    reset()
-    {
-        samples_.clear();
-        sum_ = 0.0;
-        min_ = std::numeric_limits<double>::infinity();
-        max_ = -std::numeric_limits<double>::infinity();
-        sorted_ = false;
-    }
+    /** Times percentile() had to sort (observability for cache reuse). */
+    std::uint64_t sortCount() const { return sort_count_; }
+
+    /** Drop all recorded samples (reservoir sequence restarts too). */
+    void reset();
 
   private:
+    /** Deterministic 64-bit generator (splitmix64) for eviction picks. */
+    std::uint64_t nextRandom();
+
     mutable std::vector<double> samples_;
     mutable bool sorted_ = false;
+    mutable std::uint64_t sort_count_ = 0;
+    std::size_t capacity_ = 0; ///< 0 = retain everything
+    std::size_t count_ = 0;
+    std::uint64_t rng_state_ = kRngSeed;
     double sum_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
+
+    static constexpr std::uint64_t kRngSeed = 0x9e3779b97f4a7c15ull;
 };
 
 /** Monotonic named counter (operations completed, bytes moved, ...). */

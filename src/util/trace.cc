@@ -1,0 +1,164 @@
+#include "util/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace nasd::util {
+
+namespace {
+
+Tracer *g_tracer = nullptr;
+
+/** Escape a span/lane name for a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TraceContext
+Tracer::newRoot()
+{
+    return TraceContext{++next_trace_id_, ++next_span_id_};
+}
+
+TraceContext
+Tracer::childOf(const TraceContext &parent)
+{
+    if (!parent.valid())
+        return newRoot();
+    return TraceContext{parent.trace_id, ++next_span_id_};
+}
+
+std::uint32_t
+Tracer::laneTid(const std::string &lane)
+{
+    auto [it, inserted] =
+        lane_tids_.try_emplace(lane, static_cast<std::uint32_t>(
+                                         lane_names_.size() + 1));
+    if (inserted)
+        lane_names_.push_back(lane);
+    return it->second;
+}
+
+std::size_t
+Tracer::beginSpan(const std::string &name, const std::string &lane,
+                  std::uint64_t now_ns, const TraceContext &ctx,
+                  std::uint64_t parent_span)
+{
+    spans_.push_back(Span{name, laneTid(lane), now_ns, now_ns, ctx,
+                          parent_span});
+    return spans_.size() - 1;
+}
+
+void
+Tracer::endSpan(std::size_t handle, std::uint64_t now_ns)
+{
+    NASD_ASSERT(handle < spans_.size(), "endSpan: bad handle ", handle);
+    Span &s = spans_[handle];
+    NASD_ASSERT(now_ns >= s.begin_ns, "endSpan: time went backwards");
+    s.end_ns = now_ns;
+}
+
+std::string
+Tracer::toJson() const
+{
+    // Chrome trace_event "JSON object format": traceEvents array of
+    // "X" (complete) events with ts/dur in microseconds, plus one
+    // thread_name metadata record per lane.
+    std::ostringstream os;
+    os << "{\"traceEvents\": [\n";
+    bool first = true;
+    for (std::size_t tid = 1; tid <= lane_names_.size(); ++tid) {
+        os << (first ? "" : ",\n")
+           << "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+              "\"tid\": "
+           << tid << ", \"args\": {\"name\": \""
+           << jsonEscape(lane_names_[tid - 1]) << "\"}}";
+        first = false;
+    }
+    for (const Span &s : spans_) {
+        const double ts_us = static_cast<double>(s.begin_ns) / 1000.0;
+        const double dur_us =
+            static_cast<double>(s.end_ns - s.begin_ns) / 1000.0;
+        os << (first ? "" : ",\n") << "{\"ph\": \"X\", \"name\": \""
+           << jsonEscape(s.name) << "\", \"cat\": \"nasd\", \"pid\": 1, "
+           << "\"tid\": " << s.tid << ", \"ts\": " << ts_us
+           << ", \"dur\": " << dur_us << ", \"args\": {\"trace_id\": "
+           << s.ctx.trace_id << ", \"span_id\": " << s.ctx.span_id
+           << ", \"parent_span_id\": " << s.parent_span << "}}";
+        first = false;
+    }
+    os << "\n], \"displayTimeUnit\": \"ns\"}\n";
+    return os.str();
+}
+
+void
+Tracer::writeJson(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        NASD_FATAL("cannot open trace output '", path, "'");
+    const std::string body = toJson();
+    if (std::fwrite(body.data(), 1, body.size(), f) != body.size()) {
+        std::fclose(f);
+        NASD_FATAL("short write to trace output '", path, "'");
+    }
+    std::fclose(f);
+}
+
+Tracer *
+tracer()
+{
+    return g_tracer;
+}
+
+void
+setTracer(Tracer *t)
+{
+    g_tracer = t;
+}
+
+ScopedSpan::ScopedSpan(const std::string &name, const std::string &lane,
+                       std::uint64_t now_ns, const TraceContext &ctx,
+                       std::uint64_t parent_span)
+    : tracer_(g_tracer)
+{
+    if (tracer_)
+        handle_ = tracer_->beginSpan(name, lane, now_ns, ctx, parent_span);
+}
+
+void
+ScopedSpan::endAt(std::uint64_t now_ns)
+{
+    if (tracer_) {
+        tracer_->endSpan(handle_, now_ns);
+        tracer_ = nullptr;
+    }
+}
+
+} // namespace nasd::util

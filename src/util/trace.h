@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Causal tracing: TraceContext propagation and a Chrome trace_event
+ * timeline writer.
+ *
+ * A TraceContext (trace id + span id) is minted per top-level client
+ * operation and carried through RPC request parameters, so a striped
+ * Cheops read shows its per-drive fan-out as child spans of the client
+ * op. Spans are stamped in simulated time; the Tracer deliberately
+ * takes raw nanosecond timestamps so util does not depend on sim.
+ *
+ * Tracing is off unless a Tracer is installed with setTracer(); the
+ * instrumented paths pay one null-pointer check when disabled. The
+ * output of writeJson() loads directly into chrome://tracing or
+ * https://ui.perfetto.dev.
+ */
+#ifndef NASD_UTIL_TRACE_H_
+#define NASD_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nasd::util {
+
+/** Causal identity carried along an operation's RPC chain. */
+struct TraceContext
+{
+    std::uint64_t trace_id = 0; ///< one per top-level client op; 0 = none
+    std::uint64_t span_id = 0;  ///< current span within the trace
+
+    bool valid() const { return trace_id != 0; }
+};
+
+/**
+ * Collects spans and serializes them in Chrome trace_event format.
+ * Each named lane ("client0", "cheops", "drive3", ...) becomes a
+ * thread row in the timeline; span args carry trace/span/parent ids so
+ * causality survives into the viewer.
+ */
+class Tracer
+{
+  public:
+    /** Mint a fresh trace with its root span id. */
+    TraceContext newRoot();
+
+    /** Mint a child context: same trace, new span id. */
+    TraceContext childOf(const TraceContext &parent);
+
+    /**
+     * Open a span on @p lane at simulated time @p now_ns; returns a
+     * handle for endSpan(). @p parent_span is 0 for root spans.
+     */
+    std::size_t beginSpan(const std::string &name, const std::string &lane,
+                          std::uint64_t now_ns, const TraceContext &ctx,
+                          std::uint64_t parent_span = 0);
+
+    /** Close the span @p handle at simulated time @p now_ns. */
+    void endSpan(std::size_t handle, std::uint64_t now_ns);
+
+    std::size_t spanCount() const { return spans_.size(); }
+
+    /** Serialize all spans as a Chrome trace_event JSON document. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path (NASD_FATAL on I/O failure). */
+    void writeJson(const std::string &path) const;
+
+  private:
+    struct Span
+    {
+        std::string name;
+        std::uint32_t tid;
+        std::uint64_t begin_ns;
+        std::uint64_t end_ns;
+        TraceContext ctx;
+        std::uint64_t parent_span;
+    };
+
+    std::uint32_t laneTid(const std::string &lane);
+
+    std::vector<Span> spans_;
+    std::map<std::string, std::uint32_t> lane_tids_;
+    std::vector<std::string> lane_names_; ///< indexed by tid - 1
+    std::uint64_t next_trace_id_ = 0;
+    std::uint64_t next_span_id_ = 0;
+};
+
+/** Currently installed tracer, or nullptr when tracing is disabled. */
+Tracer *tracer();
+
+/** Install (or, with nullptr, remove) the process-wide tracer. */
+void setTracer(Tracer *t);
+
+/**
+ * RAII span: opens on construction when tracing is enabled, closes on
+ * endAt(). Safe to use unconditionally; a disabled tracer makes every
+ * operation a no-op.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const std::string &name, const std::string &lane,
+               std::uint64_t now_ns, const TraceContext &ctx,
+               std::uint64_t parent_span = 0);
+
+    /** Close the span at simulated time @p now_ns (idempotent). */
+    void endAt(std::uint64_t now_ns);
+
+  private:
+    Tracer *tracer_;
+    std::size_t handle_ = 0;
+};
+
+} // namespace nasd::util
+
+#endif // NASD_UTIL_TRACE_H_

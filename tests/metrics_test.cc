@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the hierarchical metrics registry and the causal tracer:
+ * create-on-first-use lookup, kind-collision panics, unique instance
+ * prefixes, the JSON snapshot round-trip, MetricsScope stacking, and
+ * Chrome trace_event span emission.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace nasd::util {
+namespace {
+
+TEST(MetricsRegistry, CreateOnFirstUseIsPointerStable)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("drive0/ops/read/count");
+    c.add(3);
+    EXPECT_EQ(&reg.counter("drive0/ops/read/count"), &c);
+    EXPECT_EQ(reg.counter("drive0/ops/read/count").value(), 3u);
+    EXPECT_EQ(reg.size(), 1u);
+
+    Gauge &g = reg.gauge("fig6/read/raw/1MB_mbps");
+    g.set(42.5);
+    EXPECT_EQ(&reg.gauge("fig6/read/raw/1MB_mbps"), &g);
+
+    SampleStats &h = reg.histogram("drive0/ops/read/latency_ns");
+    h.add(1000.0);
+    EXPECT_EQ(&reg.histogram("drive0/ops/read/latency_ns"), &h);
+    EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, ContainsSeesAllKinds)
+{
+    MetricsRegistry reg;
+    reg.counter("a/count");
+    reg.gauge("a/gauge");
+    reg.histogram("a/hist");
+    EXPECT_TRUE(reg.contains("a/count"));
+    EXPECT_TRUE(reg.contains("a/gauge"));
+    EXPECT_TRUE(reg.contains("a/hist"));
+    EXPECT_FALSE(reg.contains("a/missing"));
+}
+
+TEST(MetricsRegistryDeathTest, KindCollisionPanics)
+{
+    MetricsRegistry reg;
+    reg.counter("drive0/ops_served");
+    EXPECT_DEATH(reg.gauge("drive0/ops_served"),
+                 "registered as counter, requested as gauge");
+    EXPECT_DEATH(reg.histogram("drive0/ops_served"),
+                 "registered as counter, requested as histogram");
+}
+
+TEST(MetricsRegistry, UniquePrefixDeduplicatesInstances)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(reg.uniquePrefix("drive"), "drive");
+    EXPECT_EQ(reg.uniquePrefix("drive"), "drive#2");
+    EXPECT_EQ(reg.uniquePrefix("drive"), "drive#3");
+    // Independent stems do not interfere.
+    EXPECT_EQ(reg.uniquePrefix("client"), "client");
+}
+
+TEST(MetricsRegistry, JsonRoundTripRestoresCountersAndGauges)
+{
+    MetricsRegistry reg;
+    reg.counter("drive0/ops/read/count").add(17);
+    reg.counter("net0/bytes_sent").add(1 << 20);
+    reg.gauge("fig9/nasd/8_disks_mbps").set(42.5);
+
+    MetricsRegistry loaded;
+    loaded.importJson(reg.toJson());
+    EXPECT_EQ(loaded.counter("drive0/ops/read/count").value(), 17u);
+    EXPECT_EQ(loaded.counter("net0/bytes_sent").value(), 1u << 20);
+    EXPECT_DOUBLE_EQ(loaded.gauge("fig9/nasd/8_disks_mbps").value(), 42.5);
+    // The reload of a counter/gauge-only registry is value-identical.
+    EXPECT_EQ(loaded.toJson(), reg.toJson());
+}
+
+TEST(MetricsRegistry, JsonSummarizesHistograms)
+{
+    MetricsRegistry reg;
+    SampleStats &h = reg.histogram("drive0/ops/read/latency_ns");
+    for (double v : {10.0, 20.0, 30.0})
+        h.add(v);
+    const std::string json = reg.toJson();
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("drive0/ops/read/latency_ns"), std::string::npos);
+    EXPECT_NE(json.find("\"count\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+}
+
+TEST(MetricsRegistryDeathTest, ImportRejectsMalformedJson)
+{
+    MetricsRegistry reg;
+    EXPECT_DEATH(reg.importJson("{\"counters\": [1, 2]}"), "importJson");
+}
+
+TEST(MetricsScope, InstallsFreshRegistryAndRestores)
+{
+    MetricsRegistry &outer = metrics();
+    Counter &outer_counter = outer.counter("scope_test/outer");
+    {
+        MetricsScope scope;
+        EXPECT_EQ(&metrics(), &scope.registry());
+        EXPECT_NE(&metrics(), &outer);
+        // The fresh registry starts empty: same path, new instrument.
+        EXPECT_FALSE(metrics().contains("scope_test/outer"));
+        metrics().counter("scope_test/outer").add(5);
+        // uniquePrefix restarts per scope, so repeated rig construction
+        // gets the same names each run.
+        EXPECT_EQ(metrics().uniquePrefix("drive"), "drive");
+    }
+    EXPECT_EQ(&metrics(), &outer);
+    EXPECT_EQ(outer_counter.value(), 0u);
+}
+
+TEST(MetricsScope, ScopesNest)
+{
+    MetricsScope a;
+    MetricsRegistry *first = &metrics();
+    {
+        MetricsScope b;
+        EXPECT_NE(&metrics(), first);
+    }
+    EXPECT_EQ(&metrics(), first);
+}
+
+TEST(Tracer, RootAndChildSharesTraceId)
+{
+    Tracer t;
+    const TraceContext root = t.newRoot();
+    EXPECT_TRUE(root.valid());
+    const TraceContext child = t.childOf(root);
+    EXPECT_EQ(child.trace_id, root.trace_id);
+    EXPECT_NE(child.span_id, root.span_id);
+
+    const TraceContext other = t.newRoot();
+    EXPECT_NE(other.trace_id, root.trace_id);
+}
+
+TEST(Tracer, SpansSerializeWithCausality)
+{
+    Tracer t;
+    const TraceContext root = t.newRoot();
+    const std::size_t parent =
+        t.beginSpan("pfs/read", "client0", 100, root);
+    const TraceContext child = t.childOf(root);
+    const std::size_t fanout =
+        t.beginSpan("nasd/read", "nasd3", 150, child, root.span_id);
+    t.endSpan(fanout, 300);
+    t.endSpan(parent, 400);
+    EXPECT_EQ(t.spanCount(), 2u);
+
+    const std::string json = t.toJson();
+    // Chrome trace_event complete events with lane thread names.
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("client0"), std::string::npos);
+    EXPECT_NE(json.find("nasd3"), std::string::npos);
+    EXPECT_NE(json.find("pfs/read"), std::string::npos);
+    EXPECT_NE(json.find("parent_span_id"), std::string::npos);
+}
+
+TEST(Tracer, GlobalInstallAndScopedSpan)
+{
+    EXPECT_EQ(tracer(), nullptr); // tracing defaults to off
+
+    // Disabled: ScopedSpan is a no-op and contexts stay invalid.
+    {
+        ScopedSpan span("noop", "lane", 0, TraceContext{});
+        span.endAt(10);
+    }
+
+    Tracer t;
+    setTracer(&t);
+    EXPECT_EQ(tracer(), &t);
+    {
+        const TraceContext root = t.newRoot();
+        ScopedSpan span("op", "lane0", 5000, root);
+        span.endAt(25000);
+        span.endAt(90000); // idempotent: the second end is ignored
+    }
+    setTracer(nullptr);
+    EXPECT_EQ(tracer(), nullptr);
+
+    ASSERT_EQ(t.spanCount(), 1u);
+    // Timestamps are nanoseconds in, microseconds out (trace_event).
+    const std::string json = t.toJson();
+    EXPECT_NE(json.find("\"dur\": 20"), std::string::npos);
+}
+
+} // namespace
+} // namespace nasd::util

@@ -189,6 +189,100 @@ TEST(Utilization, RedundantMarksIgnored)
     EXPECT_EQ(u.busyTime(), 20u);
 }
 
+TEST(SampleStats, PercentileReusesSortedCache)
+{
+    SampleStats s;
+    for (double v : {3.0, 1.0, 2.0})
+        s.add(v);
+    EXPECT_EQ(s.sortCount(), 0u);
+    (void)s.percentile(50);
+    (void)s.percentile(95); // no intervening add: cache reused
+    EXPECT_EQ(s.sortCount(), 1u);
+    s.add(4.0);
+    (void)s.percentile(50);
+    EXPECT_EQ(s.sortCount(), 2u);
+}
+
+TEST(SampleStats, ReservoirBoundsRetainedSamples)
+{
+    SampleStats s(16);
+    for (int i = 0; i < 1000; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_EQ(s.count(), 1000u);
+    EXPECT_EQ(s.retained(), 16u);
+    // Moments stay exact even after eviction.
+    EXPECT_DOUBLE_EQ(s.mean(), 499.5);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 999.0);
+    // Percentiles are approximate but drawn from real samples.
+    const double p50 = s.percentile(50);
+    EXPECT_GE(p50, 0.0);
+    EXPECT_LE(p50, 999.0);
+}
+
+TEST(SampleStats, ReservoirIsDeterministic)
+{
+    SampleStats a(8);
+    SampleStats b(8);
+    for (int i = 0; i < 500; ++i) {
+        a.add(static_cast<double>(i));
+        b.add(static_cast<double>(i));
+    }
+    for (double p : {0.0, 25.0, 50.0, 75.0, 100.0})
+        EXPECT_DOUBLE_EQ(a.percentile(p), b.percentile(p));
+}
+
+TEST(SampleStats, ResetRestartsReservoirSequence)
+{
+    SampleStats s(8);
+    for (int i = 0; i < 100; ++i)
+        s.add(static_cast<double>(i));
+    const double before = s.percentile(50);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.retained(), 0u);
+    EXPECT_EQ(s.sortCount(), 0u);
+    for (int i = 0; i < 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(50), before);
+}
+
+TEST(Utilization, MarkIdleWhileIdleIsIgnored)
+{
+    UtilizationTracker u;
+    u.markIdle(100); // never busy: nothing to close
+    EXPECT_EQ(u.busyTime(), 0u);
+    EXPECT_DOUBLE_EQ(u.utilization(0, 200), 0.0);
+}
+
+TEST(Utilization, DoubleMarkBusyKeepsFirstStart)
+{
+    UtilizationTracker u;
+    u.markBusy(100);
+    u.markBusy(150); // ignored: interval already open at 100
+    u.markIdle(200);
+    EXPECT_EQ(u.busyTime(), 100u);
+}
+
+TEST(Utilization, WindowStartingMidBusyInterval)
+{
+    UtilizationTracker u;
+    u.markBusy(100);
+    // Open interval clipped to the window: busy the whole [150, 250].
+    EXPECT_DOUBLE_EQ(u.utilization(150, 250), 1.0);
+    // Window entirely before the busy interval began.
+    EXPECT_DOUBLE_EQ(u.utilization(0, 50), 0.0);
+}
+
+TEST(Utilization, EmptyWindowIsZero)
+{
+    UtilizationTracker u;
+    u.markBusy(0);
+    u.markIdle(100);
+    EXPECT_DOUBLE_EQ(u.utilization(50, 50), 0.0);
+    EXPECT_DOUBLE_EQ(u.utilization(80, 20), 0.0);
+}
+
 TEST(Units, Formatting)
 {
     EXPECT_EQ(formatBytes(512), "512B");

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate a bench metrics dump (BENCH_*.json) and compare headline
+throughput gauges against a checked-in baseline.
+
+Schema (written by bench::writeBenchJson):
+
+    {"schema_version": 1,
+     "bench": "<name>",
+     "reference": "<paper figure/table>",
+     "metrics": {"counters": {path: int, ...},
+                 "gauges": {path: float, ...},
+                 "histograms": {path: {count, mean, min, max,
+                                       p50, p95, p99}, ...}}}
+
+Baseline comparison covers every ``*_mbps`` gauge present in the
+baseline file (itself a BENCH_*.json snapshot). The simulator is
+deterministic, so identical code produces identical numbers; the
+tolerance absorbs intentional model recalibration without letting a
+real regression through.
+
+Usage:
+    tools/check_bench_json.py BENCH_fig9.json \
+        [--baseline bench/baselines/fig9.json] [--tolerance 0.25]
+
+Exit status: 0 clean, 1 schema violation or baseline mismatch.
+"""
+
+import argparse
+import json
+import sys
+
+HISTOGRAM_KEYS = {"count", "mean", "min", "max", "p50", "p95", "p99"}
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def check_schema(doc, errors):
+    if not isinstance(doc, dict):
+        fail(errors, "top level is not a JSON object")
+        return
+    if doc.get("schema_version") != 1:
+        fail(errors, f"schema_version is {doc.get('schema_version')!r},"
+                     " expected 1")
+    for key in ("bench", "reference"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            fail(errors, f"'{key}' missing or not a non-empty string")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(errors, "'metrics' missing or not an object")
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(errors, f"metrics.{section} missing or not an object")
+            return
+    for path, value in metrics["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(errors, f"counter '{path}' is not a non-negative int:"
+                         f" {value!r}")
+    for path, value in metrics["gauges"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(errors, f"gauge '{path}' is not a number: {value!r}")
+    for path, summary in metrics["histograms"].items():
+        if not isinstance(summary, dict):
+            fail(errors, f"histogram '{path}' is not an object")
+            continue
+        missing = HISTOGRAM_KEYS - summary.keys()
+        if missing:
+            fail(errors, f"histogram '{path}' missing keys:"
+                         f" {sorted(missing)}")
+
+
+def check_baseline(doc, baseline, tolerance, errors):
+    gauges = doc.get("metrics", {}).get("gauges", {})
+    expected = {
+        path: value
+        for path, value in baseline.get("metrics", {})
+                                   .get("gauges", {}).items()
+        if path.endswith("_mbps")
+    }
+    if not expected:
+        fail(errors, "baseline has no *_mbps gauges to compare")
+        return
+    for path, want in sorted(expected.items()):
+        if path not in gauges:
+            fail(errors, f"missing headline gauge '{path}'")
+            continue
+        got = gauges[path]
+        if want == 0:
+            if got != 0:
+                fail(errors, f"'{path}': baseline 0, got {got}")
+            continue
+        rel = abs(got - want) / abs(want)
+        if rel > tolerance:
+            fail(errors,
+                 f"'{path}': {got:.2f} vs baseline {want:.2f}"
+                 f" ({rel:+.1%} > ±{tolerance:.0%})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("dump", help="BENCH_*.json produced by a bench run")
+    parser.add_argument("--baseline",
+                        help="checked-in BENCH_*.json to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="max relative headline deviation"
+                             " (default 0.25)")
+    args = parser.parse_args()
+
+    errors = []
+    try:
+        with open(args.dump) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{args.dump}: {e}")
+        return 1
+
+    check_schema(doc, errors)
+    if args.baseline and not errors:
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{args.baseline}: {e}")
+            return 1
+        check_baseline(doc, baseline, args.tolerance, errors)
+
+    for e in errors:
+        print(f"{args.dump}: {e}")
+    if errors:
+        print(f"\n{len(errors)} problem(s)")
+        return 1
+    if args.baseline:
+        print(f"{args.dump}: schema valid vs {args.baseline},"
+              " headline gauges within tolerance")
+    else:
+        print(f"{args.dump}: schema valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,14 @@ that violate project invariants:
      message would otherwise hang the caller forever: src/nasd/client.cc
      must use ``net::callWithDeadline`` (via its retry loop), never the
      reliable-transport ``net::call``.
+  5. Loose ``util::Counter`` value members outside src/util. Modules
+     must register instruments in the MetricsRegistry and hold
+     ``util::Counter &`` references, so every counter shows up in
+     BENCH_*.json dumps; an owned Counter member is invisible to the
+     registry.
+  6. ``fprintf(stderr, ...)`` anywhere in src/ except util/logging.cc.
+     Diagnostics must go through NASD_LOG so NASD_LOG_LEVEL filtering
+     and the log format apply uniformly.
 
 Usage: tools/check_invariants.py [repo-root]
 Exit status is the number of violations (0 == clean).
@@ -69,12 +77,24 @@ def guard_patterns(var):
     ]
 
 
+# Registry instruments expose .value() too; a name declared as a
+# `Counter &` / `Gauge &` reference in this file is not a Result.
+INSTRUMENT_REF_DECL = re.compile(
+    r"\b(?:util::)?(?:Counter|Gauge)\s*&\s*(\w+)"
+)
+
+
 def check_value_calls(path, lines, violations):
+    instrument_names = set(
+        INSTRUMENT_REF_DECL.findall("\n".join(lines))
+    )
     for i, line in enumerate(lines):
         stripped = line.split("//")[0]
         for match in VALUE_CALL.finditer(stripped):
             var = match.group(1)
             base = var.split("[")[0]
+            if base in instrument_names:
+                continue
             guards = guard_patterns(base) + guard_patterns(var)
             # Guard on the same line (ternary / assert) counts; else
             # scan back to the top of the enclosing function (a
@@ -117,6 +137,38 @@ def check_drive_rpc_deadlines(path, lines, violations):
             )
 
 
+# A Counter held by value (not `util::Counter &ref`) as a class member.
+COUNTER_VALUE_MEMBER = re.compile(r"\butil::Counter\s+(?!&)\w+\s*[;={]")
+STDERR_PRINT = re.compile(r"\bfprintf\s*\(\s*stderr\b")
+
+
+def check_counter_members(path, lines, violations):
+    if str(path).startswith("src/util/"):
+        return  # the registry itself owns its Counters
+    for i, line in enumerate(lines):
+        if COUNTER_VALUE_MEMBER.search(line.split("//")[0]):
+            fail(
+                violations, path, i + 1,
+                "loose util::Counter value member; register it in the "
+                "MetricsRegistry and hold a util::Counter & instead so "
+                "it appears in BENCH_*.json dumps",
+            )
+
+
+def check_stderr_prints(path, lines, violations):
+    if not str(path).startswith("src/"):
+        return
+    if str(path) == "src/util/logging.cc":
+        return  # the log sink itself
+    for i, line in enumerate(lines):
+        if STDERR_PRINT.search(line.split("//")[0]):
+            fail(
+                violations, path, i + 1,
+                "raw fprintf(stderr, ...); use NASD_LOG so "
+                "NASD_LOG_LEVEL filtering applies",
+            )
+
+
 def check_include_guard(path, text, violations):
     if "#pragma once" in text:
         return
@@ -140,6 +192,8 @@ def main():
                 rel, "\n".join(lines), lines, violations
             )
             check_drive_rpc_deadlines(rel, lines, violations)
+            check_counter_members(rel, lines, violations)
+            check_stderr_prints(rel, lines, violations)
 
     for top in HEADER_DIRS:
         for path in sorted((root / top).rglob("*.h")):
@@ -149,6 +203,8 @@ def main():
             check_value_calls(rel, lines, violations)
             check_schedule_captures(rel, text, lines, violations)
             check_include_guard(rel, text, violations)
+            check_counter_members(rel, lines, violations)
+            check_stderr_prints(rel, lines, violations)
 
     for v in violations:
         print(v)
