@@ -20,6 +20,7 @@
 #include "sim/task.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/timeseries.h"
 #include "util/trace.h"
 
 namespace nasd::bench {
@@ -90,12 +91,15 @@ parseOptions(const char *bench_name, int argc, char **argv)
 
 /**
  * Dump the current MetricsRegistry as the bench's machine-readable
- * result file: {"schema_version", "bench", "reference", "metrics"}.
- * tools/check_bench_json.py validates this shape in CI.
+ * result file: {"schema_version", "bench", "reference", "metrics"}
+ * plus an optional "timeseries" section (interval-sampled series from
+ * a sim::StatsPoller run). tools/check_bench_json.py validates this
+ * shape in CI.
  */
 inline void
 writeBenchJson(const BenchOptions &opts, const char *bench_name,
-               const char *reference)
+               const char *reference,
+               const util::TimeSeries *timeseries = nullptr)
 {
     if (opts.json_path.empty())
         return;
@@ -104,8 +108,13 @@ writeBenchJson(const BenchOptions &opts, const char *bench_name,
     const std::string metrics = util::metrics().toJson();
     std::fprintf(f,
                  "{\"schema_version\": 1, \"bench\": \"%s\", "
-                 "\"reference\": \"%s\", \"metrics\": %s}\n",
+                 "\"reference\": \"%s\", \"metrics\": %s",
                  bench_name, reference, metrics.c_str());
+    if (timeseries != nullptr) {
+        const std::string series = timeseries->toJson();
+        std::fprintf(f, ", \"timeseries\": %s", series.c_str());
+    }
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", opts.json_path.c_str());
 }

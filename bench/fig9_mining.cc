@@ -23,8 +23,12 @@
  * Counts are computed for real; the bench cross-checks the merged
  * totals across configurations.
  */
+#include <array>
+#include <cmath>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -38,8 +42,12 @@
 #include "net/presets.h"
 #include "pfs/pfs.h"
 #include "sim/simulator.h"
+#include "sim/stats_poller.h"
+#include "util/attribution.h"
+#include "util/critpath.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/timeseries.h"
 #include "util/units.h"
 
 using namespace nasd;
@@ -101,11 +109,83 @@ struct RunResult
     apps::ItemCounts counts;
 };
 
+/** Per-op-class latency decomposition aggregated across all drives. */
+struct OpBreakdown
+{
+    std::uint64_t count = 0;
+    double measured_ns = 0; ///< sum of end-to-end op latencies
+    std::array<std::uint64_t, util::kResourceClassCount> wait_ns{};
+    std::array<std::uint64_t, util::kResourceClassCount> service_ns{};
+    std::uint64_t other_ns = 0; ///< elapsed no phase claimed
+};
+
+/** Optional observability outputs of one NASD run. */
+struct NasdRunExtras
+{
+    /// When set, the mining scan is driven by a StatsPoller sampling
+    /// throughput / drive utilization / client queue depth into here.
+    util::TimeSeries *timeseries = nullptr;
+    sim::Tick sample_interval = sim::msec(50);
+    /// When set, filled with the per-op wait/service decomposition
+    /// collected from the run's drive op counters.
+    std::map<std::string, OpBreakdown> *breakdown = nullptr;
+};
+
+/** Pull the "<drive>/ops/<op>/..." instruments of the current registry
+ *  into a per-op breakdown summed across drives. */
+void
+collectBreakdown(std::map<std::string, OpBreakdown> &ops)
+{
+    util::metrics().forEachHistogram(
+        [&ops](const std::string &path, const util::SampleStats &h) {
+            const auto pos = path.find("/ops/");
+            if (pos == std::string::npos)
+                return;
+            const std::string tail = path.substr(pos + 5);
+            const auto slash = tail.find('/');
+            if (slash == std::string::npos ||
+                tail.substr(slash + 1) != "latency_ns")
+                return;
+            auto &b = ops[tail.substr(0, slash)];
+            b.count += h.count();
+            b.measured_ns += h.sum();
+        });
+    util::metrics().forEachCounter(
+        [&ops](const std::string &path, const util::Counter &c) {
+            const auto pos = path.find("/ops/");
+            if (pos == std::string::npos)
+                return;
+            const std::string tail = path.substr(pos + 5);
+            const auto slash = tail.find("/attr/");
+            if (slash == std::string::npos || tail.find('/') != slash)
+                return;
+            auto &b = ops[tail.substr(0, slash)];
+            const std::string leaf = tail.substr(slash + 6);
+            if (leaf == "other_ns") {
+                b.other_ns += c.value();
+                return;
+            }
+            for (std::size_t k = 0; k < util::kResourceClassCount; ++k) {
+                const std::string cls = util::resourceClassName(
+                    static_cast<util::ResourceClass>(k));
+                if (leaf == cls + "_wait_ns") {
+                    b.wait_ns[k] += c.value();
+                    return;
+                }
+                if (leaf == cls + "_service_ns") {
+                    b.service_ns[k] += c.value();
+                    return;
+                }
+            }
+        });
+}
+
 // ------------------------------------------------------------------ NASD
 
 RunResult
 runNasd(int n, std::uint64_t dataset_bytes = kDatasetBytes,
-        const net::FaultPlan *faults = nullptr)
+        const net::FaultPlan *faults = nullptr,
+        NasdRunExtras *extras = nullptr)
 {
     const util::MetricsScope run_metrics;
     sim::Simulator sim;
@@ -174,8 +254,45 @@ runNasd(int n, std::uint64_t dataset_bytes = kDatasetBytes,
             },
             chunks, static_cast<std::uint64_t>(i), n, partials[i]));
     }
-    sim.run();
-    const double secs = sim::toSeconds(sim.now() - start);
+    if (extras != nullptr && extras->timeseries != nullptr) {
+        // Interval-sampled run: same event schedule as sim.run(), plus
+        // one TimeSeries sample per boundary.
+        sim::StatsPoller poller(sim, *extras->timeseries,
+                                extras->sample_interval);
+        poller.addRate(
+            "client_read_mbs",
+            [&clients] {
+                double bytes = 0;
+                for (const auto &c : clients)
+                    bytes += static_cast<double>(
+                        c->node().bytes_received.value());
+                return bytes;
+            },
+            1.0 / static_cast<double>(kMB));
+        for (int i = 0; i < n; ++i) {
+            auto *drive = raw[i];
+            poller.addRate(
+                drive->name() + "_cpu_util",
+                [drive, &sim] {
+                    return static_cast<double>(
+                        drive->node().cpu().busyNsUpTo(sim.now()));
+                },
+                1e-9);
+        }
+        poller.addGauge("client_rx_queued", [&clients] {
+            double waiting = 0;
+            for (const auto &c : clients)
+                waiting += static_cast<double>(
+                    c->node().rx().waiterCount());
+            return waiting;
+        });
+        poller.run();
+    } else {
+        sim.run();
+    }
+    // lastEventTime(), not now(): a poller rounds the final clock up to
+    // its interval boundary, and the scan ends at the last real event.
+    const double secs = sim::toSeconds(sim.lastEventTime() - start);
 
     RunResult result;
     result.counts.assign(kCatalogItems, 0);
@@ -185,6 +302,8 @@ runNasd(int n, std::uint64_t dataset_bytes = kDatasetBytes,
         result.rpc_timeouts += client->node().rpc_timeouts.value();
     result.aggregate_mbs =
         util::bytesPerSecToMBs(static_cast<double>(dataset_bytes) / secs);
+    if (extras != nullptr && extras->breakdown != nullptr)
+        collectBreakdown(*extras->breakdown);
     return result;
 }
 
@@ -389,6 +508,84 @@ main(int argc, char **argv)
         return all_deliver ? 0 : 1;
     }
 
+    if (argc > 1 && std::string_view(argv[1]) == "--breakdown") {
+        bench::banner(
+            "fig9_mining --breakdown — where did the time go, 8-drive "
+            "NASD scan",
+            "latency attribution + critical path (Section 5.2 workload)");
+
+        // Trace in memory (never written) to feed the critical-path
+        // analyzer alongside the registry's attribution counters.
+        util::Tracer tracer;
+        util::setTracer(&tracer);
+        std::map<std::string, OpBreakdown> breakdown;
+        NasdRunExtras extras;
+        extras.breakdown = &breakdown;
+        const auto r = runNasd(8, 32 * kMB, nullptr, &extras);
+        util::setTracer(nullptr);
+        std::printf("\nscan: %.1f MB/s aggregate over 8 drives\n",
+                    r.aggregate_mbs);
+
+        std::printf("\nwhere did the time go — drive ops, all 8 drives\n");
+        bool reconciled = true;
+        for (const auto &[op, b] : breakdown) {
+            if (b.count == 0)
+                continue;
+            const double measured_ms = b.measured_ns / 1e6;
+            std::printf("\n%s: %llu ops, measured %.2f ms total\n",
+                        op.c_str(),
+                        static_cast<unsigned long long>(b.count),
+                        measured_ms);
+            std::printf("  %-10s %12s %12s\n", "resource", "wait ms",
+                        "service ms");
+            std::uint64_t attributed = 0;
+            for (std::size_t k = 0; k < util::kResourceClassCount; ++k) {
+                attributed += b.wait_ns[k] + b.service_ns[k];
+                if (b.wait_ns[k] == 0 && b.service_ns[k] == 0)
+                    continue;
+                std::printf("  %-10s %12.2f %12.2f\n",
+                            util::resourceClassName(
+                                static_cast<util::ResourceClass>(k)),
+                            static_cast<double>(b.wait_ns[k]) / 1e6,
+                            static_cast<double>(b.service_ns[k]) / 1e6);
+            }
+            std::printf("  %-10s %12s %12.2f\n", "other", "",
+                        static_cast<double>(b.other_ns) / 1e6);
+            const double attributed_ms =
+                static_cast<double>(attributed) / 1e6;
+            const double delta_pct =
+                measured_ms == 0.0
+                    ? 0.0
+                    : (attributed_ms - measured_ms) / measured_ms * 100.0;
+            std::printf("  attributed %.2f ms vs measured %.2f ms "
+                        "(%+.3f%%)\n",
+                        attributed_ms, measured_ms, delta_pct);
+            if (std::abs(delta_pct) > 1.0)
+                reconciled = false;
+        }
+        std::printf("\nper-op attribution reconciles with measured "
+                    "latency (within 1%%): %s\n",
+                    reconciled ? "yes" : "NO (BUG)");
+
+        const auto report =
+            util::analyzeDriveFanout(tracer, "pfs/read", "drive/");
+        std::printf("\ncritical path over %llu striped pfs/read "
+                    "fan-outs:\n",
+                    static_cast<unsigned long long>(report.roots));
+        std::printf("  %-8s %8s %10s %14s %14s\n", "drive", "spans",
+                    "critical", "mean slack ms", "mean dur ms");
+        for (const auto &d : report.drives) {
+            std::printf("  %-8s %8llu %10llu %14.3f %14.3f\n",
+                        d.lane.c_str(),
+                        static_cast<unsigned long long>(d.spans),
+                        static_cast<unsigned long long>(d.critical),
+                        d.mean_slack_ns / 1e6, d.mean_dur_ns / 1e6);
+        }
+        std::printf("\ndominant drive chain: %s\n",
+                    report.dominantLane().c_str());
+        return reconciled && report.roots > 0 ? 0 : 1;
+    }
+
     const char *kReference = "Figure 9 (Section 5.2, NASD PFS vs NFS)";
     const bench::BenchOptions opts = bench::parseOptions("fig9", argc, argv);
 
@@ -414,10 +611,18 @@ main(int argc, char **argv)
     std::printf("\n%7s %12s %12s %16s\n", "disks", "NASD MB/s",
                 "NFS MB/s", "NFS-parallel MB/s");
 
+    // The 8-drive run is sampled into a fixed-interval time series
+    // that rides along in BENCH_fig9.json (the poller does not perturb
+    // the event schedule, so the printed table is unaffected).
+    util::TimeSeries timeseries(sim::msec(50));
+    NasdRunExtras sampled;
+    sampled.timeseries = &timeseries;
+
     apps::ItemCounts reference;
     bool counts_agree = true;
     for (const int n : {1, 2, 4, 6, 8}) {
-        const auto nasd = runNasd(n);
+        const auto nasd = runNasd(n, kDatasetBytes, nullptr,
+                                  n == 8 ? &sampled : nullptr);
         const auto nfs = runNfs(n, false);
         const auto nfsp = runNfs(n, true);
         record("nasd", n, nasd.aggregate_mbs);
@@ -441,6 +646,6 @@ main(int argc, char **argv)
                 "interleaved streams);\nNFS-parallel plateaus near "
                 "22.5 MB/s (server CPU/interface limit).\n");
 
-    bench::writeBenchJson(opts, "fig9", kReference);
+    bench::writeBenchJson(opts, "fig9", kReference, &timeseries);
     return counts_agree ? 0 : 1;
 }

@@ -12,6 +12,7 @@
  * (0.30 ms sequential cached sector, ~9.4 ms random sector, ~2.2 ms
  * cached 64 KB, ~11.1 ms random 64 KB).
  */
+#include <cctype>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -188,6 +189,35 @@ class Table1Bench
     std::vector<ObjectId> fillers;
 };
 
+/** Metric-path slug for a row label: lowercase, non-alphanumeric runs
+ *  collapsed to '_' ("read - cold cache" -> "read_cold_cache"). */
+std::string
+labelSlug(const std::string &label)
+{
+    std::string slug;
+    for (const char ch : label) {
+        if (std::isalnum(static_cast<unsigned char>(ch))) {
+            slug += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(ch)));
+        } else if (!slug.empty() && slug.back() != '_') {
+            slug += '_';
+        }
+    }
+    while (!slug.empty() && slug.back() == '_')
+        slug.pop_back();
+    return slug;
+}
+
+/** Record one Table 1 headline value as a result gauge. */
+void
+recordRow(const Row &row)
+{
+    util::metrics()
+        .gauge("table1/" + labelSlug(row.label) + "_" +
+               std::to_string(row.size) + "B_instr")
+        .set(static_cast<double>(row.total_instr));
+}
+
 } // namespace
 
 int
@@ -243,6 +273,7 @@ main(int argc, char **argv)
                     util::formatBytes(row.size).c_str(),
                     static_cast<unsigned long long>(row.total_instr),
                     row.comm_percent, row.est_ms_200mhz);
+        recordRow(row);
     }
 
     std::printf("\nPaper anchors (instr / %%comm / ms): read warm 1B "
@@ -264,6 +295,9 @@ main(int argc, char **argv)
     bench::runTask(bsim, barracuda.read(1, 1, sector));
     std::printf("  sequential cached sector: %6.2f ms (paper: 0.30)\n",
                 sim::toMillis(bsim.now() - t0));
+    util::metrics()
+        .gauge("table1/barracuda_seq_sector_ms")
+        .set(sim::toMillis(bsim.now() - t0));
 
     // Random single sector.
     util::SampleStats random_ms;
@@ -276,6 +310,9 @@ main(int argc, char **argv)
     }
     std::printf("  random single sector:     %6.2f ms (paper: 9.4)\n",
                 random_ms.mean());
+    util::metrics()
+        .gauge("table1/barracuda_rand_sector_ms")
+        .set(random_ms.mean());
 
     // Cached 64 KB (sequential after priming readahead; give the
     // drive a moment so the prefetch has fully landed in its cache).
@@ -285,6 +322,9 @@ main(int argc, char **argv)
     bench::runTask(bsim, barracuda.read(2176, 128, big));
     std::printf("  64KB from cache/stream:   %6.2f ms (paper: 2.2)\n",
                 sim::toMillis(bsim.now() - t0));
+    util::metrics()
+        .gauge("table1/barracuda_seq64k_ms")
+        .set(sim::toMillis(bsim.now() - t0));
 
     // Random-location 64 KB from media.
     util::SampleStats random64_ms;
@@ -297,6 +337,9 @@ main(int argc, char **argv)
     }
     std::printf("  64KB random from media:   %6.2f ms (paper: 11.1)\n",
                 random64_ms.mean());
+    util::metrics()
+        .gauge("table1/barracuda_rand64k_ms")
+        .set(random64_ms.mean());
     bench::writeBenchJson(opts, "table1_op_costs",
                           "Table 1 (Section 4.4, computational requirements)");
 

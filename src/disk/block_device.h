@@ -14,6 +14,7 @@
 #include <span>
 
 #include "sim/task.h"
+#include "util/attribution.h"
 
 namespace nasd::disk {
 
@@ -31,18 +32,23 @@ class BlockDevice
 
     /**
      * Read @p count blocks starting at @p block into @p out.
+     * When @p attr is set, the device charges its queue waits and
+     * service phases (bus, mechanism) to it.
      * @pre out.size() == count * blockSize().
      */
     virtual sim::Task<void> read(std::uint64_t block, std::uint32_t count,
-                                 std::span<std::uint8_t> out) = 0;
+                                 std::span<std::uint8_t> out,
+                                 util::OpAttribution *attr = nullptr) = 0;
 
     /**
      * Write @p count blocks starting at @p block from @p data.
      * With write-behind enabled the task completes when the device has
-     * accepted the data, not when media is updated.
+     * accepted the data, not when media is updated. @p attr as for
+     * read().
      */
     virtual sim::Task<void> write(std::uint64_t block, std::uint32_t count,
-                                  std::span<const std::uint8_t> data) = 0;
+                                  std::span<const std::uint8_t> data,
+                                  util::OpAttribution *attr = nullptr) = 0;
 
     /** Wait until all accepted writes have reached the media. */
     virtual sim::Task<void> flush() = 0;

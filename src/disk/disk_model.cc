@@ -17,7 +17,11 @@ DiskStats::DiskStats(const std::string &prefix)
           util::metrics().counter(prefix + "/media_blocks_read")),
       media_blocks_written(
           util::metrics().counter(prefix + "/media_blocks_written")),
-      seeks(util::metrics().counter(prefix + "/seeks"))
+      seeks(util::metrics().counter(prefix + "/seeks")),
+      bus_wait_ns(util::metrics().counter(prefix + "/bus_wait_ns")),
+      bus_service_ns(util::metrics().counter(prefix + "/bus_service_ns")),
+      mech_wait_ns(util::metrics().counter(prefix + "/mech_wait_ns")),
+      mech_service_ns(util::metrics().counter(prefix + "/mech_service_ns"))
 {}
 
 namespace {
@@ -174,19 +178,45 @@ DiskModel::invalidateRange(std::uint64_t block, std::uint32_t count)
     }
 }
 
+void
+DiskModel::noteWait(util::ResourceClass c, sim::Tick ns,
+                    util::OpAttribution *attr)
+{
+    (c == util::ResourceClass::kDiskBus ? stats_.bus_wait_ns
+                                        : stats_.mech_wait_ns)
+        .add(ns);
+    if (attr)
+        attr->addWait(c, ns);
+}
+
+void
+DiskModel::noteService(util::ResourceClass c, sim::Tick ns,
+                       util::OpAttribution *attr)
+{
+    (c == util::ResourceClass::kDiskBus ? stats_.bus_service_ns
+                                        : stats_.mech_service_ns)
+        .add(ns);
+    if (attr)
+        attr->addService(c, ns);
+}
+
 sim::Task<void>
 DiskModel::read(std::uint64_t block, std::uint32_t count,
-                std::span<std::uint8_t> out)
+                std::span<std::uint8_t> out, util::OpAttribution *attr)
 {
     NASD_ASSERT(count > 0, "zero-length disk read");
     NASD_ASSERT(block + count <= numBlocks(), "read past end of disk");
     NASD_ASSERT(out.size() ==
                 static_cast<std::size_t>(count) * params_.block_size);
     stats_.reads.add();
+    using util::ResourceClass;
 
     // Command setup on the bus.
-    co_await bus_.acquire();
-    co_await sim_.delay(sim::msec(params_.controller_overhead_ms));
+    noteWait(ResourceClass::kDiskBus,
+             co_await sim::timedAcquire(sim_, bus_), attr);
+    const sim::Tick overhead = sim::msec(params_.controller_overhead_ms);
+    co_await sim_.delay(overhead);
+    noteService(ResourceClass::kDiskBus, overhead, attr);
 
     // Find the first block the cache cannot supply.
     std::uint64_t first_missing = block + count;
@@ -201,20 +231,24 @@ DiskModel::read(std::uint64_t block, std::uint32_t count,
         stats_.cache_misses.add();
         // Disconnect from the bus during the mechanical phase.
         bus_.release();
-        co_await mech_.acquire();
+        noteWait(ResourceClass::kDiskMech,
+                 co_await sim::timedAcquire(sim_, mech_), attr);
         cancelPendingReadahead();
         const auto missing =
             static_cast<std::uint32_t>(block + count - first_missing);
         const sim::Tick t = mechanicalTime(first_missing, missing);
         co_await sim_.delay(t);
+        noteService(ResourceClass::kDiskMech, t, attr);
         stats_.media_blocks_read.add(missing);
         installSegment(first_missing, missing, sim_.now());
         mech_.release();
-        co_await bus_.acquire();
+        noteWait(ResourceClass::kDiskBus,
+                 co_await sim::timedAcquire(sim_, bus_), attr);
     } else {
         stats_.cache_hits.add();
         // All blocks cached, but readahead may still be in flight; wait
-        // for the last needed block to arrive off the media.
+        // for the last needed block to arrive off the media. Charged as
+        // mechanism service: the head is streaming those blocks.
         sim::Tick ready = 0;
         for (std::uint64_t b = block; b < block + count; ++b) {
             auto *seg = findSegment(b);
@@ -222,12 +256,17 @@ DiskModel::read(std::uint64_t block, std::uint32_t count,
             ready = std::max(ready, seg->availableAt(b));
             seg->last_use = sim_.now();
         }
-        if (ready > sim_.now())
-            co_await sim_.delay(ready - sim_.now());
+        if (ready > sim_.now()) {
+            const sim::Tick stream = ready - sim_.now();
+            co_await sim_.delay(stream);
+            noteService(ResourceClass::kDiskMech, stream, attr);
+        }
     }
 
     // Data transfer to the host.
-    co_await sim_.delay(busTime(out.size()));
+    const sim::Tick xfer = busTime(out.size());
+    co_await sim_.delay(xfer);
+    noteService(ResourceClass::kDiskBus, xfer, attr);
     bus_.release();
 
     data_.read(block * params_.block_size, out);
@@ -235,13 +274,15 @@ DiskModel::read(std::uint64_t block, std::uint32_t count,
 
 sim::Task<void>
 DiskModel::write(std::uint64_t block, std::uint32_t count,
-                 std::span<const std::uint8_t> data)
+                 std::span<const std::uint8_t> data,
+                 util::OpAttribution *attr)
 {
     NASD_ASSERT(count > 0, "zero-length disk write");
     NASD_ASSERT(block + count <= numBlocks(), "write past end of disk");
     NASD_ASSERT(data.size() ==
                 static_cast<std::size_t>(count) * params_.block_size);
     stats_.writes.add();
+    using util::ResourceClass;
 
     // Bytes land in the backing store at accept time, before any
     // simulated delay: otherwise a queued write carrying an older
@@ -250,14 +291,19 @@ DiskModel::write(std::uint64_t block, std::uint32_t count,
     data_.write(block * params_.block_size, data);
     stats_.media_blocks_written.add(count);
 
-    co_await bus_.acquire();
-    co_await sim_.delay(sim::msec(params_.controller_overhead_ms));
-    co_await sim_.delay(busTime(data.size()));
+    noteWait(ResourceClass::kDiskBus,
+             co_await sim::timedAcquire(sim_, bus_), attr);
+    const sim::Tick overhead = sim::msec(params_.controller_overhead_ms);
+    co_await sim_.delay(overhead);
+    const sim::Tick xfer = busTime(data.size());
+    co_await sim_.delay(xfer);
+    noteService(ResourceClass::kDiskBus, overhead + xfer, attr);
     bus_.release();
 
     if (params_.write_behind) {
         // Acknowledge now; account the media work as queued drain time
-        // and stall only if the backlog exceeds the buffer.
+        // and stall only if the backlog exceeds the buffer. A stall is
+        // mechanism service: the head is draining the backlog.
         const double drain_bps =
             params_.mediaBytesPerSec() * kWriteDrainEfficiency;
         const auto drain_ns = static_cast<sim::Tick>(
@@ -268,13 +314,18 @@ DiskModel::write(std::uint64_t block, std::uint32_t count,
             static_cast<double>(params_.write_buffer_bytes) / drain_bps *
             1e9);
         const sim::Tick backlog = media_free_at_ - sim_.now();
-        if (backlog > buffer_ns)
+        if (backlog > buffer_ns) {
             co_await sim_.delay(backlog - buffer_ns);
+            noteService(ResourceClass::kDiskMech, backlog - buffer_ns,
+                        attr);
+        }
     } else {
-        co_await mech_.acquire();
+        noteWait(ResourceClass::kDiskMech,
+                 co_await sim::timedAcquire(sim_, mech_), attr);
         cancelPendingReadahead();
         const sim::Tick t = mechanicalTime(block, count);
         co_await sim_.delay(t);
+        noteService(ResourceClass::kDiskMech, t, attr);
         mech_.release();
     }
 }

@@ -46,6 +46,13 @@ struct DiskStats
     util::Counter &media_blocks_read;
     util::Counter &media_blocks_written;
     util::Counter &seeks; ///< mechanical ops with nonzero cylinder motion
+
+    // Latency attribution: cumulative queue-wait and service time on
+    // the two internal resources (see DESIGN.md §9).
+    util::Counter &bus_wait_ns;
+    util::Counter &bus_service_ns;
+    util::Counter &mech_wait_ns;
+    util::Counter &mech_service_ns;
 };
 
 /** One simulated disk drive (see file comment). */
@@ -58,9 +65,11 @@ class DiskModel : public BlockDevice
     std::uint64_t numBlocks() const override { return params_.totalBlocks(); }
 
     sim::Task<void> read(std::uint64_t block, std::uint32_t count,
-                         std::span<std::uint8_t> out) override;
+                         std::span<std::uint8_t> out,
+                         util::OpAttribution *attr = nullptr) override;
     sim::Task<void> write(std::uint64_t block, std::uint32_t count,
-                          std::span<const std::uint8_t> data) override;
+                          std::span<const std::uint8_t> data,
+                          util::OpAttribution *attr = nullptr) override;
     sim::Task<void> flush() override;
 
     void
@@ -156,6 +165,15 @@ class DiskModel : public BlockDevice
 
     /** Drop cached data overlapping [block, block+count). */
     void invalidateRange(std::uint64_t block, std::uint32_t count);
+
+    /** Record @p ns of queue wait on @p c into the drive counters and,
+     *  when set, into @p attr (c is kDiskBus or kDiskMech). */
+    void noteWait(util::ResourceClass c, sim::Tick ns,
+                  util::OpAttribution *attr);
+
+    /** Record @p ns of service time on @p c; see noteWait(). */
+    void noteService(util::ResourceClass c, sim::Tick ns,
+                     util::OpAttribution *attr);
 
     sim::Simulator &sim_;
     DiskParams params_;

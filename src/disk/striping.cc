@@ -81,11 +81,12 @@ StripingDriver::mapRange(std::uint64_t block, std::uint32_t count) const
 }
 
 sim::Task<void>
-StripingDriver::readExtent(const Extent &e, std::span<std::uint8_t> out)
+StripingDriver::readExtent(const Extent &e, std::span<std::uint8_t> out,
+                           util::OpAttribution *attr)
 {
     const std::uint32_t bs = blockSize();
     std::vector<std::uint8_t> temp(static_cast<std::size_t>(e.count) * bs);
-    co_await members_[e.disk]->read(e.disk_block, e.count, temp);
+    co_await members_[e.disk]->read(e.disk_block, e.count, temp, attr);
     std::size_t temp_off = 0;
     for (const auto &[host_offset, blocks] : e.pieces) {
         const std::size_t bytes = static_cast<std::size_t>(blocks) * bs;
@@ -97,7 +98,8 @@ StripingDriver::readExtent(const Extent &e, std::span<std::uint8_t> out)
 
 sim::Task<void>
 StripingDriver::writeExtent(const Extent &e,
-                            std::span<const std::uint8_t> data)
+                            std::span<const std::uint8_t> data,
+                            util::OpAttribution *attr)
 {
     const std::uint32_t bs = blockSize();
     std::vector<std::uint8_t> temp(static_cast<std::size_t>(e.count) * bs);
@@ -108,34 +110,70 @@ StripingDriver::writeExtent(const Extent &e,
                     bytes);
         temp_off += bytes;
     }
-    co_await members_[e.disk]->write(e.disk_block, e.count, temp);
+    co_await members_[e.disk]->write(e.disk_block, e.count, temp, attr);
 }
 
 sim::Task<void>
 StripingDriver::read(std::uint64_t block, std::uint32_t count,
-                     std::span<std::uint8_t> out)
+                     std::span<std::uint8_t> out,
+                     util::OpAttribution *attr)
 {
     NASD_ASSERT(out.size() == static_cast<std::size_t>(count) * blockSize());
     const auto extents = mapRange(block, count);
+    if (attr == nullptr || extents.size() == 1) {
+        std::vector<sim::Task<void>> tasks;
+        tasks.reserve(extents.size());
+        for (const auto &e : extents)
+            tasks.push_back(readExtent(e, out, attr));
+        co_await sim::parallelAll(sim_, std::move(tasks));
+        co_return;
+    }
+    // Parallel fan-out: each branch attributes into its own scratch,
+    // then the merged profile is normalized to the measured elapsed
+    // time (critical-path normalization — summing the branches would
+    // over-count time the op did not actually spend waiting).
+    const sim::Tick start = sim_.now();
+    std::vector<util::OpAttribution> parts(extents.size());
     std::vector<sim::Task<void>> tasks;
     tasks.reserve(extents.size());
-    for (const auto &e : extents)
-        tasks.push_back(readExtent(e, out));
+    for (std::size_t i = 0; i < extents.size(); ++i)
+        tasks.push_back(readExtent(extents[i], out, &parts[i]));
     co_await sim::parallelAll(sim_, std::move(tasks));
+    util::OpAttribution merged;
+    for (const auto &part : parts)
+        merged.merge(part);
+    merged.scaleToTotal(sim_.now() - start);
+    attr->merge(merged);
 }
 
 sim::Task<void>
 StripingDriver::write(std::uint64_t block, std::uint32_t count,
-                      std::span<const std::uint8_t> data)
+                      std::span<const std::uint8_t> data,
+                      util::OpAttribution *attr)
 {
     NASD_ASSERT(data.size() ==
                 static_cast<std::size_t>(count) * blockSize());
     const auto extents = mapRange(block, count);
+    if (attr == nullptr || extents.size() == 1) {
+        std::vector<sim::Task<void>> tasks;
+        tasks.reserve(extents.size());
+        for (const auto &e : extents)
+            tasks.push_back(writeExtent(e, data, attr));
+        co_await sim::parallelAll(sim_, std::move(tasks));
+        co_return;
+    }
+    const sim::Tick start = sim_.now();
+    std::vector<util::OpAttribution> parts(extents.size());
     std::vector<sim::Task<void>> tasks;
     tasks.reserve(extents.size());
-    for (const auto &e : extents)
-        tasks.push_back(writeExtent(e, data));
+    for (std::size_t i = 0; i < extents.size(); ++i)
+        tasks.push_back(writeExtent(extents[i], data, &parts[i]));
     co_await sim::parallelAll(sim_, std::move(tasks));
+    util::OpAttribution merged;
+    for (const auto &part : parts)
+        merged.merge(part);
+    merged.scaleToTotal(sim_.now() - start);
+    attr->merge(merged);
 }
 
 void

@@ -37,9 +37,11 @@ class StripingDriver : public BlockDevice
     std::uint64_t numBlocks() const override;
 
     sim::Task<void> read(std::uint64_t block, std::uint32_t count,
-                         std::span<std::uint8_t> out) override;
+                         std::span<std::uint8_t> out,
+                         util::OpAttribution *attr = nullptr) override;
     sim::Task<void> write(std::uint64_t block, std::uint32_t count,
-                          std::span<const std::uint8_t> data) override;
+                          std::span<const std::uint8_t> data,
+                          util::OpAttribution *attr = nullptr) override;
     sim::Task<void> flush() override;
 
     void peek(std::uint64_t byte_offset,
@@ -66,9 +68,11 @@ class StripingDriver : public BlockDevice
     std::vector<Extent> mapRange(std::uint64_t block,
                                  std::uint32_t count) const;
 
-    sim::Task<void> readExtent(const Extent &e, std::span<std::uint8_t> out);
+    sim::Task<void> readExtent(const Extent &e, std::span<std::uint8_t> out,
+                               util::OpAttribution *attr);
     sim::Task<void> writeExtent(const Extent &e,
-                                std::span<const std::uint8_t> data);
+                                std::span<const std::uint8_t> data,
+                                util::OpAttribution *attr);
 
     sim::Simulator &sim_;
     std::vector<BlockDevice *> members_;

@@ -470,7 +470,9 @@ NasdNfsClient::NasdNfsClient(net::Network &net, net::NetNode &node,
                              std::vector<NasdDrive *> drives,
                              NfsClientParams params)
     : net_(net), node_(node), fm_(fm), params_(params),
-      window_(net.simulator(), params.window)
+      window_(net.simulator(), params.window),
+      window_wait_ns_(util::metrics().counter(node_.metricPrefix() +
+                                              "/window_wait_ns"))
 {
     for (auto *drive : drives) {
         drive_clients_.push_back(
@@ -645,7 +647,8 @@ sim::Task<NfsResult<std::uint64_t>>
 NasdNfsClient::readChunk(NasdNfsFh fh, std::uint64_t offset,
                          std::span<std::uint8_t> out)
 {
-    co_await window_.acquire();
+    window_wait_ns_.add(
+        co_await sim::timedAcquire(net_.simulator(), window_));
     auto cred = co_await capabilityFor(fh, false);
     if (!cred.ok()) {
         window_.release();
@@ -695,7 +698,8 @@ sim::Task<NfsResult<void>>
 NasdNfsClient::writeChunk(NasdNfsFh fh, std::uint64_t offset,
                           std::span<const std::uint8_t> d)
 {
-    co_await window_.acquire();
+    window_wait_ns_.add(
+        co_await sim::timedAcquire(net_.simulator(), window_));
     auto cred = co_await capabilityFor(fh, true);
     if (!cred.ok()) {
         window_.release();

@@ -249,6 +249,7 @@ class NasdNfsClient
     std::vector<std::unique_ptr<NasdClient>> drive_clients_;
     NfsClientParams params_;
     sim::Semaphore window_;
+    util::Counter &window_wait_ns_; ///< time chunks queued for a window slot
     std::map<NasdNfsFh, CachedCap> cap_cache_;
     std::uint64_t fm_calls_ = 0;
 };

@@ -16,7 +16,9 @@ constexpr std::uint64_t kControlPayload = 96; // handle + args + name
 NfsClient::NfsClient(net::Network &net, net::NetNode &node,
                      NfsServer &server, NfsClientParams params)
     : net_(net), node_(node), server_(server), params_(params),
-      window_(net.simulator(), params.window)
+      window_(net.simulator(), params.window),
+      window_wait_ns_(util::metrics().counter(node_.metricPrefix() +
+                                              "/window_wait_ns"))
 {}
 
 sim::Task<NfsResult<NfsFileHandle>>
@@ -66,7 +68,8 @@ sim::Task<NfsResult<std::uint64_t>>
 NfsClient::readChunk(NfsFileHandle fh, std::uint64_t offset,
                      std::span<std::uint8_t> out)
 {
-    co_await window_.acquire();
+    window_wait_ns_.add(
+        co_await sim::timedAcquire(net_.simulator(), window_));
     auto reply = co_await net::call<NfsReadReply>(
         net_, node_, server_.node(), kControlPayload,
         [&]() -> sim::Task<net::RpcReply<NfsReadReply>> {
@@ -111,7 +114,8 @@ sim::Task<NfsResult<void>>
 NfsClient::writeChunk(NfsFileHandle fh, std::uint64_t offset,
                       std::span<const std::uint8_t> data)
 {
-    co_await window_.acquire();
+    window_wait_ns_.add(
+        co_await sim::timedAcquire(net_.simulator(), window_));
     std::vector<std::uint8_t> payload(data.begin(), data.end());
     auto reply = co_await net::call<NfsWriteReply>(
         net_, node_, server_.node(), kControlPayload + payload.size(),

@@ -83,6 +83,7 @@ class NfsClient
     NfsServer &server_;
     NfsClientParams params_;
     sim::Semaphore window_;
+    util::Counter &window_wait_ns_; ///< time chunks queued for a window slot
 };
 
 } // namespace nasd::fs

@@ -93,7 +93,8 @@ NasdDrive::rawMediaBytesPerSec() const
 
 sim::Task<NasdStatus>
 NasdDrive::verify(const RequestCredential &cred, const RequestParams &params,
-                  std::uint8_t required_rights, std::uint64_t data_bytes)
+                  std::uint8_t required_rights, std::uint64_t data_bytes,
+                  util::OpAttribution *attr)
 {
     if (crashed_)
         co_return NasdStatus::kDriveUnavailable;
@@ -103,7 +104,8 @@ NasdDrive::verify(const RequestCredential &cred, const RequestParams &params,
     const CapabilityPublic &pub = cred.pub;
 
     // Fixed capability-parse cost is part of every request.
-    co_await node_->cpu().execute(config_.costs.capability_check_instr);
+    co_await node_->cpu().execute(config_.costs.capability_check_instr,
+                                  attr);
 
     if (pub.drive_id != config_.drive_id)
         co_return NasdStatus::kBadCapability;
@@ -150,7 +152,8 @@ NasdDrive::verify(const RequestCredential &cred, const RequestParams &params,
         const auto instr = static_cast<std::uint64_t>(
             per_byte * static_cast<double>(mac_bytes));
         if (instr > 0)
-            co_await node_->cpu().executeAt(instr, node_->costs().data_cpi);
+            co_await node_->cpu().executeAt(instr, node_->costs().data_cpi,
+                                            attr);
     }
 
     // Replay protection: the nonce must advance per capability.
@@ -197,10 +200,21 @@ NasdDrive::opInstruments(const std::string &op)
     if (it == op_instruments_.end()) {
         auto &reg = util::metrics();
         const std::string base = metric_prefix_ + "/" + op;
+        std::array<util::Counter *, util::kResourceClassCount> wait{};
+        std::array<util::Counter *, util::kResourceClassCount> service{};
+        for (std::size_t c = 0; c < util::kResourceClassCount; ++c) {
+            const std::string cls = util::resourceClassName(
+                static_cast<util::ResourceClass>(c));
+            wait[c] = &reg.counter(base + "/attr/" + cls + "_wait_ns");
+            service[c] =
+                &reg.counter(base + "/attr/" + cls + "_service_ns");
+        }
         it = op_instruments_
                  .emplace(op,
                           OpInstruments{reg.counter(base + "/count"),
-                                        reg.histogram(base + "/latency_ns")})
+                                        reg.histogram(base + "/latency_ns"),
+                                        wait, service,
+                                        reg.counter(base + "/attr/other_ns")})
                  .first;
     }
     return it->second;
@@ -218,20 +232,36 @@ NasdDrive::beginOp(const char *op, const RequestParams &params)
 }
 
 void
-NasdDrive::finishOp(const char *op, sim::Tick start, util::ScopedSpan &span)
+NasdDrive::finishOp(const char *op, sim::Tick start, util::ScopedSpan &span,
+                    const util::OpAttribution *attr)
 {
-    span.endAt(static_cast<std::uint64_t>(sim_.now()));
     ops_served_.add(1);
     OpInstruments &m = opInstruments(op);
     m.count.add(1);
-    m.latency_ns.add(static_cast<double>(sim_.now() - start));
+    const std::uint64_t elapsed = sim_.now() - start;
+    m.latency_ns.add(static_cast<double>(elapsed));
+    if (attr != nullptr) {
+        for (std::size_t c = 0; c < util::kResourceClassCount; ++c) {
+            m.wait_ns[c]->add(attr->wait_ns[c]);
+            m.service_ns[c]->add(attr->service_ns[c]);
+            const std::string cls = util::resourceClassName(
+                static_cast<util::ResourceClass>(c));
+            if (attr->wait_ns[c] > 0)
+                span.annotate(cls + "_wait_ns", attr->wait_ns[c]);
+            if (attr->service_ns[c] > 0)
+                span.annotate(cls + "_service_ns", attr->service_ns[c]);
+        }
+        const std::uint64_t attributed = attr->totalNs();
+        m.other_ns.add(elapsed > attributed ? elapsed - attributed : 0);
+    }
+    span.endAt(static_cast<std::uint64_t>(sim_.now()));
 }
 
 sim::Task<void>
 NasdDrive::chargeOpCost(std::uint64_t base_instr,
                         std::uint64_t cold_extra_instr,
                         double per_byte_instr, std::uint64_t bytes,
-                        const OpTrace &trace)
+                        const OpTrace &trace, util::OpAttribution *attr)
 {
     std::uint64_t instr = base_instr;
     double per_byte = per_byte_instr;
@@ -239,16 +269,17 @@ NasdDrive::chargeOpCost(std::uint64_t base_instr,
         instr += cold_extra_instr;
         per_byte += config_.costs.cold_extra_per_byte_instr;
     }
-    co_await node_->cpu().execute(instr);
+    co_await node_->cpu().execute(instr, attr);
     const auto data_instr = static_cast<std::uint64_t>(
         per_byte * static_cast<double>(bytes));
     if (data_instr > 0)
         co_await node_->cpu().executeAt(data_instr,
-                                        node_->costs().data_cpi);
+                                        node_->costs().data_cpi, attr);
 }
 
 sim::Task<void>
-NasdDrive::chargeSecurityBytes(std::uint64_t bytes)
+NasdDrive::chargeSecurityBytes(std::uint64_t bytes,
+                               util::OpAttribution *attr)
 {
     if (config_.security == SecurityLevel::kNone || bytes == 0)
         co_return;
@@ -259,7 +290,8 @@ NasdDrive::chargeSecurityBytes(std::uint64_t bytes)
     const auto instr = static_cast<std::uint64_t>(
         per_byte * static_cast<double>(bytes));
     if (instr > 0)
-        co_await node_->cpu().executeAt(instr, node_->costs().data_cpi);
+        co_await node_->cpu().executeAt(instr, node_->costs().data_cpi,
+                                        attr);
 }
 
 sim::Task<ReadResponse>
@@ -268,13 +300,16 @@ NasdDrive::serveRead(RequestCredential cred, RequestParams params)
     const sim::Tick op_start = sim_.now();
     auto op_span = beginOp("read", params);
     ReadResponse resp;
-    const auto status = co_await verify(cred, params, kRightRead, 0);
+    util::OpAttribution op_attr;
+    const auto status = co_await verify(cred, params, kRightRead, 0,
+                                        &op_attr);
     if (status != NasdStatus::kOk) {
         resp.status = status;
         co_return resp;
     }
     resp.data.resize(params.length);
     OpTrace trace;
+    trace.attr = &op_attr;
     auto result = co_await store_->read(params.partition, params.object_id,
                                         params.offset, resp.data, &trace);
     if (!result.ok()) {
@@ -293,10 +328,10 @@ NasdDrive::serveRead(RequestCredential cred, RequestParams params)
     co_await chargeOpCost(config_.costs.read_base_instr,
                           config_.costs.cold_extra_read_instr,
                           config_.costs.read_per_byte_instr,
-                          result.value(), trace);
+                          result.value(), trace, &op_attr);
     // Outgoing data is covered by the keyed digest too.
-    co_await chargeSecurityBytes(result.value());
-    finishOp("read", op_start, op_span);
+    co_await chargeSecurityBytes(result.value(), &op_attr);
+    finishOp("read", op_start, op_span, &op_attr);
     co_return resp;
 }
 
@@ -308,13 +343,15 @@ NasdDrive::serveWrite(RequestCredential cred, RequestParams params,
     auto op_span = beginOp("write", params);
     StatusResponse resp;
     params.length = data.size();
+    util::OpAttribution op_attr;
     const auto status =
-        co_await verify(cred, params, kRightWrite, data.size());
+        co_await verify(cred, params, kRightWrite, data.size(), &op_attr);
     if (status != NasdStatus::kOk) {
         resp.status = status;
         co_return resp;
     }
     OpTrace trace;
+    trace.attr = &op_attr;
     auto result = co_await store_->write(params.partition, params.object_id,
                                          params.offset, data, &trace);
     if (!result.ok()) {
@@ -328,8 +365,8 @@ NasdDrive::serveWrite(RequestCredential cred, RequestParams params,
     co_await chargeOpCost(config_.costs.write_base_instr,
                           config_.costs.cold_extra_write_instr,
                           config_.costs.write_per_byte_instr, data.size(),
-                          trace);
-    finishOp("write", op_start, op_span);
+                          trace, &op_attr);
+    finishOp("write", op_start, op_span, &op_attr);
     co_return resp;
 }
 
@@ -339,12 +376,15 @@ NasdDrive::serveGetAttr(RequestCredential cred, RequestParams params)
     const sim::Tick op_start = sim_.now();
     auto op_span = beginOp("getattr", params);
     AttrResponse resp;
-    const auto status = co_await verify(cred, params, kRightGetAttr, 0);
+    util::OpAttribution op_attr;
+    const auto status = co_await verify(cred, params, kRightGetAttr, 0,
+                                        &op_attr);
     if (status != NasdStatus::kOk) {
         resp.status = status;
         co_return resp;
     }
     OpTrace trace;
+    trace.attr = &op_attr;
     auto result = co_await store_->getAttributes(params.partition,
                                                  params.object_id, &trace);
     if (!result.ok()) {
@@ -354,8 +394,8 @@ NasdDrive::serveGetAttr(RequestCredential cred, RequestParams params)
     resp.attrs = result.value();
     co_await chargeOpCost(config_.costs.attr_base_instr,
                           config_.costs.cold_extra_read_instr, 0.0, 0,
-                          trace);
-    finishOp("getattr", op_start, op_span);
+                          trace, &op_attr);
+    finishOp("getattr", op_start, op_span, &op_attr);
     co_return resp;
 }
 
@@ -366,12 +406,15 @@ NasdDrive::serveSetAttr(RequestCredential cred, RequestParams params,
     const sim::Tick op_start = sim_.now();
     auto op_span = beginOp("setattr", params);
     AttrResponse resp;
-    const auto status = co_await verify(cred, params, kRightSetAttr, 0);
+    util::OpAttribution op_attr;
+    const auto status = co_await verify(cred, params, kRightSetAttr, 0,
+                                        &op_attr);
     if (status != NasdStatus::kOk) {
         resp.status = status;
         co_return resp;
     }
     OpTrace trace;
+    trace.attr = &op_attr;
     auto result = co_await store_->setAttributes(
         params.partition, params.object_id, changes, &trace);
     if (!result.ok()) {
@@ -381,8 +424,8 @@ NasdDrive::serveSetAttr(RequestCredential cred, RequestParams params,
     resp.attrs = result.value();
     co_await chargeOpCost(config_.costs.attr_base_instr,
                           config_.costs.cold_extra_write_instr, 0.0, 0,
-                          trace);
-    finishOp("setattr", op_start, op_span);
+                          trace, &op_attr);
+    finishOp("setattr", op_start, op_span, &op_attr);
     co_return resp;
 }
 
@@ -394,12 +437,15 @@ NasdDrive::serveCreate(RequestCredential cred, RequestParams params)
     CreateResponse resp;
     // Create authority is a capability on the partition control object;
     // params.length carries the capacity hint.
-    const auto status = co_await verify(cred, params, kRightCreate, 0);
+    util::OpAttribution op_attr;
+    const auto status = co_await verify(cred, params, kRightCreate, 0,
+                                        &op_attr);
     if (status != NasdStatus::kOk) {
         resp.status = status;
         co_return resp;
     }
     OpTrace trace;
+    trace.attr = &op_attr;
     auto result = co_await store_->createObject(params.partition,
                                                 params.length, &trace);
     if (!result.ok()) {
@@ -409,8 +455,8 @@ NasdDrive::serveCreate(RequestCredential cred, RequestParams params)
     resp.object_id = result.value();
     co_await chargeOpCost(config_.costs.create_base_instr,
                           config_.costs.cold_extra_write_instr, 0.0, 0,
-                          trace);
-    finishOp("create", op_start, op_span);
+                          trace, &op_attr);
+    finishOp("create", op_start, op_span, &op_attr);
     co_return resp;
 }
 
@@ -420,12 +466,15 @@ NasdDrive::serveRemove(RequestCredential cred, RequestParams params)
     const sim::Tick op_start = sim_.now();
     auto op_span = beginOp("remove", params);
     StatusResponse resp;
-    const auto status = co_await verify(cred, params, kRightRemove, 0);
+    util::OpAttribution op_attr;
+    const auto status = co_await verify(cred, params, kRightRemove, 0,
+                                        &op_attr);
     if (status != NasdStatus::kOk) {
         resp.status = status;
         co_return resp;
     }
     OpTrace trace;
+    trace.attr = &op_attr;
     auto result = co_await store_->removeObject(params.partition,
                                                 params.object_id, &trace);
     if (!result.ok()) {
@@ -434,8 +483,8 @@ NasdDrive::serveRemove(RequestCredential cred, RequestParams params)
     }
     co_await chargeOpCost(config_.costs.remove_base_instr,
                           config_.costs.cold_extra_write_instr, 0.0, 0,
-                          trace);
-    finishOp("remove", op_start, op_span);
+                          trace, &op_attr);
+    finishOp("remove", op_start, op_span, &op_attr);
     co_return resp;
 }
 
@@ -445,12 +494,15 @@ NasdDrive::serveClone(RequestCredential cred, RequestParams params)
     const sim::Tick op_start = sim_.now();
     auto op_span = beginOp("clone", params);
     CreateResponse resp;
-    const auto status = co_await verify(cred, params, kRightVersion, 0);
+    util::OpAttribution op_attr;
+    const auto status = co_await verify(cred, params, kRightVersion, 0,
+                                        &op_attr);
     if (status != NasdStatus::kOk) {
         resp.status = status;
         co_return resp;
     }
     OpTrace trace;
+    trace.attr = &op_attr;
     auto result = co_await store_->cloneVersion(params.partition,
                                                 params.object_id, &trace);
     if (!result.ok()) {
@@ -460,8 +512,8 @@ NasdDrive::serveClone(RequestCredential cred, RequestParams params)
     resp.object_id = result.value();
     co_await chargeOpCost(config_.costs.create_base_instr,
                           config_.costs.cold_extra_write_instr, 0.0, 0,
-                          trace);
-    finishOp("clone", op_start, op_span);
+                          trace, &op_attr);
+    finishOp("clone", op_start, op_span, &op_attr);
     co_return resp;
 }
 
@@ -471,12 +523,15 @@ NasdDrive::serveList(RequestCredential cred, RequestParams params)
     const sim::Tick op_start = sim_.now();
     auto op_span = beginOp("list", params);
     ListResponse resp;
-    const auto status = co_await verify(cred, params, kRightGetAttr, 0);
+    util::OpAttribution op_attr;
+    const auto status = co_await verify(cred, params, kRightGetAttr, 0,
+                                        &op_attr);
     if (status != NasdStatus::kOk) {
         resp.status = status;
         co_return resp;
     }
     OpTrace trace;
+    trace.attr = &op_attr;
     auto result = co_await store_->listObjects(params.partition, &trace);
     if (!result.ok()) {
         resp.status = result.error();
@@ -484,8 +539,9 @@ NasdDrive::serveList(RequestCredential cred, RequestParams params)
     }
     resp.ids = std::move(result.value());
     co_await chargeOpCost(config_.costs.attr_base_instr, 0, 0.01,
-                          resp.ids.size() * sizeof(ObjectId), trace);
-    finishOp("list", op_start, op_span);
+                          resp.ids.size() * sizeof(ObjectId), trace,
+                          &op_attr);
+    finishOp("list", op_start, op_span, &op_attr);
     co_return resp;
 }
 

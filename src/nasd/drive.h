@@ -14,6 +14,7 @@
 #ifndef NASD_NASD_DRIVE_H_
 #define NASD_NASD_DRIVE_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -32,6 +33,7 @@
 #include "nasd/types.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "util/attribution.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -195,7 +197,8 @@ class NasdDrive
     [[nodiscard]] sim::Task<NasdStatus> verify(const RequestCredential &cred,
                                  const RequestParams &params,
                                  std::uint8_t required_rights,
-                                 std::uint64_t data_bytes);
+                                 std::uint64_t data_bytes,
+                                 util::OpAttribution *attr = nullptr);
 
   private:
     /** Per-op-type registry instruments ("<drive>/ops/<op>/..."). */
@@ -203,6 +206,12 @@ class NasdDrive
     {
         util::Counter &count;
         util::SampleStats &latency_ns;
+        /// Per-resource-class latency decomposition, accumulated at
+        /// "<drive>/ops/<op>/attr/<class>_{wait,service}_ns".
+        std::array<util::Counter *, util::kResourceClassCount> wait_ns;
+        std::array<util::Counter *, util::kResourceClassCount> service_ns;
+        /// Elapsed time no phase claimed (should stay near zero).
+        util::Counter &other_ns;
     };
 
     /** Lazily create (and cache) the instruments for op type @p op. */
@@ -215,19 +224,27 @@ class NasdDrive
      */
     util::ScopedSpan beginOp(const char *op, const RequestParams &params);
 
-    /** Count the completed op and stamp its latency/span end. */
-    void finishOp(const char *op, sim::Tick start, util::ScopedSpan &span);
+    /**
+     * Count the completed op and stamp its latency/span end. When
+     * @p attr is set, its wait/service phases are flushed to the op's
+     * attr counters (plus the unclaimed remainder to other_ns) and
+     * annotated onto @p span.
+     */
+    void finishOp(const char *op, sim::Tick start, util::ScopedSpan &span,
+                  const util::OpAttribution *attr = nullptr);
 
     /** Charge the op-path instruction costs for a completed store op. */
     sim::Task<void> chargeOpCost(std::uint64_t base_instr,
                                  std::uint64_t cold_extra_instr,
                                  double per_byte_instr,
                                  std::uint64_t bytes,
-                                 const OpTrace &trace);
+                                 const OpTrace &trace,
+                                 util::OpAttribution *attr = nullptr);
 
     /** Charge the keyed-digest cost over @p bytes of bulk data
      *  (outgoing read payloads), per the configured security level. */
-    sim::Task<void> chargeSecurityBytes(std::uint64_t bytes);
+    sim::Task<void> chargeSecurityBytes(std::uint64_t bytes,
+                                        util::OpAttribution *attr = nullptr);
 
     sim::Simulator &sim_;
     DriveConfig config_;

@@ -421,7 +421,8 @@ ObjectStore::touchInode(std::uint32_t index, OpTrace *trace)
         co_return;
     // Metadata miss: fetch the inode block from the device.
     std::vector<std::uint8_t> block(device_.blockSize());
-    co_await device_.read(inodeBlock(index), 1, block);
+    co_await device_.read(inodeBlock(index), 1, block,
+                          trace != nullptr ? trace->attr : nullptr);
     meta_cache_->insert(index);
     stats_.meta_misses.add();
     if (trace != nullptr) {
@@ -519,7 +520,8 @@ ObjectStore::readRange(const Inode &inode, std::uint64_t offset,
         co_await device_.read(
             data_start_block_ +
                 static_cast<std::uint64_t>(units[i].phys) * bpu,
-            run_units * bpu, temp);
+            run_units * bpu, temp,
+            trace != nullptr ? trace->attr : nullptr);
         stats_.cache_miss_bytes.add(temp.size());
         if (trace != nullptr)
             trace->device_bytes_read += temp.size();
@@ -698,7 +700,8 @@ ObjectStore::ensureExclusive(Inode &inode, std::uint64_t first_unit,
             co_await device_.read(
                 data_start_block_ +
                     static_cast<std::uint64_t>(e.start) * bpu,
-                e.count * bpu, buf);
+                e.count * bpu, buf,
+                trace != nullptr ? trace->attr : nullptr);
             if (trace != nullptr)
                 trace->device_bytes_read += buf.size();
         }

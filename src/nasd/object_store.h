@@ -39,6 +39,7 @@
 #include "nasd/types.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
+#include "util/attribution.h"
 #include "util/result.h"
 #include "util/stats.h"
 
@@ -62,6 +63,10 @@ struct OpTrace
     std::uint64_t device_bytes_read = 0;
     std::uint64_t device_bytes_written = 0;
     std::uint64_t cache_hit_bytes = 0;
+    /** When set, synchronous device I/O on the op's path charges its
+     *  waits and service phases here (write-behind media drains and
+     *  other spawned work are excluded: the op does not wait on them). */
+    util::OpAttribution *attr = nullptr;
 };
 
 /** Aggregate counters for tests and benchmarks; registry-backed under

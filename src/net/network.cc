@@ -47,9 +47,11 @@ Network::transfer(NetNode &src, NetNode &dst, std::uint64_t bytes)
     const sim::Tick latency =
         std::max(src.link().latency, dst.link().latency);
 
-    co_await src.tx().acquire();
-    co_await dst.rx().acquire();
+    src.tx_wait_ns.add(co_await sim::timedAcquire(sim_, src.tx()));
+    dst.rx_wait_ns.add(co_await sim::timedAcquire(sim_, dst.rx()));
     co_await sim_.delay(serialize);
+    src.tx_service_ns.add(serialize);
+    dst.rx_service_ns.add(serialize);
     src.tx().release();
     dst.rx().release();
     co_await sim_.delay(latency);
@@ -66,8 +68,9 @@ Network::occupyTx(NetNode &src, std::uint64_t bytes)
     // experienced by anyone.
     const auto serialize = static_cast<sim::Tick>(
         static_cast<double>(bytes) / src.link().bytesPerSec() * 1e9);
-    co_await src.tx().acquire();
+    src.tx_wait_ns.add(co_await sim::timedAcquire(sim_, src.tx()));
     co_await sim_.delay(serialize);
+    src.tx_service_ns.add(serialize);
     src.tx().release();
     src.bytes_sent.add(bytes);
 }

@@ -128,6 +128,10 @@ class NetNode
           faults_delayed(netCounter("faults_delayed")),
           rpc_timeouts(netCounter("rpc_timeouts")),
           rpc_late_replies(netCounter("rpc_late_replies")),
+          tx_wait_ns(netCounter("tx_wait_ns")),
+          tx_service_ns(netCounter("tx_service_ns")),
+          rx_wait_ns(netCounter("rx_wait_ns")),
+          rx_service_ns(netCounter("rx_service_ns")),
           cpu_(sim, name_ + ".cpu", cpu.mhz, cpu.cpi),
           link_(link), costs_(costs), tx_(sim, 1), rx_(sim, 1)
     {}
@@ -162,6 +166,14 @@ class NetNode
     util::Counter &faults_delayed;
     util::Counter &rpc_timeouts;
     util::Counter &rpc_late_replies;
+
+    // Link-port attribution: time transfers spent queued for (wait) vs
+    // serializing on (service) this node's TX and RX sides. Both ends
+    // of a transfer charge the same serialization as service.
+    util::Counter &tx_wait_ns;
+    util::Counter &tx_service_ns;
+    util::Counter &rx_wait_ns;
+    util::Counter &rx_service_ns;
 
   private:
     util::Counter &

@@ -19,6 +19,7 @@
 #include "sim/sync.h"
 #include "sim/task.h"
 #include "sim/time.h"
+#include "util/attribution.h"
 #include "util/metrics.h"
 #include "util/stats.h"
 
@@ -39,7 +40,10 @@ class CpuResource
           metric_prefix_(util::metrics().uniquePrefix(metricStem(name_))),
           mhz_(mhz), cpi_(cpi), server_(sim, 1),
           instructions_(
-              util::metrics().counter(metric_prefix_ + "/instructions"))
+              util::metrics().counter(metric_prefix_ + "/instructions")),
+          wait_ns_(util::metrics().counter(metric_prefix_ + "/wait_ns")),
+          service_ns_(
+              util::metrics().counter(metric_prefix_ + "/service_ns"))
     {
         NASD_ASSERT(mhz > 0 && cpi > 0);
     }
@@ -53,11 +57,13 @@ class CpuResource
         return static_cast<Tick>(ns);
     }
 
-    /** Queue for the CPU and burn @p instructions of work on it. */
+    /** Queue for the CPU and burn @p instructions of work on it.
+     *  When @p attr is set, the queue wait and the service time are
+     *  charged to its kCpu class. */
     Task<void>
-    execute(std::uint64_t instructions)
+    execute(std::uint64_t instructions, util::OpAttribution *attr = nullptr)
     {
-        co_await occupy(timeFor(instructions));
+        co_await occupy(timeFor(instructions), attr);
         instructions_.add(instructions);
     }
 
@@ -67,18 +73,25 @@ class CpuResource
      * control path's.
      */
     Task<void>
-    executeAt(std::uint64_t instructions, double cpi)
+    executeAt(std::uint64_t instructions, double cpi,
+              util::OpAttribution *attr = nullptr)
     {
         const double cycles = static_cast<double>(instructions) * cpi;
-        co_await occupy(static_cast<Tick>(cycles * 1000.0 / mhz_));
+        co_await occupy(static_cast<Tick>(cycles * 1000.0 / mhz_), attr);
         instructions_.add(instructions);
     }
 
     /** Queue for the CPU and hold it busy for @p duration ticks. */
     Task<void>
-    occupy(Tick duration)
+    occupy(Tick duration, util::OpAttribution *attr = nullptr)
     {
-        co_await server_.acquire();
+        const Tick wait = co_await timedAcquire(sim_, server_);
+        wait_ns_.add(wait);
+        service_ns_.add(duration);
+        if (attr) {
+            attr->addWait(util::ResourceClass::kCpu, wait);
+            attr->addService(util::ResourceClass::kCpu, duration);
+        }
         busy_.markBusy(sim_.now());
         co_await sim_.delay(duration);
         busy_.markIdle(sim_.now());
@@ -104,6 +117,16 @@ class CpuResource
         return instructions_.value();
     }
 
+    /** Busy nanoseconds up to @p now, open interval included (for
+     *  interval samplers computing utilization rates). */
+    std::uint64_t busyNsUpTo(Tick now) const
+    {
+        return busy_.busyNsUpTo(now);
+    }
+
+    /** Requests currently queued behind the server. */
+    std::size_t queueDepth() const { return server_.waiterCount(); }
+
   private:
     /** Metric path stem: the diagnostic name with '.' as a level split,
      *  so "client0.cpu" lands at "client0/cpu/...". */
@@ -123,6 +146,8 @@ class CpuResource
     Semaphore server_;
     util::UtilizationTracker busy_;
     util::Counter &instructions_; ///< registry-backed retired-instr count
+    util::Counter &wait_ns_;      ///< cumulative queue wait
+    util::Counter &service_ns_;   ///< cumulative occupied time
 };
 
 } // namespace nasd::sim

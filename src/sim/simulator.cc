@@ -63,6 +63,7 @@ Simulator::executeNext()
         return true;
     }
     now_ = ev.when;
+    last_event_time_ = ev.when;
     ++events_executed_;
     ev.fn();
     return true;

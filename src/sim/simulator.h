@@ -96,6 +96,14 @@ class Simulator
     /** Total events executed so far (for tests and sanity checks). */
     std::uint64_t eventsExecuted() const { return events_executed_; }
 
+    /**
+     * Time of the last event actually executed. After run() this
+     * equals now(); after runUntil() it excludes the idle tail between
+     * the final event and the rounded-up deadline, so sampled runs
+     * (StatsPoller) measure the same elapsed time as plain run().
+     */
+    Tick lastEventTime() const { return last_event_time_; }
+
     /** Number of live (not yet finished) spawned processes. */
     std::size_t liveProcesses() const;
 
@@ -147,6 +155,7 @@ class Simulator
                             std::greater<PendingEvent>>;
 
     Tick now_ = 0;
+    Tick last_event_time_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t events_executed_ = 0;
     EventHeap events_;

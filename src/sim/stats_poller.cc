@@ -1,0 +1,63 @@
+#include "sim/stats_poller.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace nasd::sim {
+
+StatsPoller::StatsPoller(Simulator &sim, util::TimeSeries &out,
+                         Tick interval)
+    : sim_(sim), out_(out), interval_(interval)
+{
+    NASD_ASSERT(interval > 0, "poller interval must be positive");
+    NASD_ASSERT(out.intervalNs() == interval,
+                "TimeSeries interval does not match poller interval");
+}
+
+void
+StatsPoller::addRate(const std::string &name,
+                     std::function<double()> cumulative, double scale)
+{
+    probes_.push_back(
+        Probe{out_.addSeries(name), true, scale, std::move(cumulative)});
+}
+
+void
+StatsPoller::addGauge(const std::string &name,
+                      std::function<double()> value)
+{
+    probes_.push_back(
+        Probe{out_.addSeries(name), false, 1.0, std::move(value)});
+}
+
+void
+StatsPoller::sample()
+{
+    const double interval_s = toSeconds(interval_);
+    for (Probe &p : probes_) {
+        if (p.is_rate) {
+            const double cur = p.read();
+            out_.append(p.column, (cur - p.last) / interval_s * p.scale);
+            p.last = cur;
+        } else {
+            out_.append(p.column, p.read());
+        }
+    }
+}
+
+void
+StatsPoller::run()
+{
+    out_.setStartNs(sim_.now());
+    for (Probe &p : probes_)
+        if (p.is_rate)
+            p.last = p.read();
+    bool more = true;
+    while (more) {
+        more = sim_.runUntil(sim_.now() + interval_);
+        sample();
+    }
+}
+
+} // namespace nasd::sim

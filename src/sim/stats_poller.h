@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-interval metrics sampler driving the simulator.
+ *
+ * A StatsPoller replaces a bench's plain sim.run(): it steps the
+ * simulator runUntil() one interval at a time and appends one sample
+ * per probe per interval into a util::TimeSeries. Rate probes read a
+ * cumulative value (a counter, busy-time) and emit its per-second
+ * delta over the interval; gauge probes read an instantaneous value
+ * (queue depth) at the interval boundary.
+ *
+ * Stepping the clock to interval boundaries does not perturb the
+ * simulation (events keep their scheduled times and order), but it
+ * does round the final clock value up — measure elapsed time with
+ * Simulator::lastEventTime(), which is identical to what a plain
+ * run() would have reported.
+ */
+#ifndef NASD_SIM_STATS_POLLER_H_
+#define NASD_SIM_STATS_POLLER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "util/timeseries.h"
+
+namespace nasd::sim {
+
+class StatsPoller
+{
+  public:
+    /** Samples into @p out every @p interval ticks of sim time. */
+    StatsPoller(Simulator &sim, util::TimeSeries &out, Tick interval);
+
+    /**
+     * Rate probe: each interval emits
+     *   (cumulative() - previous) / interval_seconds * scale.
+     * E.g. a byte counter with scale 1e-6 yields MB/s; a busy-ns
+     * accumulator with scale 1e-9 yields utilization in [0, 1].
+     */
+    void addRate(const std::string &name,
+                 std::function<double()> cumulative, double scale);
+
+    /** Gauge probe: each interval emits value() at the boundary. */
+    void addGauge(const std::string &name, std::function<double()> value);
+
+    /**
+     * Drive the simulator to completion (like sim.run()), sampling
+     * every probe at each interval boundary.
+     */
+    void run();
+
+  private:
+    struct Probe
+    {
+        std::size_t column;
+        bool is_rate;
+        double scale;
+        std::function<double()> read;
+        double last = 0.0;
+    };
+
+    void sample();
+
+    Simulator &sim_;
+    util::TimeSeries &out_;
+    Tick interval_;
+    std::vector<Probe> probes_;
+};
+
+} // namespace nasd::sim
+
+#endif // NASD_SIM_STATS_POLLER_H_

@@ -98,6 +98,24 @@ class Semaphore
     std::deque<std::coroutine_handle<>> waiters_;
 };
 
+/**
+ * Acquire @p sem and return how long the caller waited in the queue.
+ *
+ * This is the attribution hook for queued resources: every acquisition
+ * site outside src/sim must go through it (enforced by
+ * tools/check_invariants.py) so queue-wait time is observable — callers
+ * feed the returned wait into per-resource counters and the active
+ * op's util::OpAttribution instead of losing it inside a bare
+ * co_await sem.acquire().
+ */
+inline Task<Tick>
+timedAcquire(Simulator &sim, Semaphore &sem)
+{
+    const Tick start = sim.now();
+    co_await sem.acquire();
+    co_return sim.now() - start;
+}
+
 /** One-shot, level-triggered gate: once open(), all waits pass. */
 class Gate
 {

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Per-request latency attribution.
+ *
+ * An OpAttribution rides along one logical operation (a drive op, a
+ * striped read) and accumulates, per resource class, how long the
+ * request spent *waiting* for the resource (queued behind other
+ * requests) versus being *serviced* by it (the modeled cost of the work
+ * itself). Resources record into it at their acquisition sites — see
+ * sim::timedAcquire() — so the per-op sum reconciles with the measured
+ * end-to-end latency by construction: every co_await on the op's path
+ * is classified as wait or service for exactly one resource class.
+ */
+#ifndef NASD_UTIL_ATTRIBUTION_H_
+#define NASD_UTIL_ATTRIBUTION_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace nasd::util {
+
+/** The resource a slice of an op's latency is charged to. */
+enum class ResourceClass : std::size_t {
+    kCpu = 0,      ///< a sim::CpuResource (drive or client controller)
+    kDiskBus = 1,  ///< disk interface bus (controller overhead + transfer)
+    kDiskMech = 2, ///< disk mechanism (seek/rotate/media, readahead waits)
+    kNetTx = 3,    ///< network transmit port
+    kNetRx = 4,    ///< network receive port
+};
+
+inline constexpr std::size_t kResourceClassCount = 5;
+
+/** Short stable name for reports and metric paths ("cpu", "disk_bus", ...). */
+inline const char *
+resourceClassName(ResourceClass c)
+{
+    switch (c) {
+    case ResourceClass::kCpu:
+        return "cpu";
+    case ResourceClass::kDiskBus:
+        return "disk_bus";
+    case ResourceClass::kDiskMech:
+        return "disk_mech";
+    case ResourceClass::kNetTx:
+        return "net_tx";
+    case ResourceClass::kNetRx:
+        return "net_rx";
+    }
+    return "unknown";
+}
+
+/**
+ * Wait/service nanoseconds per resource class for one operation.
+ * Plumbed as an optional out-parameter (`OpAttribution *attr`) through
+ * the resource layers; a null pointer means "nobody is asking".
+ */
+struct OpAttribution
+{
+    std::array<std::uint64_t, kResourceClassCount> wait_ns{};
+    std::array<std::uint64_t, kResourceClassCount> service_ns{};
+
+    void
+    addWait(ResourceClass c, std::uint64_t ns)
+    {
+        wait_ns[static_cast<std::size_t>(c)] += ns;
+    }
+
+    void
+    addService(ResourceClass c, std::uint64_t ns)
+    {
+        service_ns[static_cast<std::size_t>(c)] += ns;
+    }
+
+    /** Sum of all wait and service time across classes. */
+    std::uint64_t
+    totalNs() const
+    {
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < kResourceClassCount; ++i)
+            total += wait_ns[i] + service_ns[i];
+        return total;
+    }
+
+    /** Accumulate another attribution into this one. */
+    void
+    merge(const OpAttribution &other)
+    {
+        for (std::size_t i = 0; i < kResourceClassCount; ++i) {
+            wait_ns[i] += other.wait_ns[i];
+            service_ns[i] += other.service_ns[i];
+        }
+    }
+
+    /**
+     * Rescale so totalNs() == @p target_ns while preserving the
+     * per-class proportions. Used after a parallel fan-out: the merged
+     * per-member attributions sum the *work* across branches, but the
+     * op only waited for the critical (slowest) branch, so the merged
+     * profile is normalized down to the measured elapsed time.
+     */
+    void
+    scaleToTotal(std::uint64_t target_ns)
+    {
+        const std::uint64_t total = totalNs();
+        if (total == 0)
+            return;
+        const double scale = static_cast<double>(target_ns) /
+                             static_cast<double>(total);
+        std::uint64_t scaled_sum = 0;
+        for (std::size_t i = 0; i < kResourceClassCount; ++i) {
+            wait_ns[i] = static_cast<std::uint64_t>(
+                static_cast<double>(wait_ns[i]) * scale);
+            service_ns[i] = static_cast<std::uint64_t>(
+                static_cast<double>(service_ns[i]) * scale);
+            scaled_sum += wait_ns[i] + service_ns[i];
+        }
+        // Rounding slack lands on the largest service bucket so the
+        // invariant totalNs() == target_ns holds exactly.
+        if (scaled_sum < target_ns) {
+            std::size_t largest = 0;
+            for (std::size_t i = 1; i < kResourceClassCount; ++i)
+                if (service_ns[i] > service_ns[largest])
+                    largest = i;
+            service_ns[largest] += target_ns - scaled_sum;
+        }
+    }
+};
+
+} // namespace nasd::util
+
+#endif // NASD_UTIL_ATTRIBUTION_H_

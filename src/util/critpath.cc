@@ -1,0 +1,89 @@
+#include "util/critpath.h"
+
+#include <algorithm>
+#include <map>
+
+namespace nasd::util {
+
+FanoutReport
+analyzeDriveFanout(const Tracer &tracer, const std::string &root_name,
+                   const std::string &child_prefix)
+{
+    // Group fan-out spans by trace id. Each top-level client op mints
+    // its own trace, so trace id identifies the root op without
+    // needing to walk parent chains.
+    struct TraceGroup
+    {
+        bool has_root = false;
+        std::vector<const Tracer::Span *> branches;
+    };
+    std::map<std::uint64_t, TraceGroup> groups;
+    for (const Tracer::Span &s : tracer.spans()) {
+        if (s.ctx.trace_id == 0)
+            continue;
+        if (s.name == root_name)
+            groups[s.ctx.trace_id].has_root = true;
+        else if (s.name.compare(0, child_prefix.size(), child_prefix) == 0)
+            groups[s.ctx.trace_id].branches.push_back(&s);
+    }
+
+    struct LaneAccum
+    {
+        std::uint64_t spans = 0;
+        std::uint64_t critical = 0;
+        std::uint64_t slack_ns = 0;
+        std::uint64_t dur_ns = 0;
+    };
+    std::map<std::string, LaneAccum> lanes;
+
+    FanoutReport report;
+    for (const auto &[trace_id, group] : groups) {
+        (void)trace_id;
+        if (!group.has_root || group.branches.empty())
+            continue;
+        ++report.roots;
+        std::uint64_t max_end = 0;
+        for (const Tracer::Span *b : group.branches)
+            max_end = std::max(max_end, b->end_ns);
+        // First branch reaching max_end is the critical one; the rest
+        // carry slack = how much earlier they finished.
+        bool critical_taken = false;
+        for (const Tracer::Span *b : group.branches) {
+            LaneAccum &acc = lanes[tracer.laneName(b->tid)];
+            ++acc.spans;
+            acc.dur_ns += b->end_ns - b->begin_ns;
+            if (!critical_taken && b->end_ns == max_end) {
+                ++acc.critical;
+                critical_taken = true;
+            } else {
+                acc.slack_ns += max_end - b->end_ns;
+            }
+        }
+    }
+
+    for (const auto &[lane, acc] : lanes) {
+        DriveFanoutStats stats;
+        stats.lane = lane;
+        stats.spans = acc.spans;
+        stats.critical = acc.critical;
+        const std::uint64_t non_critical = acc.spans - acc.critical;
+        stats.mean_slack_ns =
+            non_critical == 0 ? 0.0
+                              : static_cast<double>(acc.slack_ns) /
+                                    static_cast<double>(non_critical);
+        stats.mean_dur_ns = acc.spans == 0
+                                ? 0.0
+                                : static_cast<double>(acc.dur_ns) /
+                                      static_cast<double>(acc.spans);
+        report.drives.push_back(stats);
+    }
+    std::sort(report.drives.begin(), report.drives.end(),
+              [](const DriveFanoutStats &a, const DriveFanoutStats &b) {
+                  if (a.critical != b.critical)
+                      return a.critical > b.critical;
+                  return a.lane < b.lane;
+              });
+    return report;
+}
+
+} // namespace nasd::util

@@ -363,6 +363,35 @@ MetricsRegistry::importJson(std::string_view json)
     scan.expect('}');
 }
 
+void
+MetricsRegistry::forEachCounter(
+    const std::function<void(const std::string &, const Counter &)> &fn)
+    const
+{
+    for (const auto &[path, e] : entries_)
+        if (e.kind == Kind::kCounter)
+            fn(path, *e.counter);
+}
+
+void
+MetricsRegistry::forEachGauge(
+    const std::function<void(const std::string &, const Gauge &)> &fn) const
+{
+    for (const auto &[path, e] : entries_)
+        if (e.kind == Kind::kGauge)
+            fn(path, *e.gauge);
+}
+
+void
+MetricsRegistry::forEachHistogram(
+    const std::function<void(const std::string &, const SampleStats &)> &fn)
+    const
+{
+    for (const auto &[path, e] : entries_)
+        if (e.kind == Kind::kHistogram)
+            fn(path, *e.histogram);
+}
+
 MetricsRegistry &
 metrics()
 {

@@ -17,6 +17,7 @@
 #define NASD_UTIL_METRICS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -85,6 +86,22 @@ class MetricsRegistry
      * malformed input; intended for tests and offline tooling.
      */
     void importJson(std::string_view json);
+
+    /**
+     * Visit every instrument of one kind in deterministic (path) order.
+     * Used by report builders (e.g. the fig9 --breakdown table) that
+     * aggregate over instrument subtrees without knowing the instance
+     * names up front.
+     */
+    void forEachCounter(
+        const std::function<void(const std::string &, const Counter &)>
+            &fn) const;
+    void forEachGauge(
+        const std::function<void(const std::string &, const Gauge &)>
+            &fn) const;
+    void forEachHistogram(
+        const std::function<void(const std::string &, const SampleStats &)>
+            &fn) const;
 
   private:
     enum class Kind { kCounter, kGauge, kHistogram };

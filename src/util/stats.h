@@ -121,6 +121,20 @@ class UtilizationTracker
 
     std::uint64_t busyTime() const { return busy_ns_; }
 
+    /**
+     * Busy nanoseconds accumulated up to @p now, including the
+     * still-open busy interval (busyTime() only counts closed ones).
+     * Lets a sampler read utilization mid-interval.
+     */
+    std::uint64_t
+    busyNsUpTo(std::uint64_t now) const
+    {
+        std::uint64_t total = busy_ns_;
+        if (busy_ && now > busy_since_)
+            total += now - busy_since_;
+        return total;
+    }
+
   private:
     std::uint64_t busy_ns_ = 0;
     std::uint64_t busy_since_ = 0;

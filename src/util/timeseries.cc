@@ -1,0 +1,74 @@
+#include "util/timeseries.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace nasd::util {
+
+namespace {
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+std::size_t
+TimeSeries::addSeries(const std::string &name)
+{
+    NASD_ASSERT(!name.empty(), "time series name must not be empty");
+    for (const Column &c : columns_)
+        NASD_ASSERT(c.name != name, "duplicate time series '", name, "'");
+    columns_.push_back(Column{name, {}});
+    return columns_.size() - 1;
+}
+
+void
+TimeSeries::append(std::size_t series, double value)
+{
+    NASD_ASSERT(series < columns_.size(), "time series index ", series,
+                " out of range");
+    columns_[series].values.push_back(value);
+}
+
+std::size_t
+TimeSeries::sampleCount() const
+{
+    std::size_t n = 0;
+    for (const Column &c : columns_)
+        n = std::max(n, c.values.size());
+    return n;
+}
+
+std::string
+TimeSeries::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"interval_ns\": " << interval_ns_
+       << ", \"start_ns\": " << start_ns_
+       << ", \"samples\": " << sampleCount() << ", \"series\": {";
+    bool first_col = true;
+    for (const Column &c : columns_) {
+        os << (first_col ? "" : ", ") << "\"" << c.name << "\": [";
+        bool first_val = true;
+        for (double v : c.values) {
+            os << (first_val ? "" : ", ") << jsonNumber(v);
+            first_val = false;
+        }
+        os << "]";
+        first_col = false;
+    }
+    os << "}}";
+    return os.str();
+}
+
+} // namespace nasd::util

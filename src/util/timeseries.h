@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fixed-interval time series for simulation metrics.
+ *
+ * A TimeSeries holds one or more named columns sampled at a fixed
+ * sim-time interval. sim::StatsPoller fills one while driving the
+ * simulator; benches embed the result in BENCH_<name>.json via
+ * toJson() so a reader can see the ramp and the plateau, not just the
+ * end-of-run aggregate.
+ *
+ * Sample k of every column covers the interval
+ * (start_ns + k*interval_ns, start_ns + (k+1)*interval_ns]; rate
+ * columns are normalized per second of sim time over that interval.
+ */
+#ifndef NASD_UTIL_TIMESERIES_H_
+#define NASD_UTIL_TIMESERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nasd::util {
+
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(std::uint64_t interval_ns)
+        : interval_ns_(interval_ns)
+    {
+    }
+
+    std::uint64_t intervalNs() const { return interval_ns_; }
+
+    /** Sim time of the first interval's start (set by the sampler). */
+    void setStartNs(std::uint64_t ns) { start_ns_ = ns; }
+    std::uint64_t startNs() const { return start_ns_; }
+
+    /** Register a column; returns its index for append(). */
+    std::size_t addSeries(const std::string &name);
+
+    std::size_t seriesCount() const { return columns_.size(); }
+    const std::string &seriesName(std::size_t i) const
+    {
+        return columns_[i].name;
+    }
+
+    /** Append one sample to column @p series. */
+    void append(std::size_t series, double value);
+
+    /** Samples in the longest column (columns normally stay in step). */
+    std::size_t sampleCount() const;
+
+    const std::vector<double> &values(std::size_t series) const
+    {
+        return columns_[series].values;
+    }
+
+    /**
+     * {"interval_ns": N, "start_ns": S, "samples": K,
+     *  "series": {name: [v, ...], ...}}
+     */
+    std::string toJson() const;
+
+  private:
+    struct Column
+    {
+        std::string name;
+        std::vector<double> values;
+    };
+
+    std::uint64_t interval_ns_;
+    std::uint64_t start_ns_ = 0;
+    std::vector<Column> columns_;
+};
+
+} // namespace nasd::util
+
+#endif // NASD_UTIL_TIMESERIES_H_

@@ -71,8 +71,17 @@ Tracer::beginSpan(const std::string &name, const std::string &lane,
                   std::uint64_t parent_span)
 {
     spans_.push_back(Span{name, laneTid(lane), now_ns, now_ns, ctx,
-                          parent_span});
+                          parent_span, {}});
     return spans_.size() - 1;
+}
+
+void
+Tracer::annotateSpan(std::size_t handle, const std::string &key,
+                     std::uint64_t value)
+{
+    NASD_ASSERT(handle < spans_.size(), "annotateSpan: bad handle ",
+                handle);
+    spans_[handle].args.emplace_back(key, value);
 }
 
 void
@@ -110,7 +119,10 @@ Tracer::toJson() const
            << "\"tid\": " << s.tid << ", \"ts\": " << ts_us
            << ", \"dur\": " << dur_us << ", \"args\": {\"trace_id\": "
            << s.ctx.trace_id << ", \"span_id\": " << s.ctx.span_id
-           << ", \"parent_span_id\": " << s.parent_span << "}}";
+           << ", \"parent_span_id\": " << s.parent_span;
+        for (const auto &[key, value] : s.args)
+            os << ", \"" << jsonEscape(key) << "\": " << value;
+        os << "}}";
         first = false;
     }
     os << "\n], \"displayTimeUnit\": \"ns\"}\n";
@@ -159,6 +171,13 @@ ScopedSpan::endAt(std::uint64_t now_ns)
         tracer_->endSpan(handle_, now_ns);
         tracer_ = nullptr;
     }
+}
+
+void
+ScopedSpan::annotate(const std::string &key, std::uint64_t value)
+{
+    if (tracer_)
+        tracer_->annotateSpan(handle_, key, value);
 }
 
 } // namespace nasd::util

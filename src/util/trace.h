@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace nasd::util {
@@ -42,6 +43,19 @@ struct TraceContext
 class Tracer
 {
   public:
+    /** One recorded span; exposed for in-process analysis (critpath). */
+    struct Span
+    {
+        std::string name;
+        std::uint32_t tid;
+        std::uint64_t begin_ns;
+        std::uint64_t end_ns;
+        TraceContext ctx;
+        std::uint64_t parent_span;
+        /** Extra numeric annotations (wait/service ns, byte counts). */
+        std::vector<std::pair<std::string, std::uint64_t>> args;
+    };
+
     /** Mint a fresh trace with its root span id. */
     TraceContext newRoot();
 
@@ -59,7 +73,24 @@ class Tracer
     /** Close the span @p handle at simulated time @p now_ns. */
     void endSpan(std::size_t handle, std::uint64_t now_ns);
 
+    /**
+     * Attach a numeric annotation to an open or closed span; emitted
+     * into the span's JSON args. Repeated keys accumulate (last wins in
+     * the viewer, all are retained in spans()).
+     */
+    void annotateSpan(std::size_t handle, const std::string &key,
+                      std::uint64_t value);
+
     std::size_t spanCount() const { return spans_.size(); }
+
+    /** All recorded spans, in begin order. */
+    const std::vector<Span> &spans() const { return spans_; }
+
+    /** Lane name for a span's tid (tids start at 1). */
+    const std::string &laneName(std::uint32_t tid) const
+    {
+        return lane_names_[tid - 1];
+    }
 
     /** Serialize all spans as a Chrome trace_event JSON document. */
     std::string toJson() const;
@@ -68,16 +99,6 @@ class Tracer
     void writeJson(const std::string &path) const;
 
   private:
-    struct Span
-    {
-        std::string name;
-        std::uint32_t tid;
-        std::uint64_t begin_ns;
-        std::uint64_t end_ns;
-        TraceContext ctx;
-        std::uint64_t parent_span;
-    };
-
     std::uint32_t laneTid(const std::string &lane);
 
     std::vector<Span> spans_;
@@ -107,6 +128,10 @@ class ScopedSpan
 
     /** Close the span at simulated time @p now_ns (idempotent). */
     void endAt(std::uint64_t now_ns);
+
+    /** Attach a numeric annotation (no-op when tracing is disabled
+     *  or the span has already been closed). */
+    void annotate(const std::string &key, std::uint64_t value);
 
   private:
     Tracer *tracer_;

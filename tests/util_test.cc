@@ -5,14 +5,17 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/timeseries.h"
 #include "util/units.h"
 
 namespace nasd::util {
@@ -245,6 +248,114 @@ TEST(SampleStats, ResetRestartsReservoirSequence)
     for (int i = 0; i < 100; ++i)
         s.add(static_cast<double>(i));
     EXPECT_DOUBLE_EQ(s.percentile(50), before);
+}
+
+// Reference quantile using the same rule SampleStats documents: linear
+// interpolation at index p/100 * (n-1) into the sorted samples.
+double
+exactQuantile(std::vector<double> sorted, double p)
+{
+    std::sort(sorted.begin(), sorted.end());
+    const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+TEST(SampleStats, TailPercentilesMatchExactQuantilesOnUniform)
+{
+    // 1..1000 inserted in scrambled order (389 is coprime with 1000, so
+    // the walk is a permutation): the exact path must reproduce the
+    // reference quantiles bit-for-bit.
+    SampleStats s;
+    std::vector<double> values;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = static_cast<double>((i * 389) % 1000 + 1);
+        s.add(v);
+        values.push_back(v);
+    }
+    for (double p : {50.0, 95.0, 99.0})
+        EXPECT_DOUBLE_EQ(s.percentile(p), exactQuantile(values, p))
+            << "p" << p;
+    EXPECT_DOUBLE_EQ(s.percentile(50), 500.5);
+    EXPECT_DOUBLE_EQ(s.percentile(95), 950.05);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 990.01);
+}
+
+TEST(SampleStats, TailPercentilesSeparateBimodalModes)
+{
+    // 90% fast ops at 1us, 10% slow ops at 100us, interleaved: the
+    // median sits on the fast mode, the tail on the slow one.
+    SampleStats s;
+    std::vector<double> values;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = (i % 10 == 9) ? 100000.0 : 1000.0;
+        s.add(v);
+        values.push_back(v);
+    }
+    EXPECT_DOUBLE_EQ(s.percentile(50), 1000.0);
+    EXPECT_DOUBLE_EQ(s.percentile(95), 100000.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 100000.0);
+    for (double p : {50.0, 95.0, 99.0})
+        EXPECT_DOUBLE_EQ(s.percentile(p), exactQuantile(values, p))
+            << "p" << p;
+}
+
+TEST(SampleStats, ReservoirApproximatesTailPercentiles)
+{
+    // Bounded Algorithm-R path: 10k uniform samples through a 256-slot
+    // reservoir. Percentiles become estimates; with the deterministic
+    // generator they must stay within a few percent of the exact
+    // quantiles of the full population.
+    SampleStats s(256);
+    std::vector<double> values;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = static_cast<double>((i * 7919) % 10000 + 1);
+        s.add(v);
+        values.push_back(v);
+    }
+    EXPECT_EQ(s.count(), 10000u);
+    EXPECT_EQ(s.retained(), 256u);
+    for (double p : {50.0, 95.0, 99.0}) {
+        const double exact = exactQuantile(values, p);
+        EXPECT_NEAR(s.percentile(p), exact, 0.10 * exact) << "p" << p;
+    }
+}
+
+TEST(TimeSeries, ColumnsAccumulateInStep)
+{
+    TimeSeries ts(50'000'000); // 50 ms interval
+    const std::size_t mbs = ts.addSeries("client_read_mbs");
+    const std::size_t depth = ts.addSeries("client_rx_queued");
+    EXPECT_EQ(ts.seriesCount(), 2u);
+    EXPECT_EQ(ts.seriesName(mbs), "client_read_mbs");
+    EXPECT_EQ(ts.sampleCount(), 0u);
+
+    ts.setStartNs(1000);
+    for (int k = 0; k < 4; ++k) {
+        ts.append(mbs, 10.0 * k);
+        ts.append(depth, static_cast<double>(k));
+    }
+    EXPECT_EQ(ts.sampleCount(), 4u);
+    EXPECT_EQ(ts.startNs(), 1000u);
+    EXPECT_DOUBLE_EQ(ts.values(mbs)[3], 30.0);
+    EXPECT_DOUBLE_EQ(ts.values(depth)[2], 2.0);
+}
+
+TEST(TimeSeries, JsonCarriesIntervalAndSeries)
+{
+    TimeSeries ts(1000);
+    const std::size_t col = ts.addSeries("throughput");
+    ts.setStartNs(500);
+    ts.append(col, 1.5);
+    ts.append(col, 2.5);
+    const std::string json = ts.toJson();
+    EXPECT_NE(json.find("\"interval_ns\": 1000"), std::string::npos);
+    EXPECT_NE(json.find("\"start_ns\": 500"), std::string::npos);
+    EXPECT_NE(json.find("\"samples\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"throughput\""), std::string::npos);
 }
 
 TEST(Utilization, MarkIdleWhileIdleIsIgnored)

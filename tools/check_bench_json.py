@@ -10,13 +10,20 @@ Schema (written by bench::writeBenchJson):
      "metrics": {"counters": {path: int, ...},
                  "gauges": {path: float, ...},
                  "histograms": {path: {count, mean, min, max,
-                                       p50, p95, p99}, ...}}}
+                                       p50, p95, p99}, ...}},
+     "timeseries": {"interval_ns": int, "start_ns": int,
+                    "samples": int, "series": {name: [float, ...]}}}
 
-Baseline comparison covers every ``*_mbps`` gauge present in the
-baseline file (itself a BENCH_*.json snapshot). The simulator is
-deterministic, so identical code produces identical numbers; the
-tolerance absorbs intentional model recalibration without letting a
-real regression through.
+The "timeseries" section is optional (present when the bench sampled a
+sim::StatsPoller run); when present every series must carry one value
+per sampling interval.
+
+Baseline comparison covers every headline gauge present in the
+baseline file (itself a BENCH_*.json snapshot): ``*_mbps`` throughput
+points, ``*_instr`` instruction counts, and ``*_ms`` latencies. The
+simulator is deterministic, so identical code produces identical
+numbers; the tolerance absorbs intentional model recalibration without
+letting a real regression through.
 
 Usage:
     tools/check_bench_json.py BENCH_fig9.json \
@@ -30,6 +37,7 @@ import json
 import sys
 
 HISTOGRAM_KEYS = {"count", "mean", "min", "max", "p50", "p95", "p99"}
+HEADLINE_SUFFIXES = ("_mbps", "_instr", "_ms")
 
 
 def fail(errors, message):
@@ -69,6 +77,42 @@ def check_schema(doc, errors):
         if missing:
             fail(errors, f"histogram '{path}' missing keys:"
                          f" {sorted(missing)}")
+    if "timeseries" in doc:
+        check_timeseries(doc["timeseries"], errors)
+
+
+def check_timeseries(ts, errors):
+    if not isinstance(ts, dict):
+        fail(errors, "'timeseries' is not an object")
+        return
+    interval = ts.get("interval_ns")
+    if not isinstance(interval, int) or interval <= 0:
+        fail(errors, f"timeseries.interval_ns is not a positive int:"
+                     f" {interval!r}")
+    if not isinstance(ts.get("start_ns"), int):
+        fail(errors, f"timeseries.start_ns is not an int:"
+                     f" {ts.get('start_ns')!r}")
+    samples = ts.get("samples")
+    if not isinstance(samples, int) or samples < 0:
+        fail(errors, f"timeseries.samples is not a non-negative int:"
+                     f" {samples!r}")
+        return
+    series = ts.get("series")
+    if not isinstance(series, dict) or not series:
+        fail(errors, "timeseries.series missing or empty")
+        return
+    for name, values in series.items():
+        if not isinstance(values, list):
+            fail(errors, f"timeseries series '{name}' is not a list")
+            continue
+        if len(values) != samples:
+            fail(errors, f"timeseries series '{name}' has {len(values)}"
+                         f" values, expected {samples}")
+        for v in values:
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                fail(errors, f"timeseries series '{name}' holds a"
+                             f" non-number: {v!r}")
+                break
 
 
 def check_baseline(doc, baseline, tolerance, errors):
@@ -77,10 +121,11 @@ def check_baseline(doc, baseline, tolerance, errors):
         path: value
         for path, value in baseline.get("metrics", {})
                                    .get("gauges", {}).items()
-        if path.endswith("_mbps")
+        if path.endswith(HEADLINE_SUFFIXES)
     }
     if not expected:
-        fail(errors, "baseline has no *_mbps gauges to compare")
+        fail(errors, "baseline has no headline gauges to compare"
+                     f" (suffixes: {', '.join(HEADLINE_SUFFIXES)})")
         return
     for path, want in sorted(expected.items()):
         if path not in gauges:

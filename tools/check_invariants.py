@@ -28,6 +28,13 @@ that violate project invariants:
   6. ``fprintf(stderr, ...)`` anywhere in src/ except util/logging.cc.
      Diagnostics must go through NASD_LOG so NASD_LOG_LEVEL filtering
      and the log format apply uniformly.
+  7. Raw ``sem.acquire(...)`` in src/ outside src/sim/. Queue time on a
+     contended resource must be observable: every acquisition on an
+     operation's path goes through ``sim::timedAcquire`` (or the
+     attribution-aware CpuResource/DiskModel entry points), which
+     returns the measured wait so callers can charge it to the op's
+     latency breakdown. A bare acquire silently swallows queueing
+     delay and breaks per-resource attribution.
 
 Usage: tools/check_invariants.py [repo-root]
 Exit status is the number of violations (0 == clean).
@@ -140,6 +147,7 @@ def check_drive_rpc_deadlines(path, lines, violations):
 # A Counter held by value (not `util::Counter &ref`) as a class member.
 COUNTER_VALUE_MEMBER = re.compile(r"\butil::Counter\s+(?!&)\w+\s*[;={]")
 STDERR_PRINT = re.compile(r"\bfprintf\s*\(\s*stderr\b")
+RAW_ACQUIRE = re.compile(r"\.\s*acquire\s*\(")
 
 
 def check_counter_members(path, lines, violations):
@@ -169,6 +177,21 @@ def check_stderr_prints(path, lines, violations):
             )
 
 
+def check_raw_acquires(path, lines, violations):
+    p = str(path)
+    if not p.startswith("src/") or p.startswith("src/sim/"):
+        return  # the sim layer implements the attribution hooks
+    for i, line in enumerate(lines):
+        if RAW_ACQUIRE.search(line.split("//")[0]):
+            fail(
+                violations, path, i + 1,
+                "raw Semaphore acquire; co_await "
+                "sim::timedAcquire(sim, sem) instead so queue time is "
+                "measured and attributable to the op's latency "
+                "breakdown",
+            )
+
+
 def check_include_guard(path, text, violations):
     if "#pragma once" in text:
         return
@@ -194,6 +217,7 @@ def main():
             check_drive_rpc_deadlines(rel, lines, violations)
             check_counter_members(rel, lines, violations)
             check_stderr_prints(rel, lines, violations)
+            check_raw_acquires(rel, lines, violations)
 
     for top in HEADER_DIRS:
         for path in sorted((root / top).rglob("*.h")):
@@ -205,6 +229,7 @@ def main():
             check_include_guard(rel, text, violations)
             check_counter_members(rel, lines, violations)
             check_stderr_prints(rel, lines, violations)
+            check_raw_acquires(rel, lines, violations)
 
     for v in violations:
         print(v)

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Offline critical-path analysis over an exported Chrome trace.
+
+Reads the trace_event JSON written by a bench's ``--trace PATH`` option
+and runs the same drive fan-out analysis as util::critpath::
+analyzeDriveFanout(): a striped read fans out to several drives and
+completes when the slowest branch does, so for every trace with a root
+span of the given name this groups the child spans matching a prefix,
+marks the branch that finished last as critical, and reports per drive
+lane how often that lane was critical plus its mean slack (time behind
+the critical branch) when it was not.
+
+Usage:
+    tools/trace_critpath.py fig9_trace.json \
+        [--root pfs/read] [--child drive/] [--top N]
+
+Exit status: 0 when at least one root op matched, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+    lanes = {}
+    spans = []
+    for ev in events:
+        if not isinstance(ev, dict):
+            continue
+        if (ev.get("ph") == "M" and ev.get("name") == "thread_name"):
+            lanes[ev.get("tid")] = ev.get("args", {}).get("name", "")
+        elif ev.get("ph") == "X":
+            spans.append(ev)
+    return lanes, spans
+
+
+def analyze(lanes, spans, root_name, child_prefix):
+    """Mirror of util::critpath::analyzeDriveFanout.
+
+    Spans are grouped by args.trace_id (each top-level client op mints
+    its own trace), branches keep file order, and on an end-time tie
+    the first branch is the critical one — identical tie-breaking to
+    the in-process analyzer.
+    """
+    groups = defaultdict(lambda: {"has_root": False, "branches": []})
+    for ev in spans:
+        trace_id = ev.get("args", {}).get("trace_id", 0)
+        if not trace_id:
+            continue
+        name = ev.get("name", "")
+        if name == root_name:
+            groups[trace_id]["has_root"] = True
+        elif name.startswith(child_prefix):
+            groups[trace_id]["branches"].append(ev)
+
+    lane_acc = defaultdict(
+        lambda: {"spans": 0, "critical": 0, "slack_us": 0.0, "dur_us": 0.0}
+    )
+    roots = 0
+    for trace_id in sorted(groups):
+        group = groups[trace_id]
+        if not group["has_root"] or not group["branches"]:
+            continue
+        roots += 1
+        ends = [ev["ts"] + ev["dur"] for ev in group["branches"]]
+        max_end = max(ends)
+        critical_taken = False
+        for ev, end in zip(group["branches"], ends):
+            acc = lane_acc[lanes.get(ev.get("tid"), f"tid{ev.get('tid')}")]
+            acc["spans"] += 1
+            acc["dur_us"] += ev["dur"]
+            if not critical_taken and end == max_end:
+                acc["critical"] += 1
+                critical_taken = True
+            else:
+                acc["slack_us"] += max_end - end
+
+    drives = []
+    for lane, acc in lane_acc.items():
+        non_critical = acc["spans"] - acc["critical"]
+        drives.append({
+            "lane": lane,
+            "spans": acc["spans"],
+            "critical": acc["critical"],
+            "mean_slack_us":
+                acc["slack_us"] / non_critical if non_critical else 0.0,
+            "mean_dur_us": acc["dur_us"] / acc["spans"],
+        })
+    drives.sort(key=lambda d: (-d["critical"], d["lane"]))
+    return roots, drives
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace JSON from --trace")
+    parser.add_argument("--root", default="pfs/read",
+                        help="root span name (default: pfs/read)")
+    parser.add_argument("--child", default="drive/",
+                        help="fan-out span name prefix (default: drive/)")
+    parser.add_argument("--top", type=int, default=0,
+                        help="only print the top N lanes (default: all)")
+    args = parser.parse_args()
+
+    try:
+        lanes, spans = load_events(args.trace)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{args.trace}: {e}")
+        return 1
+
+    roots, drives = analyze(lanes, spans, args.root, args.child)
+    print(f"critical-path fan-out: root '{args.root}',"
+          f" branches '{args.child}*'")
+    print(f"  root ops analyzed: {roots}")
+    if roots == 0:
+        print("  no matching root spans — was the trace recorded with"
+              " --trace, and do --root/--child match the span names?")
+        return 1
+
+    shown = drives[: args.top] if args.top > 0 else drives
+    print(f"  {'lane':<12} {'spans':>6} {'critical':>9}"
+          f" {'mean slack ms':>14} {'mean dur ms':>12}")
+    for d in shown:
+        print(f"  {d['lane']:<12} {d['spans']:>6} {d['critical']:>9}"
+              f" {d['mean_slack_us'] / 1000.0:>14.3f}"
+              f" {d['mean_dur_us'] / 1000.0:>12.3f}")
+    if args.top > 0 and len(drives) > args.top:
+        print(f"  ... {len(drives) - args.top} more lane(s)")
+    print(f"  dominant drive chain: {drives[0]['lane']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
