@@ -212,8 +212,8 @@ DiskModel::read(std::uint64_t block, std::uint32_t count,
     using util::ResourceClass;
 
     // Command setup on the bus.
-    noteWait(ResourceClass::kDiskBus,
-             co_await sim::timedAcquire(sim_, bus_), attr);
+    auto bus = co_await sim::scopedAcquire(sim_, bus_);
+    noteWait(ResourceClass::kDiskBus, bus.waitNs(), attr);
     const sim::Tick overhead = sim::msec(params_.controller_overhead_ms);
     co_await sim_.delay(overhead);
     noteService(ResourceClass::kDiskBus, overhead, attr);
@@ -230,9 +230,9 @@ DiskModel::read(std::uint64_t block, std::uint32_t count,
     if (first_missing < block + count) {
         stats_.cache_misses.add();
         // Disconnect from the bus during the mechanical phase.
-        bus_.release();
-        noteWait(ResourceClass::kDiskMech,
-                 co_await sim::timedAcquire(sim_, mech_), attr);
+        bus.release();
+        auto mech = co_await sim::scopedAcquire(sim_, mech_);
+        noteWait(ResourceClass::kDiskMech, mech.waitNs(), attr);
         cancelPendingReadahead();
         const auto missing =
             static_cast<std::uint32_t>(block + count - first_missing);
@@ -241,9 +241,9 @@ DiskModel::read(std::uint64_t block, std::uint32_t count,
         noteService(ResourceClass::kDiskMech, t, attr);
         stats_.media_blocks_read.add(missing);
         installSegment(first_missing, missing, sim_.now());
-        mech_.release();
-        noteWait(ResourceClass::kDiskBus,
-                 co_await sim::timedAcquire(sim_, bus_), attr);
+        mech.release();
+        bus = co_await sim::scopedAcquire(sim_, bus_);
+        noteWait(ResourceClass::kDiskBus, bus.waitNs(), attr);
     } else {
         stats_.cache_hits.add();
         // All blocks cached, but readahead may still be in flight; wait
@@ -267,7 +267,7 @@ DiskModel::read(std::uint64_t block, std::uint32_t count,
     const sim::Tick xfer = busTime(out.size());
     co_await sim_.delay(xfer);
     noteService(ResourceClass::kDiskBus, xfer, attr);
-    bus_.release();
+    bus.release();
 
     data_.read(block * params_.block_size, out);
 }
@@ -291,14 +291,14 @@ DiskModel::write(std::uint64_t block, std::uint32_t count,
     data_.write(block * params_.block_size, data);
     stats_.media_blocks_written.add(count);
 
-    noteWait(ResourceClass::kDiskBus,
-             co_await sim::timedAcquire(sim_, bus_), attr);
+    auto bus = co_await sim::scopedAcquire(sim_, bus_);
+    noteWait(ResourceClass::kDiskBus, bus.waitNs(), attr);
     const sim::Tick overhead = sim::msec(params_.controller_overhead_ms);
     co_await sim_.delay(overhead);
     const sim::Tick xfer = busTime(data.size());
     co_await sim_.delay(xfer);
     noteService(ResourceClass::kDiskBus, overhead + xfer, attr);
-    bus_.release();
+    bus.release();
 
     if (params_.write_behind) {
         // Acknowledge now; account the media work as queued drain time
@@ -320,13 +320,13 @@ DiskModel::write(std::uint64_t block, std::uint32_t count,
                         attr);
         }
     } else {
-        noteWait(ResourceClass::kDiskMech,
-                 co_await sim::timedAcquire(sim_, mech_), attr);
+        auto mech = co_await sim::scopedAcquire(sim_, mech_);
+        noteWait(ResourceClass::kDiskMech, mech.waitNs(), attr);
         cancelPendingReadahead();
         const sim::Tick t = mechanicalTime(block, count);
         co_await sim_.delay(t);
         noteService(ResourceClass::kDiskMech, t, attr);
-        mech_.release();
+        mech.release();
     }
 }
 

@@ -647,13 +647,11 @@ sim::Task<NfsResult<std::uint64_t>>
 NasdNfsClient::readChunk(NasdNfsFh fh, std::uint64_t offset,
                          std::span<std::uint8_t> out)
 {
-    window_wait_ns_.add(
-        co_await sim::timedAcquire(net_.simulator(), window_));
+    auto permit = co_await sim::scopedAcquire(net_.simulator(), window_);
+    window_wait_ns_.add(permit.waitNs());
     auto cred = co_await capabilityFor(fh, false);
-    if (!cred.ok()) {
-        window_.release();
+    if (!cred.ok())
         co_return util::Err{cred.error()};
-    }
     auto data = co_await drive_clients_[fh.drive]->read(*cred.value(),
                                                         offset, out.size());
     if (!data.ok() && staleCapability(data.error())) {
@@ -664,7 +662,7 @@ NasdNfsClient::readChunk(NasdNfsFh fh, std::uint64_t offset,
                 *fresh.value(), offset, out.size());
         }
     }
-    window_.release();
+    permit.release();
     if (!data.ok())
         co_return util::Err{fromNasdStatus(data.error())};
     std::copy(data.value().begin(), data.value().end(), out.begin());
@@ -698,13 +696,11 @@ sim::Task<NfsResult<void>>
 NasdNfsClient::writeChunk(NasdNfsFh fh, std::uint64_t offset,
                           std::span<const std::uint8_t> d)
 {
-    window_wait_ns_.add(
-        co_await sim::timedAcquire(net_.simulator(), window_));
+    auto permit = co_await sim::scopedAcquire(net_.simulator(), window_);
+    window_wait_ns_.add(permit.waitNs());
     auto cred = co_await capabilityFor(fh, true);
-    if (!cred.ok()) {
-        window_.release();
+    if (!cred.ok())
         co_return util::Err{cred.error()};
-    }
     auto wrote =
         co_await drive_clients_[fh.drive]->write(*cred.value(), offset, d);
     if (!wrote.ok() && staleCapability(wrote.error())) {
@@ -715,7 +711,7 @@ NasdNfsClient::writeChunk(NasdNfsFh fh, std::uint64_t offset,
                                                              offset, d);
         }
     }
-    window_.release();
+    permit.release();
     if (!wrote.ok())
         co_return util::Err{fromNasdStatus(wrote.error())};
     co_return NfsResult<void>{};

@@ -222,6 +222,13 @@ class NasdNfsClient
     /** Number of control RPCs this client sent to the file manager. */
     std::uint64_t fmCalls() const { return fm_calls_; }
 
+    /** Free chunk-window slots; must equal the configured window
+     *  whenever no chunk is in flight (permits must never leak). */
+    std::uint32_t windowPermits() const
+    {
+        return window_.availablePermits();
+    }
+
   private:
     struct CachedCap
     {

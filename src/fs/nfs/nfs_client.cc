@@ -68,8 +68,8 @@ sim::Task<NfsResult<std::uint64_t>>
 NfsClient::readChunk(NfsFileHandle fh, std::uint64_t offset,
                      std::span<std::uint8_t> out)
 {
-    window_wait_ns_.add(
-        co_await sim::timedAcquire(net_.simulator(), window_));
+    auto permit = co_await sim::scopedAcquire(net_.simulator(), window_);
+    window_wait_ns_.add(permit.waitNs());
     auto reply = co_await net::call<NfsReadReply>(
         net_, node_, server_.node(), kControlPayload,
         [&]() -> sim::Task<net::RpcReply<NfsReadReply>> {
@@ -78,7 +78,7 @@ NfsClient::readChunk(NfsFileHandle fh, std::uint64_t offset,
             const std::uint64_t payload = r.data.size();
             co_return net::RpcReply<NfsReadReply>{std::move(r), payload};
         });
-    window_.release();
+    permit.release();
     if (reply.status != NfsStatus::kOk)
         co_return util::Err{reply.status};
     std::copy(reply.data.begin(), reply.data.end(), out.begin());
@@ -114,8 +114,8 @@ sim::Task<NfsResult<void>>
 NfsClient::writeChunk(NfsFileHandle fh, std::uint64_t offset,
                       std::span<const std::uint8_t> data)
 {
-    window_wait_ns_.add(
-        co_await sim::timedAcquire(net_.simulator(), window_));
+    auto permit = co_await sim::scopedAcquire(net_.simulator(), window_);
+    window_wait_ns_.add(permit.waitNs());
     std::vector<std::uint8_t> payload(data.begin(), data.end());
     auto reply = co_await net::call<NfsWriteReply>(
         net_, node_, server_.node(), kControlPayload + payload.size(),
@@ -124,7 +124,7 @@ NfsClient::writeChunk(NfsFileHandle fh, std::uint64_t offset,
                                                  std::move(payload));
             co_return net::RpcReply<NfsWriteReply>{r, 96};
         });
-    window_.release();
+    permit.release();
     if (reply.status != NfsStatus::kOk)
         co_return util::Err{reply.status};
     co_return NfsResult<void>{};

@@ -47,13 +47,17 @@ Network::transfer(NetNode &src, NetNode &dst, std::uint64_t bytes)
     const sim::Tick latency =
         std::max(src.link().latency, dst.link().latency);
 
-    src.tx_wait_ns.add(co_await sim::timedAcquire(sim_, src.tx()));
-    dst.rx_wait_ns.add(co_await sim::timedAcquire(sim_, dst.rx()));
+    auto tx = co_await sim::scopedAcquire(sim_, src.tx());
+    src.tx_wait_ns.add(tx.waitNs());
+    auto rx = co_await sim::scopedAcquire(sim_, dst.rx());
+    dst.rx_wait_ns.add(rx.waitNs());
     co_await sim_.delay(serialize);
     src.tx_service_ns.add(serialize);
     dst.rx_service_ns.add(serialize);
-    src.tx().release();
-    dst.rx().release();
+    // Explicit tx-then-rx release keeps the same-tick wakeup order (and
+    // thus event ordering) identical to the pre-RAII code.
+    tx.release();
+    rx.release();
     co_await sim_.delay(latency);
 
     src.bytes_sent.add(bytes);
@@ -68,10 +72,11 @@ Network::occupyTx(NetNode &src, std::uint64_t bytes)
     // experienced by anyone.
     const auto serialize = static_cast<sim::Tick>(
         static_cast<double>(bytes) / src.link().bytesPerSec() * 1e9);
-    src.tx_wait_ns.add(co_await sim::timedAcquire(sim_, src.tx()));
+    auto tx = co_await sim::scopedAcquire(sim_, src.tx());
+    src.tx_wait_ns.add(tx.waitNs());
     co_await sim_.delay(serialize);
     src.tx_service_ns.add(serialize);
-    src.tx().release();
+    tx.release();
     src.bytes_sent.add(bytes);
 }
 

@@ -93,17 +93,22 @@ class Mailbox
     sim::Task<T>
     recv(std::size_t rank)
     {
-        co_await arrivals_.at(rank)->acquire();
+        recv_wait_ns_ += co_await sim::timedAcquire(
+            comm_.network().simulator(), *arrivals_.at(rank));
         NASD_ASSERT(!queues_.at(rank).empty());
         T value = std::move(queues_.at(rank).front());
         queues_.at(rank).pop_front();
         co_return value;
     }
 
+    /** Total simulated time ranks spent blocked in recv(). */
+    sim::Tick recvWaitNs() const { return recv_wait_ns_; }
+
   private:
     Communicator &comm_;
     std::vector<std::deque<T>> queues_;
     std::vector<std::unique_ptr<sim::Semaphore>> arrivals_;
+    sim::Tick recv_wait_ns_ = 0;
 };
 
 } // namespace nasd::pfs

@@ -116,6 +116,81 @@ timedAcquire(Simulator &sim, Semaphore &sem)
     co_return sim.now() - start;
 }
 
+/**
+ * A held Semaphore permit that releases itself when destroyed.
+ *
+ * Returned by scopedAcquire(); the mandatory holder for any permit
+ * whose scope contains an early return, a Result-propagating bail-out,
+ * or a co_await that can throw — a manual sem.release() on every exit
+ * path is exactly the pattern that leaked window permits before
+ * (tools/nasd_analyze.py check A4 bans it outside src/sim).
+ *
+ * release() hands the permit back explicitly; use it on the happy path
+ * when the release must happen at a specific point (or in a specific
+ * order across several permits) rather than at scope exit. The
+ * destructor is then a no-op, serving only as the safety net for the
+ * paths that never reach it.
+ */
+class ScopedPermit
+{
+  public:
+    ScopedPermit() = default;
+
+    ScopedPermit(Semaphore &sem, Tick waited)
+        : sem_(&sem), waited_(waited)
+    {}
+
+    ScopedPermit(ScopedPermit &&other) noexcept
+        : sem_(std::exchange(other.sem_, nullptr)), waited_(other.waited_)
+    {}
+
+    ScopedPermit &
+    operator=(ScopedPermit &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            sem_ = std::exchange(other.sem_, nullptr);
+            waited_ = other.waited_;
+        }
+        return *this;
+    }
+
+    ScopedPermit(const ScopedPermit &) = delete;
+    ScopedPermit &operator=(const ScopedPermit &) = delete;
+
+    ~ScopedPermit() { release(); }
+
+    /** Return the permit now (idempotent). */
+    void
+    release()
+    {
+        if (auto *sem = std::exchange(sem_, nullptr))
+            sem->release();
+    }
+
+    bool held() const { return sem_ != nullptr; }
+
+    /** Queue wait measured by scopedAcquire(), for attribution. */
+    Tick waitNs() const { return waited_; }
+
+  private:
+    Semaphore *sem_ = nullptr;
+    Tick waited_ = 0;
+};
+
+/**
+ * Acquire @p sem and return a ScopedPermit carrying the measured queue
+ * wait. The RAII sibling of timedAcquire(): same attribution contract,
+ * plus leak-proof release on every exit path.
+ */
+inline Task<ScopedPermit>
+scopedAcquire(Simulator &sim, Semaphore &sem)
+{
+    const Tick start = sim.now();
+    co_await sem.acquire();
+    co_return ScopedPermit(sem, sim.now() - start);
+}
+
 /** One-shot, level-triggered gate: once open(), all waits pass. */
 class Gate
 {

@@ -1,0 +1,56 @@
+// Fixture: seeded A1 (coro-ref-escape) violations. Lines tagged
+// `EXPECT[A1]` must be flagged by tools/nasd_analyze.py; nothing else
+// in this file may be. Fixtures are analyzer input only — they are
+// never compiled — but stay close to real project idiom so the
+// structural parser sees what it sees in src/.
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace fx {
+
+// Detached via sim.spawn(pump(...)) below: the caller's locals die at
+// the end of the spawn statement while this frame keeps running.
+sim::Task<void>
+pump(RingBuffer &buf, int id)
+{
+    co_await sim::tick();
+    buf.push(id); // EXPECT[A1] ref param used after suspension
+}
+
+void
+start(sim::Simulator &sim, RingBuffer &buf, Counters &stats)
+{
+    sim.spawn(pump(buf, 1));
+
+    // Spawned lambda with a ref parameter used after the co_await.
+    sim.spawn([](Counters &c) -> sim::Task<void> {
+        co_await sim::tick();
+        c.ops.add(1); // EXPECT[A1] lambda ref param after suspension
+    }(stats));
+}
+
+void
+startCaptured(sim::Simulator &sim)
+{
+    int epoch = 3;
+    // Captures live in the closure temporary, destroyed at the end of
+    // the spawn expression — before the frame first resumes.
+    sim.spawn([epoch]() -> sim::Task<void> { // EXPECT[A1] captures
+        co_await sim::tick();
+        consume(epoch);
+    }());
+}
+
+void
+callOut(net::Network &net, net::NetNode &a, net::NetNode &b)
+{
+    int budget = 7;
+    // A timed-out caller's frame dies while the handler keeps running.
+    net::callWithDeadline<Reply>(
+        net, a, b, 64, sim::msec(5),
+        [&budget]() -> sim::Task<net::RpcReply<Reply>> { // EXPECT[A1]
+            co_return makeReply(budget);
+        });
+}
+
+} // namespace fx

@@ -1,0 +1,26 @@
+// Fixture: seeded A2 (discarded-task) violations. A lazy sim::Task
+// that is never awaited never runs; [[nodiscard]] catches the plain
+// call but not the casts, which is exactly what A2 exists for.
+#include "sim/task.h"
+
+namespace fx {
+
+sim::Task<int> fetch(int key);
+sim::Task<void> sync();
+
+void
+driver()
+{
+    fetch(1); // EXPECT[A2] plain discarded call
+
+    (void) sync(); // EXPECT[A2] (void)-cast still discards the Task
+
+    static_cast<void>(fetch(2)); // EXPECT[A2] cast-discarded
+
+    bool fast = true;
+    fast ? nop() : fetch(4); // EXPECT[A2] ternary-arm discard
+}
+
+void nop();
+
+} // namespace fx

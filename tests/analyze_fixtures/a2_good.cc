@@ -1,0 +1,30 @@
+// Fixture: clean counterparts to a2_bad.cc. Zero findings expected.
+#include "sim/task.h"
+
+namespace fx {
+
+sim::Task<int> fetch(int key);
+sim::Task<void> sync();
+
+// `open` is declared both Task-returning and void elsewhere in real
+// code (AfsClient::open vs Gate::open); a token-level receiver cannot
+// be type-resolved, so ambiguous names are excluded from A2.
+sim::Task<void> open(FileHandle fh);
+void open(int flags);
+
+sim::Task<void>
+driver(sim::Simulator &sim)
+{
+    int v = co_await fetch(1); // consumed
+
+    co_await sync(); // awaited in statement position
+
+    sim.spawn(fetch(v)); // handed to the simulator: it will run
+
+    auto pending = fetch(2); // bound, awaited below
+    co_await std::move(pending);
+
+    open(3); // ambiguous name: the void overload is plausible
+}
+
+} // namespace fx

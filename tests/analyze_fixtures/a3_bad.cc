@@ -1,0 +1,50 @@
+// Fixture: seeded A3 (determinism-ban) violations — wall clocks, OS
+// entropy, and address-ordered iteration, each of which makes two
+// identical simulator runs diverge.
+#include <chrono>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+namespace fx {
+
+void
+timestamps()
+{
+    auto wall = std::chrono::system_clock::now(); // EXPECT[A3]
+    auto mono = std::chrono::steady_clock::now(); // EXPECT[A3]
+}
+
+void
+entropy()
+{
+    std::random_device rd; // EXPECT[A3]
+    int r = rand(); // EXPECT[A3]
+}
+
+void
+addressOrdinal(Node *node)
+{
+    auto key = reinterpret_cast<std::uintptr_t>(node); // EXPECT[A3]
+    schedule(key);
+}
+
+void
+pointerKeyedIteration()
+{
+    std::unordered_map<Conn *, int> load;
+    load[nullptr] = 1;
+    for (auto &kv : load) { // EXPECT[A3] address+seed visit order
+        schedule(kv.second);
+    }
+    auto it = load.begin(); // EXPECT[A3] same defect, iterator form
+}
+
+void
+pointerKeyedOrdered()
+{
+    std::map<Conn *, int> by_conn; // EXPECT[A3] sorted by address
+    touch(by_conn);
+}
+
+} // namespace fx

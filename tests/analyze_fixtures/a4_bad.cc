@@ -1,0 +1,31 @@
+// Fixture: seeded A4 (raw-acquire) violations — unattributed acquire
+// and leak-prone manual release outside src/sim.
+#include "sim/sync.h"
+
+namespace fx {
+
+class Throttle
+{
+  public:
+    sim::Task<void>
+    submit(Request r)
+    {
+        co_await window_.acquire(); // EXPECT[A4] queue wait swallowed
+        co_await send(std::move(r));
+        window_.release(); // EXPECT[A4] leaks if send() throws
+    }
+
+    sim::Task<void>
+    submitViaPointer(Request r)
+    {
+        co_await slots_->acquire(); // EXPECT[A4] smart-ptr receiver
+        co_await send(std::move(r));
+        slots_->release(); // EXPECT[A4]
+    }
+
+  private:
+    sim::Semaphore window_;
+    std::unique_ptr<sim::Semaphore> slots_;
+};
+
+} // namespace fx

@@ -1,0 +1,39 @@
+// Fixture: clean counterparts to a4_bad.cc — the sanctioned acquire
+// idioms. Zero findings expected.
+#include "sim/sync.h"
+
+namespace fx {
+
+class Throttle
+{
+  public:
+    sim::Task<void>
+    submit(sim::Simulator &sim, Request r)
+    {
+        // RAII permit: wait is measured, release cannot leak, and the
+        // explicit release() pins the wakeup point for event-order
+        // stability.
+        auto permit = co_await sim::scopedAcquire(sim, window_);
+        wait_ns_.add(permit.waitNs());
+        co_await send(std::move(r));
+        permit.release();
+    }
+
+    sim::Task<void>
+    submitTimed(sim::Simulator &sim, Request r)
+    {
+        // timedAcquire is still fine where the scope provably cannot
+        // exit early between acquire and release... but pair it with a
+        // ScopedPermit when in doubt.
+        wait_ns_.add(co_await sim::timedAcquire(sim, window_));
+        co_await send(std::move(r));
+        sim::ScopedPermit held(window_, 0);
+        held.release();
+    }
+
+  private:
+    sim::Semaphore window_;
+    util::Counter &wait_ns_;
+};
+
+} // namespace fx

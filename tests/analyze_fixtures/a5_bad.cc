@@ -1,0 +1,21 @@
+// nasd-analyze: unreliable-path
+// Fixture: seeded A5 (deadline-free-rpc) violation. This file is
+// marked as riding the unreliable data path (as src/nasd/client.cc
+// is by default), where a dropped message hangs a deadline-free
+// caller forever.
+#include "net/rpc.h"
+
+namespace fx {
+
+sim::Task<ReadReply>
+fetchBlock(net::Network &net, net::NetNode &me, net::NetNode &drive)
+{
+    auto reply = co_await net::call<ReadReply>( // EXPECT[A5]
+        net, me, drive, 64,
+        []() -> sim::Task<net::RpcReply<ReadReply>> {
+            co_return net::RpcReply<ReadReply>{{}, 8192};
+        });
+    co_return reply;
+}
+
+} // namespace fx

@@ -1,0 +1,19 @@
+// nasd-analyze: unreliable-path
+// Fixture: clean counterpart to a5_bad.cc — on the unreliable path
+// every RPC carries a deadline, so a dropped message surfaces as
+// kTimeout for the retry loop instead of a hung coroutine. Zero
+// findings expected.
+#include "net/rpc.h"
+
+namespace fx {
+
+sim::Task<ReadReply>
+fetchBlock(net::Network &net, net::NetNode &me, net::NetNode &drive)
+{
+    auto handler = makeHandler();
+    auto reply = co_await net::callWithDeadline<ReadReply>(
+        net, me, drive, 64, sim::msec(50), handler);
+    co_return reply;
+}
+
+} // namespace fx

@@ -402,5 +402,34 @@ TEST_F(PfsTest, MailboxDeliversInOrderWithWireCost)
     EXPECT_GT(sim.now(), 0u); // the wire cost was paid
 }
 
+// Regression (PR 6 sweep): Mailbox::recv used a raw ->acquire(), which
+// silently swallowed the time a rank spent blocked waiting for a
+// message. The timedAcquire conversion makes that wait observable.
+TEST_F(PfsTest, MailboxReportsRecvWait)
+{
+    std::vector<net::NetNode *> ranks;
+    for (int i = 0; i < 2; ++i) {
+        ranks.push_back(&net.addNode("wrank" + std::to_string(i),
+                                     net::alphaStation255(), net::oc3Link(),
+                                     net::dceRpcCosts()));
+    }
+    Communicator comm(net, ranks);
+    Mailbox<int> box(comm);
+
+    int got = 0;
+    sim.spawn([](Mailbox<int> &b, int &out) -> Task<void> {
+        out = co_await b.recv(1); // blocks until the send lands
+    }(box, got));
+    sim.spawn([](Simulator &s, Mailbox<int> &b) -> Task<void> {
+        co_await s.delay(1000);
+        co_await b.send(0, 1, 7, 100);
+    }(sim, box));
+    sim.run();
+    EXPECT_EQ(got, 7);
+    // The receiver was parked at least for the sender's 1000ns nap
+    // plus the wire time of the 100-byte message.
+    EXPECT_GE(box.recvWaitNs(), 1000u);
+}
+
 } // namespace
 } // namespace nasd::pfs

@@ -361,5 +361,38 @@ TEST_F(NasdNfsTest, MkdirNestsNamespaces)
     EXPECT_TRUE(listing.value()[0].is_directory);
 }
 
+// Regression (PR 6 sweep): readChunk/writeChunk released the window
+// permit by hand on each exit path; the capability-failure bail-out
+// was one manual release away from exhausting the window. The
+// ScopedPermit conversion makes the restore structural — this test
+// pins it by failing more chunks than the window holds slots.
+TEST_F(NasdNfsTest, WindowPermitRestoredAfterCapabilityFailure)
+{
+    const std::uint32_t window = client->windowPermits();
+    ASSERT_GT(window, 0u);
+
+    const NasdNfsFh bogus{0, 999999}; // never created anywhere
+    std::vector<std::uint8_t> out(4 * kKB);
+    std::vector<std::uint8_t> data(4 * kKB, 0x5a);
+    for (std::uint32_t i = 0; i < window + 2; ++i) {
+        auto r = runFor(client->read(bogus, 0, out));
+        ASSERT_FALSE(r.ok());
+        auto w = runFor(client->write(bogus, 0, data));
+        ASSERT_FALSE(w.ok());
+        // Every failed chunk must hand its slot back immediately.
+        EXPECT_EQ(client->windowPermits(), window);
+    }
+
+    // And the client is still fully functional afterwards.
+    const auto root = fm->rootHandle();
+    auto fh = runFor(client->create(root, "after-failures"));
+    ASSERT_TRUE(fh.ok());
+    ASSERT_TRUE(runFor(client->write(fh.value(), 0, data)).ok());
+    auto n = runFor(client->read(fh.value(), 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(client->windowPermits(), window);
+}
+
 } // namespace
 } // namespace nasd::fs

@@ -532,5 +532,136 @@ TEST(Time, ConversionHelpers)
     EXPECT_DOUBLE_EQ(toMillis(msec(7)), 7.0);
 }
 
+// Regression (PR 6 sweep): permits held across early-exit paths used to
+// be hand-released on every branch — nasd_nfs.cc's readChunk leaked its
+// window permit if the drive RPC threw between acquire and release.
+// ScopedPermit makes the leak impossible; these tests pin its contract.
+
+TEST(ScopedPermit, DestructorReleasesOnEarlyExit)
+{
+    Simulator sim;
+    Semaphore sem(sim, 1);
+    std::vector<std::pair<int, Tick>> log;
+    // First frame takes the permit and bails without an explicit
+    // release (the old manual idiom would leak here).
+    sim.spawn([](Simulator &s, Semaphore &se,
+                 std::vector<std::pair<int, Tick>> &l) -> Task<void> {
+        auto permit = co_await scopedAcquire(s, se);
+        co_await s.delay(10);
+        l.emplace_back(0, s.now());
+        co_return; // permit released by destructor
+    }(sim, sem, log));
+    sim.spawn(holdSemaphore(sim, sem, 5, log, 1));
+    sim.run();
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[1], (std::pair<int, Tick>{1, 10}));
+    EXPECT_EQ(sem.availablePermits(), 1u);
+}
+
+TEST(ScopedPermit, ExplicitReleaseIsIdempotent)
+{
+    Simulator sim;
+    Semaphore sem(sim, 1);
+    sim.spawn([](Simulator &s, Semaphore &se) -> Task<void> {
+        auto permit = co_await scopedAcquire(s, se);
+        EXPECT_TRUE(permit.held());
+        permit.release();
+        EXPECT_FALSE(permit.held());
+        permit.release(); // no-op
+        // destructor must not release a third time
+    }(sim, sem));
+    sim.run();
+    EXPECT_EQ(sem.availablePermits(), 1u);
+}
+
+TEST(ScopedPermit, MoveTransfersOwnership)
+{
+    Simulator sim;
+    Semaphore sem(sim, 1);
+    sim.spawn([](Simulator &s, Semaphore &se) -> Task<void> {
+        auto a = co_await scopedAcquire(s, se);
+        ScopedPermit b(std::move(a));
+        EXPECT_FALSE(a.held());
+        EXPECT_TRUE(b.held());
+        ScopedPermit c;
+        c = std::move(b);
+        EXPECT_FALSE(b.held());
+        EXPECT_TRUE(c.held());
+        EXPECT_EQ(se.availablePermits(), 0u); // still exactly one hold
+        co_return;
+    }(sim, sem));
+    sim.run();
+    EXPECT_EQ(sem.availablePermits(), 1u); // released exactly once
+}
+
+TEST(ScopedPermit, MoveAssignOverHeldPermitReleasesIt)
+{
+    Simulator sim;
+    Semaphore sem(sim, 2);
+    sim.spawn([](Simulator &s, Semaphore &se) -> Task<void> {
+        auto a = co_await scopedAcquire(s, se);
+        auto b = co_await scopedAcquire(s, se);
+        EXPECT_EQ(se.availablePermits(), 0u);
+        a = std::move(b); // a's original permit returns to the pool
+        EXPECT_EQ(se.availablePermits(), 1u);
+        co_return;
+    }(sim, sem));
+    sim.run();
+    EXPECT_EQ(sem.availablePermits(), 2u);
+}
+
+TEST(ScopedPermit, WaitNsMatchesQueueDelay)
+{
+    Simulator sim;
+    Semaphore sem(sim, 1);
+    Tick measured = 0;
+    std::vector<std::pair<int, Tick>> log;
+    sim.spawn(holdSemaphore(sim, sem, 25, log, 0));
+    sim.spawn([](Simulator &s, Semaphore &se, Tick &out) -> Task<void> {
+        auto permit = co_await scopedAcquire(s, se);
+        out = permit.waitNs();
+    }(sim, sem, measured));
+    sim.run();
+    EXPECT_EQ(measured, 25u);
+}
+
+TEST(ScopedPermit, SameTickHandoffOrderMatchesReleaseOrder)
+{
+    // The explicit release() exists so RAII conversion cannot reorder
+    // same-tick wakeups: releasing two permits in a fixed order must
+    // wake their waiters in that order (network.cc transfer relies on
+    // this for bit-identical event sequences).
+    Simulator sim;
+    Semaphore tx(sim, 1);
+    Semaphore rx(sim, 1);
+    std::vector<int> order;
+    sim.spawn([](Simulator &s, Semaphore &a, Semaphore &b,
+                 std::vector<int> &ord) -> Task<void> {
+        auto pa = co_await scopedAcquire(s, a);
+        auto pb = co_await scopedAcquire(s, b);
+        co_await s.delay(5);
+        ord.push_back(0);
+        pa.release();
+        pb.release();
+    }(sim, tx, rx, order));
+    sim.spawn([](Simulator &s, Semaphore &b,
+                 std::vector<int> &ord) -> Task<void> {
+        co_await scopedAcquire(s, b); // rx waiter, queued second
+        ord.push_back(2);
+    }(sim, rx, order));
+    sim.spawn([](Simulator &s, Semaphore &a,
+                 std::vector<int> &ord) -> Task<void> {
+        co_await scopedAcquire(s, a); // tx waiter, queued third
+        ord.push_back(1);
+    }(sim, tx, order));
+    sim.run();
+    // tx released first, so its waiter resumes before rx's even though
+    // it queued later.
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 2);
+}
+
 } // namespace
 } // namespace nasd::sim

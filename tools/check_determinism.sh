@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Bit-determinism gate: run fig6 and fig9 twice and require the two
+# BENCH_*.json dumps (metrics + timeseries) and printed outputs to be
+# byte-identical. Every bench baseline and seeded-fault test silently
+# assumes the simulator replays the same event sequence for the same
+# inputs; this is the check that notices when someone breaks that —
+# e.g. by keying a container on pointers or reading a wall clock.
+#
+# Usage: tools/check_determinism.sh [build-dir]
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+STATUS=0
+
+run_twice() {
+    local name="$1" bin="$BUILD_DIR/bench/$2"
+    if [ ! -x "$bin" ]; then
+        echo "missing bench binary $bin; build first"
+        return 1
+    fi
+    local rc=0
+    for pass in 1 2; do
+        if ! "$bin" --json "$WORK/${name}_$pass.json" \
+                > "$WORK/${name}_$pass.txt" 2>&1; then
+            echo "$name: pass $pass exited non-zero"
+            tail -5 "$WORK/${name}_$pass.txt"
+            return 1
+        fi
+        # The dump path appears in the printed output; normalize it so
+        # only real divergence fails the stdout comparison.
+        sed -i "s|$WORK/${name}_$pass.json|DUMP|g" "$WORK/${name}_$pass.txt"
+    done
+    if ! cmp -s "$WORK/${name}_1.json" "$WORK/${name}_2.json"; then
+        echo "$name: BENCH json dumps differ between identical runs:"
+        diff "$WORK/${name}_1.json" "$WORK/${name}_2.json" | head -20
+        rc=1
+    fi
+    if ! cmp -s "$WORK/${name}_1.txt" "$WORK/${name}_2.txt"; then
+        echo "$name: printed outputs differ between identical runs:"
+        diff "$WORK/${name}_1.txt" "$WORK/${name}_2.txt" | head -20
+        rc=1
+    fi
+    [ $rc -eq 0 ] && echo "$name: deterministic (json + stdout identical)"
+    return $rc
+}
+
+run_twice fig6 fig6_bandwidth || STATUS=1
+run_twice fig9 fig9_mining || STATUS=1
+
+exit $STATUS

@@ -15,26 +15,20 @@ that violate project invariants:
      bait. Coroutine handles and similar small values must be captured by
      value.
   3. Headers without an include guard.
-  4. Deadline-free drive RPCs in the NASD client driver. Every RPC the
-     driver sends rides the unreliable data path, where a dropped
-     message would otherwise hang the caller forever: src/nasd/client.cc
-     must use ``net::callWithDeadline`` (via its retry loop), never the
-     reliable-transport ``net::call``.
-  5. Loose ``util::Counter`` value members outside src/util. Modules
+  4. Loose ``util::Counter`` value members outside src/util. Modules
      must register instruments in the MetricsRegistry and hold
      ``util::Counter &`` references, so every counter shows up in
      BENCH_*.json dumps; an owned Counter member is invisible to the
      registry.
-  6. ``fprintf(stderr, ...)`` anywhere in src/ except util/logging.cc.
+  5. ``fprintf(stderr, ...)`` anywhere in src/ except util/logging.cc.
      Diagnostics must go through NASD_LOG so NASD_LOG_LEVEL filtering
      and the log format apply uniformly.
-  7. Raw ``sem.acquire(...)`` in src/ outside src/sim/. Queue time on a
-     contended resource must be observable: every acquisition on an
-     operation's path goes through ``sim::timedAcquire`` (or the
-     attribution-aware CpuResource/DiskModel entry points), which
-     returns the measured wait so callers can charge it to the op's
-     latency breakdown. A bare acquire silently swallows queueing
-     delay and breaks per-resource attribution.
+
+Two former regex checks were promoted to token/AST level in
+``tools/nasd_analyze.py`` and removed here: deadline-free drive RPCs
+(now check A5, immune to comments/strings and wrap-friendly) and raw
+Semaphore acquire/release outside src/sim (now check A4, which also
+catches ``->acquire(`` through smart pointers and manual releases).
 
 Usage: tools/check_invariants.py [repo-root]
 Exit status is the number of violations (0 == clean).
@@ -60,12 +54,6 @@ REF_CAPTURE_SCHEDULE = re.compile(
     r"\bschedule(?:In|Cancelable|CancelableIn)?\s*\([^;]*?\[\s*&[\]\w]",
     re.DOTALL,
 )
-
-# Files whose RPCs ride the unreliable data path and therefore need a
-# deadline (net::callWithDeadline), mapped from repo-relative path.
-DEADLINE_ONLY_FILES = ("src/nasd/client.cc",)
-RELIABLE_CALL = re.compile(r"\bnet::call\s*<")
-
 
 def fail(violations, path, line_no, message):
     violations.append(f"{path}:{line_no}: {message}")
@@ -131,23 +119,9 @@ def check_schedule_captures(path, text, lines, violations):
     del lines  # line-based context unused; kept for symmetric signature
 
 
-def check_drive_rpc_deadlines(path, lines, violations):
-    if str(path) not in DEADLINE_ONLY_FILES:
-        return
-    for i, line in enumerate(lines):
-        if RELIABLE_CALL.search(line.split("//")[0]):
-            fail(
-                violations, path, i + 1,
-                "drive RPC without a deadline: use "
-                "net::callWithDeadline so a dropped message surfaces "
-                "as kTimeout instead of a hung coroutine",
-            )
-
-
 # A Counter held by value (not `util::Counter &ref`) as a class member.
 COUNTER_VALUE_MEMBER = re.compile(r"\butil::Counter\s+(?!&)\w+\s*[;={]")
 STDERR_PRINT = re.compile(r"\bfprintf\s*\(\s*stderr\b")
-RAW_ACQUIRE = re.compile(r"\.\s*acquire\s*\(")
 
 
 def check_counter_members(path, lines, violations):
@@ -177,21 +151,6 @@ def check_stderr_prints(path, lines, violations):
             )
 
 
-def check_raw_acquires(path, lines, violations):
-    p = str(path)
-    if not p.startswith("src/") or p.startswith("src/sim/"):
-        return  # the sim layer implements the attribution hooks
-    for i, line in enumerate(lines):
-        if RAW_ACQUIRE.search(line.split("//")[0]):
-            fail(
-                violations, path, i + 1,
-                "raw Semaphore acquire; co_await "
-                "sim::timedAcquire(sim, sem) instead so queue time is "
-                "measured and attributable to the op's latency "
-                "breakdown",
-            )
-
-
 def check_include_guard(path, text, violations):
     if "#pragma once" in text:
         return
@@ -214,10 +173,8 @@ def main():
             check_schedule_captures(
                 rel, "\n".join(lines), lines, violations
             )
-            check_drive_rpc_deadlines(rel, lines, violations)
             check_counter_members(rel, lines, violations)
             check_stderr_prints(rel, lines, violations)
-            check_raw_acquires(rel, lines, violations)
 
     for top in HEADER_DIRS:
         for path in sorted((root / top).rglob("*.h")):
@@ -229,7 +186,6 @@ def main():
             check_include_guard(rel, text, violations)
             check_counter_members(rel, lines, violations)
             check_stderr_prints(rel, lines, violations)
-            check_raw_acquires(rel, lines, violations)
 
     for v in violations:
         print(v)

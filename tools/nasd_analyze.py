@@ -1,0 +1,1549 @@
+#!/usr/bin/env python3
+"""AST-level coroutine-safety and sim-determinism analyzer for the NASD tree.
+
+Every serious bug this repo has hit (the Semaphore::await_suspend
+mid-suspend resume, the GCC coroutine prvalue double-destroy, the
+refreshCaps UAF under suspended readers) was a coroutine-lifetime defect
+that line-regexes cannot see. This tool parses the sources into a small
+structural model — functions, parameters, lambdas with capture lists,
+suspension points — and runs five checks over it:
+
+  A1 coro-ref-escape     Reference/pointer parameters and lambda
+                         captures of a *detached* coroutine (one whose
+                         Task is handed to Simulator::spawn, a schedule*
+                         callback, or net::callWithDeadline) that are
+                         used after a co_await suspension point. A
+                         detached frame outlives its caller's scope, so
+                         such references dangle — the PR-1/PR-3 UAF
+                         class. Captures of a spawned coroutine lambda
+                         are flagged outright: they live in the closure
+                         temporary, which dies at the end of the spawn
+                         expression (pass state as parameters instead).
+  A2 discarded-task      A Task/awaitable-returning call whose result is
+                         discarded: bare statement calls, (void)/static
+                         _cast<void> casts, ternary statements — the
+                         shapes [[nodiscard]] misses. A discarded lazy
+                         Task silently never runs.
+  A3 nondeterminism      Wall-clock and OS-entropy sources inside src/
+                         (std::chrono::{system,steady,high_resolution}
+                         _clock, rand/srand/random_device, std random
+                         engines), iteration over pointer-keyed
+                         unordered containers, pointer-keyed ordered
+                         containers, and reinterpret_cast<uintptr_t>
+                         pointer ordinals. All of these make event
+                         timing or ordering depend on ASLR or the host
+                         clock, breaking the bit-determinism every
+                         benchmark baseline and seeded fault test
+                         depends on. Use sim.now() and util::Rng.
+  A4 raw-acquire         Raw Semaphore .acquire()/->acquire() and
+                         manual .release() on a Semaphore-typed
+                         receiver outside src/sim/. Queue waits must go
+                         through sim::timedAcquire (attribution), and
+                         releases through sim::ScopedPermit so early
+                         returns and exceptions cannot leak permits.
+                         This promotes invariant check #7 to the token
+                         level: immune to comments/strings and aware of
+                         ->acquire() chains the old regex missed.
+  A5 missing-deadline    net::call<...> (the reliable transport) in a
+                         file whose RPCs ride the unreliable data path
+                         (src/nasd/client.cc, or any file marked with
+                         `// nasd-analyze: unreliable-path`). A dropped
+                         message would hang the caller forever; use
+                         net::callWithDeadline.
+
+Backends:
+  * builtin (default)  — a self-contained C++ lexer + structural parser,
+    deterministic everywhere, no dependencies. This is the backend CI
+    gates on.
+  * libclang           — clang.cindex over compile_commands.json for
+    compiler-exact function/parameter/type boundaries; body analysis is
+    shared with the builtin backend. Select with --backend libclang;
+    if the bindings are absent the tool exits with an install hint
+    (`pip install libclang` or `apt install python3-clang`).
+
+Suppressions live in tools/analyze_baseline.json. Each entry must carry
+a non-empty justification; findings match entries by a stable key
+`CHECK:file:symbol` (never line numbers), printed with every finding.
+
+File pragmas (ordinary comments, read before tokenizing):
+  // nasd-analyze: sim-internal      exempt this file from A4 (the sim
+                                     layer implements the primitives)
+  // nasd-analyze: unreliable-path   subject this file to A5
+
+Usage:
+  tools/nasd_analyze.py [--root DIR] [--build-dir DIR] [files...]
+  tools/nasd_analyze.py --format json --no-baseline tests/analyze_fixtures/a1_bad.cc
+
+Exit status: 0 clean, 1 unsuppressed findings, 2 tool error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Tokenizer
+# --------------------------------------------------------------------------
+
+TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<block_comment>/\*.*?\*/)
+    | (?P<line_comment>//[^\n]*)
+    | (?P<raw_string>R"(?P<delim>[^()\s\\]{0,16})\((?s:.*?)\)(?P=delim)")
+    | (?P<string>"(?:[^"\\\n]|\\.)*")
+    | (?P<char>'(?:[^'\\\n]|\\.)*')
+    | (?P<number>\.?\d(?:[\w.']|[eEpP][+-])*)
+    | (?P<ident>[A-Za-z_]\w*)
+    | (?P<punct>::|->|\+\+|--|<<=|>>=|<=>|<<|>>|<=|>=|==|!=|&&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|\.\.\.|.)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+def tokenize(text):
+    """Lex C++ source into significant tokens (comments/ws stripped)."""
+    tokens = []
+    line = 1
+    pos = 0
+    end = len(text)
+    while pos < end:
+        m = TOKEN_RE.match(text, pos)
+        if m is None:  # stray byte; skip it
+            if text[pos] == "\n":
+                line += 1
+            pos += 1
+            continue
+        kind = m.lastgroup
+        if kind == "delim":
+            kind = "raw_string"
+        s = m.group(0)
+        if kind not in ("ws", "block_comment", "line_comment"):
+            tokens.append(
+                Token("string" if kind == "raw_string" else kind, s, line)
+            )
+        line += s.count("\n")
+        pos = m.end()
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# Structural model
+# --------------------------------------------------------------------------
+
+OPEN_FOR = {"(": ")", "[": "]", "{": "}"}
+CLOSE_FOR = {v: k for k, v in OPEN_FOR.items()}
+
+# Keywords that precede '(' without being a callable/definition name.
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "alignof", "decltype", "co_await", "co_return", "co_yield", "new",
+    "delete", "throw", "case", "static_assert", "noexcept", "requires",
+    "alignas", "default", "else", "do", "goto", "using", "typedef",
+    "operator", "assert", "defined",
+}
+
+TYPE_KEYWORDS = {
+    "const", "volatile", "struct", "class", "enum", "unsigned", "signed",
+    "long", "short", "int", "char", "bool", "float", "double", "auto",
+    "void", "typename", "constexpr", "mutable", "register", "inline",
+}
+
+
+def match_forward(tokens, i, open_t, close_t):
+    """Index of the token closing tokens[i] (an `open_t`), or None."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return None
+
+
+def match_backward(tokens, i):
+    """Index of the token opening the close-bracket at tokens[i]."""
+    close = tokens[i].text
+    open_t = CLOSE_FOR[close]
+    depth = 0
+    while i >= 0:
+        t = tokens[i].text
+        if t == close:
+            depth += 1
+        elif t == open_t:
+            depth -= 1
+            if depth == 0:
+                return i
+        i -= 1
+    return None
+
+
+def match_angle(tokens, i):
+    """Close index of a template argument list opening at tokens[i] ('<').
+
+    Heuristic: tracks <>, treats '>>' as two closes, bails on tokens that
+    cannot appear in a type ('{', ';'). Returns None if unmatched.
+    """
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return i
+        elif t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i
+        elif t in ("{", ";", "&&", "||"):
+            return None
+        elif t == "(":
+            j = match_forward(tokens, i, "(", ")")
+            if j is None:
+                return None
+            i = j
+        i += 1
+    return None
+
+
+@dataclass
+class Param:
+    name: str
+    type_text: str
+    is_ref: bool
+    is_ptr: bool
+    line: int
+
+
+@dataclass
+class Region:
+    """A function definition or lambda body in the token stream."""
+
+    kind: str  # "function" | "lambda"
+    name: str  # function name, or enclosing function's name for lambdas
+    line: int
+    start: int  # token index of the region (name / '[')
+    body_open: int  # '{' token index
+    body_close: int  # '}' token index
+    params: list = field(default_factory=list)
+    # lambda-only:
+    capture_default: str = ""  # "", "&", or "="
+    ref_captures: list = field(default_factory=list)  # names captured by &
+    value_captures: list = field(default_factory=list)
+    # filled by the ownership pass:
+    own: list = field(default_factory=list)  # token indices owned (no nested)
+    is_coroutine: bool = False
+    suspends: list = field(default_factory=list)  # own indices of co_await/yield
+    escape: str = ""  # lambda-only: "", "spawn", "schedule", "deadline"
+
+
+@dataclass
+class FileModel:
+    rel: str
+    tokens: list
+    regions: list
+    pragmas: set
+
+
+PRAGMA_RE = re.compile(r"//\s*nasd-analyze:\s*([\w-]+)")
+
+
+def is_lambda_start(tokens, i):
+    if i + 1 < len(tokens) and tokens[i + 1].text == "[":
+        return False  # [[attribute]]
+    if i == 0:
+        return True
+    prev = tokens[i - 1]
+    if prev.kind in ("ident", "number", "string", "char"):
+        return False
+    if prev.text in (")", "]", "}", "["):
+        return False
+    return True
+
+
+def parse_captures(tokens, lo, hi, region):
+    """Parse a lambda capture list between '[' (lo) and ']' (hi)."""
+    items, depth, cur = [], 0, []
+    for i in range(lo + 1, hi):
+        t = tokens[i]
+        if t.text in OPEN_FOR or t.text == "<":
+            depth += 1
+        elif t.text in CLOSE_FOR or t.text == ">":
+            depth -= 1
+        if t.text == "," and depth == 0:
+            items.append(cur)
+            cur = []
+        else:
+            cur.append(t)
+    if cur:
+        items.append(cur)
+    for item in items:
+        texts = [t.text for t in item]
+        if not texts:
+            continue
+        if texts == ["&"]:
+            region.capture_default = "&"
+        elif texts == ["="]:
+            region.capture_default = "="
+        elif texts[0] == "&" and len(texts) >= 2 and item[1].kind == "ident":
+            region.ref_captures.append(texts[1])
+        elif texts[0] == "this":
+            region.ref_captures.append("this")
+        elif item[0].kind == "ident":
+            region.value_captures.append(texts[0])
+
+
+LAMBDA_SPECIFIERS = {
+    "mutable", "noexcept", "constexpr", "consteval", "static", "const",
+}
+
+
+def try_parse_lambda(tokens, i):
+    """Parse a lambda starting at '[' (index i); None if not a lambda."""
+    close = match_forward(tokens, i, "[", "]")
+    if close is None:
+        return None
+    region = Region("lambda", "", tokens[i].line, i, -1, -1)
+    parse_captures(tokens, i, close, region)
+    j = close + 1
+    n = len(tokens)
+    if j < n and tokens[j].text == "<":  # template-head lambda
+        k = match_angle(tokens, j)
+        if k is None:
+            return None
+        j = k + 1
+    if j < n and tokens[j].text == "(":
+        pclose = match_forward(tokens, j, "(", ")")
+        if pclose is None:
+            return None
+        region.params = parse_params(tokens, j + 1, pclose)
+        j = pclose + 1
+    # specifiers / trailing return type, then '{'
+    guard = 0
+    while j < n and guard < 128:
+        t = tokens[j].text
+        if t == "{":
+            region.body_open = j
+            end = match_forward(tokens, j, "{", "}")
+            if end is None:
+                return None
+            region.body_close = end
+            return region
+        if t == "->" or t == "requires":
+            j += 1
+        elif tokens[j].kind == "ident" or t in ("::", "&", "*", "&&", ","):
+            j += 1
+        elif t == "<":
+            k = match_angle(tokens, j)
+            if k is None:
+                return None
+            j = k + 1
+        elif t == "(":
+            k = match_forward(tokens, j, "(", ")")
+            if k is None:
+                return None
+            j = k + 1
+        else:
+            return None
+        guard += 1
+    return None
+
+
+def parse_params(tokens, lo, hi):
+    """Parse a parameter list between '(' (exclusive lo..hi) bounds."""
+    parts, depth, cur = [], 0, []
+    for i in range(lo, hi):
+        t = tokens[i]
+        if t.text in OPEN_FOR:
+            depth += 1
+        elif t.text in CLOSE_FOR:
+            depth -= 1
+        elif t.text == "<":
+            k = match_angle(tokens, i)
+            if k is not None and k < hi:
+                depth += 1
+        elif t.text in (">", ">>") and depth > 0:
+            depth -= 2 if t.text == ">>" else 1
+            depth = max(depth, 0)
+        if t.text == "," and depth == 0:
+            parts.append(cur)
+            cur = []
+        else:
+            cur.append((i, t))
+    if cur:
+        parts.append(cur)
+
+    params = []
+    for part in parts:
+        if not part:
+            continue
+        # strip a top-level default argument
+        depth = 0
+        cut = len(part)
+        for k, (_, t) in enumerate(part):
+            if t.text in OPEN_FOR or t.text == "<":
+                depth += 1
+            elif t.text in CLOSE_FOR or t.text in (">", ">>"):
+                depth = max(depth - (2 if t.text == ">>" else 1), 0)
+            elif t.text == "=" and depth == 0:
+                cut = k
+                break
+        decl = part[:cut]
+        if not decl:
+            continue
+        is_ref = is_ptr = False
+        depth = 0
+        for _, t in decl:
+            if t.text in OPEN_FOR:
+                depth += 1
+            elif t.text in CLOSE_FOR:
+                depth -= 1
+            elif t.text == "<":
+                depth += 1
+            elif t.text in (">", ">>"):
+                depth = max(depth - (2 if t.text == ">>" else 1), 0)
+            elif depth == 0 and t.text in ("&", "&&"):
+                is_ref = True
+            elif depth == 0 and t.text == "*":
+                is_ptr = True
+        name = ""
+        line = decl[0][1].line
+        depth = 0
+        for _, t in decl:
+            if t.text in OPEN_FOR:
+                depth += 1
+            elif t.text in CLOSE_FOR:
+                depth -= 1
+            elif t.text == "<":
+                depth += 1
+            elif t.text in (">", ">>"):
+                depth = max(depth - (2 if t.text == ">>" else 1), 0)
+            elif (depth == 0 and t.kind == "ident"
+                  and t.text not in TYPE_KEYWORDS):
+                name = t.text  # last top-level identifier wins
+                line = t.line
+        type_text = " ".join(t.text for _, t in decl)
+        params.append(Param(name, type_text, is_ref, is_ptr, line))
+    return params
+
+
+DEFINITION_DISALLOWED = {
+    ";", "=", "?", "+", "-", "/", "%", "!", "|", "^", ")", "]", "}",
+}
+
+
+def definition_body_open(tokens, close_paren):
+    """If tokens after a parameter ')' form a definition header, return
+    the index of the body '{'; else None. Accepts const/noexcept/
+    override/trailing-return/ctor-init shapes."""
+    j = close_paren + 1
+    n = len(tokens)
+    guard = 0
+    in_ctor_init = False
+    while j < n and guard < 256:
+        t = tokens[j].text
+        if t == "{":
+            return j
+        if t == ":":
+            in_ctor_init = True
+        # A top-level ',' only belongs in a ctor-init list; anywhere
+        # else it means the ')' closed a call argument, not a parameter
+        # list (e.g. `sim::msec(5), [&]{...}` in an argument sequence).
+        if t == "," and not in_ctor_init:
+            return None
+        if t in DEFINITION_DISALLOWED or tokens[j].kind in (
+            "string", "char", "number"
+        ):
+            return None
+        if t == "(":
+            k = match_forward(tokens, j, "(", ")")
+            if k is None:
+                return None
+            j = k + 1
+        elif t == "<":
+            k = match_angle(tokens, j)
+            if k is None:
+                return None
+            j = k + 1
+        elif t == "[":
+            k = match_forward(tokens, j, "[", "]")
+            if k is None:
+                return None
+            j = k + 1
+        else:
+            j += 1
+        guard += 1
+    return None
+
+
+def find_regions(tokens):
+    """One pass over the stream collecting function and lambda regions."""
+    regions = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i]
+        if t.text == "[" and is_lambda_start(tokens, i):
+            lam = try_parse_lambda(tokens, i)
+            if lam is not None:
+                regions.append(lam)
+                i += 1  # descend: nested lambdas are separate regions
+                continue
+        if (
+            t.kind == "ident"
+            and t.text not in CONTROL_KEYWORDS
+            and i + 1 < n
+            and tokens[i + 1].text == "("
+            and (i == 0 or tokens[i - 1].text not in (".", "->"))
+        ):
+            close = match_forward(tokens, i + 1, "(", ")")
+            if close is not None:
+                brace = definition_body_open(tokens, close)
+                if brace is not None:
+                    end = match_forward(tokens, brace, "{", "}")
+                    if end is not None:
+                        regions.append(
+                            Region(
+                                "function", t.text, t.line, i, brace, end,
+                                params=parse_params(tokens, i + 2, close),
+                            )
+                        )
+                        i = brace + 1  # descend for lambdas/local types
+                        continue
+        i += 1
+    return regions
+
+
+SUSPEND_KEYWORDS = {"co_await", "co_yield"}
+COROUTINE_KEYWORDS = {"co_await", "co_yield", "co_return"}
+
+
+def assign_ownership(model):
+    """Compute each region's own-token set (body minus nested regions)
+    and derive coroutine-ness / suspension points."""
+    tokens = model.tokens
+    regions = sorted(model.regions, key=lambda r: (r.body_open, -r.body_close))
+    for r in regions:
+        nested = [
+            x
+            for x in regions
+            if x is not r
+            and x.body_open > r.body_open
+            and x.body_close < r.body_close
+        ]
+        covered = []
+        for x in nested:
+            covered.append((x.start if x.kind == "lambda" else x.body_open,
+                            x.body_close))
+        own = []
+        for idx in range(r.body_open + 1, r.body_close):
+            if any(lo <= idx <= hi for lo, hi in covered):
+                continue
+            own.append(idx)
+        r.own = own
+        r.suspends = [
+            idx for idx in own if tokens[idx].text in SUSPEND_KEYWORDS
+        ]
+        r.is_coroutine = any(
+            tokens[idx].text in COROUTINE_KEYWORDS for idx in own
+        )
+    # name lambdas after their nearest enclosing function
+    for r in regions:
+        if r.kind != "lambda":
+            continue
+        encl = enclosing_function(model, r.start)
+        r.name = encl.name if encl is not None else "<file>"
+    model.regions = regions
+
+
+def enclosing_function(model, idx):
+    best = None
+    for r in model.regions:
+        if r.kind != "function":
+            continue
+        if r.body_open <= idx <= r.body_close:
+            if best is None or r.body_open > best.body_open:
+                best = r
+    return best
+
+
+def enclosing_symbol(model, idx):
+    best = None
+    for r in model.regions:
+        if r.body_open <= idx <= r.body_close:
+            if best is None or r.body_open > best.body_open:
+                best = r
+    if best is None:
+        return "<file>"
+    return best.name if best.kind == "function" else best.name + ":lambda"
+
+
+def build_file_model(rel, text):
+    pragmas = set(PRAGMA_RE.findall(text))
+    tokens = tokenize(text)
+    model = FileModel(rel, tokens, find_regions(tokens), pragmas)
+    assign_ownership(model)
+    return model
+
+
+# --------------------------------------------------------------------------
+# Findings and global context
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Finding:
+    check: str
+    file: str
+    line: int
+    symbol: str
+    message: str
+    hint: str
+
+    @property
+    def key(self):
+        return f"{self.check}:{self.file}:{self.symbol}"
+
+
+# Call sinks whose callback/Task outlives the calling scope.
+SPAWN_SINKS = {"spawn"}
+SCHEDULE_SINKS = {
+    "schedule", "scheduleIn", "scheduleCancelable", "scheduleCancelableIn",
+}
+DEADLINE_SINKS = {"callWithDeadline"}
+
+# Files whose RPCs ride the unreliable data path (A5), repo-relative.
+DEADLINE_ONLY_FILES = {"src/nasd/client.cc"}
+
+
+@dataclass
+class GlobalInfo:
+    task_names: set = field(default_factory=set)
+    void_names: set = field(default_factory=set)  # declared `void f(`
+    detached_fns: set = field(default_factory=set)
+    semaphore_names: set = field(default_factory=set)
+
+
+def collect_globals(models):
+    info = GlobalInfo()
+    for model in models:
+        tokens = model.tokens
+        n = len(tokens)
+        info.semaphore_names |= collect_semaphore_names(tokens)
+        # Task-returning callables: `Task < ... > name (`
+        for i, t in enumerate(tokens):
+            if (
+                t.text == "void"
+                and i + 2 < n
+                and tokens[i + 1].kind == "ident"
+                and tokens[i + 2].text == "("
+            ):
+                # A name also declared returning void is ambiguous for
+                # A2 (e.g. Gate::open vs AfsClient::open); member-call
+                # receivers cannot be type-resolved at token level.
+                info.void_names.add(tokens[i + 1].text)
+            if t.text != "Task" or i + 1 >= n or tokens[i + 1].text != "<":
+                continue
+            close = match_angle(tokens, i + 1)
+            if close is None or close + 2 >= n:
+                continue
+            if (
+                tokens[close + 1].kind == "ident"
+                and tokens[close + 2].text == "("
+                and tokens[close + 1].text not in CONTROL_KEYWORDS
+            ):
+                info.task_names.add(tokens[close + 1].text)
+        # Detached coroutines: a direct call `spawn(ns::fn(...)` marks fn.
+        for i, t in enumerate(tokens):
+            if t.text not in SPAWN_SINKS or i + 1 >= n:
+                continue
+            if tokens[i + 1].text != "(":
+                continue
+            j = i + 2
+            last_ident = None
+            while j < n:
+                tk = tokens[j]
+                if tk.kind == "ident":
+                    last_ident = tk.text
+                    j += 1
+                elif tk.text == "::":
+                    j += 1
+                elif tk.text == "<":
+                    k = match_angle(tokens, j)
+                    if k is None:
+                        break
+                    j = k + 1
+                elif tk.text == "(":
+                    if last_ident and last_ident not in (
+                        "move", "forward",
+                    ):
+                        info.detached_fns.add(last_ident)
+                    break
+                else:
+                    break
+    return info
+
+
+def lambda_escape_context(model, region):
+    """Classify how a lambda leaves its scope: handed to spawn/schedule*
+    ('spawn'/'schedule'), to callWithDeadline ('deadline'), or not
+    ('')."""
+    tokens = model.tokens
+    i = region.start - 1
+    depth = 0
+    # Walk back past sibling arguments to the nearest unbalanced '('.
+    while i >= 0 and region.start - i < 4096:
+        t = tokens[i].text
+        if t in (")", "]", "}"):
+            j = match_backward(tokens, i)
+            if j is None:
+                return ""
+            i = j - 1
+            continue
+        if t == "(":
+            if depth == 0:
+                # Allow an explicit template argument list between the
+                # callee and its '(': `callWithDeadline<Reply>(...)`.
+                k = i - 1
+                if k >= 0 and tokens[k].text in (">", ">>"):
+                    adepth = 2 if tokens[k].text == ">>" else 1
+                    k -= 1
+                    while k >= 0 and adepth > 0:
+                        tt = tokens[k].text
+                        if tt in (">", ">>"):
+                            adepth += 2 if tt == ">>" else 1
+                        elif tt == "<":
+                            adepth -= 1
+                        elif tt in (";", "{", "}", ")"):
+                            return ""
+                        k -= 1
+                callee = tokens[k] if k >= 0 else None
+                if callee is not None and callee.kind == "ident":
+                    if callee.text in SPAWN_SINKS:
+                        return "spawn"
+                    if callee.text in SCHEDULE_SINKS:
+                        return "schedule"
+                    if callee.text in DEADLINE_SINKS:
+                        return "deadline"
+                return ""
+            depth -= 1
+        elif t in ("{", ";"):
+            return ""
+        i -= 1
+    return ""
+
+
+# --------------------------------------------------------------------------
+# Checks (shared by both backends)
+# --------------------------------------------------------------------------
+
+
+def first_use_after_suspend(model, region, name):
+    """Own-token index of the first use of `name` after the statement
+    containing the region's first suspension point, or None.
+
+    The boundary is the first ';' *after* the first co_await: a use
+    inside the same statement as the suspension has not yet crossed it.
+    Loop-carried uses inside a single statement are not modeled.
+    """
+    if not region.suspends:
+        return None
+    tokens = model.tokens
+    boundary = None
+    for idx in region.own:
+        if idx > region.suspends[0] and tokens[idx].text == ";":
+            boundary = idx
+            break
+    if boundary is None:
+        return None
+    for idx in region.own:
+        if idx <= boundary:
+            continue
+        t = tokens[idx]
+        if t.kind != "ident" or t.text != name:
+            continue
+        prev = tokens[idx - 1] if idx > 0 else None
+        if prev is not None and prev.text in (".", "->", "::"):
+            continue  # member/namespace of something else
+        return idx
+    return None
+
+
+def check_a1(model, ginfo, findings):
+    tokens = model.tokens
+    for r in model.regions:
+        if not r.is_coroutine:
+            continue
+        if r.kind == "function":
+            if r.name not in ginfo.detached_fns:
+                continue
+            for p in r.params:
+                if not (p.is_ref or p.is_ptr) or not p.name:
+                    continue
+                use = first_use_after_suspend(model, r, p.name)
+                if use is None:
+                    continue
+                kind = "reference" if p.is_ref else "pointer"
+                findings.append(Finding(
+                    "A1", model.rel, tokens[use].line,
+                    f"{r.name}:{p.name}",
+                    f"{kind} parameter '{p.name}' of detached coroutine "
+                    f"'{r.name}' used after a co_await suspension point",
+                    "the spawned frame outlives the caller; pass by "
+                    "value (or shared_ptr), or prove the referent "
+                    "outlives every suspension and baseline this",
+                ))
+        else:  # lambda
+            r.escape = lambda_escape_context(model, r)
+            if not r.escape:
+                continue
+            if r.escape in ("spawn", "schedule"):
+                if (r.capture_default or r.ref_captures
+                        or r.value_captures):
+                    findings.append(Finding(
+                        "A1", model.rel, r.line,
+                        f"{r.name}:lambda-captures",
+                        "captures of a spawned coroutine lambda live in "
+                        "the closure temporary, which is destroyed at "
+                        "the end of the spawn expression",
+                        "pass state as explicit parameters of the "
+                        "lambda instead of capturing",
+                    ))
+                for p in r.params:
+                    if not (p.is_ref or p.is_ptr) or not p.name:
+                        continue
+                    use = first_use_after_suspend(model, r, p.name)
+                    if use is None:
+                        continue
+                    findings.append(Finding(
+                        "A1", model.rel, tokens[use].line,
+                        f"{r.name}:lambda:{p.name}",
+                        f"reference parameter '{p.name}' of a spawned "
+                        "coroutine lambda used after a co_await "
+                        "suspension point",
+                        "the detached frame may outlive the referent; "
+                        "pass by value or prove lifetime and baseline",
+                    ))
+            elif r.escape == "deadline":
+                if r.capture_default == "&" or r.ref_captures:
+                    names = ", ".join(r.ref_captures) or "[&]"
+                    findings.append(Finding(
+                        "A1", model.rel, r.line,
+                        f"{r.name}:deadline-ref-capture",
+                        "handler lambda for callWithDeadline captures "
+                        f"by reference ({names}); a timed-out caller's "
+                        "frame dies while the handler keeps running",
+                        "capture by value via a named handler factory "
+                        "(see NasdClient's MakeFn idiom)",
+                    ))
+
+
+DISCARD_STMT_PREV = {";", "{", "}", "else", "do", ")", "?", ":"}
+
+
+def chain_start(tokens, i):
+    """Given a call at tokens[i] (identifier), walk back over a member
+    chain `a.b(x).c` to the index where the full expression starts."""
+    s = i
+    while s >= 1 and tokens[s - 1].text in (".", "->"):
+        r = s - 2
+        if r >= 0 and tokens[r].text in (")", "]"):
+            o = match_backward(tokens, r)
+            if o is None:
+                return s
+            r = o - 1
+            if r >= 0 and tokens[r].kind == "ident":
+                s = r
+            else:
+                return o
+        elif r >= 0 and tokens[r].kind == "ident":
+            s = r
+        else:
+            return s - 1
+    return s
+
+
+def check_a2(model, ginfo, findings):
+    tokens = model.tokens
+    n = len(tokens)
+    flaggable = ginfo.task_names - ginfo.void_names
+    for i, t in enumerate(tokens):
+        if t.kind != "ident" or t.text not in flaggable:
+            continue
+        if i + 1 >= n or tokens[i + 1].text != "(":
+            continue
+        close = match_forward(tokens, i + 1, "(", ")")
+        if close is None or close + 1 >= n:
+            continue
+        # Plain discard ends `);`; a cast-wrapped discard like
+        # `static_cast<void>(f());` ends `));` — the extra ')' is the
+        # cast's, verified by the static_cast_void shape test below.
+        if tokens[close + 1].text == ";":
+            pass
+        elif (tokens[close + 1].text == ")" and close + 2 < n
+                and tokens[close + 2].text == ";"):
+            pass
+        else:
+            continue
+        s = chain_start(tokens, i)
+        prev = tokens[s - 1] if s >= 1 else None
+        # (void) f(...);  /  static_cast<void>(f(...));
+        cast_void = (
+            s >= 3
+            and tokens[s - 1].text == ")"
+            and tokens[s - 2].text == "void"
+            and tokens[s - 3].text == "("
+        )
+        static_cast_void = (
+            s >= 5
+            and tokens[s - 1].text == "("
+            and tokens[s - 2].text == ">"
+            and tokens[s - 3].text == "void"
+            and tokens[s - 4].text == "<"
+            and tokens[s - 5].text == "static_cast"
+        )
+        if static_cast_void and close + 2 < n:
+            # actual terminator is `) ;` after the cast close
+            pass
+        stmt_start = prev is None or prev.text in DISCARD_STMT_PREV
+        if prev is not None and prev.text == ")" and not cast_void:
+            # distinguish `if (c) f();` from `g(...) f();` (impossible);
+            # keep ')' as statement-start (if/for/while bodies)
+            stmt_start = True
+        if not (stmt_start or cast_void or static_cast_void):
+            continue
+        # `spawn(...)` / `co_await ...` shapes never reach here: their
+        # call is not in statement position or is consumed.
+        sym = enclosing_symbol(model, i)
+        shape = "discarded"
+        if cast_void:
+            shape = "(void)-cast"
+        elif static_cast_void:
+            shape = "static_cast<void>-cast"
+        findings.append(Finding(
+            "A2", model.rel, t.line, f"{sym}:{t.text}",
+            f"{shape} call to Task-returning '{t.text}': a lazy Task "
+            "that is never awaited never runs",
+            "co_await the call, or hand it to sim.spawn(...)",
+        ))
+
+
+BANNED_TIME = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "gettimeofday", "clock_gettime", "timespec_get",
+}
+BANNED_RANDOM = {
+    "random_device", "mt19937", "mt19937_64", "default_random_engine",
+    "minstd_rand", "minstd_rand0", "ranlux24", "ranlux48", "arc4random",
+    "getrandom", "srand", "srandom", "random_shuffle",
+}
+UNORDERED_CONTAINERS = {"unordered_map", "unordered_set",
+                        "unordered_multimap", "unordered_multiset"}
+ORDERED_CONTAINERS = {"map", "set", "multimap", "multiset"}
+
+
+def first_template_arg_has_top_level_ptr(tokens, lt, gt):
+    depth = 0
+    for i in range(lt + 1, gt):
+        t = tokens[i].text
+        if t in ("<",) or t in OPEN_FOR:
+            depth += 1
+        elif t in (">", ">>") or t in CLOSE_FOR:
+            depth = max(depth - (2 if t == ">>" else 1), 0)
+        elif t == "," and depth == 0:
+            return False  # end of first argument
+        elif t == "*" and depth == 0:
+            return True
+    return False
+
+
+def check_a3(model, findings):
+    tokens = model.tokens
+    n = len(tokens)
+    ptr_keyed_unordered = set()
+    for i, t in enumerate(tokens):
+        if t.kind != "ident":
+            continue
+        sym = None
+        if t.text in BANNED_TIME:
+            sym = enclosing_symbol(model, i)
+            findings.append(Finding(
+                "A3", model.rel, t.line, f"{sym}:{t.text}",
+                f"wall-clock source '{t.text}' in simulator code",
+                "simulated time must come from sim.now(); wall time "
+                "makes runs non-reproducible",
+            ))
+        elif t.text in BANNED_RANDOM:
+            sym = enclosing_symbol(model, i)
+            findings.append(Finding(
+                "A3", model.rel, t.line, f"{sym}:{t.text}",
+                f"OS-entropy / unseeded randomness '{t.text}'",
+                "draw from an explicitly seeded util::Rng so runs are "
+                "reproducible bit-for-bit",
+            ))
+        elif t.text == "rand" and i + 1 < n and tokens[i + 1].text == "(":
+            prev = tokens[i - 1] if i > 0 else None
+            if prev is None or prev.text not in (".", "->"):
+                sym = enclosing_symbol(model, i)
+                findings.append(Finding(
+                    "A3", model.rel, t.line, f"{sym}:rand",
+                    "call to rand(): global, platform-dependent stream",
+                    "draw from an explicitly seeded util::Rng",
+                ))
+        elif t.text == "reinterpret_cast" and i + 2 < n:
+            if tokens[i + 1].text == "<" and tokens[i + 2].text in (
+                "uintptr_t", "intptr_t", "std",
+            ):
+                k = match_angle(tokens, i + 1)
+                inner = " ".join(
+                    x.text for x in tokens[i + 2 : k or i + 2]
+                )
+                if "intptr_t" in inner:
+                    sym = enclosing_symbol(model, i)
+                    findings.append(Finding(
+                        "A3", model.rel, t.line, f"{sym}:intptr-ordinal",
+                        "pointer converted to an integer ordinal; "
+                        "address-derived values differ across runs "
+                        "under ASLR",
+                        "key on a stable id (node name, object id) "
+                        "instead of the address",
+                    ))
+        elif t.text in UNORDERED_CONTAINERS or t.text in ORDERED_CONTAINERS:
+            if i + 1 >= n or tokens[i + 1].text != "<":
+                continue
+            gt = match_angle(tokens, i + 1)
+            if gt is None:
+                continue
+            if not first_template_arg_has_top_level_ptr(tokens, i + 1, gt):
+                continue
+            if t.text in ORDERED_CONTAINERS:
+                sym = enclosing_symbol(model, i)
+                findings.append(Finding(
+                    "A3", model.rel, t.line, f"{sym}:{t.text}-ptr-key",
+                    f"pointer-keyed std::{t.text}: iteration order is "
+                    "the address order, which varies across runs under "
+                    "ASLR",
+                    "key on a stable id, or use an unordered container "
+                    "and never iterate it",
+                ))
+            else:
+                # record the declared name; iterating it is the defect
+                j = gt + 1
+                while j < n and tokens[j].text in ("&", "*", "const"):
+                    j += 1
+                if j < n and tokens[j].kind == "ident":
+                    ptr_keyed_unordered.add(tokens[j].text)
+    if not ptr_keyed_unordered:
+        return
+    for i, t in enumerate(tokens):
+        if t.kind != "ident" or t.text not in ptr_keyed_unordered:
+            continue
+        nxt = tokens[i + 1] if i + 1 < n else None
+        prev = tokens[i - 1] if i > 0 else None
+        iterated = False
+        if prev is not None and prev.text == ":" and nxt is not None \
+                and nxt.text == ")":
+            # `for (... : container)`
+            iterated = True
+        if nxt is not None and nxt.text in (".", "->") and i + 2 < n \
+                and tokens[i + 2].text in ("begin", "cbegin", "rbegin"):
+            iterated = True
+        if iterated:
+            sym = enclosing_symbol(model, i)
+            findings.append(Finding(
+                "A3", model.rel, t.line, f"{sym}:iterate:{t.text}",
+                f"iteration over pointer-keyed unordered container "
+                f"'{t.text}': visit order depends on addresses and "
+                "hash seeding, so any event scheduled from this loop "
+                "is ordered non-deterministically",
+                "iterate a stable-order index (vector of ids) and look "
+                "entries up, or key the container on a stable id",
+            ))
+
+
+def collect_semaphore_names(tokens):
+    names = set()
+    n = len(tokens)
+    for i, t in enumerate(tokens):
+        if t.text != "Semaphore":
+            continue
+        j = i + 1
+        if j < n and tokens[j].text == "<":
+            k = match_angle(tokens, j)
+            if k is None:
+                continue
+            j = k + 1
+        while j < n and tokens[j].text in ("&", "*", "const", ">", ">>"):
+            j += 1
+        if j < n and tokens[j].kind == "ident":
+            names.add(tokens[j].text)
+        # also `vector<unique_ptr<Semaphore>> name`: scan forward past
+        # closing angles to the declarator identifier
+        k = j
+        closes = 0
+        while k < n and closes < 4 and tokens[k].text in (">", ">>"):
+            closes += 1
+            k += 1
+        if k < n and tokens[k].kind == "ident":
+            names.add(tokens[k].text)
+    return names
+
+
+def chain_idents(tokens, i):
+    """All identifiers in the member chain ending at tokens[i]
+    (exclusive), e.g. `src.tx().release` -> ['src', 'tx']."""
+    s = chain_start(tokens, i)
+    return [
+        tokens[k].text
+        for k in range(s, i)
+        if tokens[k].kind == "ident"
+    ]
+
+
+def collect_permit_names(tokens):
+    """Names bound to a sim::ScopedPermit in this file.
+
+    Covers `ScopedPermit name` / `sim::ScopedPermit name` declarations
+    and both forms of binding the result of scopedAcquire():
+
+        auto name = co_await sim::scopedAcquire(...);
+        name = co_await sim::scopedAcquire(...);   // rebind
+
+    Explicit .release() on a permit is the sanctioned way to pin the
+    release point (ordering-sensitive sites), so A4 must not flag it
+    even when the local shares its name with a Semaphore accessor.
+    """
+    names = set()
+    for i, t in enumerate(tokens):
+        if t.kind != "ident":
+            continue
+        if t.text == "ScopedPermit":
+            if i + 1 < len(tokens) and tokens[i + 1].kind == "ident":
+                names.add(tokens[i + 1].text)
+        elif t.text == "scopedAcquire" and i >= 5:
+            if (tokens[i - 1].text == "::"
+                    and tokens[i - 2].text == "sim"
+                    and tokens[i - 3].text == "co_await"
+                    and tokens[i - 4].text == "="
+                    and tokens[i - 5].kind == "ident"):
+                names.add(tokens[i - 5].text)
+    return names
+
+
+def check_a4(model, ginfo, findings):
+    if "sim-internal" in model.pragmas or model.rel.startswith("src/sim/"):
+        return
+    tokens = model.tokens
+    n = len(tokens)
+    permit_names = collect_permit_names(tokens)
+    for i, t in enumerate(tokens):
+        if t.kind != "ident" or i == 0 or i + 1 >= n:
+            continue
+        if tokens[i + 1].text != "(":
+            continue
+        prev = tokens[i - 1].text
+        if prev not in (".", "->"):
+            continue
+        if t.text == "acquire":
+            chain = chain_idents(tokens, i) or ["?"]
+            root = chain[0]
+            sym = enclosing_symbol(model, i)
+            findings.append(Finding(
+                "A4", model.rel, t.line, f"{sym}:acquire:{root}",
+                f"raw Semaphore acquire on '{root}' outside src/sim",
+                "co_await sim::timedAcquire(sim, sem) so queue time is "
+                "measured and attributable to the op's latency "
+                "breakdown",
+            ))
+        elif t.text == "release":
+            chain = chain_idents(tokens, i)
+            # Semaphore-typed receivers only (declarations collected
+            # across every analyzed file): Task::release,
+            # unique_ptr::release etc. pass through untouched.
+            hits = [c for c in chain if c in ginfo.semaphore_names]
+            if not hits:
+                continue
+            if chain and chain[0] in permit_names:
+                continue  # explicit ScopedPermit::release() is the fix
+            sym = enclosing_symbol(model, i)
+            findings.append(Finding(
+                "A4", model.rel, t.line, f"{sym}:release:{hits[-1]}",
+                f"manual Semaphore release on '{hits[-1]}' outside "
+                "src/sim",
+                "hold a sim::ScopedPermit (from sim::scopedAcquire) so "
+                "early returns and exceptions cannot leak the permit",
+            ))
+
+
+def check_a5(model, findings):
+    applies = (
+        model.rel in DEADLINE_ONLY_FILES
+        or "unreliable-path" in model.pragmas
+    )
+    if not applies:
+        return
+    tokens = model.tokens
+    n = len(tokens)
+    for i, t in enumerate(tokens):
+        if t.text != "call" or t.kind != "ident":
+            continue
+        if i >= 2 and tokens[i - 1].text == "::" \
+                and tokens[i - 2].text == "net" \
+                and i + 1 < n and tokens[i + 1].text == "<":
+            sym = enclosing_symbol(model, i)
+            findings.append(Finding(
+                "A5", model.rel, t.line, f"{sym}:net::call",
+                "deadline-free net::call on the unreliable data path: "
+                "a dropped message hangs the caller forever",
+                "use net::callWithDeadline so a lost RPC surfaces as "
+                "RpcStatus::kTimeout",
+            ))
+
+
+CHECKS = {
+    "A1": "coro-ref-escape",
+    "A2": "discarded-task",
+    "A3": "nondeterminism",
+    "A4": "raw-acquire",
+    "A5": "missing-deadline",
+}
+
+
+def run_checks(models, checks):
+    ginfo = collect_globals(models)
+    findings = []
+    for model in models:
+        if "A1" in checks:
+            check_a1(model, ginfo, findings)
+        if "A2" in checks:
+            check_a2(model, ginfo, findings)
+        if "A3" in checks:
+            check_a3(model, findings)
+        if "A4" in checks:
+            check_a4(model, ginfo, findings)
+        if "A5" in checks:
+            check_a5(model, findings)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# libclang backend (optional): compiler-exact region/parameter extraction
+# --------------------------------------------------------------------------
+
+LIBCLANG_HINT = (
+    "libclang python bindings not available.\n"
+    "Install them with one of:\n"
+    "    pip install libclang        # bundles a shared library\n"
+    "    apt-get install python3-clang libclang1\n"
+    "or run with --backend builtin (the default, no dependencies)."
+)
+
+
+def load_cindex():
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+    except Exception:
+        lib = os.environ.get("NASD_LIBCLANG")
+        if lib:
+            try:
+                cindex.Config.set_library_file(lib)
+                cindex.Index.create()
+            except Exception:
+                return None
+        else:
+            return None
+    return cindex
+
+
+def compile_args_for(cc_db, path, root):
+    args = ["-std=c++20", "-x", "c++", f"-I{root}/src"]
+    if cc_db is None:
+        return args
+    try:
+        cmds = cc_db.getCompileCommands(str(path))
+    except Exception:
+        cmds = None
+    if not cmds:
+        return args
+    raw = list(cmds[0].arguments)
+    out, skip = [], False
+    for a in raw[1:]:  # drop the compiler itself
+        if skip:
+            skip = False
+            continue
+        if a in ("-c", str(path)):
+            continue
+        if a == "-o":
+            skip = True
+            continue
+        out.append(a)
+    return out or args
+
+
+def build_models_libclang(cindex, root, build_dir, paths):
+    """Parse with libclang; reuse the shared token machinery for bodies.
+
+    Regions come from cursor extents (compiler-exact), parameters from
+    PARM_DECL cursors with real types; suspension points and body token
+    sets still come from the shared tokenizer, keyed by line ranges.
+    """
+    try:
+        cc_db = cindex.CompilationDatabase.fromDirectory(str(build_dir))
+    except Exception:
+        cc_db = None
+    index = cindex.Index.create()
+    models = []
+    for path in paths:
+        rel = os.path.relpath(path, root)
+        text = Path(path).read_text()
+        model = build_file_model(rel, text)  # token layer is shared
+        try:
+            tu = index.parse(
+                str(path), args=compile_args_for(cc_db, path, root)
+            )
+            refine_model_with_ast(cindex, tu, path, model)
+        except Exception as e:  # fall back to builtin regions
+            print(
+                f"nasd-analyze: libclang parse failed for {rel} ({e}); "
+                "using builtin parser for this file",
+                file=sys.stderr,
+            )
+        models.append(model)
+    return models
+
+
+def refine_model_with_ast(cindex, tu, path, model):
+    """Overlay compiler-exact parameter ref/pointer-ness onto the
+    builtin model's regions (matched by name + line)."""
+    CursorKind = cindex.CursorKind
+    TypeKind = cindex.TypeKind
+    by_key = {}
+    for r in model.regions:
+        if r.kind == "function":
+            by_key.setdefault((r.name, r.line), r)
+
+    def visit(cursor):
+        for c in cursor.get_children():
+            try:
+                loc_file = c.location.file
+            except Exception:
+                loc_file = None
+            if loc_file is not None and str(loc_file) != str(path):
+                continue
+            if c.kind in (
+                CursorKind.FUNCTION_DECL,
+                CursorKind.CXX_METHOD,
+                CursorKind.CONSTRUCTOR,
+                CursorKind.FUNCTION_TEMPLATE,
+            ) and c.is_definition():
+                region = by_key.get((c.spelling, c.location.line))
+                if region is not None:
+                    params = []
+                    for p in c.get_children():
+                        if p.kind != CursorKind.PARM_DECL:
+                            continue
+                        k = p.type.kind
+                        params.append(Param(
+                            p.spelling or "",
+                            p.type.spelling,
+                            k in (TypeKind.LVALUEREFERENCE,
+                                  TypeKind.RVALUEREFERENCE),
+                            k == TypeKind.POINTER,
+                            p.location.line,
+                        ))
+                    if params:
+                        region.params = params
+            visit(c)
+
+    visit(tu.cursor)
+
+
+# --------------------------------------------------------------------------
+# Baseline
+# --------------------------------------------------------------------------
+
+
+def load_baseline(path):
+    try:
+        data = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        return {}, []
+    except json.JSONDecodeError as e:
+        print(f"nasd-analyze: bad baseline JSON {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    entries = {}
+    errors = []
+    for e in data.get("entries", []):
+        check = e.get("check", "")
+        file_ = e.get("file", "")
+        symbol = e.get("symbol", "")
+        just = (e.get("justification") or "").strip()
+        key = f"{check}:{file_}:{symbol}"
+        if not (check and file_ and symbol):
+            errors.append(f"baseline entry missing check/file/symbol: {e}")
+            continue
+        if len(just) < 20:
+            errors.append(
+                f"baseline entry {key} needs a real justification "
+                "(>= 20 chars explaining why the finding is safe)"
+            )
+            continue
+        entries[key] = e
+    return entries, errors
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def discover_sources(root):
+    paths = []
+    for ext in ("*.cc", "*.h"):
+        paths.extend(sorted((root / "src").rglob(ext)))
+    return paths
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="AST-level coroutine-safety and sim-determinism "
+        "analyzer (checks A1-A5; see module docstring)",
+    )
+    ap.add_argument("files", nargs="*", help="files to analyze "
+                    "(default: all of src/ under --root)")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script)")
+    ap.add_argument("--build-dir", default=None,
+                    help="build dir holding compile_commands.json "
+                    "(libclang backend; default: ROOT/build)")
+    ap.add_argument("--backend", choices=("builtin", "libclang"),
+                    default=os.environ.get("NASD_ANALYZE_BACKEND",
+                                           "builtin"),
+                    help="parser backend (default builtin; libclang "
+                    "needs clang.cindex)")
+    ap.add_argument("--baseline", default=None,
+                    help="suppression file (default: "
+                    "tools/analyze_baseline.json)")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="ignore the baseline (fixture/self-test mode)")
+    ap.add_argument("--checks", default="A1,A2,A3,A4,A5",
+                    help="comma-separated subset of checks to run")
+    ap.add_argument("--format", choices=("text", "json"), default="text")
+    ap.add_argument("--list-checks", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_checks:
+        for cid, slug in CHECKS.items():
+            print(f"{cid}  {slug}")
+        return 0
+
+    root = Path(args.root) if args.root else \
+        Path(__file__).resolve().parent.parent
+    build_dir = Path(args.build_dir) if args.build_dir else root / "build"
+    checks = {c.strip() for c in args.checks.split(",") if c.strip()}
+    unknown = checks - set(CHECKS)
+    if unknown:
+        print(f"nasd-analyze: unknown checks: {sorted(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    if args.files:
+        paths = [Path(f).resolve() for f in args.files]
+    else:
+        paths = discover_sources(root)
+    if not paths:
+        print("nasd-analyze: no input files", file=sys.stderr)
+        return 2
+
+    if args.backend == "libclang":
+        cindex = load_cindex()
+        if cindex is None:
+            print(LIBCLANG_HINT, file=sys.stderr)
+            return 2
+        models = build_models_libclang(cindex, root, build_dir, paths)
+    else:
+        models = []
+        for path in paths:
+            rel = os.path.relpath(path, root)
+            models.append(build_file_model(rel, Path(path).read_text()))
+
+    findings = run_checks(models, checks)
+    findings.sort(key=lambda f: (f.file, f.line, f.check))
+
+    baseline_path = Path(args.baseline) if args.baseline else \
+        root / "tools" / "analyze_baseline.json"
+    suppressed = []
+    baseline_errors = []
+    if not args.no_baseline:
+        entries, baseline_errors = load_baseline(baseline_path)
+        kept = []
+        used = set()
+        for f in findings:
+            if f.key in entries:
+                suppressed.append(f)
+                used.add(f.key)
+            else:
+                kept.append(f)
+        findings = kept
+        for key in sorted(set(entries) - used):
+            print(f"nasd-analyze: note: unused baseline entry {key} "
+                  "(stale? consider removing it)", file=sys.stderr)
+
+    if args.format == "json":
+        out = {
+            "findings": [
+                {
+                    "check": f.check, "slug": CHECKS[f.check],
+                    "file": f.file, "line": f.line, "symbol": f.symbol,
+                    "key": f.key, "message": f.message, "hint": f.hint,
+                }
+                for f in findings
+            ],
+            "suppressed": len(suppressed),
+            "files": len(models),
+            "baseline_errors": baseline_errors,
+        }
+        print(json.dumps(out, indent=2))
+    else:
+        for f in findings:
+            print(f"{f.file}:{f.line}: [{f.check}/{CHECKS[f.check]}] "
+                  f"{f.message}\n    hint: {f.hint}\n    suppress-key: "
+                  f"{f.key}")
+        for e in baseline_errors:
+            print(f"nasd-analyze: baseline error: {e}", file=sys.stderr)
+        status = "clean" if not findings and not baseline_errors else \
+            f"{len(findings)} finding(s)"
+        print(f"nasd-analyze: {len(models)} file(s), {status}, "
+              f"{len(suppressed)} baselined")
+
+    if baseline_errors:
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
