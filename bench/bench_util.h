@@ -10,6 +10,7 @@
 #ifndef NASD_BENCH_BENCH_UTIL_H_
 #define NASD_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -64,6 +65,17 @@ struct BenchOptions
 {
     std::string json_path;  ///< metrics dump path; empty = skip
     std::string trace_path; ///< Chrome trace path; empty = tracing off
+
+    // Wall-clock anchor for the `sim/events_per_sec` scheduler
+    // throughput gauge: captured at option-parse time (process start,
+    // effectively) and differenced against Simulator's process-wide
+    // executed-event counter in writeBenchJson(). Wall time is the
+    // ONLY non-simulated quantity in a bench dump; the gauge is
+    // normalized away by tools/check_determinism.sh, never printed to
+    // stdout, and ignored by check_bench_json.py baseline comparison.
+    std::chrono::steady_clock::time_point wall_start =
+        std::chrono::steady_clock::now();
+    std::uint64_t events_start = sim::Simulator::totalEventsExecuted();
 };
 
 /** Parse `--json PATH`, `--no-json`, and `--trace PATH`; the metrics
@@ -103,6 +115,19 @@ writeBenchJson(const BenchOptions &opts, const char *bench_name,
 {
     if (opts.json_path.empty())
         return;
+    // Scheduler throughput over the whole bench run: simulated events
+    // executed per wall-clock second. Deliberately recorded right
+    // before serialization so it covers every Simulator the bench
+    // created (MetricsScope swaps don't reset the process-wide count).
+    const double wall_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      opts.wall_start)
+            .count();
+    const auto events =
+        sim::Simulator::totalEventsExecuted() - opts.events_start;
+    util::metrics().gauge("sim/events_per_sec")
+        .set(wall_secs > 0.0 ? static_cast<double>(events) / wall_secs
+                             : 0.0);
     std::FILE *f = std::fopen(opts.json_path.c_str(), "w");
     NASD_ASSERT(f != nullptr, "bench: cannot open metrics dump for write");
     const std::string metrics = util::metrics().toJson();

@@ -23,6 +23,7 @@
  * Counts are computed for real; the bench cross-checks the merged
  * totals across configurations.
  */
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdio>
@@ -465,14 +466,58 @@ runNfs(int n, bool parallel_files)
 }
 
 /** Record one headline point as a result gauge
- *  ("fig9/<series>/<n>_disks_mbps"). */
+ *  ("<bench>/<series>/<n>_disks_mbps"). */
 void
-record(const char *series, int disks, double mbps)
+record(const char *series, int disks, double mbps,
+       const char *bench = "fig9")
 {
     util::metrics()
-        .gauge(std::string("fig9/") + series + "/" + std::to_string(disks) +
-               "_disks_mbps")
+        .gauge(std::string(bench) + "/" + series + "/" +
+               std::to_string(disks) + "_disks_mbps")
         .set(mbps);
+}
+
+/**
+ * Print the per-op wait/service decomposition table and check that
+ * attribution reconciles with measured latency (within 1%).
+ * @return true if every op class reconciled.
+ */
+bool
+printBreakdown(const std::map<std::string, OpBreakdown> &breakdown)
+{
+    bool reconciled = true;
+    for (const auto &[op, b] : breakdown) {
+        if (b.count == 0)
+            continue;
+        const double measured_ms = b.measured_ns / 1e6;
+        std::printf("\n%s: %llu ops, measured %.2f ms total\n", op.c_str(),
+                    static_cast<unsigned long long>(b.count), measured_ms);
+        std::printf("  %-10s %12s %12s\n", "resource", "wait ms",
+                    "service ms");
+        std::uint64_t attributed = 0;
+        for (std::size_t k = 0; k < util::kResourceClassCount; ++k) {
+            attributed += b.wait_ns[k] + b.service_ns[k];
+            if (b.wait_ns[k] == 0 && b.service_ns[k] == 0)
+                continue;
+            std::printf("  %-10s %12.2f %12.2f\n",
+                        util::resourceClassName(
+                            static_cast<util::ResourceClass>(k)),
+                        static_cast<double>(b.wait_ns[k]) / 1e6,
+                        static_cast<double>(b.service_ns[k]) / 1e6);
+        }
+        std::printf("  %-10s %12s %12.2f\n", "other", "",
+                    static_cast<double>(b.other_ns) / 1e6);
+        const double attributed_ms = static_cast<double>(attributed) / 1e6;
+        const double delta_pct =
+            measured_ms == 0.0
+                ? 0.0
+                : (attributed_ms - measured_ms) / measured_ms * 100.0;
+        std::printf("  attributed %.2f ms vs measured %.2f ms (%+.3f%%)\n",
+                    attributed_ms, measured_ms, delta_pct);
+        if (std::abs(delta_pct) > 1.0)
+            reconciled = false;
+    }
+    return reconciled;
 }
 
 } // namespace
@@ -527,42 +572,7 @@ main(int argc, char **argv)
                     r.aggregate_mbs);
 
         std::printf("\nwhere did the time go — drive ops, all 8 drives\n");
-        bool reconciled = true;
-        for (const auto &[op, b] : breakdown) {
-            if (b.count == 0)
-                continue;
-            const double measured_ms = b.measured_ns / 1e6;
-            std::printf("\n%s: %llu ops, measured %.2f ms total\n",
-                        op.c_str(),
-                        static_cast<unsigned long long>(b.count),
-                        measured_ms);
-            std::printf("  %-10s %12s %12s\n", "resource", "wait ms",
-                        "service ms");
-            std::uint64_t attributed = 0;
-            for (std::size_t k = 0; k < util::kResourceClassCount; ++k) {
-                attributed += b.wait_ns[k] + b.service_ns[k];
-                if (b.wait_ns[k] == 0 && b.service_ns[k] == 0)
-                    continue;
-                std::printf("  %-10s %12.2f %12.2f\n",
-                            util::resourceClassName(
-                                static_cast<util::ResourceClass>(k)),
-                            static_cast<double>(b.wait_ns[k]) / 1e6,
-                            static_cast<double>(b.service_ns[k]) / 1e6);
-            }
-            std::printf("  %-10s %12s %12.2f\n", "other", "",
-                        static_cast<double>(b.other_ns) / 1e6);
-            const double attributed_ms =
-                static_cast<double>(attributed) / 1e6;
-            const double delta_pct =
-                measured_ms == 0.0
-                    ? 0.0
-                    : (attributed_ms - measured_ms) / measured_ms * 100.0;
-            std::printf("  attributed %.2f ms vs measured %.2f ms "
-                        "(%+.3f%%)\n",
-                        attributed_ms, measured_ms, delta_pct);
-            if (std::abs(delta_pct) > 1.0)
-                reconciled = false;
-        }
+        const bool reconciled = printBreakdown(breakdown);
         std::printf("\nper-op attribution reconciles with measured "
                     "latency (within 1%%): %s\n",
                     reconciled ? "yes" : "NO (BUG)");
@@ -584,6 +594,71 @@ main(int argc, char **argv)
         std::printf("\ndominant drive chain: %s\n",
                     report.dominantLane().c_str());
         return reconciled && report.roots > 0 ? 0 : 1;
+    }
+
+    if (argc > 2 && std::string_view(argv[1]) == "--drives") {
+        // Scaling sweep past the paper's 8-drive ceiling (ROADMAP item
+        // 1): N drives, N clients, 8 MB of dataset per drive so the
+        // scan reaches steady state at every size without the load
+        // phase dominating. NFS is omitted — the single-server bottleneck
+        // is the point of Figure 9; this mode asks what limits *NASD*.
+        std::vector<int> drive_counts;
+        {
+            const std::string list = argv[2];
+            std::size_t pos = 0;
+            while (pos < list.size()) {
+                auto comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                const int n = std::stoi(list.substr(pos, comma - pos));
+                NASD_ASSERT(n > 0, "--drives: counts must be positive");
+                drive_counts.push_back(n);
+                pos = comma + 1;
+            }
+        }
+        const bench::BenchOptions opts =
+            bench::parseOptions("fig9_scale", argc - 2, argv + 2);
+        bench::banner(
+            "fig9_mining --drives — NASD scaling beyond the paper's 8 "
+            "drives",
+            "scaling sweep (8 MB/drive, N clients on N drives)");
+
+        constexpr std::uint64_t kScaleBytesPerDrive = 8 * kMB;
+        const int largest =
+            *std::max_element(drive_counts.begin(), drive_counts.end());
+        std::map<std::string, OpBreakdown> breakdown;
+
+        std::printf("\n%7s %12s %16s %16s\n", "disks", "NASD MB/s",
+                    "MB/s per drive", "sim events");
+        bool all_deliver = true;
+        for (const int n : drive_counts) {
+            NasdRunExtras extras;
+            extras.breakdown = &breakdown;
+            const std::uint64_t before =
+                sim::Simulator::totalEventsExecuted();
+            const auto r =
+                runNasd(n, static_cast<std::uint64_t>(n) *
+                               kScaleBytesPerDrive,
+                        nullptr, n == largest ? &extras : nullptr);
+            const std::uint64_t events =
+                sim::Simulator::totalEventsExecuted() - before;
+            record("nasd", n, r.aggregate_mbs, "fig9_scale");
+            std::printf("%7d %12.1f %16.2f %16llu\n", n, r.aggregate_mbs,
+                        r.aggregate_mbs / n,
+                        static_cast<unsigned long long>(events));
+            all_deliver = all_deliver && r.aggregate_mbs > 0.0;
+        }
+
+        std::printf("\nwhere did the time go — drive ops, %d-drive run\n",
+                    largest);
+        const bool reconciled = printBreakdown(breakdown);
+        std::printf("\nper-op attribution reconciles with measured "
+                    "latency (within 1%%): %s\n",
+                    reconciled ? "yes" : "NO (BUG)");
+
+        bench::writeBenchJson(opts, "fig9_scale",
+                              "scaling sweep past Figure 9 (8 MB/drive)");
+        return all_deliver && reconciled ? 0 : 1;
     }
 
     const char *kReference = "Figure 9 (Section 5.2, NASD PFS vs NFS)";

@@ -218,8 +218,10 @@ struct CallState
     bool timed_out = false; ///< deadline fired first
     std::coroutine_handle<> waiter;
     T value{};
-    bool timer_armed = false;
-    std::uint64_t timer_id = 0;
+    // Deadline timer for this call. A fired or never-armed handle is
+    // stale, and cancelling a stale handle is a free no-op (generation
+    // counters in the event pool), so no "armed" flag is needed.
+    sim::TimerHandle deadline_timer;
 };
 
 template <typename T>
@@ -263,8 +265,7 @@ runCall(Network &net, NetNode &client, NetNode &server,
             continue; // duplicate reply; first copy won
         state->done = true;
         state->value = std::move(reply.value);
-        if (state->timer_armed)
-            net.simulator().cancelScheduled(state->timer_id);
+        net.simulator().cancelScheduled(state->deadline_timer);
         if (auto h = std::exchange(state->waiter, nullptr)) {
             // Defer one tick-0 event so the caller resumes from the
             // event loop, not from inside this frame (Gate idiom).
@@ -296,8 +297,7 @@ callWithDeadline(Network &net, NetNode &client, NetNode &server,
                                  std::move(handler), state));
     if (!state->done && !state->timed_out) {
         NetNode *client_ptr = &client;
-        state->timer_armed = true;
-        state->timer_id =
+        state->deadline_timer =
             sim.scheduleCancelableIn(timeout, [state, client_ptr] {
                 if (state->done || state->timed_out)
                     return;

@@ -1,0 +1,216 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace nasd::sim {
+
+namespace {
+
+/** Level whose 6-bit group is the highest one where @p when differs
+ *  from @p base. Returns 0 when when == base (handled by caller). */
+std::size_t
+divergenceLevel(Tick base, Tick when)
+{
+    const Tick diff = base ^ when;
+    if (diff == 0)
+        return 0;
+    const auto high_bit =
+        static_cast<std::size_t>(std::bit_width(diff) - 1);
+    return high_bit / TimerWheel::kLevelBits;
+}
+
+/** Min-heap order for the pre-base escape hatch: earliest (when, seq)
+ *  at the front. std::push_heap/pop_heap build max-heaps, so this is
+ *  the inverted comparison. */
+bool
+laterInHeap(const EventNode *a, const EventNode *b)
+{
+    if (a->when != b->when)
+        return a->when > b->when;
+    return a->seq > b->seq;
+}
+
+} // namespace
+
+TimerWheel::~TimerWheel()
+{
+    // Nodes still queued at teardown (e.g. a Simulator destroyed with
+    // pending timers) hold EventFns that may own resources; destroy
+    // them. The pool chunks themselves free with pool_.
+    for (std::size_t i = batch_head_; i < batch_.size(); ++i)
+        batch_[i]->fn.reset();
+    for (EventNode *n : early_)
+        n->fn.reset();
+    for (auto *head : slots_) {
+        for (EventNode *n = head; n != nullptr; n = n->next)
+            n->fn.reset();
+    }
+}
+
+void
+TimerWheel::insert(EventNode *n)
+{
+    if (n->when < base_) {
+        // Legal only when the wheel ran ahead of the caller's clock
+        // (cancelled timers at the front); see early_'s declaration.
+        early_.push_back(n);
+        std::push_heap(early_.begin(), early_.end(), laterInHeap);
+        return;
+    }
+    if (n->when == base_) {
+        // Expires at the tick currently being served: join the live
+        // batch. Sequence numbers are allocated monotonically and the
+        // batch is drained in seq order, so appending keeps it sorted
+        // (a mid-drain schedule always has a larger seq than every
+        // pending batch entry).
+        batch_.push_back(n);
+        return;
+    }
+    const std::size_t level = divergenceLevel(base_, n->when);
+    const std::size_t idx = slotIndex(level, n->when);
+    EventNode *&head = slot(level, idx);
+    n->next = head;
+    head = n;
+    occupancy_[level] |= std::uint64_t{1} << idx;
+}
+
+TimerHandle
+TimerWheel::push(Tick when, std::uint64_t seq, EventFn fn, bool cancelable)
+{
+    EventNode *n = pool_.allocate();
+    n->when = when;
+    n->seq = seq;
+    n->fn = std::move(fn);
+    insert(n);
+    ++size_;
+    if (!cancelable)
+        return TimerHandle{};
+    return TimerHandle{n->index, n->generation};
+}
+
+bool
+TimerWheel::cancel(const TimerHandle &h)
+{
+    if (!h.valid() || h.index >= pool_.allocatedNodes())
+        return false;
+    EventNode &n = pool_.at(h.index);
+    if (n.generation != h.generation || n.cancelled)
+        return false; // stale: fired, recycled, or double-cancel
+    n.cancelled = true;
+    // Lazy removal: the node stays queued and gates nextTime()/size()
+    // exactly like the seed scheduler's cancelled_ set did — a
+    // cancelled deadline still counts as "an event remains" for
+    // runUntil(), it just doesn't advance the clock when popped.
+    return true;
+}
+
+void
+TimerWheel::advance()
+{
+    NASD_ASSERT(size_ > 0, "timing wheel: advance on empty wheel");
+    // Cascade until the earliest pending events sit in the batch.
+    // Each pass finds the lowest occupied level's earliest slot; if
+    // that slot is above level 0 its chain scatters to lower levels
+    // (or the batch) after the base moves to the slot's span start.
+    while (true) {
+        std::size_t level = 0;
+        while (level < kLevels && occupancy_[level] == 0)
+            ++level;
+        NASD_ASSERT(level < kLevels, "timing wheel: occupancy lost events");
+
+        // Earliest occupied slot at this level. Slots at the node's
+        // divergence level are always strictly ahead of base's own
+        // group position, so the minimum set bit IS the next expiry —
+        // no wraparound arithmetic needed.
+        const auto idx = static_cast<std::size_t>(
+            std::countr_zero(occupancy_[level]));
+        EventNode *chain = slot(level, idx);
+        slot(level, idx) = nullptr;
+        occupancy_[level] &= ~(std::uint64_t{1} << idx);
+
+        // Move base to the start of this slot's span: keep the groups
+        // above `level`, set group `level` to idx, zero the rest.
+        const std::size_t shift = kLevelBits * (level + 1);
+        Tick new_base =
+            shift >= 64 ? 0 : (base_ >> shift) << shift;
+        new_base |= Tick{idx} << (kLevelBits * level);
+        NASD_ASSERT(new_base >= base_, "timing wheel: base went backwards");
+        base_ = new_base;
+
+        // Re-insert the chain: exact hits join the batch, later ones
+        // fall to lower levels of the wheel.
+        bool any_hit = false;
+        for (EventNode *n = chain; n != nullptr;) {
+            EventNode *next = n->next;
+            n->next = nullptr;
+            if (n->when == base_) {
+                batch_.push_back(n);
+                any_hit = true;
+            } else {
+                insert(n);
+            }
+            n = next;
+        }
+        if (any_hit)
+            break;
+        // Pure cascade (a far-future chain scattered without any node
+        // expiring at the slot start): keep going.
+    }
+    // Batch holds every event at tick base_. Drain in seq order to
+    // reproduce the seed heap's same-tick FIFO bit-for-bit. (Slot
+    // chains are LIFO and cascades interleave chains arbitrarily, so
+    // an explicit sort is what makes the order input-independent.)
+    std::sort(batch_.begin(), batch_.end(),
+              [](const EventNode *a, const EventNode *b) {
+                  return a->seq < b->seq;
+              });
+    batch_head_ = 0;
+}
+
+Tick
+TimerWheel::nextTime()
+{
+    NASD_ASSERT(size_ > 0, "timing wheel: nextTime on empty wheel");
+    if (!early_.empty())
+        return early_.front()->when; // pre-base events precede the rest
+    if (batch_head_ < batch_.size())
+        return batch_[batch_head_]->when; // whole batch shares one tick
+    // Peek without cascading: the earliest event lives in the minimum
+    // occupied slot of the lowest occupied level (lower levels are
+    // strictly nearer in time), so one chain scan finds its expiry.
+    // Deliberately non-mutating — see the header comment on why the
+    // base must not advance on a peek.
+    std::size_t level = 0;
+    while (level < kLevels && occupancy_[level] == 0)
+        ++level;
+    NASD_ASSERT(level < kLevels, "timing wheel: occupancy lost events");
+    const auto idx =
+        static_cast<std::size_t>(std::countr_zero(occupancy_[level]));
+    Tick min_when = kTickMax;
+    for (const EventNode *n = slot(level, idx); n != nullptr; n = n->next)
+        min_when = std::min(min_when, n->when);
+    return min_when;
+}
+
+EventNode *
+TimerWheel::popNext()
+{
+    NASD_ASSERT(size_ > 0, "timing wheel: popNext on empty wheel");
+    if (!early_.empty()) {
+        std::pop_heap(early_.begin(), early_.end(), laterInHeap);
+        EventNode *n = early_.back();
+        early_.pop_back();
+        --size_;
+        return n;
+    }
+    if (batch_head_ >= batch_.size()) {
+        batch_.clear();
+        advance();
+    }
+    EventNode *n = batch_[batch_head_++];
+    --size_;
+    return n;
+}
+
+} // namespace nasd::sim

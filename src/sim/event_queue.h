@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Pooled event storage and the hierarchical timing-wheel queue behind
+ * sim::Simulator.
+ *
+ * Three pieces, all in service of making the scheduler an O(1) hot
+ * path at fleet scale (fig9 --drives 256) without giving up the
+ * bit-for-bit determinism every bench baseline depends on:
+ *
+ *  - EventFn: a small-buffer type-erased `void()` callable. The
+ *    scheduler's callbacks are almost all tiny resume lambdas
+ *    (`[h] { h.resume(); }`); EventFn stores anything up to
+ *    kInlineBytes inline in the event node, so the fast path performs
+ *    zero heap allocations per event (std::function allocated one).
+ *    Larger or throwing-move callables transparently fall back to a
+ *    single heap cell.
+ *
+ *  - TimerHandle + EventPool: slab-allocated event nodes recycled
+ *    through a free list. A handle names a node by (pool index,
+ *    generation); the generation is bumped every time a node is
+ *    recycled, so a stale handle — one whose event already fired — can
+ *    never cancel an unrelated reused node, and cancelling it twice is
+ *    a no-op. This replaces the old lazy-delete `cancelled_` id set,
+ *    which grew without bound when callers cancelled already-fired
+ *    timers.
+ *
+ *  - TimerWheel: a hierarchical timing wheel (Linux kernel/time/timer.c
+ *    and FreeBSD callout-wheel lineage): kLevels levels of kSlots
+ *    slots, level l spanning 64^(l+1) ns. Unlike the kernel wheel, no
+ *    rounding is permitted — events keep their exact nanosecond expiry
+ *    and cascade toward level 0 as the wheel advances, so the executed
+ *    schedule is exactly the (when, seq) order the old binary heap
+ *    produced. Same-tick FIFO order is restored by a per-expiry sort
+ *    on the unique monotonic sequence number: events landing in one
+ *    level-0 slot all share the same tick, and a sort by seq is a
+ *    total, input-independent order.
+ *
+ * Determinism contract (see DESIGN.md §"Simulator core"): for a fixed
+ * program, the sequence of (when, seq) pairs executed is identical to
+ * the seed scheduler's. Nothing in this file consults wall clocks,
+ * addresses, or hashing.
+ */
+#ifndef NASD_SIM_EVENT_QUEUE_H_
+#define NASD_SIM_EVENT_QUEUE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/logging.h"
+
+namespace nasd::sim {
+
+/**
+ * Small-buffer type-erased `void()` callable for event nodes.
+ *
+ * Callables that fit kInlineBytes and are nothrow-move-constructible
+ * live inline in the node; anything else is boxed in one heap cell.
+ * Move-only (an EventFn is consumed exactly once by the event loop).
+ */
+class EventFn
+{
+  public:
+    /** Inline capacity: covers every scheduler callback in the tree
+     *  (resume lambdas, RPC deadline closures, copied std::function
+     *  objects) without touching the allocator. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    EventFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventFn(F &&f) // NOLINT(google-explicit-constructor): converting
+                   // ctor is the point — call sites pass raw lambdas
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(buf_))
+                Fn *(new Fn(std::forward<F>(f)));
+            ops_ = &boxedOps<Fn>;
+        }
+    }
+
+    EventFn(EventFn &&other) noexcept : ops_(other.ops_)
+    {
+        if (ops_ != nullptr) {
+            ops_->relocate(other.buf_, buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    EventFn &
+    operator=(EventFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_ != nullptr) {
+                ops_->relocate(other.buf_, buf_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn() { reset(); }
+
+    void
+    operator()()
+    {
+        NASD_ASSERT(ops_ != nullptr, "invoking an empty EventFn");
+        ops_->invoke(buf_);
+    }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Destroy the held callable without invoking it. */
+    void
+    reset()
+    {
+        if (auto *ops = std::exchange(ops_, nullptr))
+            ops->destroy(buf_);
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*relocate)(void *src, void *dst) noexcept;
+        void (*destroy)(void *) noexcept;
+    };
+
+    template <typename Fn>
+    static void
+    inlineInvoke(void *p)
+    {
+        (*std::launder(reinterpret_cast<Fn *>(p)))();
+    }
+
+    template <typename Fn>
+    static void
+    inlineRelocate(void *src, void *dst) noexcept
+    {
+        Fn *from = std::launder(reinterpret_cast<Fn *>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    inlineDestroy(void *p) noexcept
+    {
+        std::launder(reinterpret_cast<Fn *>(p))->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    boxedInvoke(void *p)
+    {
+        (**std::launder(reinterpret_cast<Fn **>(p)))();
+    }
+
+    template <typename Fn>
+    static void
+    boxedRelocate(void *src, void *dst) noexcept
+    {
+        Fn **from = std::launder(reinterpret_cast<Fn **>(src));
+        ::new (dst) Fn *(*from);
+    }
+
+    template <typename Fn>
+    static void
+    boxedDestroy(void *p) noexcept
+    {
+        delete *std::launder(reinterpret_cast<Fn **>(p));
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps{&inlineInvoke<Fn>, &inlineRelocate<Fn>,
+                                   &inlineDestroy<Fn>};
+    template <typename Fn>
+    static constexpr Ops boxedOps{&boxedInvoke<Fn>, &boxedRelocate<Fn>,
+                                  &boxedDestroy<Fn>};
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+/**
+ * Names one pending cancelable event by pool slot + generation.
+ *
+ * Lifetime rules: the handle is valid from scheduleCancelable() until
+ * the event fires or is cancelled. Cancelling after either point is a
+ * harmless no-op — the generation stored in the handle no longer
+ * matches the (recycled) node — so callers need no "already fired"
+ * bookkeeping of their own. A handle never dangles and is never
+ * reused for a different event.
+ */
+struct TimerHandle
+{
+    static constexpr std::uint32_t kInvalidIndex = ~std::uint32_t{0};
+
+    std::uint32_t index = kInvalidIndex;
+    std::uint32_t generation = 0;
+
+    bool valid() const { return index != kInvalidIndex; }
+};
+
+/** One pending event: intrusive slot-chain link + inline callback. */
+struct EventNode
+{
+    Tick when = 0;
+    std::uint64_t seq = 0;
+    EventNode *next = nullptr; ///< slot chain / free-list link
+    std::uint32_t index = 0;   ///< own slot in the pool
+    std::uint32_t generation = 0;
+    bool cancelled = false;
+    EventFn fn;
+};
+
+/**
+ * Slab allocator for EventNodes: fixed-size chunks, pointer-stable,
+ * LIFO free list. Recycling bumps the node's generation, invalidating
+ * every outstanding TimerHandle to it in O(1).
+ */
+class EventPool
+{
+  public:
+    static constexpr std::size_t kChunkNodes = 256;
+
+    EventNode *
+    allocate()
+    {
+        if (free_ == nullptr)
+            grow();
+        EventNode *n = free_;
+        free_ = n->next;
+        n->next = nullptr;
+        n->cancelled = false;
+        return n;
+    }
+
+    /** Return @p n to the free list; its generation is bumped so any
+     *  handle still naming it goes stale. */
+    void
+    recycle(EventNode *n)
+    {
+        n->fn.reset();
+        ++n->generation;
+        n->next = free_;
+        free_ = n;
+    }
+
+    /** The node at @p index (valid or recycled). */
+    EventNode &
+    at(std::uint32_t index)
+    {
+        return chunks_[index / kChunkNodes][index % kChunkNodes];
+    }
+
+    std::uint32_t allocatedNodes() const
+    {
+        return static_cast<std::uint32_t>(chunks_.size() * kChunkNodes);
+    }
+
+  private:
+    void
+    grow()
+    {
+        const auto base =
+            static_cast<std::uint32_t>(chunks_.size() * kChunkNodes);
+        chunks_.push_back(std::make_unique<EventNode[]>(kChunkNodes));
+        EventNode *chunk = chunks_.back().get();
+        // Thread the new chunk onto the free list in index order so
+        // allocation order (and thus nothing at all — indices never
+        // leak into event ordering) stays reproducible.
+        for (std::size_t i = kChunkNodes; i-- > 0;) {
+            chunk[i].index = base + static_cast<std::uint32_t>(i);
+            chunk[i].next = free_;
+            free_ = &chunk[i];
+        }
+    }
+
+    std::vector<std::unique_ptr<EventNode[]>> chunks_;
+    EventNode *free_ = nullptr;
+};
+
+/**
+ * Hierarchical timing wheel keyed on absolute ticks.
+ *
+ * Level l holds events whose expiry first diverges from the wheel's
+ * base time in bit-group l (6 bits per level): level 0 spans the next
+ * 64 ns, level 1 the next 4096 ns, ... 11 levels cover the full
+ * 64-bit tick range. Advancing to the next expiry cascades the
+ * nearest occupied slot downward until its events land in level 0 or
+ * exactly on the new base; per-level occupancy bitmaps make "find
+ * next occupied slot" a count-trailing-zeros, never a scan.
+ *
+ * The drain order contract: popNext() yields events in strictly
+ * nondecreasing (when, seq) order, bit-identical to a binary heap
+ * ordered the same way. Cancelled nodes stay queued (they gate
+ * runUntil() exactly like live ones, preserving the seed scheduler's
+ * run-until-empty semantics) and are skipped by the caller on pop.
+ */
+class TimerWheel
+{
+  public:
+    static constexpr std::size_t kLevelBits = 6;
+    static constexpr std::size_t kSlots = 1u << kLevelBits; // 64
+    static constexpr std::size_t kLevels = 11; // 66 bits >= 64-bit Tick
+
+    TimerWheel() { slots_.fill(nullptr); }
+
+    TimerWheel(const TimerWheel &) = delete;
+    TimerWheel &operator=(const TimerWheel &) = delete;
+
+    ~TimerWheel();
+
+    /** Total queued nodes, cancelled ones included. */
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /**
+     * Queue @p fn at absolute tick @p when (>= base). @p cancelable
+     * events get a live TimerHandle; others an invalid one (callers
+     * of plain schedule() never cancel).
+     */
+    TimerHandle push(Tick when, std::uint64_t seq, EventFn fn,
+                     bool cancelable);
+
+    /**
+     * Cancel the event named by @p h. O(1). A stale handle — already
+     * fired, already cancelled, or recycled — is a no-op, so callers
+     * may cancel unconditionally.
+     * @return true if a pending event was actually cancelled.
+     */
+    bool cancel(const TimerHandle &h);
+
+    /**
+     * Expiry of the next event (cancelled or not). Requires !empty().
+     *
+     * Non-mutating: peeking never cascades. This matters for the
+     * base-time invariant — the wheel's base only moves forward in
+     * popNext(), whose caller is committed to consuming that event,
+     * so between run/runUntil calls `base_ <= now` always holds and
+     * new events may be scheduled at any tick >= now.
+     */
+    Tick nextTime();
+
+    /** Remove and return the next event in (when, seq) order.
+     *  Requires !empty(). Caller recycles the node via recycle(). */
+    EventNode *popNext();
+
+    /** Return a popped node to the pool (invalidates its handles). */
+    void
+    recycle(EventNode *n)
+    {
+        pool_.recycle(n);
+    }
+
+  private:
+    /** Fill batch_ with the earliest expiry's events, seq-sorted. */
+    void advance();
+
+    void insert(EventNode *n);
+
+    std::size_t
+    slotIndex(std::size_t level, Tick when) const
+    {
+        return (when >> (kLevelBits * level)) & (kSlots - 1);
+    }
+
+    EventNode *&
+    slot(std::size_t level, std::size_t idx)
+    {
+        return slots_[level * kSlots + idx];
+    }
+
+    EventPool pool_;
+    std::array<EventNode *, kLevels * kSlots> slots_{};
+    std::array<std::uint64_t, kLevels> occupancy_{};
+    Tick base_ = 0;       ///< wheel reference time (last expiry served)
+    std::size_t size_ = 0;
+
+    // Events expiring exactly at base_, in seq order. Vector-as-ring:
+    // batch_[batch_head_..] are pending; fully drained -> cleared.
+    std::vector<EventNode *> batch_;
+    std::size_t batch_head_ = 0;
+
+    // Pre-base escape hatch. The wheel's base tracks the tick of the
+    // event batch being served, which can run AHEAD of the caller's
+    // clock when cancelled timers sit at the front (they are popped
+    // without advancing the clock). An insert below base_ — legal, the
+    // contract is only when >= now — lands in this (when, seq)
+    // min-heap instead; every entry here precedes every batch/wheel
+    // entry, so drain order stays exact. Empty in the common case.
+    std::vector<EventNode *> early_;
+};
+
+} // namespace nasd::sim
+
+#endif // NASD_SIM_EVENT_QUEUE_H_

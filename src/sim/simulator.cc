@@ -1,38 +1,55 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
+#include <exception>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace nasd::sim {
 
+namespace detail {
+
+void
+rootFinished(Simulator &sim, PromiseBase &p) noexcept
+{
+    // Unlink from the live list (O(1) via the intrusive prev/next).
+    if (p.root_prev != nullptr)
+        p.root_prev->root_next = p.root_next;
+    else
+        sim.live_head_ = p.root_next;
+    if (p.root_next != nullptr)
+        p.root_next->root_prev = p.root_prev;
+    p.root_prev = p.root_next = nullptr;
+    --sim.live_count_;
+
+    // Append to the finished FIFO for the next sweepFinished().
+    if (sim.finished_tail_ != nullptr)
+        sim.finished_tail_->root_next = &p;
+    else
+        sim.finished_head_ = &p;
+    sim.finished_tail_ = &p;
+}
+
+} // namespace detail
+
 Simulator::~Simulator()
 {
     // Destroy any still-suspended top-level processes. Their frames
     // unwind normally (locals are destroyed), but no further simulation
-    // happens.
-    for (auto h : roots_) {
-        if (h)
-            h.destroy();
+    // happens. Finished-but-unswept frames are reclaimed too; their
+    // stored exceptions die with them.
+    detail::PromiseBase *p = live_head_;
+    while (p != nullptr) {
+        detail::PromiseBase *next = p->root_next;
+        p->root_handle.destroy();
+        p = next;
     }
-}
-
-void
-Simulator::schedule(Tick when, std::function<void()> fn)
-{
-    NASD_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
-                now_);
-    events_.push(PendingEvent{when, next_seq_++, std::move(fn)});
-}
-
-std::uint64_t
-Simulator::scheduleCancelable(Tick when, std::function<void()> fn)
-{
-    NASD_ASSERT(when >= now_, "scheduling into the past: ", when, " < ",
-                now_);
-    const std::uint64_t id = next_seq_++;
-    events_.push(PendingEvent{when, id, std::move(fn)});
-    return id;
+    p = finished_head_;
+    while (p != nullptr) {
+        detail::PromiseBase *next = p->root_next;
+        p->root_handle.destroy();
+        p = next;
+    }
 }
 
 void
@@ -40,7 +57,14 @@ Simulator::spawn(Task<void> task)
 {
     NASD_ASSERT(task.valid(), "spawning an empty task");
     auto h = task.release();
-    roots_.push_back(h);
+    detail::PromiseBase &p = h.promise();
+    p.root_owner = this;
+    p.root_handle = h;
+    p.root_next = live_head_;
+    if (live_head_ != nullptr)
+        live_head_->root_prev = &p;
+    live_head_ = &p;
+    ++live_count_;
     h.resume(); // run to first suspension (or completion)
     sweepFinished();
 }
@@ -48,24 +72,29 @@ Simulator::spawn(Task<void> task)
 bool
 Simulator::executeNext()
 {
-    if (events_.empty())
+    if (wheel_.empty())
         return false;
-    // Move the event out before popping so the handler may schedule
-    // more events (which mutates the heap).
-    PendingEvent ev = std::move(const_cast<PendingEvent &>(events_.top()));
-    events_.pop();
-    NASD_ASSERT(ev.when >= now_, "event queue time went backwards");
-    if (cancelled_.erase(ev.seq) > 0) {
+    EventNode *node = wheel_.popNext();
+    NASD_ASSERT(node->when >= now_, "event queue time went backwards");
+    if (node->cancelled) {
         // Revoked timer: discard without touching the clock, so a
         // cancelled deadline never stretches a measured interval.
         // Single-step so runUntil() re-checks its deadline before the
         // next (possibly later) event runs.
+        wheel_.recycle(node);
         return true;
     }
-    now_ = ev.when;
-    last_event_time_ = ev.when;
+    // Move the callback out and recycle the node *before* invoking:
+    // the handler may schedule new events (reusing this very node),
+    // and any handle to this event must already read as fired.
+    EventFn fn = std::move(node->fn);
+    const Tick when = node->when;
+    wheel_.recycle(node);
+    now_ = when;
+    last_event_time_ = when;
     ++events_executed_;
-    ev.fn();
+    ++total_events_;
+    fn();
     return true;
 }
 
@@ -80,38 +109,36 @@ Simulator::run()
 bool
 Simulator::runUntil(Tick deadline)
 {
-    while (!events_.empty() && events_.top().when <= deadline)
+    while (!wheel_.empty() && wheel_.nextTime() <= deadline)
         executeNext();
     sweepFinished();
     if (now_ < deadline)
         now_ = deadline;
-    return !events_.empty();
+    return !wheel_.empty();
 }
 
 void
 Simulator::sweepFinished()
 {
-    auto it = roots_.begin();
-    while (it != roots_.end()) {
-        auto h = *it;
-        if (h && h.done()) {
-            auto exc = h.promise().exception;
-            h.destroy();
-            it = roots_.erase(it);
-            if (exc)
-                std::rethrow_exception(exc);
-        } else {
-            ++it;
-        }
-    }
-}
+    // Detach the whole finished FIFO first: destroying a frame runs
+    // destructors that could in principle spawn (and finish) further
+    // processes, which would append to the list mid-walk.
+    detail::PromiseBase *p = std::exchange(finished_head_, nullptr);
+    finished_tail_ = nullptr;
 
-std::size_t
-Simulator::liveProcesses() const
-{
-    return static_cast<std::size_t>(
-        std::count_if(roots_.begin(), roots_.end(),
-                      [](auto h) { return h && !h.done(); }));
+    // Destroy every finished frame before rethrowing, so one failing
+    // process can no longer leak its siblings' frames for this sweep
+    // (the seed implementation rethrew mid-iteration).
+    std::exception_ptr first_exception;
+    while (p != nullptr) {
+        detail::PromiseBase *next = p->root_next;
+        if (!first_exception && p->exception)
+            first_exception = p->exception;
+        p->root_handle.destroy();
+        p = next;
+    }
+    if (first_exception)
+        std::rethrow_exception(first_exception);
 }
 
 } // namespace nasd::sim

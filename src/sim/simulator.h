@@ -8,18 +8,20 @@
  * resources (see resource.h / sync.h).
  *
  * Events at the same tick execute in FIFO order of scheduling, making
- * every run deterministic.
+ * every run deterministic. The queue is a hierarchical timing wheel
+ * with pooled event nodes (see event_queue.h): O(1) amortized
+ * push/pop/cancel and no per-event heap allocation for small
+ * callbacks, replacing the original binary heap of std::function —
+ * with the executed (when, seq) sequence bit-identical to it.
  */
 #ifndef NASD_SIM_SIMULATOR_H_
 #define NASD_SIM_SIMULATOR_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
 
+#include "sim/event_queue.h"
 #include "sim/task.h"
 #include "sim/time.h"
 
@@ -40,11 +42,18 @@ class Simulator
     Tick now() const { return now_; }
 
     /** Schedule @p fn to run at absolute time @p when (>= now). */
-    void schedule(Tick when, std::function<void()> fn);
+    void
+    schedule(Tick when, EventFn fn)
+    {
+        NASD_ASSERT(when >= now_, "scheduling into the past: ", when,
+                    " < ", now_);
+        wheel_.push(when, next_seq_++, std::move(fn),
+                    /*cancelable=*/false);
+    }
 
     /** Schedule @p fn to run @p delta ticks from now. */
     void
-    scheduleIn(Tick delta, std::function<void()> fn)
+    scheduleIn(Tick delta, EventFn fn)
     {
         schedule(now_ + delta, std::move(fn));
     }
@@ -57,24 +66,30 @@ class Simulator
      * of already-completed operations never inflate measured times in
      * run-until-empty loops.
      */
-    std::uint64_t scheduleCancelable(Tick when, std::function<void()> fn);
+    TimerHandle
+    scheduleCancelable(Tick when, EventFn fn)
+    {
+        NASD_ASSERT(when >= now_, "scheduling into the past: ", when,
+                    " < ", now_);
+        return wheel_.push(when, next_seq_++, std::move(fn),
+                           /*cancelable=*/true);
+    }
 
     /** scheduleCancelable() relative to now. */
-    std::uint64_t
-    scheduleCancelableIn(Tick delta, std::function<void()> fn)
+    TimerHandle
+    scheduleCancelableIn(Tick delta, EventFn fn)
     {
         return scheduleCancelable(now_ + delta, std::move(fn));
     }
 
     /**
-     * Revoke a scheduleCancelable() event. Lazy deletion: the entry
-     * stays in the heap and is discarded when popped. Cancelling an
-     * event that already fired is harmless only if the id is never
-     * reused, which holds because seq numbers are unique — but callers
-     * should still guard with their own "fired" flag to keep the
-     * cancelled set from accumulating.
+     * Revoke a scheduleCancelable() event. O(1); no per-cancel state
+     * is retained. A stale handle — the event already fired, was
+     * already cancelled, or the handle is default-constructed — is a
+     * harmless no-op thanks to the pool's generation counters, so
+     * callers no longer need their own "already fired" bookkeeping.
      */
-    void cancelScheduled(std::uint64_t id) { cancelled_.insert(id); }
+    void cancelScheduled(TimerHandle h) { wheel_.cancel(h); }
 
     /**
      * Start a top-level process. The simulator takes ownership of the
@@ -97,6 +112,14 @@ class Simulator
     std::uint64_t eventsExecuted() const { return events_executed_; }
 
     /**
+     * Process-wide count of events executed across every Simulator
+     * instance. Feeds the wall-clock `sim/events_per_sec` throughput
+     * gauge in bench JSON dumps (see bench_util.h); deliberately NOT
+     * part of any simulated quantity, so it never affects determinism.
+     */
+    static std::uint64_t totalEventsExecuted() { return total_events_; }
+
+    /**
      * Time of the last event actually executed. After run() this
      * equals now(); after runUntil() it excludes the idle tail between
      * the final event and the rounded-up deadline, so sampled runs
@@ -105,7 +128,7 @@ class Simulator
     Tick lastEventTime() const { return last_event_time_; }
 
     /** Number of live (not yet finished) spawned processes. */
-    std::size_t liveProcesses() const;
+    std::size_t liveProcesses() const { return live_count_; }
 
     // Awaitable helpers ---------------------------------------------------
 
@@ -130,37 +153,31 @@ class Simulator
     DelayAwaiter delay(Tick dt) { return DelayAwaiter{*this, dt}; }
 
   private:
-    struct PendingEvent
-    {
-        Tick when;
-        std::uint64_t seq;
-        std::function<void()> fn;
-
-        bool
-        operator>(const PendingEvent &other) const
-        {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
-        }
-    };
+    friend void detail::rootFinished(Simulator &,
+                                     detail::PromiseBase &) noexcept;
 
     /** Reclaim finished top-level processes; rethrow their exceptions. */
     void sweepFinished();
 
     bool executeNext();
 
-    using EventHeap =
-        std::priority_queue<PendingEvent, std::vector<PendingEvent>,
-                            std::greater<PendingEvent>>;
-
     Tick now_ = 0;
     Tick last_event_time_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t events_executed_ = 0;
-    EventHeap events_;
-    std::unordered_set<std::uint64_t> cancelled_;
-    std::vector<std::coroutine_handle<Task<void>::promise_type>> roots_;
+    TimerWheel wheel_;
+
+    // Root coroutines live on intrusive lists threaded through their
+    // promises (see PromiseBase): a doubly-linked list of running
+    // processes (O(1) unlink when one finishes) and a singly-linked
+    // FIFO of finished ones awaiting sweepFinished(), which is thus
+    // O(finished), not O(all processes).
+    detail::PromiseBase *live_head_ = nullptr;
+    detail::PromiseBase *finished_head_ = nullptr;
+    detail::PromiseBase *finished_tail_ = nullptr;
+    std::size_t live_count_ = 0;
+
+    static inline std::uint64_t total_events_ = 0;
 };
 
 } // namespace nasd::sim

@@ -27,7 +27,18 @@ namespace nasd::sim {
 template <typename T>
 class Task;
 
+class Simulator;
+
 namespace detail {
+
+struct PromiseBase;
+
+/**
+ * Called (from simulator.cc) at a root process's final suspension:
+ * moves the promise from the simulator's live list to its finished
+ * list so reclamation is O(finished), not a scan over all roots.
+ */
+void rootFinished(Simulator &sim, PromiseBase &promise) noexcept;
 
 /** Behaviour shared by Task promises: continuation + symmetric finish. */
 struct PromiseBase
@@ -42,8 +53,15 @@ struct PromiseBase
         std::coroutine_handle<>
         await_suspend(std::coroutine_handle<Promise> h) const noexcept
         {
-            auto cont = h.promise().continuation;
-            return cont ? cont : std::noop_coroutine();
+            PromiseBase &p = h.promise();
+            if (p.continuation)
+                return p.continuation;
+            // No awaiter: this is a top-level process owned by the
+            // simulator (Simulator::spawn). Hand the frame to its
+            // finished list for the next sweep.
+            if (p.root_owner != nullptr)
+                rootFinished(*p.root_owner, p);
+            return std::noop_coroutine();
         }
 
         void await_resume() const noexcept {}
@@ -59,6 +77,14 @@ struct PromiseBase
     }
 
     std::exception_ptr exception;
+
+    // Intrusive hooks for Simulator's root-process lists. Set by
+    // Simulator::spawn for top-level processes only; child tasks
+    // awaited inside a process never touch them.
+    Simulator *root_owner = nullptr;
+    PromiseBase *root_prev = nullptr;
+    PromiseBase *root_next = nullptr;
+    std::coroutine_handle<> root_handle; ///< type-erased own frame
 };
 
 } // namespace detail

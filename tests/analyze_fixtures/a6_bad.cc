@@ -1,0 +1,38 @@
+// Fixture: seeded A6 (raw-event-access) violations — bypassing the
+// Simulator's scheduling API from outside src/sim.
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace fx {
+
+class DeadlineTracker
+{
+  public:
+    void
+    armDirectly(sim::Simulator &sim)
+    {
+        // Pushing straight into the queue skips the seq allocation that
+        // same-tick FIFO order depends on.
+        sim.events_.push(make_event()); // EXPECT[A6] direct queue access
+        wheel_.push(100, 0, [] {}, true); // EXPECT[A6] wheel member
+    }
+
+    void
+    retainNode(sim::EventNode *node) // EXPECT[A6] raw node pointer
+    {
+        pending_ = node; // dangles once the event fires (pool recycle)
+    }
+
+    void
+    forgeHandle()
+    {
+        // Fabricated index/generation pair: the pool never issued it.
+        sim::TimerHandle fake{3, 7}; // EXPECT[A6] forged handle
+        cancel(fake);
+    }
+
+  private:
+    void *pending_ = nullptr;
+};
+
+} // namespace fx

@@ -1,0 +1,41 @@
+// Fixture: A6-clean event scheduling — everything goes through the
+// Simulator API and cancellation uses the returned handle. The
+// analyzer must stay silent on all of it.
+#include "sim/simulator.h"
+
+namespace fx {
+
+class DeadlineTracker
+{
+  public:
+    void
+    arm(sim::Simulator &sim)
+    {
+        // Sanctioned path: scheduleCancelable hands back the handle.
+        deadline_ = sim.scheduleCancelableIn(100, [this] { fire(); });
+        sim.scheduleIn(0, [this] { fire(); });
+    }
+
+    void
+    disarm(sim::Simulator &sim)
+    {
+        // Stale handles are a no-op; cancel unconditionally.
+        sim.cancelScheduled(deadline_);
+        deadline_ = sim::TimerHandle{};
+    }
+
+    // Passing a handle around (by value) is storage, not forgery.
+    void
+    adopt(sim::TimerHandle h)
+    {
+        deadline_ = h;
+    }
+
+  private:
+    void fire();
+
+    // Default-constructed handle = "no timer armed"; valid to cancel.
+    sim::TimerHandle deadline_;
+};
+
+} // namespace fx

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -661,6 +663,233 @@ TEST(ScopedPermit, SameTickHandoffOrderMatchesReleaseOrder)
     EXPECT_EQ(order[0], 0);
     EXPECT_EQ(order[1], 1);
     EXPECT_EQ(order[2], 2);
+}
+
+// ----------------------------------------------------- timing wheel core
+
+// Far-future timers live in upper wheel levels and must cascade down
+// without losing their exact expiry. Spread events across every level
+// boundary magnitude and check strict time order.
+TEST(TimerWheel, FarFutureTimersCascadeToExactTicks)
+{
+    Simulator sim;
+    std::vector<Tick> fired;
+    // One event per wheel-level magnitude (64^k spans), plus offsets
+    // that force multi-step cascades (slot chains scattering twice).
+    const std::vector<Tick> whens = {
+        1,         63,        64,        65,         100,
+        4095,      4096,      4097,      262143,     262144,
+        262145,    16777216,  16777217,  1073741824, 68719476736ull,
+        4398046511104ull,     281474976710656ull};
+    for (auto it = whens.rbegin(); it != whens.rend(); ++it) {
+        const Tick when = *it;
+        sim.schedule(when, [&fired, when] { fired.push_back(when); });
+    }
+    sim.run();
+    std::vector<Tick> expected = whens;
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(sim.now(), whens.back());
+    EXPECT_EQ(sim.eventsExecuted(), whens.size());
+}
+
+// Ticks that land exactly on a wheel-level rollover (64, 64^2, 64^3,
+// ...) sit on slot boundaries where an off-by-one in the divergence
+// computation would misfile them.
+TEST(TimerWheel, RolloverBoundaryTicksFireInOrder)
+{
+    Simulator sim;
+    std::vector<Tick> fired;
+    for (int level = 1; level <= 9; ++level) {
+        const Tick boundary = Tick{1} << (6 * level);
+        for (const Tick when : {boundary - 1, boundary, boundary + 1})
+            sim.schedule(when, [&fired, when] { fired.push_back(when); });
+    }
+    sim.run();
+    ASSERT_EQ(fired.size(), 27u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+    EXPECT_EQ(fired.front(), 63u);
+    EXPECT_EQ(fired.back(), (Tick{1} << 54) + 1);
+}
+
+// Same-tick FIFO must hold even when the events reach that tick from
+// different wheel levels: one scheduled far in advance (upper level,
+// cascaded down) and one scheduled just before (level 0 directly).
+// Schedule order — not wheel placement — decides execution order.
+TEST(TimerWheel, SameTickFifoAcrossWheelLevels)
+{
+    Simulator sim;
+    std::vector<int> order;
+    const Tick target = 5000; // upper level from t=0, level 0 from 4999
+    sim.schedule(target, [&] { order.push_back(0) /* scheduled 1st */; });
+    sim.schedule(4999, [&] {
+        sim.schedule(target, [&] { order.push_back(2); });
+    });
+    sim.schedule(10, [&] {
+        sim.schedule(target, [&] { order.push_back(1) /* 2nd */; });
+    });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(sim.now(), target);
+}
+
+// A handler scheduling at its own tick appends to the live batch and
+// still runs this tick, after everything already queued there.
+TEST(TimerWheel, ZeroDelayFromHandlerRunsSameTickLast)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(50, [&] {
+        order.push_back(1);
+        sim.scheduleIn(0, [&] { order.push_back(3); });
+    });
+    sim.schedule(50, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 50u);
+}
+
+// runUntil()'s contract on the new core: the clock rounds up to the
+// deadline, lastEventTime() sticks at the final executed event, and
+// events between calls land exactly once.
+TEST(TimerWheel, RunUntilAndLastEventTimeContract)
+{
+    Simulator sim;
+    std::vector<Tick> fired;
+    for (const Tick when : {250u, 500u, 750u})
+        sim.schedule(when, [&fired, when] { fired.push_back(when); });
+    EXPECT_TRUE(sim.runUntil(500));
+    EXPECT_EQ(sim.now(), 500u);
+    EXPECT_EQ(sim.lastEventTime(), 500u);
+    EXPECT_EQ(fired, (std::vector<Tick>{250, 500}));
+    EXPECT_FALSE(sim.runUntil(1000));
+    EXPECT_EQ(sim.now(), 1000u);
+    EXPECT_EQ(sim.lastEventTime(), 750u);
+}
+
+// A cancelled timer at the head of the queue is discarded without
+// advancing the clock, but still counts as a pending event for
+// runUntil()'s "events remain" answer — the seed scheduler's exact
+// semantics, which StatsPoller sample counts depend on.
+TEST(TimerWheel, CancelledTimerGatesRunUntilWithoutAdvancingClock)
+{
+    Simulator sim;
+    int fired = 0;
+    auto h = sim.scheduleCancelable(400, [&] { ++fired; });
+    sim.schedule(100, [&] { ++fired; });
+    EXPECT_TRUE(sim.runUntil(200)); // cancelled-to-be timer still ahead
+    sim.cancelScheduled(h);
+    EXPECT_TRUE(sim.runUntil(300)); // still queued, still "remaining"
+    EXPECT_FALSE(sim.runUntil(500)); // popped and discarded
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.lastEventTime(), 100u);
+    EXPECT_EQ(sim.eventsExecuted(), 1u);
+}
+
+// After the wheel has run ahead of the clock (cancelled timer at the
+// front popped without advancing time), new events scheduled in the
+// gap between clock and wheel base must still fire, in order.
+TEST(TimerWheel, ScheduleBelowWheelBaseAfterCancelledFront)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(10, [&] { order.push_back(1); });
+    auto h = sim.scheduleCancelable(1000, [&] { order.push_back(-1); });
+    sim.cancelScheduled(h);
+    sim.run(); // pops the cancelled 1000-tick timer; clock stays at 10
+    EXPECT_EQ(sim.now(), 10u);
+    // The wheel served tick 1000 internally; these land below it.
+    sim.schedule(500, [&] { order.push_back(3); });
+    sim.schedule(20, [&] { order.push_back(2); });
+    sim.schedule(2000, [&] { order.push_back(4); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(sim.now(), 2000u);
+}
+
+// Regression for the seed scheduler's unbounded cancelled_ set: stale
+// cancels (timer already fired) must leave no residual state and — via
+// pool generations — must never cancel an unrelated timer that reuses
+// the same event node.
+TEST(TimerWheel, TenThousandStaleCancelsLeaveNoResidualState)
+{
+    Simulator sim;
+    constexpr int kTimers = 10000;
+    int fired = 0;
+    std::vector<TimerHandle> handles;
+    handles.reserve(kTimers);
+    for (int i = 0; i < kTimers; ++i)
+        handles.push_back(
+            sim.scheduleCancelableIn(i + 1, [&] { ++fired; }));
+    sim.run();
+    EXPECT_EQ(fired, kTimers);
+
+    // All handles are now stale. A second wave of timers reuses the
+    // pool nodes the first wave freed; cancelling every stale handle
+    // must be a no-op against the new wave.
+    int second_wave = 0;
+    for (int i = 0; i < kTimers; ++i)
+        sim.scheduleCancelableIn(i + 1, [&] { ++second_wave; });
+    for (const auto &h : handles)
+        sim.cancelScheduled(h); // stale: different generation
+    sim.run();
+    EXPECT_EQ(second_wave, kTimers);
+    EXPECT_EQ(fired, kTimers);
+    // Double-cancel of a live handle is also a single cancel.
+    auto h = sim.scheduleCancelableIn(5, [&] { ++fired; });
+    sim.cancelScheduled(h);
+    sim.cancelScheduled(h);
+    sim.run();
+    EXPECT_EQ(fired, kTimers);
+    EXPECT_EQ(sim.eventsExecuted(),
+              static_cast<std::uint64_t>(2 * kTimers));
+}
+
+// Callbacks too large for EventFn's inline buffer take the heap-boxed
+// fallback and must still run (and destroy) correctly.
+TEST(TimerWheel, OversizeCallbackUsesHeapFallback)
+{
+    Simulator sim;
+    std::array<std::uint64_t, 16> payload{}; // 128 bytes > inline cap
+    payload.fill(7);
+    std::uint64_t sum = 0;
+    sim.schedule(10, [payload, &sum] {
+        for (const auto v : payload)
+            sum += v;
+    });
+    sim.run();
+    EXPECT_EQ(sum, 7u * 16u);
+}
+
+Task<void>
+failAfter(Simulator &sim, Tick when, const char *what, int &cleanups)
+{
+    struct Probe
+    {
+        int &count;
+        ~Probe() { ++count; }
+    } probe{cleanups};
+    co_await sim.delay(when);
+    throw std::runtime_error(what);
+}
+
+// Two processes failing in the same sweep: the first exception is
+// reported, but BOTH frames must be reclaimed (the seed sweep rethrew
+// mid-iteration and leaked the second frame's locals until simulator
+// teardown).
+TEST(Simulator, TwoSimultaneouslyFailingProcessesBothReclaimed)
+{
+    Simulator sim;
+    int cleanups = 0;
+    sim.spawn(failAfter(sim, 10, "first", cleanups));
+    sim.spawn(failAfter(sim, 10, "second", cleanups));
+    EXPECT_THROW(sim.run(), std::runtime_error);
+    EXPECT_EQ(cleanups, 2) << "both failing frames must be destroyed";
+    EXPECT_EQ(sim.liveProcesses(), 0u);
+    // The simulator stays usable after the failure.
+    int fired = 0;
+    sim.scheduleIn(5, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
 }
 
 } // namespace

@@ -18,6 +18,13 @@ The "timeseries" section is optional (present when the bench sampled a
 sim::StatsPoller run); when present every series must carry one value
 per sampling interval.
 
+Every dump must carry the ``sim/events_per_sec`` gauge (scheduler
+throughput: simulated events executed per wall-clock second, written
+by bench::writeBenchJson). It is the one wall-clock-derived number in
+a dump, so it is validated for shape (positive, finite) but NEVER
+compared against a baseline — machine speed is not a regression.
+tools/check_determinism.sh normalizes it away before byte-diffing.
+
 Baseline comparison covers every headline gauge present in the
 baseline file (itself a BENCH_*.json snapshot): ``*_mbps`` throughput
 points, ``*_instr`` instruction counts, and ``*_ms`` latencies. The
@@ -34,10 +41,12 @@ Exit status: 0 clean, 1 schema violation or baseline mismatch.
 
 import argparse
 import json
+import math
 import sys
 
 HISTOGRAM_KEYS = {"count", "mean", "min", "max", "p50", "p95", "p99"}
 HEADLINE_SUFFIXES = ("_mbps", "_instr", "_ms")
+EVENTS_PER_SEC_GAUGE = "sim/events_per_sec"
 
 
 def fail(errors, message):
@@ -69,6 +78,14 @@ def check_schema(doc, errors):
     for path, value in metrics["gauges"].items():
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             fail(errors, f"gauge '{path}' is not a number: {value!r}")
+    eps = metrics["gauges"].get(EVENTS_PER_SEC_GAUGE)
+    if eps is None:
+        fail(errors, f"missing gauge '{EVENTS_PER_SEC_GAUGE}'"
+                     " (scheduler throughput; written by writeBenchJson)")
+    elif isinstance(eps, bool) or not isinstance(eps, (int, float)) \
+            or not math.isfinite(eps) or eps <= 0:
+        fail(errors, f"gauge '{EVENTS_PER_SEC_GAUGE}' must be a positive"
+                     f" finite number, got {eps!r}")
     for path, summary in metrics["histograms"].items():
         if not isinstance(summary, dict):
             fail(errors, f"histogram '{path}' is not an object")

@@ -6,7 +6,7 @@ mid-suspend resume, the GCC coroutine prvalue double-destroy, the
 refreshCaps UAF under suspended readers) was a coroutine-lifetime defect
 that line-regexes cannot see. This tool parses the sources into a small
 structural model — functions, parameters, lambdas with capture lists,
-suspension points — and runs five checks over it:
+suspension points — and runs six checks over it:
 
   A1 coro-ref-escape     Reference/pointer parameters and lambda
                          captures of a *detached* coroutine (one whose
@@ -50,6 +50,17 @@ suspension points — and runs five checks over it:
                          `// nasd-analyze: unreliable-path`). A dropped
                          message would hang the caller forever; use
                          net::callWithDeadline.
+  A6 raw-event-access    Direct manipulation of the simulator's event
+                         queue outside src/sim/: touching the `events_`
+                         / `wheel_` members, naming the pool-recycled
+                         sim::EventNode type (a retained node pointer
+                         dangles the moment the event fires), or
+                         forging a sim::TimerHandle from explicit
+                         index/generation values. Schedule through
+                         Simulator::schedule*/scheduleCancelable and
+                         cancel only with the returned handle — the
+                         handle API is the only sanctioned way to
+                         cancel.
 
 Backends:
   * builtin (default)  — a self-contained C++ lexer + structural parser,
@@ -1219,12 +1230,64 @@ def check_a5(model, findings):
             ))
 
 
+def check_a6(model, findings):
+    """Ban direct event-queue access outside the sim layer itself."""
+    if "sim-internal" in model.pragmas or model.rel.startswith("src/sim/"):
+        return
+    tokens = model.tokens
+    n = len(tokens)
+    for i, t in enumerate(tokens):
+        if t.kind != "ident":
+            continue
+        if t.text in ("events_", "wheel_"):
+            sym = enclosing_symbol(model, i)
+            findings.append(Finding(
+                "A6", model.rel, t.line, f"{sym}:{t.text}",
+                f"direct access to the simulator's event queue "
+                f"('{t.text}') outside src/sim",
+                "schedule through Simulator::schedule/scheduleIn or "
+                "scheduleCancelable; cancellation goes through the "
+                "returned sim::TimerHandle only",
+            ))
+        elif t.text == "EventNode":
+            sym = enclosing_symbol(model, i)
+            findings.append(Finding(
+                "A6", model.rel, t.line, f"{sym}:EventNode",
+                "raw event-node use outside src/sim: nodes are "
+                "pool-recycled the moment their event fires or is "
+                "cancelled, so a retained pointer dangles",
+                "hold the sim::TimerHandle returned by "
+                "scheduleCancelable instead; generation counters make "
+                "a stale handle a safe no-op",
+            ))
+        elif t.text == "TimerHandle":
+            # Storing or default-initializing a handle is the sanctioned
+            # pattern (`sim::TimerHandle h;`); forging one from explicit
+            # index/generation values bypasses the generation contract.
+            j = i + 1
+            if j < n and tokens[j].kind == "ident":
+                j += 1  # declarator name
+            if (j + 1 < n and tokens[j].text in ("{", "(")
+                    and tokens[j + 1].text not in ("}", ")")):
+                sym = enclosing_symbol(model, i)
+                findings.append(Finding(
+                    "A6", model.rel, t.line, f"{sym}:TimerHandle",
+                    "sim::TimerHandle forged from explicit values "
+                    "outside src/sim: only handles returned by "
+                    "scheduleCancelable carry a valid generation",
+                    "store the handle scheduleCancelable returned; a "
+                    "default-constructed handle is the correct "
+                    "'no timer armed' state",
+                ))
+
+
 CHECKS = {
     "A1": "coro-ref-escape",
     "A2": "discarded-task",
     "A3": "nondeterminism",
     "A4": "raw-acquire",
     "A5": "missing-deadline",
+    "A6": "raw-event-access",
 }
 
 
@@ -1242,6 +1305,8 @@ def run_checks(models, checks):
             check_a4(model, ginfo, findings)
         if "A5" in checks:
             check_a5(model, findings)
+        if "A6" in checks:
+            check_a6(model, findings)
     return findings
 
 
@@ -1431,7 +1496,7 @@ def discover_sources(root):
 def main(argv=None):
     ap = argparse.ArgumentParser(
         description="AST-level coroutine-safety and sim-determinism "
-        "analyzer (checks A1-A5; see module docstring)",
+        "analyzer (checks A1-A6; see module docstring)",
     )
     ap.add_argument("files", nargs="*", help="files to analyze "
                     "(default: all of src/ under --root)")
@@ -1450,7 +1515,7 @@ def main(argv=None):
                     "tools/analyze_baseline.json)")
     ap.add_argument("--no-baseline", action="store_true",
                     help="ignore the baseline (fixture/self-test mode)")
-    ap.add_argument("--checks", default="A1,A2,A3,A4,A5",
+    ap.add_argument("--checks", default="A1,A2,A3,A4,A5,A6",
                     help="comma-separated subset of checks to run")
     ap.add_argument("--format", choices=("text", "json"), default="text")
     ap.add_argument("--list-checks", action="store_true")
