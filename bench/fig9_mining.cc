@@ -477,6 +477,204 @@ record(const char *series, int disks, double mbps,
         .set(mbps);
 }
 
+// ------------------------------------------------- kill-drive rebuild
+
+/** One scanning client's progress; `stop` ends its loop. */
+struct ScanState
+{
+    std::uint64_t bytes = 0;
+    bool stop = false;
+};
+
+/** Scan the object in kReadBytes strides forever (until stop), wrapping
+ *  at the end; degraded and healthy reads both count delivered bytes. */
+sim::Task<void>
+scanLoop(cheops::CheopsClient &client, cheops::LogicalObjectId id,
+         std::uint64_t object_bytes, std::uint64_t first,
+         std::uint64_t stride, ScanState &state)
+{
+    std::vector<std::uint8_t> buf(kReadBytes);
+    const std::uint64_t slots = object_bytes / kReadBytes;
+    for (std::uint64_t c = first; !state.stop; c += stride) {
+        auto r = co_await client.read(id, (c % slots) * kReadBytes, buf);
+        if (r.ok())
+            state.bytes += r.value().bytes;
+    }
+}
+
+/** Phase bandwidths and rebuild accounting of one kill-drive run. */
+struct KillDriveResult
+{
+    double healthy_mbps = 0;
+    double degraded_mbps = 0;
+    double rebuild_window_mbps = 0;
+    double post_mbps = 0;
+    double rebuild_ms = 0;
+    double throttle_wait_ms = 0;
+    double impact_pct = 0;
+    double reconstructed_mb = 0;
+    std::uint64_t rows_done = 0;
+    std::uint64_t rows_total = 0;
+    bool ok = false;
+};
+
+/**
+ * The rebuild service scenario: 4 clients scan a RAID-5 object striped
+ * 8 + rotating parity over 9 of 10 drives; one data drive is killed
+ * mid-scan, the manager rebuilds it onto the spare while the clients
+ * keep reading, and the bench reports the bandwidth of every phase.
+ */
+KillDriveResult
+runKillDrive()
+{
+    constexpr int kDrives = 10;
+    constexpr int kClients = 4;
+    constexpr std::uint64_t kSu = 32 * kKB;
+    constexpr std::uint32_t kWidth = 8;
+    constexpr std::uint64_t kObjectBytes = 32 * kMB;
+    constexpr sim::Tick kWindow = sim::msec(250);
+    constexpr sim::Tick kPollStep = sim::msec(5);
+
+    const util::MetricsScope run_metrics;
+    sim::Simulator sim;
+    net::Network net(sim);
+    std::vector<std::unique_ptr<NasdDrive>> drives;
+    std::vector<NasdDrive *> raw;
+    for (int i = 0; i < kDrives; ++i) {
+        drives.push_back(std::make_unique<NasdDrive>(
+            sim, net,
+            prototypeDriveConfig("nasd" + std::to_string(i), i + 1)));
+        raw.push_back(drives.back().get());
+    }
+    auto &mgr_node = net.addNode("mgr", net::alphaStation500(),
+                                 net::oc3Link(), net::dceRpcCosts());
+    cheops::CheopsManager storage(sim, net, mgr_node, raw, 0);
+    bench::runTask(sim, storage.initialize(1024 * kMB));
+
+    // Load the dataset through a control client (untimed).
+    auto &control_node = net.addNode("control", net::alphaStation255(),
+                                     net::oc3Link(), net::dceRpcCosts());
+    cheops::CheopsClient control(net, control_node, storage, raw);
+    const auto id =
+        bench::runFor(sim, control.create(kSu, kWidth, kObjectBytes,
+                                          cheops::Redundancy::kParity))
+            .value();
+    apps::TransactionGenerator gen(datasetParams());
+    for (std::uint64_t c = 0; c < kObjectBytes / apps::kChunkBytes; ++c) {
+        auto w = bench::runFor(
+            sim, control.write(id, c * apps::kChunkBytes, gen.chunk(c)));
+        NASD_ASSERT(w.ok(), "kill-drive: load write failed");
+    }
+    for (auto *d : raw)
+        bench::runTask(sim, d->store().flushAll());
+
+    const auto *map = bench::runFor(sim, control.open(id, false)).value();
+    const std::uint32_t victim_comp = 0;
+    const std::uint32_t victim_drive = map->components[victim_comp].drive;
+    std::vector<bool> used(kDrives, false);
+    for (const auto &comp : map->components)
+        used[comp.drive] = true;
+    std::uint32_t spare = 0;
+    while (spare < kDrives && used[spare])
+        ++spare;
+    NASD_ASSERT(spare < kDrives, "kill-drive: no spare drive left");
+
+    std::vector<std::unique_ptr<cheops::CheopsClient>> clients;
+    std::vector<ScanState> states(kClients);
+    for (int i = 0; i < kClients; ++i) {
+        auto &node = net.addNode("client" + std::to_string(i),
+                                 net::alphaStation255(), net::oc3Link(),
+                                 net::dceRpcCosts());
+        clients.push_back(std::make_unique<cheops::CheopsClient>(
+            net, node, storage, raw));
+        sim.spawn(scanLoop(*clients.back(), id, kObjectBytes,
+                           static_cast<std::uint64_t>(i), kClients,
+                           states[i]));
+    }
+    const auto total_bytes = [&states] {
+        std::uint64_t bytes = 0;
+        for (const auto &s : states)
+            bytes += s.bytes;
+        return bytes;
+    };
+    const auto window_mbs = [](std::uint64_t bytes, sim::Tick ticks) {
+        return util::bytesPerSecToMBs(static_cast<double>(bytes) /
+                                      sim::toSeconds(ticks));
+    };
+
+    // Phase 1 — healthy baseline.
+    const std::uint64_t healthy_start = total_bytes();
+    sim.runUntil(sim.now() + kWindow);
+    const double healthy_mbps =
+        window_mbs(total_bytes() - healthy_start, kWindow);
+
+    // Phase 2 — kill a data drive; reads reconstruct from parity.
+    drives[victim_drive]->setFailed(true);
+    const std::uint64_t degraded_start = total_bytes();
+    sim.runUntil(sim.now() + kWindow);
+    const double degraded_mbps =
+        window_mbs(total_bytes() - degraded_start, kWindow);
+
+    // Phase 3 — online rebuild onto the spare, token-throttled to one
+    // row per millisecond so foreground traffic keeps flowing.
+    cheops::RebuildThrottle throttle;
+    throttle.token_interval_ns = sim::msec(1);
+    throttle.burst = 1;
+    bool start_done = false;
+    bool start_ok = false;
+    sim.spawn([](cheops::CheopsClient &c, cheops::LogicalObjectId oid,
+                 std::uint32_t comp, std::uint32_t target,
+                 cheops::RebuildThrottle t, bool &done,
+                 bool &ok) -> sim::Task<void> {
+        auto r = co_await c.startRebuild(oid, comp, target, t);
+        ok = r.ok();
+        done = true;
+    }(control, id, victim_comp, spare, throttle, start_done, start_ok));
+    const std::uint64_t rebuild_start_bytes = total_bytes();
+    const sim::Tick rebuild_t0 = sim.now();
+    while (!start_done)
+        sim.runUntil(sim.now() + kPollStep);
+    NASD_ASSERT(start_ok, "kill-drive: startRebuild rejected");
+    while (storage.rebuildProgress(id).active)
+        sim.runUntil(sim.now() + kPollStep);
+    const sim::Tick rebuild_elapsed = sim.now() - rebuild_t0;
+    const double rebuild_window_mbps =
+        window_mbs(total_bytes() - rebuild_start_bytes, rebuild_elapsed);
+    const auto prog = storage.rebuildProgress(id);
+
+    // Phase 4 — the spare serves; clients refresh onto the new map.
+    const std::uint64_t post_start = total_bytes();
+    sim.runUntil(sim.now() + kWindow);
+    const double post_mbps = window_mbs(total_bytes() - post_start, kWindow);
+
+    for (auto &s : states)
+        s.stop = true;
+    sim.run(); // drain the scan loops and any rebuild-engine stragglers
+
+    KillDriveResult result;
+    result.healthy_mbps = healthy_mbps;
+    result.degraded_mbps = degraded_mbps;
+    result.rebuild_window_mbps = rebuild_window_mbps;
+    result.post_mbps = post_mbps;
+    result.rebuild_ms =
+        static_cast<double>(prog.finished_at - prog.started_at) / 1e6;
+    result.throttle_wait_ms =
+        static_cast<double>(prog.throttle_wait_ns) / 1e6;
+    result.impact_pct =
+        healthy_mbps > 0.0
+            ? (healthy_mbps - rebuild_window_mbps) / healthy_mbps * 100.0
+            : 0.0;
+    result.reconstructed_mb =
+        static_cast<double>(prog.bytes_reconstructed) /
+        static_cast<double>(kMB);
+    result.rows_done = prog.rows_done;
+    result.rows_total = prog.rows_total;
+    result.ok = healthy_mbps > 0.0 && degraded_mbps > 0.0 &&
+                rebuild_window_mbps > 0.0 && post_mbps > 0.0 &&
+                !prog.active && prog.rows_done == prog.rows_total;
+    return result;
+}
+
 /**
  * Print the per-op wait/service decomposition table and check that
  * attribution reconciles with measured latency (within 1%).
@@ -594,6 +792,47 @@ main(int argc, char **argv)
         std::printf("\ndominant drive chain: %s\n",
                     report.dominantLane().c_str());
         return reconciled && report.roots > 0 ? 0 : 1;
+    }
+
+    if (argc > 1 && std::string_view(argv[1]) == "--kill-drive") {
+        const bench::BenchOptions opts =
+            bench::parseOptions("rebuild", argc - 1, argv + 1);
+        bench::banner(
+            "fig9_mining --kill-drive — RAID-5 scan with a mid-run drive "
+            "failure and online rebuild",
+            "Section 5.2 workload over parity-striped Cheops (degraded "
+            "service + rebuild onto a spare)");
+
+        const KillDriveResult r = runKillDrive();
+
+        std::printf("\n%-22s %12s\n", "phase", "MB/s");
+        std::printf("%-22s %12.1f\n", "healthy", r.healthy_mbps);
+        std::printf("%-22s %12.1f\n", "degraded (drive dead)",
+                    r.degraded_mbps);
+        std::printf("%-22s %12.1f\n", "during rebuild",
+                    r.rebuild_window_mbps);
+        std::printf("%-22s %12.1f\n", "after rebuild", r.post_mbps);
+        std::printf("\nrebuild: %llu/%llu rows, %.1f MB reconstructed in "
+                    "%.1f ms (%.1f ms throttle wait)\n",
+                    static_cast<unsigned long long>(r.rows_done),
+                    static_cast<unsigned long long>(r.rows_total),
+                    r.reconstructed_mb, r.rebuild_ms, r.throttle_wait_ms);
+        std::printf("foreground impact while rebuilding: %.1f%% of "
+                    "healthy bandwidth\n", r.impact_pct);
+
+        auto &m = util::metrics();
+        m.gauge("rebuild/healthy_mbps").set(r.healthy_mbps);
+        m.gauge("rebuild/degraded_mbps").set(r.degraded_mbps);
+        m.gauge("rebuild/during_rebuild_mbps").set(r.rebuild_window_mbps);
+        m.gauge("rebuild/post_rebuild_mbps").set(r.post_mbps);
+        m.gauge("rebuild/rebuild_ms").set(r.rebuild_ms);
+        m.gauge("rebuild/throttle_wait_ms").set(r.throttle_wait_ms);
+        m.gauge("rebuild/foreground_impact_pct").set(r.impact_pct);
+        m.gauge("rebuild/reconstructed_mb").set(r.reconstructed_mb);
+        bench::writeBenchJson(opts, "rebuild",
+                              "RAID-5 degraded service and online rebuild "
+                              "(Cheops over Section 5.2 workload)");
+        return r.ok ? 0 : 1;
     }
 
     if (argc > 2 && std::string_view(argv[1]) == "--drives") {

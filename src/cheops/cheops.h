@@ -33,6 +33,7 @@
 #include "nasd/drive.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "sim/sync.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -68,6 +69,7 @@ struct ComponentRef
 enum class Redundancy : std::uint8_t {
     kNone = 0,
     kMirror, ///< each component has a replica on the next drive
+    kParity, ///< RAID-5: rotating parity over stripe_count+1 components
 };
 
 /** The layout map + capability set handed to a client on open. */
@@ -83,6 +85,14 @@ struct CheopsMap
     /// Set once any read had to fall back to a redundancy component;
     /// survives capability refreshes until the map is re-opened.
     bool degraded = false;
+    /// kParity only: an online rebuild is reconstructing
+    /// `rebuild_component` onto `rebuild_target`. While set, writes
+    /// touching the dead component's stripe units must write through
+    /// to the target, and every row update is bracketed by manager
+    /// rebuild-lock RPCs so it serializes against the rebuild engine.
+    bool rebuilding = false;
+    std::uint32_t rebuild_component = 0;
+    ComponentRef rebuild_target;
 };
 
 /**
@@ -120,6 +130,37 @@ struct [[nodiscard]] SizeReply
 {
     CheopsStatus status = CheopsStatus::kOk;
     std::uint64_t size = 0;
+};
+
+struct [[nodiscard]] RebuildLockReply
+{
+    CheopsStatus status = CheopsStatus::kOk;
+    std::uint64_t ticket = 0; ///< passed back to the unlock call
+};
+
+/** Pacing policy for the online rebuild engine: at most @p burst rows
+ *  may be in flight within any @p token_interval_ns window. Tokens are
+ *  permits of a semaphore acquired through the timedAcquire/
+ *  scopedAcquire attribution hooks, so time the rebuild spends waiting
+ *  for a token is observable (and distinguishable from time it spends
+ *  queued behind foreground I/O at the drives). */
+struct RebuildThrottle
+{
+    sim::Tick token_interval_ns = 0; ///< 0 = unthrottled
+    std::uint32_t burst = 1;
+};
+
+/** Progress snapshot of a (possibly finished) rebuild. */
+struct RebuildProgress
+{
+    bool known = false;  ///< a rebuild was ever started for the object
+    bool active = false;
+    std::uint64_t rows_done = 0;
+    std::uint64_t rows_total = 0;
+    std::uint64_t bytes_reconstructed = 0;
+    std::uint64_t throttle_wait_ns = 0;
+    sim::Tick started_at = 0;
+    sim::Tick finished_at = 0; ///< 0 while active
 };
 
 /**
@@ -168,6 +209,63 @@ class CheopsManager
      */
     sim::Task<CheopsStatusReply> serveRevoke(LogicalObjectId id);
 
+    /**
+     * A client reports that one side of mirrored component @p component
+     * failed mid-write (the other side took the data). The manager
+     * bumps its *stored* version for the failed side without touching
+     * the (possibly unreachable) drive, so every capability minted from
+     * now on carries a version the stale replica cannot satisfy: reads
+     * of the diverged side fail with a version mismatch instead of
+     * silently returning old bytes. Refuses (kDriveError) if the other
+     * side is already stale — losing both copies is not settleable.
+     */
+    sim::Task<CheopsStatusReply> serveMarkDegraded(LogicalObjectId id,
+                                                   std::uint32_t component,
+                                                   bool mirror_side);
+
+    /**
+     * Heal diverged mirror pairs: copy the authoritative side over the
+     * stale one, bump the stale drive object's version, and adopt the
+     * result as the new approved version. No-op for untouched pairs.
+     */
+    sim::Task<CheopsStatusReply> serveResyncMirrors(LogicalObjectId id);
+
+    /**
+     * Start reconstructing @p dead_component of a kParity object onto a
+     * fresh object on @p spare_drive. Fences stale writers by bumping
+     * every surviving component's version (their next write sees a
+     * version mismatch, refreshes, and learns the write-through rules),
+     * then reconstructs row by row under the rebuild lock, paced by
+     * @p throttle. On completion the spare is swapped into the layout
+     * map in place and the map version bumped.
+     */
+    sim::Task<CheopsStatusReply> serveStartRebuild(LogicalObjectId id,
+                                                   std::uint32_t dead_component,
+                                                   std::uint32_t spare_drive,
+                                                   RebuildThrottle throttle);
+
+    /** Acquire/release the per-object rebuild lock (client row updates
+     *  during a rebuild serialize against the rebuild engine). */
+    sim::Task<RebuildLockReply> serveRebuildLock(LogicalObjectId id);
+    sim::Task<CheopsStatusReply> serveRebuildUnlock(LogicalObjectId id,
+                                                    std::uint64_t ticket);
+
+    /** Direct (non-RPC) progress accessor for benches and tests. */
+    RebuildProgress rebuildProgress(LogicalObjectId id) const;
+
+    /**
+     * RAID-5 left-symmetric geometry over w+1 components (w = data
+     * width): row r's parity lives on component w - (r % (w+1)); data
+     * unit d of the row lives on (parity + 1 + d) % (w+1). Every
+     * component stores exactly one stripe unit per row — row r at
+     * component offset r * stripe_unit — so a range reconstruction is
+     * always "XOR the same offsets on everyone else".
+     */
+    static std::uint32_t parityComponent(std::uint64_t row,
+                                         std::uint32_t data_width);
+    static std::uint32_t dataComponent(std::uint64_t row, std::uint32_t d,
+                                       std::uint32_t data_width);
+
     std::uint64_t controlOps() const { return control_ops_.value(); }
 
   private:
@@ -180,10 +278,55 @@ class CheopsManager
         std::vector<ObjectVersion> component_versions;
         std::vector<std::pair<std::uint32_t, ObjectId>> mirrors;
         std::vector<ObjectVersion> mirror_versions;
+        /// Divergence bookkeeping (kMirror): a side marked stale serves
+        /// no reads until serveResyncMirrors() heals it.
+        std::vector<std::uint8_t> component_stale;
+        std::vector<std::uint8_t> mirror_stale;
+    };
+
+    struct RebuildState
+    {
+        bool active = false;
+        std::uint32_t dead_comp = 0;
+        std::uint32_t spare_drive = 0;
+        ObjectId spare_oid = 0;
+        std::uint64_t rows_total = 0;
+        std::uint64_t rows_done = 0;
+        std::uint64_t bytes_reconstructed = 0;
+        std::uint64_t throttle_wait_ns = 0;
+        sim::Tick started_at = 0;
+        sim::Tick finished_at = 0;
+        RebuildThrottle throttle;
+        /// Serializes rebuild rows against client row updates.
+        std::unique_ptr<sim::Semaphore> lock;
+        /// Token bucket: scopedAcquire here, delayed permit return.
+        std::unique_ptr<sim::Semaphore> tokens;
+        /// Permits held on behalf of clients between lock/unlock RPCs.
+        std::map<std::uint64_t, sim::ScopedPermit> held;
+        std::uint64_t next_ticket = 1;
     };
 
     Capability mintComponentCap(std::uint32_t drive, ObjectId oid,
                                 ObjectVersion version, bool want_write);
+
+    // The manager acting as a drive client (rebuild + resync paths).
+    sim::Task<StoreResult<std::vector<std::uint8_t>>>
+    managerRead(std::uint32_t drive, ObjectId oid, ObjectVersion version,
+                std::uint64_t offset, std::uint64_t length);
+    sim::Task<StoreResult<void>>
+    managerWrite(std::uint32_t drive, ObjectId oid, ObjectVersion version,
+                 std::uint64_t offset, std::vector<std::uint8_t> data);
+    sim::Task<StoreResult<ObjectAttributes>>
+    managerGetAttr(std::uint32_t drive, ObjectId oid, ObjectVersion version);
+    sim::Task<StoreResult<ObjectAttributes>>
+    managerBumpVersion(std::uint32_t drive, ObjectId oid,
+                       ObjectVersion version);
+
+    /** The detached rebuild engine: one spawned frame per rebuild. */
+    sim::Task<void> rebuildLoop(LogicalObjectId id);
+
+    /** Returns a throttle token to the bucket after the pacing delay. */
+    sim::Task<void> returnToken(sim::ScopedPermit token, sim::Tick delay);
 
     sim::Simulator &sim_;
     net::NetNode &node_;
@@ -193,8 +336,18 @@ class CheopsManager
     PartitionId partition_;
     std::map<LogicalObjectId, LogicalObject> objects_;
     LogicalObjectId next_id_ = 1;
+    /// At most one rebuild per logical object; kept after completion so
+    /// progress stays queryable and late write-through locks still work.
+    std::map<LogicalObjectId, RebuildState> rebuilds_;
+    /// Registry prefix shared by all manager instruments (computed
+    /// once — uniquePrefix() would dedup a second call differently).
+    std::string metrics_prefix_;
     /// Control-path requests served ("<node>/cheops_mgr/control_ops").
     util::Counter &control_ops_;
+    /// Rebuild engine observability (same registry prefix).
+    util::Counter &rebuild_rows_;
+    util::Counter &rebuild_bytes_;
+    util::Counter &rebuild_throttle_wait_ns_;
 
     static constexpr std::uint64_t kCapLifetimeNs = 3600ull * 1000000000;
 };
@@ -246,7 +399,21 @@ class CheopsClient
     sim::Task<util::Result<std::uint64_t, CheopsStatus>>
     size(LogicalObjectId id);
 
+    /** Trigger an online rebuild at the manager (kParity only). */
+    sim::Task<util::Result<void, CheopsStatus>>
+    startRebuild(LogicalObjectId id, std::uint32_t dead_component,
+                 std::uint32_t spare_drive, RebuildThrottle throttle = {});
+
+    /** Heal diverged mirror pairs recorded by partial-write failures. */
+    sim::Task<util::Result<void, CheopsStatus>>
+    resyncMirrors(LogicalObjectId id);
+
     std::uint64_t managerCalls() const { return manager_calls_.value(); }
+    /** Stripe units served by XOR reconstruction (kParity reads). */
+    std::uint64_t reconstructedUnits() const
+    {
+        return reconstructed_units_.value();
+    }
 
   private:
     /** A contiguous run on one component plus its host-buffer slices. */
@@ -269,6 +436,14 @@ class CheopsClient
         bool writable = false;
         std::vector<std::unique_ptr<CredentialFactory>> creds;
         std::vector<std::unique_ptr<CredentialFactory>> mirror_creds;
+        /// kParity rebuild write-through target (null unless rebuilding).
+        std::unique_ptr<CredentialFactory> rebuild_cred;
+        /// Last time a failed component made us re-ask the manager for
+        /// a fresh map (a completed rebuild moves the component).
+        sim::Tick last_reprobe = 0;
+        /// kParity: serializes this client's concurrent RMW updates of
+        /// the same stripe row (pool keyed by row % size).
+        std::vector<std::unique_ptr<sim::Semaphore>> row_locks;
     };
 
     sim::Task<util::Result<OpenState *, CheopsStatus>>
@@ -277,18 +452,106 @@ class CheopsClient
     /**
      * Re-fetch the capability set after an expiry and rebind the
      * existing CredentialFactory objects in place (coroutines
-     * suspended mid-transfer hold references to them).
+     * suspended mid-transfer hold references to them). For kParity the
+     * component *bindings* (drive, oid) are refreshed in place too —
+     * a completed rebuild moves a component to the spare drive.
      * @return true if fresh capabilities were installed.
      */
     sim::Task<bool> refreshCaps(LogicalObjectId id, bool want_write);
+
+    /**
+     * Read a component range with the standard recovery ladder:
+     * refresh-once on capability expiry, and — kParity only — refresh
+     * on version mismatch (rebuild fencing bumps versions; a revoked
+     * mirror/none-mode capability must stay revoked).
+     */
+    sim::Task<StoreResult<std::vector<std::uint8_t>>>
+    readComponent(OpenState *open, LogicalObjectId id, std::uint32_t comp,
+                  std::uint64_t offset, std::uint64_t length,
+                  util::TraceContext ctx);
+
+    /** Same ladder for writes. */
+    sim::Task<StoreResult<void>>
+    writeComponent(OpenState *open, LogicalObjectId id, std::uint32_t comp,
+                   std::uint64_t offset, std::span<const std::uint8_t> data,
+                   util::TraceContext ctx);
+
+    /**
+     * Reconstruct [offset, offset+length) of component @p dead by
+     * XOR-ing the same range of every other component (every component
+     * holds exactly one unit of each row at the same offset, so role
+     * arithmetic cancels out).
+     */
+    sim::Task<StoreResult<std::vector<std::uint8_t>>>
+    reconstructRange(OpenState *open, LogicalObjectId id, std::uint32_t dead,
+                     std::uint64_t offset, std::uint64_t length,
+                     util::TraceContext ctx);
+
+    /** kParity write planner: split into rows, FSW or RMW per row. */
+    sim::Task<util::Result<void, CheopsStatus>>
+    writeParity(OpenState *open, LogicalObjectId id, std::uint64_t offset,
+                std::span<const std::uint8_t> data, util::TraceContext ctx);
+
+    /** One row's update (runs under the row lock; may retry degraded). */
+    sim::Task<util::Result<void, CheopsStatus>>
+    writeParityRow(OpenState *open, LogicalObjectId id, std::uint64_t row,
+                   std::uint64_t offset, std::span<const std::uint8_t> data,
+                   util::TraceContext ctx);
+
+    /** A data unit's written footprint within one stripe row. */
+    struct RowUnitWrite
+    {
+        std::uint32_t d = 0;    ///< data slot in the row
+        std::uint32_t comp = 0; ///< owning component
+        std::uint64_t a = 0, b = 0; ///< within-unit range [a, b)
+        std::span<const std::uint8_t> bytes;
+    };
+
+    /**
+     * Full-row recompute with component @p dead unreachable: read every
+     * survivor, reconstruct the dead unit, overlay the new bytes,
+     * rewrite data + parity, and (during a rebuild) write the dead
+     * unit's changed range through to the spare.
+     */
+    sim::Task<util::Result<void, CheopsStatus>> writeParityRowDegraded(
+        OpenState *open, LogicalObjectId id, std::uint64_t row,
+        std::uint32_t dead, bool write_through,
+        const std::vector<RowUnitWrite> &writes, std::uint64_t plo,
+        std::uint64_t phi, util::TraceContext ctx);
+
+    /** Write to the rebuild target object (spare) during write-through. */
+    sim::Task<StoreResult<void>>
+    writeThroughTarget(OpenState *open, std::uint64_t offset,
+                       std::span<const std::uint8_t> data,
+                       util::TraceContext ctx);
+
+    /** Manager rebuild-lock bracket for row updates during a rebuild. */
+    sim::Task<util::Result<std::uint64_t, CheopsStatus>>
+    rebuildLock(LogicalObjectId id);
+    sim::Task<void> rebuildUnlock(LogicalObjectId id, std::uint64_t ticket);
+
+    /** Report a one-sided mirror write failure to the manager. */
+    sim::Task<util::Result<void, CheopsStatus>>
+    markDegraded(LogicalObjectId id, std::uint32_t component,
+                 bool mirror_side);
 
     net::Network &net_;
     net::NetNode &node_;
     CheopsManager &mgr_;
     std::vector<std::unique_ptr<NasdClient>> drive_clients_;
     std::map<LogicalObjectId, OpenState> open_objects_;
+    /// Registry prefix shared by the client instruments.
+    std::string metrics_prefix_;
     /// Round trips to the manager ("<node>/cheops/manager_calls").
     util::Counter &manager_calls_;
+    /// Stripe units XOR-reconstructed on the read path.
+    util::Counter &reconstructed_units_;
+
+    /// Row-lock pool size per open kParity object.
+    static constexpr std::size_t kRowLockPool = 16;
+    /// Minimum spacing between "is my map stale?" refreshes triggered
+    /// by component failures (deterministic sim-time reprobe).
+    static constexpr sim::Tick kReprobeIntervalNs = 250ull * 1000 * 1000;
 };
 
 } // namespace nasd::cheops

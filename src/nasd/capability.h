@@ -39,6 +39,7 @@ enum class OpCode : std::uint8_t {
     kSetKey = 11,
     kListObjects = 12,
     kFlush = 13,
+    kProbe = 14, ///< liveness + partition free-space query
 };
 
 /** The public portion of a capability. */

@@ -441,4 +441,24 @@ NasdClient::flush()
         policy_.flush_timeout, kControlPayload, make);
 }
 
+sim::Task<StoreResult<ProbeResponse>>
+NasdClient::probe(PartitionId target)
+{
+    NasdDrive *drive = &drive_;
+    const MakeFn<ProbeResponse> make = [drive, target] {
+        return std::function<sim::Task<net::RpcReply<ProbeResponse>>()>(
+            [drive, target]() -> sim::Task<net::RpcReply<ProbeResponse>> {
+                auto r = co_await drive->serveProbe(target);
+                co_return net::RpcReply<ProbeResponse>{r, 32};
+            });
+    };
+    ProbeResponse resp = co_await attemptLoop<ProbeResponse>(
+        net_, node_, drive_, policy_, retry_rng_, true, policy_.timeout,
+        kControlPayload, make);
+
+    if (resp.status != NasdStatus::kOk)
+        co_return util::Err{resp.status};
+    co_return resp;
+}
+
 } // namespace nasd

@@ -98,6 +98,13 @@ class NasdClient
     sim::Task<void> flush();
 
     /**
+     * Liveness + free-space probe: is the drive answering, and how
+     * much room does @p target have? A crashed drive surfaces as
+     * kDriveUnavailable (fast reply) or kTimeout (lost message).
+     */
+    sim::Task<StoreResult<ProbeResponse>> probe(PartitionId target);
+
+    /**
      * Partition administration (drive-owner capability on partition
      * 0's control object); quota in bytes.
      */

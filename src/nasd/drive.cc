@@ -644,4 +644,36 @@ NasdDrive::serveFlush()
     co_return StatusResponse{};
 }
 
+sim::Task<ProbeResponse>
+NasdDrive::serveProbe(PartitionId target)
+{
+    ProbeResponse resp;
+    resp.drive_id = config_.drive_id;
+    if (crashed_) {
+        resp.status = NasdStatus::kDriveUnavailable;
+        co_return resp;
+    }
+    if (failed_) {
+        resp.status = NasdStatus::kDriveFailed;
+        co_return resp;
+    }
+    const sim::Tick op_start = sim_.now();
+    const RequestParams probe_params{OpCode::kProbe};
+    auto op_span = beginOp("probe", probe_params);
+    // Request-parse cost only: the reply comes from in-memory
+    // allocator totals, no media access.
+    co_await node_->cpu().execute(config_.costs.capability_check_instr);
+    const auto info = store_->partitionInfo(target);
+    if (!info.ok()) {
+        resp.status = info.error();
+    } else {
+        const auto &pi = info.value();
+        resp.free_bytes = pi.quota_bytes > pi.used_bytes
+                              ? pi.quota_bytes - pi.used_bytes
+                              : 0;
+    }
+    finishOp("probe", op_start, op_span);
+    co_return resp;
+}
+
 } // namespace nasd

@@ -95,6 +95,13 @@ struct [[nodiscard]] ListResponse
     std::vector<ObjectId> ids;
 };
 
+struct [[nodiscard]] ProbeResponse
+{
+    NasdStatus status = NasdStatus::kOk;
+    DriveId drive_id = 0;
+    std::uint64_t free_bytes = 0; ///< partition quota minus usage
+};
+
 /** One network-attached secure disk. */
 class NasdDrive
 {
@@ -168,6 +175,14 @@ class NasdDrive
     sim::Task<StatusResponse> serveSetKey(RequestCredential cred,
                                           RequestParams params);
     sim::Task<StatusResponse> serveFlush();
+
+    /**
+     * Liveness + free-space probe on one partition. Carries no
+     * capability (it names no object and returns only allocator
+     * totals); storage managers use it to qualify a spare drive
+     * before allocating rebuild targets on it.
+     */
+    sim::Task<ProbeResponse> serveProbe(PartitionId target);
 
     /**
      * Partition administration over the wire. Authority is a

@@ -42,6 +42,20 @@ class ActiveTest : public ::testing::Test
         });
     }
 
+    ~ActiveTest() override
+    {
+        // createPartition() spawns detached metadata write-behind
+        // processes (ObjectStore::writeBlocksOwned). A test body that
+        // never runs the simulator (e.g. MethodInstallAndLookup)
+        // leaves them suspended inside DiskModel, and members are
+        // destroyed in reverse declaration order: ~NasdDrive frees the
+        // DiskModels first, then ~Simulator (declared first, destroyed
+        // last) unwinds the frames, whose ScopedPermit destructors
+        // release into the freed semaphores — a use-after-free under
+        // ASan. Drain the event queue while everything is still alive.
+        sim.run();
+    }
+
     void
     run(Task<void> task)
     {

@@ -161,6 +161,31 @@ TEST_F(DriveFaultTest, CrashedDriveRejectsThenRestartServes)
     EXPECT_EQ(after.value(), data);
 }
 
+TEST_F(DriveFaultTest, ProbeReportsLivenessAndFreeSpace)
+{
+    // Healthy: free space is the partition quota minus allocations.
+    auto before = runFor(sim, client.probe(0));
+    ASSERT_TRUE(before.ok());
+    EXPECT_EQ(before.value().drive_id, drive.config().drive_id);
+    EXPECT_GT(before.value().free_bytes, 0u);
+
+    const ObjectId oid = makeObject();
+    auto cred = objectCred(oid);
+    ASSERT_TRUE(runFor(sim, client.write(cred, 0, pattern(64 * kKB))).ok());
+    auto after = runFor(sim, client.probe(0));
+    ASSERT_TRUE(after.ok());
+    EXPECT_LT(after.value().free_bytes, before.value().free_bytes);
+
+    // A crashed drive answers unavailable (fast reply, not a hang);
+    // restart makes the probe serve again.
+    drive.crash();
+    auto down = runFor(sim, client.probe(0));
+    ASSERT_FALSE(down.ok());
+    EXPECT_EQ(down.error(), NasdStatus::kDriveUnavailable);
+    runTask(sim, drive.restart());
+    EXPECT_TRUE(runFor(sim, client.probe(0)).ok());
+}
+
 TEST_F(DriveFaultTest, PartitionSurfacesTimeoutThenHeals)
 {
     const ObjectId oid = makeObject();
@@ -309,6 +334,57 @@ TEST_F(CheopsFaultTest, DriveCrashServedDegradedFromMirror)
     EXPECT_TRUE(degraded.value().degraded());
     EXPECT_EQ(degraded.value().bytes, 512 * kKB);
     EXPECT_EQ(out, data);
+}
+
+TEST_F(CheopsFaultTest, MirrorDivergenceFencedUntilResync)
+{
+    // A mirror write that lands on one side only must not let later
+    // reads serve the stale replica as if it were current.
+    const auto id =
+        runFor(sim, client->create(64 * kKB, 1, 0,
+                                   cheops::Redundancy::kMirror))
+            .value();
+    const auto v1 = pattern(128 * kKB, 41);
+    ASSERT_TRUE(runFor(sim, client->write(id, 0, v1)).ok());
+
+    auto map = runFor(sim, client->open(id, false)).value();
+    const auto primary = map->components[0].drive;
+    const auto mirror = map->mirrors[0].drive;
+    // Make v1 durable on both sides, then lose the mirror.
+    (void)runFor(sim, drives[primary]->serveFlush());
+    (void)runFor(sim, drives[mirror]->serveFlush());
+    drives[mirror]->crash();
+
+    // The overwrite reaches the primary only; the client reports the
+    // divergence and the manager fences the mirror's version.
+    const auto v2 = pattern(128 * kKB, 42);
+    ASSERT_TRUE(runFor(sim, client->write(id, 0, v2)).ok());
+
+    // The mirror comes back with pre-divergence bytes; then the
+    // primary — the only good copy — goes down.
+    runTask(sim, drives[mirror]->restart());
+    (void)runFor(sim, drives[primary]->serveFlush());
+    drives[primary]->crash();
+
+    // The fenced mirror fails its capability's version check, so the
+    // read errors out instead of silently returning v1.
+    std::vector<std::uint8_t> out(v2.size());
+    auto stale = runFor(sim, client->read(id, 0, out));
+    ASSERT_FALSE(stale.ok());
+
+    // Resync cannot heal while the only good copy is down.
+    ASSERT_FALSE(runFor(sim, client->resyncMirrors(id)).ok());
+
+    // With the primary back, resync copies v2 across and lifts the
+    // fence; afterwards the mirror alone serves the new bytes.
+    runTask(sim, drives[primary]->restart());
+    ASSERT_TRUE(runFor(sim, client->resyncMirrors(id)).ok());
+    drives[primary]->crash();
+    std::fill(out.begin(), out.end(), 0);
+    auto healed = runFor(sim, client->read(id, 0, out));
+    ASSERT_TRUE(healed.ok());
+    EXPECT_TRUE(healed.value().degraded());
+    EXPECT_EQ(out, v2);
 }
 
 TEST_F(CheopsFaultTest, CapExpiryRefreshedBetweenReads)

@@ -55,6 +55,14 @@ class RedundancyTest : public ::testing::Test
                                                 raw);
     }
 
+    ~RedundancyTest() override
+    {
+        // The rebuild engine and its token-return frames are detached;
+        // drain them while the manager's semaphores are still alive
+        // (members die in reverse order: ~CheopsManager before ~Simulator).
+        sim.run();
+    }
+
     void
     run(Task<void> task)
     {
@@ -291,6 +299,266 @@ TEST_F(RedundancyTest, MirroringCostsOneExtraWrite)
     ASSERT_TRUE(runFor(client->write(mirrored, 0, data)).ok());
     const sim::Tick mirrored_write = sim.now() - t0;
     EXPECT_GT(mirrored_write, plain_write);
+}
+
+// ------------------------------------------------------ parity (RAID-5)
+
+class ParityTest : public RedundancyTest
+{
+  protected:
+    static constexpr std::uint64_t kSu = 32 * kKB;
+
+    /** Create a kParity object of @p width data units per row. */
+    LogicalObjectId
+    createParity(std::uint32_t width = 0)
+    {
+        return runFor(client->create(kSu, width, 0, Redundancy::kParity))
+            .value();
+    }
+
+    /** The drive index no component of @p id lives on. */
+    std::uint32_t
+    spareDrive(LogicalObjectId id)
+    {
+        auto map = runFor(client->open(id, false)).value();
+        std::vector<bool> used(drives.size(), false);
+        for (const auto &c : map->components)
+            used[c.drive] = true;
+        for (std::uint32_t i = 0; i < used.size(); ++i) {
+            if (!used[i])
+                return i;
+        }
+        ADD_FAILURE() << "no spare drive";
+        return 0;
+    }
+};
+
+TEST_F(ParityTest, CreateAllocatesRotatingParityComponent)
+{
+    const auto id = createParity(2);
+    auto map = runFor(client->open(id, false));
+    ASSERT_TRUE(map.ok());
+    EXPECT_EQ(map.value()->redundancy, Redundancy::kParity);
+    // width data units + 1 parity, all on distinct drives, no mirrors.
+    ASSERT_EQ(map.value()->components.size(), 3u);
+    EXPECT_TRUE(map.value()->mirrors.empty());
+    for (std::size_t i = 0; i < map.value()->components.size(); ++i) {
+        for (std::size_t j = i + 1; j < map.value()->components.size();
+             ++j) {
+            EXPECT_NE(map.value()->components[i].drive,
+                      map.value()->components[j].drive);
+        }
+    }
+    // Left-symmetric rotation: parity moves every row.
+    EXPECT_NE(CheopsManager::parityComponent(0, 2),
+              CheopsManager::parityComponent(1, 2));
+}
+
+TEST_F(ParityTest, RoundTrip)
+{
+    const auto id = createParity();
+    const auto data = pattern(700 * kKB, 9);
+    ASSERT_TRUE(runFor(client->write(id, 0, data)).ok());
+    std::vector<std::uint8_t> out(700 * kKB);
+    auto n = runFor(client->read(id, 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_FALSE(n.value().degraded());
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(ParityTest, RmwFswBoundaryOffsetsKeepParityConsistent)
+{
+    // Width 2: one row is 64 KB of data. Apply writes at every kind of
+    // boundary — full-stripe, sub-unit, unit-crossing, row-crossing —
+    // against a host-side model, then verify both the healthy read AND
+    // a degraded read. The degraded read XORs parity back in, so it
+    // fails if any RMW left parity stale.
+    const auto id = createParity(2);
+    const std::uint64_t row_bytes = 2 * kSu;
+    std::vector<std::uint8_t> model(5 * row_bytes, 0);
+
+    const std::pair<std::uint64_t, std::uint64_t> cases[] = {
+        {0, row_bytes},                  // aligned full-stripe write
+        {row_bytes + 5000, 1000},        // small RMW inside one unit
+        {kSu - 100, 200},                // crossing a unit boundary
+        {2 * row_bytes - 300, 600},      // crossing a row boundary
+        {3 * row_bytes, row_bytes},      // second aligned FSW
+        {10, 2 * row_bytes},             // partial + full + partial rows
+    };
+    std::uint8_t seed = 40;
+    for (const auto &[off, len] : cases) {
+        const auto chunk = pattern(len, seed++);
+        ASSERT_TRUE(runFor(client->write(id, off, chunk)).ok());
+        std::copy(chunk.begin(), chunk.end(),
+                  model.begin() + static_cast<std::ptrdiff_t>(off));
+    }
+
+    std::vector<std::uint8_t> out(model.size());
+    auto healthy = runFor(client->read(id, 0, out));
+    ASSERT_TRUE(healthy.ok());
+    EXPECT_EQ(out, model);
+
+    auto map = runFor(client->open(id, false)).value();
+    drives[map->components[1].drive]->setFailed(true);
+    std::fill(out.begin(), out.end(), 0);
+    auto degraded = runFor(client->read(id, 0, out));
+    ASSERT_TRUE(degraded.ok());
+    EXPECT_TRUE(degraded.value().degraded());
+    EXPECT_EQ(out, model);
+    EXPECT_GT(client->reconstructedUnits(), 0u);
+}
+
+TEST_F(ParityTest, DegradedReadSurvivesAnySingleFailure)
+{
+    for (int victim = 0; victim < kDrives; ++victim) {
+        for (auto &d : drives)
+            d->setFailed(false);
+        const auto id = createParity(); // 3 data + parity over 4 drives
+        const auto data = pattern(512 * kKB,
+                                  static_cast<std::uint8_t>(victim + 1));
+        ASSERT_TRUE(runFor(client->write(id, 0, data)).ok());
+
+        drives[victim]->setFailed(true);
+        std::vector<std::uint8_t> out(512 * kKB);
+        auto n = runFor(client->read(id, 0, out));
+        ASSERT_TRUE(n.ok()) << "victim drive " << victim;
+        EXPECT_EQ(out, data) << "victim drive " << victim;
+    }
+}
+
+TEST_F(ParityTest, DegradedWriteUpdatesSurvivorsAndParity)
+{
+    const auto id = createParity(2);
+    const std::uint64_t row_bytes = 2 * kSu;
+    const auto data = pattern(4 * row_bytes, 11);
+    ASSERT_TRUE(runFor(client->write(id, 0, data)).ok());
+
+    auto map = runFor(client->open(id, false)).value();
+    const auto victim_drive = map->components[0].drive;
+    drives[victim_drive]->setFailed(true);
+
+    // An unaligned degraded write: the row recompute path must fold the
+    // new bytes into parity using only the survivors.
+    auto updated = data;
+    const auto chunk = pattern(50 * kKB, 99);
+    const std::uint64_t off = kSu + 1234; // touches the dead component's rows
+    ASSERT_TRUE(runFor(client->write(id, off, chunk)).ok());
+    std::copy(chunk.begin(), chunk.end(),
+              updated.begin() + static_cast<std::ptrdiff_t>(off));
+
+    std::vector<std::uint8_t> out(updated.size());
+    auto n = runFor(client->read(id, 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_TRUE(n.value().degraded());
+    EXPECT_EQ(out, updated);
+}
+
+TEST_F(ParityTest, DoubleFailureLosesData)
+{
+    const auto id = createParity();
+    ASSERT_TRUE(runFor(client->write(id, 0, pattern(kMB))).ok());
+    auto map = runFor(client->open(id, false)).value();
+    drives[map->components[0].drive]->setFailed(true);
+    drives[map->components[1].drive]->setFailed(true);
+    std::vector<std::uint8_t> out(kMB);
+    auto r = runFor(client->read(id, 0, out));
+    ASSERT_FALSE(r.ok());
+}
+
+TEST_F(ParityTest, ParityRequiresThreeDrives)
+{
+    std::vector<NasdDrive *> two = {raw[0], raw[1]};
+    auto &node = net.addNode("mgr2", net::alphaStation500(),
+                             net::oc3Link(), net::dceRpcCosts());
+    CheopsManager small(sim, net, node, two, 1);
+    run(small.initialize(64 * kMB));
+    CheopsClient c(net, client_node, small, two);
+    auto id = runFor(c.create(kSu, 0, 0, Redundancy::kParity));
+    ASSERT_FALSE(id.ok());
+}
+
+TEST_F(ParityTest, RebuildMovesComponentToSpare)
+{
+    const auto id = createParity(2); // 3 components, 1 spare drive left
+    const auto data = pattern(12 * 2 * kSu, 3);
+    ASSERT_TRUE(runFor(client->write(id, 0, data)).ok());
+
+    const std::uint32_t spare = spareDrive(id);
+    auto before = runFor(client->open(id, false)).value();
+    const std::uint32_t victim_comp = 0;
+    const auto victim_drive = before->components[victim_comp].drive;
+    drives[victim_drive]->setFailed(true);
+
+    ASSERT_TRUE(
+        runFor(client->startRebuild(id, victim_comp, spare, {})).ok());
+    sim.run(); // drain the rebuild engine
+
+    auto prog = mgr->rebuildProgress(id);
+    EXPECT_TRUE(prog.known);
+    EXPECT_FALSE(prog.active);
+    EXPECT_EQ(prog.rows_done, prog.rows_total);
+    EXPECT_GT(prog.bytes_reconstructed, 0u);
+    EXPECT_GT(prog.finished_at, prog.started_at);
+
+    // Reads come back healthy from the spare — the victim stays dead.
+    std::vector<std::uint8_t> out(data.size());
+    auto n = runFor(client->read(id, 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(out, data);
+    auto after = runFor(client->open(id, false)).value();
+    EXPECT_EQ(after->components[victim_comp].drive, spare);
+}
+
+TEST_F(ParityTest, RebuildRejectsSpareSharingASpindle)
+{
+    const auto id = createParity(2);
+    ASSERT_TRUE(runFor(client->write(id, 0, pattern(4 * kSu))).ok());
+    auto map = runFor(client->open(id, false)).value();
+    // A surviving component's drive cannot be the rebuild target.
+    auto r = runFor(
+        client->startRebuild(id, 0, map->components[1].drive, {}));
+    ASSERT_FALSE(r.ok());
+}
+
+TEST_F(ParityTest, RebuildCompletesWhileWriting)
+{
+    const auto id = createParity(2);
+    const std::uint64_t row_bytes = 2 * kSu;
+    const auto data = pattern(16 * row_bytes, 7);
+    ASSERT_TRUE(runFor(client->write(id, 0, data)).ok());
+
+    const std::uint32_t spare = spareDrive(id);
+    auto map = runFor(client->open(id, false)).value();
+    const std::uint32_t victim_comp = 1;
+    drives[map->components[victim_comp].drive]->setFailed(true);
+
+    // Throttle the engine so foreground writes interleave with it:
+    // one row per 2 ms of simulated time.
+    RebuildThrottle throttle;
+    throttle.token_interval_ns = 2'000'000;
+    throttle.burst = 1;
+    ASSERT_TRUE(
+        runFor(client->startRebuild(id, victim_comp, spare, throttle))
+            .ok());
+
+    // Overwrite everything while the engine runs. The first component
+    // write trips the rebuild fence (version bump), refreshes, and the
+    // rest of the update runs under the rebuild lock with write-through
+    // to the spare — rows the engine already passed still get the new
+    // bytes.
+    const auto updated = pattern(16 * row_bytes, 123);
+    ASSERT_TRUE(runFor(client->write(id, 0, updated)).ok());
+    sim.run();
+
+    auto prog = mgr->rebuildProgress(id);
+    EXPECT_TRUE(prog.known);
+    EXPECT_FALSE(prog.active);
+    EXPECT_EQ(prog.rows_done, prog.rows_total);
+
+    std::vector<std::uint8_t> out(updated.size());
+    auto n = runFor(client->read(id, 0, out));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(out, updated);
 }
 
 } // namespace

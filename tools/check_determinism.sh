@@ -60,5 +60,6 @@ run_twice() {
 run_twice fig6 fig6_bandwidth || STATUS=1
 run_twice fig9 fig9_mining || STATUS=1
 run_twice fig9_scale64 fig9_mining --drives 64 || STATUS=1
+run_twice rebuild fig9_mining --kill-drive || STATUS=1
 
 exit $STATUS
