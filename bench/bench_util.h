@@ -5,7 +5,8 @@
  * plumbing every bench binary shares — `--json PATH` / `--no-json`
  * select the metrics dump (default BENCH_<name>.json), `--trace PATH`
  * installs a util::Tracer for the run and writes a Chrome trace_event
- * timeline on exit.
+ * timeline on exit, `--journal PATH` dumps the flight-recorder journal
+ * (benches that support it; see fig9_mining --kill-drive).
  */
 #ifndef NASD_BENCH_BENCH_UTIL_H_
 #define NASD_BENCH_BENCH_UTIL_H_
@@ -63,8 +64,9 @@ banner(const char *title, const char *paper_reference)
 /** Command-line options shared by every bench binary. */
 struct BenchOptions
 {
-    std::string json_path;  ///< metrics dump path; empty = skip
-    std::string trace_path; ///< Chrome trace path; empty = tracing off
+    std::string json_path;    ///< metrics dump path; empty = skip
+    std::string trace_path;   ///< Chrome trace path; empty = tracing off
+    std::string journal_path; ///< flight journal dump path; empty = skip
 
     // Wall-clock anchor for the `sim/events_per_sec` scheduler
     // throughput gauge: captured at option-parse time (process start,
@@ -93,9 +95,12 @@ parseOptions(const char *bench_name, int argc, char **argv)
             opts.json_path.clear();
         } else if (arg == "--trace" && i + 1 < argc) {
             opts.trace_path = argv[++i];
+        } else if (arg == "--journal" && i + 1 < argc) {
+            opts.journal_path = argv[++i];
         } else {
             NASD_WARN(bench_name, ": ignoring unknown argument '", argv[i],
-                      "' (known: --json PATH, --no-json, --trace PATH)");
+                      "' (known: --json PATH, --no-json, --trace PATH, "
+                      "--journal PATH)");
         }
     }
     return opts;
@@ -107,11 +112,18 @@ parseOptions(const char *bench_name, int argc, char **argv)
  * plus an optional "timeseries" section (interval-sampled series from
  * a sim::StatsPoller run). tools/check_bench_json.py validates this
  * shape in CI.
+ *
+ * @p extra_sections, when non-empty, is spliced in verbatim after the
+ * metrics object — it must be a string of the form
+ * `, "name": {...}[, "name2": {...}]` (leading comma included) so a
+ * bench can attach bespoke top-level sections (fig9_mining's
+ * "fleet_health") without this helper growing a JSON builder.
  */
 inline void
 writeBenchJson(const BenchOptions &opts, const char *bench_name,
                const char *reference,
-               const util::TimeSeries *timeseries = nullptr)
+               const util::TimeSeries *timeseries = nullptr,
+               const std::string &extra_sections = {})
 {
     if (opts.json_path.empty())
         return;
@@ -139,6 +151,8 @@ writeBenchJson(const BenchOptions &opts, const char *bench_name,
         const std::string series = timeseries->toJson();
         std::fprintf(f, ", \"timeseries\": %s", series.c_str());
     }
+    if (!extra_sections.empty())
+        std::fprintf(f, "%s", extra_sections.c_str());
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", opts.json_path.c_str());

@@ -46,6 +46,7 @@
 #include "sim/stats_poller.h"
 #include "util/attribution.h"
 #include "util/critpath.h"
+#include "util/flight_recorder.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/timeseries.h"
@@ -502,6 +503,38 @@ scanLoop(cheops::CheopsClient &client, cheops::LogicalObjectId id,
     }
 }
 
+/**
+ * Foreground writer: one stripe-unit-sized update every @p gap ticks,
+ * marching through the object, so some updates land while the victim
+ * is dead (degraded read-modify-write) and some race the rebuild
+ * engine (rebuild row lock + write-through to the spare). Content is a
+ * deterministic function of the write ordinal.
+ */
+sim::Task<void>
+writeLoop(sim::Simulator &sim, cheops::CheopsClient &client,
+          cheops::LogicalObjectId id, std::uint64_t object_bytes,
+          std::uint64_t unit_bytes, sim::Tick gap, ScanState &state)
+{
+    std::vector<std::uint8_t> buf(unit_bytes);
+    const std::uint64_t slots = object_bytes / unit_bytes;
+    for (std::uint64_t u = 0; !state.stop; ++u) {
+        for (std::size_t j = 0; j < buf.size(); ++j)
+            buf[j] = static_cast<std::uint8_t>(u + j);
+        auto w = co_await client.write(id, (u % slots) * unit_bytes, buf);
+        if (w.ok())
+            state.bytes += unit_bytes;
+        co_await sim.delay(gap);
+    }
+}
+
+/** Bracket one kill-drive phase in the journal (fleet health report). */
+void
+markPhase(sim::Simulator &sim, util::FrEvent kind, const char *phase)
+{
+    util::flightRecorder().node("bench").record(sim.now(), kind, 0, 0, 0,
+                                                phase);
+}
+
 /** Phase bandwidths and rebuild accounting of one kill-drive run. */
 struct KillDriveResult
 {
@@ -591,6 +624,18 @@ runKillDrive()
                            static_cast<std::uint64_t>(i), kClients,
                            states[i]));
     }
+    // One foreground writer alongside the scanners: its stripe-unit
+    // updates keep hitting the victim's column, so the journal captures
+    // writes that race the rebuild (degraded RMW, row lock,
+    // write-through to the spare) — tools/flight_report.py
+    // --find-rebuild-race keys off exactly those events.
+    auto &writer_node = net.addNode("writer", net::alphaStation255(),
+                                    net::oc3Link(), net::dceRpcCosts());
+    cheops::CheopsClient writer(net, writer_node, storage, raw);
+    ScanState writer_state;
+    sim.spawn(writeLoop(sim, writer, id, kObjectBytes, kSu, sim::msec(2),
+                        writer_state));
+
     const auto total_bytes = [&states] {
         std::uint64_t bytes = 0;
         for (const auto &s : states)
@@ -603,20 +648,25 @@ runKillDrive()
     };
 
     // Phase 1 — healthy baseline.
+    markPhase(sim, util::FrEvent::kPhaseBegin, "healthy");
     const std::uint64_t healthy_start = total_bytes();
     sim.runUntil(sim.now() + kWindow);
     const double healthy_mbps =
         window_mbs(total_bytes() - healthy_start, kWindow);
+    markPhase(sim, util::FrEvent::kPhaseEnd, "healthy");
 
     // Phase 2 — kill a data drive; reads reconstruct from parity.
+    markPhase(sim, util::FrEvent::kPhaseBegin, "degraded");
     drives[victim_drive]->setFailed(true);
     const std::uint64_t degraded_start = total_bytes();
     sim.runUntil(sim.now() + kWindow);
     const double degraded_mbps =
         window_mbs(total_bytes() - degraded_start, kWindow);
+    markPhase(sim, util::FrEvent::kPhaseEnd, "degraded");
 
     // Phase 3 — online rebuild onto the spare, token-throttled to one
     // row per millisecond so foreground traffic keeps flowing.
+    markPhase(sim, util::FrEvent::kPhaseBegin, "rebuild");
     cheops::RebuildThrottle throttle;
     throttle.token_interval_ns = sim::msec(1);
     throttle.burst = 1;
@@ -641,14 +691,18 @@ runKillDrive()
     const double rebuild_window_mbps =
         window_mbs(total_bytes() - rebuild_start_bytes, rebuild_elapsed);
     const auto prog = storage.rebuildProgress(id);
+    markPhase(sim, util::FrEvent::kPhaseEnd, "rebuild");
 
     // Phase 4 — the spare serves; clients refresh onto the new map.
+    markPhase(sim, util::FrEvent::kPhaseBegin, "post_rebuild");
     const std::uint64_t post_start = total_bytes();
     sim.runUntil(sim.now() + kWindow);
     const double post_mbps = window_mbs(total_bytes() - post_start, kWindow);
+    markPhase(sim, util::FrEvent::kPhaseEnd, "post_rebuild");
 
     for (auto &s : states)
         s.stop = true;
+    writer_state.stop = true;
     sim.run(); // drain the scan loops and any rebuild-engine stragglers
 
     KillDriveResult result;
@@ -718,6 +772,103 @@ printBreakdown(const std::map<std::string, OpBreakdown> &breakdown)
     return reconciled;
 }
 
+/** Event-kind counts of one kill-drive phase, in phase order. */
+using PhaseCounts =
+    std::pair<std::string, std::map<std::string, std::uint64_t>>;
+
+/** Bucket every journaled event into the phase whose kPhaseBegin /
+ *  kPhaseEnd markers bracket it (events outside any phase — setup,
+ *  drain — are dropped). Phases appear in marker order. */
+std::vector<PhaseCounts>
+collectFleetHealth(const util::FlightRecorder &fr)
+{
+    std::vector<PhaseCounts> phases;
+    bool in_phase = false;
+    for (const auto &[journal, ev] : fr.merged()) {
+        (void)journal;
+        if (ev->kind == util::FrEvent::kPhaseBegin) {
+            phases.emplace_back(ev->detail,
+                                std::map<std::string, std::uint64_t>{});
+            in_phase = true;
+            continue;
+        }
+        if (ev->kind == util::FrEvent::kPhaseEnd) {
+            in_phase = false;
+            continue;
+        }
+        if (in_phase)
+            ++phases.back().second[util::frEventName(ev->kind)];
+    }
+    return phases;
+}
+
+/** Serialize collectFleetHealth() as a writeBenchJson extra section:
+ *  `, "fleet_health": {"phases": [{"name": ..., "events": {...}}]}`. */
+std::string
+fleetHealthJson(const std::vector<PhaseCounts> &phases)
+{
+    std::string out = ", \"fleet_health\": {\"phases\": [";
+    bool first_phase = true;
+    for (const auto &[name, counts] : phases) {
+        if (!first_phase)
+            out += ", ";
+        first_phase = false;
+        out += "{\"name\": \"" + name + "\", \"events\": {";
+        bool first_kind = true;
+        for (const auto &[kind, n] : counts) {
+            if (!first_kind)
+                out += ", ";
+            first_kind = false;
+            out += "\"" + kind + "\": " + std::to_string(n);
+        }
+        out += "}}";
+    }
+    out += "]}";
+    return out;
+}
+
+/** Print the tail-exemplar table, then the merged journal window
+ *  around the slowest @p focus_op sample — the flight recorder's
+ *  answer to "show me the actual worst read". */
+void
+printTailExemplars(const util::FlightRecorder &fr, const char *focus_op)
+{
+    const auto ops = fr.exemplarOps();
+    if (ops.empty())
+        return;
+    std::printf("\ntail exemplars — top-%zu latency samples per drive op\n",
+                util::TailExemplars::kKeep);
+    std::printf("  %-10s %10s %12s %14s %10s %10s\n", "op", "samples",
+                "max ms", "tail >= ms", "trace", "seq");
+    for (const auto &op : ops) {
+        const auto *ex = fr.exemplars(op);
+        if (ex == nullptr || ex->retained() == 0)
+            continue;
+        const auto &top = ex->max();
+        std::printf("  %-10s %10llu %12.3f %14.3f %10llu %10llu\n",
+                    op.c_str(),
+                    static_cast<unsigned long long>(ex->count()),
+                    top.value / 1e6, ex->threshold() / 1e6,
+                    static_cast<unsigned long long>(top.trace_id),
+                    static_cast<unsigned long long>(top.seq));
+    }
+    const auto *focus = fr.exemplars(focus_op);
+    if (focus == nullptr || focus->retained() == 0)
+        return;
+    const auto &slow = focus->max();
+    std::printf("\njournal window around the slowest %s (seq %llu +/-8):\n",
+                focus_op, static_cast<unsigned long long>(slow.seq));
+    for (const auto &[journal, ev] : fr.window(slow.seq, 8))
+        std::printf("  [%6llu] %12.3f ms %-8s %-18s trace=%llu a=%llu "
+                    "b=%llu %s\n",
+                    static_cast<unsigned long long>(ev->seq),
+                    static_cast<double>(ev->time_ns) / 1e6,
+                    journal->nodeName().c_str(), util::frEventName(ev->kind),
+                    static_cast<unsigned long long>(ev->trace_id),
+                    static_cast<unsigned long long>(ev->a),
+                    static_cast<unsigned long long>(ev->b), ev->detail);
+}
+
 } // namespace
 
 int
@@ -758,7 +909,9 @@ main(int argc, char **argv)
             "latency attribution + critical path (Section 5.2 workload)");
 
         // Trace in memory (never written) to feed the critical-path
-        // analyzer alongside the registry's attribution counters.
+        // analyzer alongside the registry's attribution counters; the
+        // flight scope gives the run fresh journals and exemplars.
+        util::FlightRecorderScope flight;
         util::Tracer tracer;
         util::setTracer(&tracer);
         std::map<std::string, OpBreakdown> breakdown;
@@ -791,6 +944,8 @@ main(int argc, char **argv)
         }
         std::printf("\ndominant drive chain: %s\n",
                     report.dominantLane().c_str());
+
+        printTailExemplars(flight.recorder(), "read");
         return reconciled && report.roots > 0 ? 0 : 1;
     }
 
@@ -803,6 +958,11 @@ main(int argc, char **argv)
             "Section 5.2 workload over parity-striped Cheops (degraded "
             "service + rebuild onto a spare)");
 
+        // Installed before runKillDrive builds its Network: NetNodes
+        // cache their journal reference at construction, so the scope
+        // must already be current (and must outlive the run so the
+        // journal can be reported after it returns).
+        util::FlightRecorderScope flight;
         const KillDriveResult r = runKillDrive();
 
         std::printf("\n%-22s %12s\n", "phase", "MB/s");
@@ -820,6 +980,41 @@ main(int argc, char **argv)
         std::printf("foreground impact while rebuilding: %.1f%% of "
                     "healthy bandwidth\n", r.impact_pct);
 
+        const auto phases = collectFleetHealth(flight.recorder());
+        std::printf("\nfleet health — journal events per phase:\n");
+        std::printf("  %-14s %8s %10s %10s %10s %8s\n", "phase", "events",
+                    "degr_read", "degr_write", "write_thru", "fences");
+        for (const auto &[name, counts] : phases) {
+            std::uint64_t total = 0;
+            for (const auto &[kind, n] : counts)
+                total += n;
+            const auto get = [&counts](const char *k) {
+                const auto it = counts.find(k);
+                return it == counts.end() ? std::uint64_t{0} : it->second;
+            };
+            std::printf("  %-14s %8llu %10llu %10llu %10llu %8llu\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(total),
+                        static_cast<unsigned long long>(
+                            get("degraded_read")),
+                        static_cast<unsigned long long>(
+                            get("degraded_write")),
+                        static_cast<unsigned long long>(
+                            get("write_through")),
+                        static_cast<unsigned long long>(
+                            get("version_fence")));
+        }
+
+        if (!opts.journal_path.empty()) {
+            flight.recorder().writeJson(opts.journal_path);
+            std::printf("\nwrote %s (%llu journal events across %zu "
+                        "nodes)\n",
+                        opts.journal_path.c_str(),
+                        static_cast<unsigned long long>(
+                            flight.recorder().totalRecorded()),
+                        flight.recorder().nodeCount());
+        }
+
         auto &m = util::metrics();
         m.gauge("rebuild/healthy_mbps").set(r.healthy_mbps);
         m.gauge("rebuild/degraded_mbps").set(r.degraded_mbps);
@@ -831,7 +1026,8 @@ main(int argc, char **argv)
         m.gauge("rebuild/reconstructed_mb").set(r.reconstructed_mb);
         bench::writeBenchJson(opts, "rebuild",
                               "RAID-5 degraded service and online rebuild "
-                              "(Cheops over Section 5.2 workload)");
+                              "(Cheops over Section 5.2 workload)",
+                              nullptr, fleetHealthJson(phases));
         return r.ok ? 0 : 1;
     }
 

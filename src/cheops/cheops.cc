@@ -4,6 +4,7 @@
 
 #include "net/rpc.h"
 #include "sim/sync.h"
+#include "util/flight_recorder.h"
 #include "util/logging.h"
 
 namespace nasd::cheops {
@@ -86,6 +87,8 @@ CheopsManager::mintComponentCap(std::uint32_t drive, ObjectId oid,
     if (want_write)
         pub.rights |= kRightWrite;
     pub.expiry_ns = sim_.now() + kCapLifetimeNs;
+    node_.flightJournal().record(sim_.now(), util::FrEvent::kCapMint, 0,
+                                 oid, pub.expiry_ns);
     return issuers_[drive]->mint(pub);
 }
 
@@ -379,6 +382,8 @@ CheopsManager::serveRevoke(LogicalObjectId id)
             reply.status = CheopsStatus::kDriveError;
     }
     ++obj.map_version;
+    node_.flightJournal().record(sim_.now(), util::FrEvent::kVersionFence,
+                                 0, id, obj.map_version, "revoke");
     control_ops_.add(1);
     co_return reply;
 }
@@ -493,6 +498,12 @@ CheopsManager::serveMarkDegraded(LogicalObjectId id, std::uint32_t component,
             mirror_side ? obj.mirror_versions : obj.component_versions;
         versions[component] += 1;
         ++obj.map_version;
+        node_.flightJournal().record(sim_.now(),
+                                     util::FrEvent::kMirrorMarkDegraded, 0,
+                                     id, component);
+        node_.flightJournal().record(sim_.now(),
+                                     util::FrEvent::kVersionFence, 0, id,
+                                     obj.map_version, "mark_degraded");
     }
     co_await node_.cpu().execute(2000);
     control_ops_.add(1);
@@ -569,8 +580,14 @@ CheopsManager::serveResyncMirrors(LogicalObjectId id)
         (mirror_stale ? obj.mirror_stale : obj.component_stale)[i] = 0;
         changed = true;
     }
-    if (changed)
+    if (changed) {
         ++obj.map_version;
+        node_.flightJournal().record(sim_.now(),
+                                     util::FrEvent::kMirrorResync, 0, id);
+        node_.flightJournal().record(sim_.now(),
+                                     util::FrEvent::kVersionFence, 0, id,
+                                     obj.map_version, "resync");
+    }
     control_ops_.add(1);
     co_return reply;
 }
@@ -670,6 +687,8 @@ CheopsManager::serveStartRebuild(LogicalObjectId id,
         obj.component_versions[i] = bumped.value().version;
     }
     ++obj.map_version;
+    node_.flightJournal().record(sim_.now(), util::FrEvent::kVersionFence,
+                                 0, id, obj.map_version, "rebuild_fence");
 
     RebuildState &rb = rebuilds_[id];
     rb.active = true;
@@ -689,6 +708,8 @@ CheopsManager::serveStartRebuild(LogicalObjectId id,
         rb.tokens = std::make_unique<sim::Semaphore>(
             sim_, std::max<std::uint32_t>(1, throttle.burst));
     }
+    node_.flightJournal().record(sim_.now(), util::FrEvent::kRebuildStart,
+                                 0, id, dead_component);
     sim_.spawn(rebuildLoop(id));
     control_ops_.add(1);
     co_return reply;
@@ -723,6 +744,9 @@ CheopsManager::rebuildLoop(LogicalObjectId id)
                                    rb.throttle.token_interval_ns));
         }
         auto permit = co_await sim::scopedAcquire(sim_, *rb.lock);
+        node_.flightJournal().record(sim_.now(),
+                                     util::FrEvent::kRowLockAcquire, 0, id,
+                                     0, "engine");
         const auto oit = objects_.find(id);
         if (oit == objects_.end())
             break; // object removed mid-rebuild: abandon quietly
@@ -777,6 +801,9 @@ CheopsManager::rebuildLoop(LogicalObjectId id)
         }
         ++rb.rows_done;
         rebuild_rows_.add(1);
+        node_.flightJournal().record(sim_.now(),
+                                     util::FrEvent::kRowLockRelease, 0, id,
+                                     0, "engine");
         permit.release();
     }
 
@@ -803,9 +830,15 @@ CheopsManager::rebuildLoop(LogicalObjectId id)
         obj.components[rb.dead_comp] = {rb.spare_drive, rb.spare_oid};
         obj.component_versions[rb.dead_comp] = 1;
         ++obj.map_version;
+        node_.flightJournal().record(sim_.now(),
+                                     util::FrEvent::kVersionFence, 0, id,
+                                     obj.map_version, "rebuild_refence");
     }
     rb.active = false;
     rb.finished_at = sim_.now();
+    node_.flightJournal().record(sim_.now(),
+                                 util::FrEvent::kRebuildComplete, 0, id,
+                                 rb.rows_done);
     permit.release();
 }
 
@@ -822,6 +855,9 @@ CheopsManager::serveRebuildLock(LogicalObjectId id)
     auto permit = co_await sim::scopedAcquire(sim_, *rb.lock);
     reply.ticket = rb.next_ticket++;
     rb.held.emplace(reply.ticket, std::move(permit));
+    node_.flightJournal().record(sim_.now(),
+                                 util::FrEvent::kRowLockAcquire, 0, id,
+                                 reply.ticket);
     control_ops_.add(1);
     co_return reply;
 }
@@ -842,6 +878,9 @@ CheopsManager::serveRebuildUnlock(LogicalObjectId id, std::uint64_t ticket)
     }
     hit->second.release();
     rit->second.held.erase(hit);
+    node_.flightJournal().record(sim_.now(),
+                                 util::FrEvent::kRowLockRelease, 0, id,
+                                 ticket);
     control_ops_.add(1);
     co_return reply;
 }
@@ -968,6 +1007,14 @@ CheopsClient::refreshCaps(LogicalObjectId id, bool want_write)
     for (std::size_t i = 0; i < state.mirror_creds.size(); ++i) {
         state.mirror_creds[i]->rebind(reply.map.mirrors[i].capability);
         state.map.mirrors[i] = reply.map.mirrors[i];
+    }
+    node_.flightJournal().record(net_.simulator().now(),
+                                 util::FrEvent::kCapRefresh, 0, id,
+                                 reply.map.map_version);
+    if (reply.map.map_version != state.map.map_version) {
+        node_.flightJournal().record(net_.simulator().now(),
+                                     util::FrEvent::kMapRefresh, 0, id,
+                                     reply.map.map_version);
     }
     state.map.map_version = reply.map.map_version;
     state.map.rebuilding = reply.map.rebuilding;
@@ -1295,9 +1342,7 @@ sim::Task<util::Result<ReadOutcome, CheopsStatus>>
 CheopsClient::read(LogicalObjectId id, std::uint64_t offset,
                    std::span<std::uint8_t> out, util::TraceContext parent)
 {
-    util::TraceContext ctx;
-    if (auto *t = util::tracer())
-        ctx = t->childOf(parent);
+    util::TraceContext ctx = util::flightRecorder().mintChild(parent);
     util::ScopedSpan span("cheops/read", node_.name(),
                           static_cast<std::uint64_t>(net_.simulator().now()),
                           ctx, parent.span_id);
@@ -1340,6 +1385,10 @@ CheopsClient::read(LogicalObjectId id, std::uint64_t offset,
                 if (data.ok()) {
                     open->map.degraded = true;
                     degraded = true;
+                    node_.flightJournal().record(
+                        net_.simulator().now(),
+                        util::FrEvent::kDegradedRead, ctx.trace_id, id,
+                        run.component);
                 }
             }
         }
@@ -1361,6 +1410,9 @@ CheopsClient::read(LogicalObjectId id, std::uint64_t offset,
             if (mdata.ok()) {
                 open->map.degraded = true;
                 degraded = true;
+                node_.flightJournal().record(
+                    net_.simulator().now(), util::FrEvent::kDegradedRead,
+                    ctx.trace_id, id, run.component, "mirror");
             }
             data = std::move(mdata);
         }
@@ -1410,9 +1462,7 @@ CheopsClient::write(LogicalObjectId id, std::uint64_t offset,
                     std::span<const std::uint8_t> data,
                     util::TraceContext parent)
 {
-    util::TraceContext ctx;
-    if (auto *t = util::tracer())
-        ctx = t->childOf(parent);
+    util::TraceContext ctx = util::flightRecorder().mintChild(parent);
     util::ScopedSpan span("cheops/write", node_.name(),
                           static_cast<std::uint64_t>(net_.simulator().now()),
                           ctx, parent.span_id);
@@ -1760,6 +1810,9 @@ CheopsClient::writeParityRowDegraded(
     const auto w =
         static_cast<std::uint32_t>(open->map.components.size() - 1);
     const std::uint32_t p = CheopsManager::parityComponent(row, w);
+    node_.flightJournal().record(net_.simulator().now(),
+                                 util::FrEvent::kDegradedWrite,
+                                 ctx.trace_id, id, row);
 
     // Read the full row unit from every surviving component.
     std::vector<sim::Task<StoreResult<std::vector<std::uint8_t>>>> reads;
@@ -1843,6 +1896,9 @@ CheopsClient::writeParityRowDegraded(
             tb = std::max(tb, phi);
         }
         if (tb > ta) {
+            node_.flightJournal().record(net_.simulator().now(),
+                                         util::FrEvent::kWriteThrough,
+                                         ctx.trace_id, id, row);
             wops.push_back(writeThroughTarget(
                 open, row * su + ta,
                 std::span<const std::uint8_t>(unit_by_comp[dead])

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "util/flight_recorder.h"
+
 namespace nasd {
 
 namespace {
@@ -55,11 +57,14 @@ sim::Task<Resp>
 attemptLoop(net::Network &net, net::NetNode &node, NasdDrive &drive,
             const DriveRetryPolicy &policy, util::Rng &rng, bool retryable,
             sim::Tick timeout, std::uint64_t request_payload,
-            MakeFn<Resp> make)
+            const char *op, std::uint64_t trace_id, MakeFn<Resp> make)
 {
     const int attempts = retryable ? std::max(policy.max_attempts, 1) : 1;
     for (int attempt = 0; attempt < attempts; ++attempt) {
         if (attempt > 0) {
+            node.flightJournal().record(
+                net.simulator().now(), util::FrEvent::kRpcRetry, trace_id,
+                static_cast<std::uint64_t>(attempt), drive.id(), op);
             const sim::Tick base =
                 std::min(policy.backoff_base << (attempt - 1),
                          policy.backoff_cap);
@@ -99,8 +104,7 @@ NasdClient::read(CredentialFactory &cred, std::uint64_t offset,
 {
     RequestParams params{OpCode::kReadData, cred.capability().pub.partition,
                          cred.capability().pub.object_id, offset, length};
-    if (auto *t = util::tracer())
-        params.trace = t->childOf(parent);
+    params.trace = util::flightRecorder().mintChild(parent);
     util::ScopedSpan span("nasd/read", node_.name(),
                           static_cast<std::uint64_t>(net_.simulator().now()),
                           params.trace, parent.span_id);
@@ -118,7 +122,7 @@ NasdClient::read(CredentialFactory &cred, std::uint64_t offset,
     };
     ReadResponse resp = co_await attemptLoop<ReadResponse>(
         net_, node_, drive_, policy_, retry_rng_, true, policy_.timeout,
-        kControlPayload, make);
+        kControlPayload, "read", params.trace.trace_id, make);
     span.endAt(static_cast<std::uint64_t>(net_.simulator().now()));
 
     if (resp.status != NasdStatus::kOk)
@@ -135,8 +139,7 @@ NasdClient::write(CredentialFactory &cred, std::uint64_t offset,
                          cred.capability().pub.partition,
                          cred.capability().pub.object_id, offset,
                          data.size()};
-    if (auto *t = util::tracer())
-        params.trace = t->childOf(parent);
+    params.trace = util::flightRecorder().mintChild(parent);
     util::ScopedSpan span("nasd/write", node_.name(),
                           static_cast<std::uint64_t>(net_.simulator().now()),
                           params.trace, parent.span_id);
@@ -158,7 +161,8 @@ NasdClient::write(CredentialFactory &cred, std::uint64_t offset,
     };
     StatusResponse resp = co_await attemptLoop<StatusResponse>(
         net_, node_, drive_, policy_, retry_rng_, true, policy_.timeout,
-        kControlPayload + data.size(), make);
+        kControlPayload + data.size(), "write", params.trace.trace_id,
+        make);
     span.endAt(static_cast<std::uint64_t>(net_.simulator().now()));
 
     if (resp.status != NasdStatus::kOk)
@@ -184,7 +188,7 @@ NasdClient::getAttr(CredentialFactory &cred)
     };
     AttrResponse resp = co_await attemptLoop<AttrResponse>(
         net_, node_, drive_, policy_, retry_rng_, true, policy_.timeout,
-        kControlPayload, make);
+        kControlPayload, "getattr", params.trace.trace_id, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -210,7 +214,8 @@ NasdClient::setAttr(CredentialFactory &cred, const SetAttrRequest &changes)
     };
     AttrResponse resp = co_await attemptLoop<AttrResponse>(
         net_, node_, drive_, policy_, retry_rng_, false, policy_.timeout,
-        kControlPayload + kAttrPayload, make);
+        kControlPayload + kAttrPayload, "setattr", params.trace.trace_id,
+        make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -236,7 +241,7 @@ NasdClient::create(CredentialFactory &cred, std::uint64_t capacity_hint)
     };
     CreateResponse resp = co_await attemptLoop<CreateResponse>(
         net_, node_, drive_, policy_, retry_rng_, false, policy_.timeout,
-        kControlPayload, make);
+        kControlPayload, "create", params.trace.trace_id, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -262,7 +267,7 @@ NasdClient::remove(CredentialFactory &cred)
     };
     StatusResponse resp = co_await attemptLoop<StatusResponse>(
         net_, node_, drive_, policy_, retry_rng_, false, policy_.timeout,
-        kControlPayload, make);
+        kControlPayload, "remove", params.trace.trace_id, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -288,7 +293,7 @@ NasdClient::cloneVersion(CredentialFactory &cred)
     };
     CreateResponse resp = co_await attemptLoop<CreateResponse>(
         net_, node_, drive_, policy_, retry_rng_, false, policy_.timeout,
-        kControlPayload, make);
+        kControlPayload, "clone", params.trace.trace_id, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -316,7 +321,7 @@ NasdClient::listObjects(CredentialFactory &cred)
     };
     ListResponse resp = co_await attemptLoop<ListResponse>(
         net_, node_, drive_, policy_, retry_rng_, true, policy_.timeout,
-        kControlPayload, make);
+        kControlPayload, "list", params.trace.trace_id, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -341,7 +346,7 @@ NasdClient::setKey(CredentialFactory &cred)
     };
     StatusResponse resp = co_await attemptLoop<StatusResponse>(
         net_, node_, drive_, policy_, retry_rng_, false, policy_.timeout,
-        kControlPayload, make);
+        kControlPayload, "setkey", params.trace.trace_id, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -388,7 +393,7 @@ partitionAdmin(net::Network &net, net::NetNode &node, NasdDrive &drive,
     };
     StatusResponse resp = co_await attemptLoop<StatusResponse>(
         net, node, drive, policy, rng, false, policy.timeout,
-        kControlPayload, make);
+        kControlPayload, "partition_admin", params.trace.trace_id, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};
@@ -438,7 +443,7 @@ NasdClient::flush()
     };
     (void)co_await attemptLoop<StatusResponse>(
         net_, node_, drive_, policy_, retry_rng_, true,
-        policy_.flush_timeout, kControlPayload, make);
+        policy_.flush_timeout, kControlPayload, "flush", 0, make);
 }
 
 sim::Task<StoreResult<ProbeResponse>>
@@ -454,7 +459,7 @@ NasdClient::probe(PartitionId target)
     };
     ProbeResponse resp = co_await attemptLoop<ProbeResponse>(
         net_, node_, drive_, policy_, retry_rng_, true, policy_.timeout,
-        kControlPayload, make);
+        kControlPayload, "probe", 0, make);
 
     if (resp.status != NasdStatus::kOk)
         co_return util::Err{resp.status};

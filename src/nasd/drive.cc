@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "net/presets.h"
+#include "util/flight_recorder.h"
 #include "util/logging.h"
 
 namespace nasd {
@@ -83,6 +84,7 @@ NasdDrive::restart()
     co_await store_->mount();
     nonce_window_.clear(); // replay window was RAM-resident
     crashed_ = false;
+    node_->flightJournal().record(sim_.now(), util::FrEvent::kDriveRestart);
 }
 
 double
@@ -114,8 +116,13 @@ NasdDrive::verify(const RequestCredential &cred, const RequestParams &params,
         co_return NasdStatus::kNoSuchPartition;
 
     // Expiration (file managers bound capability lifetime).
-    if (sim_.now() >= pub.expiry_ns)
+    if (sim_.now() >= pub.expiry_ns) {
+        node_->flightJournal().record(sim_.now(),
+                                      util::FrEvent::kCapExpired,
+                                      params.trace.trace_id,
+                                      params.object_id);
         co_return NasdStatus::kExpiredCapability;
+    }
 
     // A set-key request invalidates all capabilities of older epochs.
     if (pub.key_epoch != part.value().key_epoch)
@@ -233,13 +240,20 @@ NasdDrive::beginOp(const char *op, const RequestParams &params)
 
 void
 NasdDrive::finishOp(const char *op, sim::Tick start, util::ScopedSpan &span,
-                    const util::OpAttribution *attr)
+                    const util::OpAttribution *attr,
+                    std::uint64_t trace_id)
 {
     ops_served_.add(1);
     OpInstruments &m = opInstruments(op);
     m.count.add(1);
     const std::uint64_t elapsed = sim_.now() - start;
     m.latency_ns.add(static_cast<double>(elapsed));
+    // Tail exemplars: remember the trace + journal cursor of the
+    // slowest ops per class so --breakdown can show the actual p99+
+    // requests and the journal window around them.
+    util::flightRecorder().recordLatency(op,
+                                         static_cast<double>(elapsed),
+                                         trace_id);
     if (attr != nullptr) {
         for (std::size_t c = 0; c < util::kResourceClassCount; ++c) {
             m.wait_ns[c]->add(attr->wait_ns[c]);
@@ -331,7 +345,8 @@ NasdDrive::serveRead(RequestCredential cred, RequestParams params)
                           result.value(), trace, &op_attr);
     // Outgoing data is covered by the keyed digest too.
     co_await chargeSecurityBytes(result.value(), &op_attr);
-    finishOp("read", op_start, op_span, &op_attr);
+    finishOp("read", op_start, op_span, &op_attr,
+             params.trace.trace_id);
     co_return resp;
 }
 
@@ -366,7 +381,8 @@ NasdDrive::serveWrite(RequestCredential cred, RequestParams params,
                           config_.costs.cold_extra_write_instr,
                           config_.costs.write_per_byte_instr, data.size(),
                           trace, &op_attr);
-    finishOp("write", op_start, op_span, &op_attr);
+    finishOp("write", op_start, op_span, &op_attr,
+             params.trace.trace_id);
     co_return resp;
 }
 
@@ -395,7 +411,8 @@ NasdDrive::serveGetAttr(RequestCredential cred, RequestParams params)
     co_await chargeOpCost(config_.costs.attr_base_instr,
                           config_.costs.cold_extra_read_instr, 0.0, 0,
                           trace, &op_attr);
-    finishOp("getattr", op_start, op_span, &op_attr);
+    finishOp("getattr", op_start, op_span, &op_attr,
+             params.trace.trace_id);
     co_return resp;
 }
 
@@ -425,7 +442,8 @@ NasdDrive::serveSetAttr(RequestCredential cred, RequestParams params,
     co_await chargeOpCost(config_.costs.attr_base_instr,
                           config_.costs.cold_extra_write_instr, 0.0, 0,
                           trace, &op_attr);
-    finishOp("setattr", op_start, op_span, &op_attr);
+    finishOp("setattr", op_start, op_span, &op_attr,
+             params.trace.trace_id);
     co_return resp;
 }
 
@@ -456,7 +474,8 @@ NasdDrive::serveCreate(RequestCredential cred, RequestParams params)
     co_await chargeOpCost(config_.costs.create_base_instr,
                           config_.costs.cold_extra_write_instr, 0.0, 0,
                           trace, &op_attr);
-    finishOp("create", op_start, op_span, &op_attr);
+    finishOp("create", op_start, op_span, &op_attr,
+             params.trace.trace_id);
     co_return resp;
 }
 
@@ -484,7 +503,8 @@ NasdDrive::serveRemove(RequestCredential cred, RequestParams params)
     co_await chargeOpCost(config_.costs.remove_base_instr,
                           config_.costs.cold_extra_write_instr, 0.0, 0,
                           trace, &op_attr);
-    finishOp("remove", op_start, op_span, &op_attr);
+    finishOp("remove", op_start, op_span, &op_attr,
+             params.trace.trace_id);
     co_return resp;
 }
 
@@ -513,7 +533,8 @@ NasdDrive::serveClone(RequestCredential cred, RequestParams params)
     co_await chargeOpCost(config_.costs.create_base_instr,
                           config_.costs.cold_extra_write_instr, 0.0, 0,
                           trace, &op_attr);
-    finishOp("clone", op_start, op_span, &op_attr);
+    finishOp("clone", op_start, op_span, &op_attr,
+             params.trace.trace_id);
     co_return resp;
 }
 
@@ -541,7 +562,8 @@ NasdDrive::serveList(RequestCredential cred, RequestParams params)
     co_await chargeOpCost(config_.costs.attr_base_instr, 0, 0.01,
                           resp.ids.size() * sizeof(ObjectId), trace,
                           &op_attr);
-    finishOp("list", op_start, op_span, &op_attr);
+    finishOp("list", op_start, op_span, &op_attr,
+             params.trace.trace_id);
     co_return resp;
 }
 
@@ -672,6 +694,9 @@ NasdDrive::serveProbe(PartitionId target)
                               ? pi.quota_bytes - pi.used_bytes
                               : 0;
     }
+    node_->flightJournal().record(
+        sim_.now(), util::FrEvent::kDriveProbe, 0,
+        static_cast<std::uint64_t>(resp.status), target);
     finishOp("probe", op_start, op_span);
     co_return resp;
 }

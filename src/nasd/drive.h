@@ -124,7 +124,15 @@ class NasdDrive
 
     /** Fault injection: a failed drive rejects every request (after
      *  paying the wire cost of discovering it). */
-    void setFailed(bool failed) { failed_ = failed; }
+    void
+    setFailed(bool failed)
+    {
+        failed_ = failed;
+        node_->flightJournal().record(sim_.now(),
+                                      failed
+                                          ? util::FrEvent::kDriveFailed
+                                          : util::FrEvent::kDriveRecovered);
+    }
     bool failed() const { return failed_; }
 
     /**
@@ -132,7 +140,13 @@ class NasdDrive
      * and every request — including ops already inside the store — is
      * rejected with kDriveUnavailable until restart().
      */
-    void crash() { crashed_ = true; }
+    void
+    crash()
+    {
+        crashed_ = true;
+        node_->flightJournal().record(sim_.now(),
+                                      util::FrEvent::kDriveCrash);
+    }
     bool crashed() const { return crashed_; }
 
     /**
@@ -246,7 +260,8 @@ class NasdDrive
      * annotated onto @p span.
      */
     void finishOp(const char *op, sim::Tick start, util::ScopedSpan &span,
-                  const util::OpAttribution *attr = nullptr);
+                  const util::OpAttribution *attr = nullptr,
+                  std::uint64_t trace_id = 0);
 
     /** Charge the op-path instruction costs for a completed store op. */
     sim::Task<void> chargeOpCost(std::uint64_t base_instr,

@@ -85,6 +85,8 @@ Network::setFaultPlan(const FaultPlan &plan)
 {
     fault_plan_ = plan;
     fault_rng_ = util::Rng(plan.seed);
+    journal().record(sim_.now(), util::FrEvent::kFaultPlanInstalled, 0,
+                     plan.seed);
 }
 
 FaultDecision
@@ -94,6 +96,8 @@ Network::faultDecision(NetNode &src, NetNode &dst)
     if (partitioned(src, dst)) {
         d.drop = true;
         src.faults_dropped.add(1);
+        src.flightJournal().record(sim_.now(), util::FrEvent::kFaultDrop,
+                                   0, 0, 0, dst.name());
         return d;
     }
     if (!fault_plan_)
@@ -102,11 +106,17 @@ Network::faultDecision(NetNode &src, NetNode &dst)
     if (fault_rng_.chance(plan.drop_probability)) {
         d.drop = true;
         src.faults_dropped.add(1);
+        src.flightJournal().record(sim_.now(), util::FrEvent::kFaultDrop,
+                                   0, 0, 0, dst.name());
         return d;
     }
     if (fault_rng_.chance(plan.duplicate_probability)) {
         d.copies = 2;
         src.faults_duplicated.add(1);
+        src.flightJournal().record(sim_.now(),
+                                   util::FrEvent::kFaultDuplicate, 0, 0,
+                                   static_cast<std::uint64_t>(d.copies),
+                                   dst.name());
     }
     if (fault_rng_.chance(plan.delay_probability)) {
         d.delay = plan.delay_min +
@@ -115,6 +125,10 @@ Network::faultDecision(NetNode &src, NetNode &dst)
                           plan.delay_max - plan.delay_min) +
                       1));
         src.faults_delayed.add(1);
+        src.flightJournal().record(sim_.now(), util::FrEvent::kFaultDelay,
+                                   0, 0,
+                                   static_cast<std::uint64_t>(d.delay),
+                                   dst.name());
     }
     return d;
 }

@@ -23,6 +23,7 @@
 #include "sim/resource.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
+#include "util/flight_recorder.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -113,12 +114,14 @@ class NetNode
   private:
     std::string name_;
     std::string metric_prefix_; ///< registry subtree ("<node>/net")
+    util::FlightJournal &flight_; ///< this node's flight-recorder ring
 
   public:
     NetNode(sim::Simulator &sim, std::string name, CpuParams cpu,
             LinkParams link, RpcCosts costs)
         : name_(std::move(name)),
           metric_prefix_(util::metrics().uniquePrefix(name_ + "/net")),
+          flight_(util::flightRecorder().node(name_)),
           bytes_sent(netCounter("bytes_sent")),
           bytes_received(netCounter("bytes_received")),
           send_instr(netCounter("send_instr")),
@@ -141,6 +144,7 @@ class NetNode
 
     const std::string &name() const { return name_; }
     const std::string &metricPrefix() const { return metric_prefix_; }
+    util::FlightJournal &flightJournal() { return flight_; }
     sim::CpuResource &cpu() { return cpu_; }
     const sim::CpuResource &cpu() const { return cpu_; }
     const LinkParams &link() const { return link_; }
@@ -223,15 +227,32 @@ class Network
     void setFaultPlan(const FaultPlan &plan);
 
     /** Remove the fault plan (partitions are kept). */
-    void clearFaultPlan() { fault_plan_.reset(); }
+    void
+    clearFaultPlan()
+    {
+        fault_plan_.reset();
+        journal().record(sim_.now(), util::FrEvent::kFaultPlanCleared);
+    }
 
     const std::optional<FaultPlan> &faultPlan() const { return fault_plan_; }
 
     /** Cut every unreliable message to and from @p node. */
-    void partitionNode(const NetNode &node) { partitioned_.insert(&node); }
+    void
+    partitionNode(const NetNode &node)
+    {
+        partitioned_.insert(&node);
+        journal().record(sim_.now(), util::FrEvent::kPartition, 0, 0, 0,
+                         node.name());
+    }
 
     /** Reconnect @p node. */
-    void healNode(const NetNode &node) { partitioned_.erase(&node); }
+    void
+    healNode(const NetNode &node)
+    {
+        partitioned_.erase(&node);
+        journal().record(sim_.now(), util::FrEvent::kHeal, 0, 0, 0,
+                         node.name());
+    }
 
     bool
     partitioned(const NetNode &a, const NetNode &b) const
@@ -250,6 +271,16 @@ class Network
     sim::Simulator &simulator() { return sim_; }
 
   private:
+    /** Fabric-wide flight journal ("net"): fault-plan lifecycle and
+     *  partition membership, as opposed to the per-node injections
+     *  charged in faultDecision(). Lazy so a Network constructed
+     *  before a FlightRecorderScope still journals into the scope. */
+    util::FlightJournal &
+    journal()
+    {
+        return util::flightRecorder().node("net");
+    }
+
     sim::Simulator &sim_;
     std::vector<std::unique_ptr<NetNode>> nodes_;
     std::optional<FaultPlan> fault_plan_;

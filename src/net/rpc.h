@@ -259,6 +259,10 @@ runCall(Network &net, NetNode &client, NetNode &server,
             continue; // reply lost on the way back
         if (state->timed_out) {
             client.rpc_late_replies.add(1);
+            client.flightJournal().record(net.simulator().now(),
+                                          util::FrEvent::kRpcLateReply, 0,
+                                          reply.payload_bytes, 0,
+                                          server.name());
             continue;
         }
         if (state->done)
@@ -297,12 +301,17 @@ callWithDeadline(Network &net, NetNode &client, NetNode &server,
                                  std::move(handler), state));
     if (!state->done && !state->timed_out) {
         NetNode *client_ptr = &client;
-        state->deadline_timer =
-            sim.scheduleCancelableIn(timeout, [state, client_ptr] {
+        NetNode *server_ptr = &server;
+        sim::Simulator *sim_ptr = &sim;
+        state->deadline_timer = sim.scheduleCancelableIn(
+            timeout, [state, client_ptr, server_ptr, sim_ptr] {
                 if (state->done || state->timed_out)
                     return;
                 state->timed_out = true;
                 client_ptr->rpc_timeouts.add(1);
+                client_ptr->flightJournal().record(
+                    sim_ptr->now(), util::FrEvent::kRpcTimeout, 0, 0, 0,
+                    server_ptr->name());
                 if (auto h = std::exchange(state->waiter, nullptr))
                     h.resume();
             });

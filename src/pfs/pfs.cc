@@ -1,6 +1,7 @@
 #include "pfs/pfs.h"
 
 #include "net/rpc.h"
+#include "util/flight_recorder.h"
 #include "util/logging.h"
 
 namespace nasd::pfs {
@@ -105,12 +106,13 @@ PfsClient::read(PfsHandle handle, std::uint64_t offset,
 {
     // Each application-level read is one trace root: everything below
     // (Cheops translation, per-drive RPCs, drive ops) hangs off it.
-    util::TraceContext root;
-    if (auto *t = util::tracer())
-        root = t->newRoot();
+    util::TraceContext root = util::flightRecorder().mintTrace();
     util::ScopedSpan span("pfs/read", node_.name(),
                           static_cast<std::uint64_t>(net_.simulator().now()),
                           root);
+    node_.flightJournal().record(net_.simulator().now(),
+                                 util::FrEvent::kClientOp, root.trace_id,
+                                 offset, out.size(), "pfs_read");
     auto n = co_await storage_client_.read(handle.object, offset, out, root);
     span.endAt(static_cast<std::uint64_t>(net_.simulator().now()));
     if (!n.ok())
@@ -123,12 +125,13 @@ PfsClient::write(PfsHandle handle, std::uint64_t offset,
                  std::span<const std::uint8_t> data)
 {
     NASD_ASSERT(handle.writable, "write on a read-only PFS handle");
-    util::TraceContext root;
-    if (auto *t = util::tracer())
-        root = t->newRoot();
+    util::TraceContext root = util::flightRecorder().mintTrace();
     util::ScopedSpan span("pfs/write", node_.name(),
                           static_cast<std::uint64_t>(net_.simulator().now()),
                           root);
+    node_.flightJournal().record(net_.simulator().now(),
+                                 util::FrEvent::kClientOp, root.trace_id,
+                                 offset, data.size(), "pfs_write");
     auto wrote =
         co_await storage_client_.write(handle.object, offset, data, root);
     span.endAt(static_cast<std::uint64_t>(net_.simulator().now()));

@@ -60,7 +60,30 @@ threshold()
     return level;
 }
 
+PanicHook g_panic_hook = nullptr;
+bool g_in_panic_hook = false;
+
+/** Run the installed hook once; a hook that itself panics must not
+ *  recurse into the hook again. */
+void
+runPanicHook()
+{
+    if (g_panic_hook == nullptr || g_in_panic_hook)
+        return;
+    g_in_panic_hook = true;
+    g_panic_hook();
+    g_in_panic_hook = false;
+}
+
 } // namespace
+
+PanicHook
+setPanicHook(PanicHook hook)
+{
+    PanicHook previous = g_panic_hook;
+    g_panic_hook = hook;
+    return previous;
+}
 
 LogLevel
 logThreshold()
@@ -90,6 +113,7 @@ void
 panicImpl(std::string_view file, int line, const std::string &message)
 {
     logMessage(LogLevel::kError, file, line, "panic: " + message);
+    runPanicHook();
     std::abort();
 }
 
@@ -97,6 +121,7 @@ void
 fatalImpl(std::string_view file, int line, const std::string &message)
 {
     logMessage(LogLevel::kError, file, line, "fatal: " + message);
+    runPanicHook();
     std::exit(1);
 }
 

@@ -38,6 +38,15 @@ void logMessage(LogLevel level, std::string_view file, int line,
 [[noreturn]] void panicImpl(std::string_view file, int line,
                             const std::string &message);
 
+/**
+ * Hook invoked (once, re-entrancy guarded) after a panic/fatal message
+ * is logged and before the process dies. Used by the flight recorder
+ * to dump its journals when a seeded-fault assertion fires. Pass
+ * nullptr to remove; returns the previously installed hook.
+ */
+using PanicHook = void (*)();
+PanicHook setPanicHook(PanicHook hook);
+
 /** Terminate: unrecoverable user/configuration error. Calls exit(1). */
 [[noreturn]] void fatalImpl(std::string_view file, int line,
                             const std::string &message);

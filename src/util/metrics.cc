@@ -326,6 +326,20 @@ MetricsRegistry::toJson() const
 void
 MetricsRegistry::importJson(std::string_view json)
 {
+    // Kind collisions on (re-)import get an import-specific error
+    // instead of falling through to the generic lookup panic: a dump
+    // whose "counters" section names a path this registry holds as a
+    // gauge is a corrupt or mismatched snapshot, and the message
+    // should say which side is which.
+    const auto requireKind = [this](const std::string &path, Kind want) {
+        const auto it = entries_.find(path);
+        if (it != entries_.end() && it->second.kind != want) {
+            NASD_PANIC("importJson: '", path, "' already registered as ",
+                       kindName(static_cast<int>(it->second.kind)),
+                       ", import provides a ",
+                       kindName(static_cast<int>(want)));
+        }
+    };
     JsonScanner scan(json);
     scan.expect('{');
     if (scan.consume('}'))
@@ -340,6 +354,7 @@ MetricsRegistry::importJson(std::string_view json)
                     std::string path = scan.parseString();
                     scan.expect(':');
                     double v = scan.parseNumber();
+                    requireKind(path, Kind::kCounter);
                     Counter &c = counter(path);
                     c.reset();
                     c.add(static_cast<std::uint64_t>(v));
@@ -352,6 +367,7 @@ MetricsRegistry::importJson(std::string_view json)
                 do {
                     std::string path = scan.parseString();
                     scan.expect(':');
+                    requireKind(path, Kind::kGauge);
                     gauge(path).set(scan.parseNumber());
                 } while (scan.consume(','));
                 scan.expect('}');

@@ -1,0 +1,56 @@
+// Fixture: seeded A7 (silent-injection) violations — fault injections
+// and version-fence mutations that never journal a flight-recorder
+// event, so the transition is invisible to tools/flight_report.py.
+#include "util/flight_recorder.h"
+
+namespace fx {
+
+struct Counter
+{
+    void add(unsigned long long n);
+};
+
+struct Node
+{
+    Counter faults_dropped;
+    Counter faults_duplicated;
+    Counter faults_delayed;
+};
+
+struct Obj
+{
+    unsigned long long map_version = 1;
+};
+
+class SilentFaults
+{
+  public:
+    void
+    dropSilently(Node &src)
+    {
+        src.faults_dropped.add(1); // EXPECT[A7] unjournaled injection
+    }
+
+    void
+    duplicateSilently(Node &src)
+    {
+        src.faults_duplicated.add(1); // EXPECT[A7] unjournaled injection
+        src.faults_delayed.add(1); // EXPECT[A7] unjournaled injection
+    }
+
+    void
+    fenceSilently(Obj &obj)
+    {
+        // The version bump revokes every outstanding capability; a
+        // reader debugging a stale-map writer needs this in the journal.
+        ++obj.map_version; // EXPECT[A7] unjournaled version fence
+    }
+
+    void
+    fenceCompound(Obj &obj)
+    {
+        obj.map_version += 2; // EXPECT[A7] unjournaled version fence
+    }
+};
+
+} // namespace fx

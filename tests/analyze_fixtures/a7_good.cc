@@ -1,0 +1,52 @@
+// Fixture: A7-clean injection and fence sites — every mutation
+// journals a flight-recorder event in the same function, and plain
+// reads of the counters / version are not mutations at all. The
+// analyzer must stay silent on all of it.
+#include "util/flight_recorder.h"
+
+namespace fx {
+
+struct Counter
+{
+    void add(unsigned long long n);
+    unsigned long long value() const;
+};
+
+struct Node
+{
+    Counter faults_dropped;
+    nasd::util::FlightJournal *journal;
+};
+
+struct Obj
+{
+    unsigned long long map_version = 1;
+};
+
+class JournaledFaults
+{
+  public:
+    void
+    dropJournaled(Node &src, unsigned long long now)
+    {
+        src.faults_dropped.add(1);
+        src.journal->record(now, nasd::util::FrEvent::kFaultDrop);
+    }
+
+    void
+    fenceJournaled(Obj &obj, Node &mgr, unsigned long long now)
+    {
+        ++obj.map_version;
+        mgr.journal->record(now, nasd::util::FrEvent::kVersionFence, 0, 0,
+                            obj.map_version);
+    }
+
+    // Reading the counter or comparing the version is not an injection.
+    bool
+    sawDrops(const Node &src, const Obj &obj) const
+    {
+        return src.faults_dropped.value() > 0 && obj.map_version > 1;
+    }
+};
+
+} // namespace fx

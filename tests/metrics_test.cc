@@ -101,6 +101,25 @@ TEST(MetricsRegistryDeathTest, ImportRejectsMalformedJson)
     EXPECT_DEATH(reg.importJson("{\"counters\": [1, 2]}"), "importJson");
 }
 
+TEST(MetricsRegistryDeathTest, ImportRejectsKindCollision)
+{
+    // A re-import may not silently retype an existing instrument: a
+    // path registered as a counter panics when the imported document
+    // provides it as a gauge, and vice versa.
+    MetricsRegistry reg;
+    reg.counter("drive0/ops_served").add(3);
+    EXPECT_DEATH(
+        reg.importJson("{\"counters\": {}, "
+                       "\"gauges\": {\"drive0/ops_served\": 1.5}, "
+                       "\"histograms\": {}}"),
+        "importJson: 'drive0/ops_served' already registered as counter");
+    reg.gauge("fig9/mbps").set(2.0);
+    EXPECT_DEATH(
+        reg.importJson("{\"counters\": {\"fig9/mbps\": 7}, "
+                       "\"gauges\": {}, \"histograms\": {}}"),
+        "importJson: 'fig9/mbps' already registered as gauge");
+}
+
 TEST(MetricsScope, InstallsFreshRegistryAndRestores)
 {
     MetricsRegistry &outer = metrics();

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared gtest main for every test binary: on top of RUN_ALL_TESTS it
+ * arms the flight recorder's crash dump (an NASD_ASSERT/NASD_FATAL in
+ * a seeded-fault test writes the journal before aborting) and installs
+ * a listener that dumps the current recorder's journals whenever a
+ * test fails — the "black box" CI uploads as flight_<test>.json so a
+ * failure in a deterministic sim run can be replayed event by event.
+ */
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/flight_recorder.h"
+
+namespace {
+
+/** Dump the installed recorder's journal after each failed test. */
+class FlightDumpListener : public testing::EmptyTestEventListener
+{
+    void
+    OnTestEnd(const testing::TestInfo &info) override
+    {
+        if (info.result() == nullptr || info.result()->Passed())
+            return;
+        if (nasd::util::flightRecorder().totalRecorded() == 0)
+            return;
+        const std::string path = std::string("flight_") +
+                                 info.test_suite_name() + "." +
+                                 info.name() + ".json";
+        nasd::util::flightRecorder().writeJson(path);
+        std::fprintf(stderr,
+                     "[  FLIGHT  ] %s.%s failed: journal dumped to %s\n",
+                     info.test_suite_name(), info.name(), path.c_str());
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    testing::InitGoogleTest(&argc, argv);
+    nasd::util::armCrashDump("flight_crash.json");
+    testing::UnitTest::GetInstance()->listeners().Append(
+        new FlightDumpListener); // gtest owns and deletes listeners
+    return RUN_ALL_TESTS();
+}

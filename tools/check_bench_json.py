@@ -18,6 +18,16 @@ The "timeseries" section is optional (present when the bench sampled a
 sim::StatsPoller run); when present every series must carry one value
 per sampling interval.
 
+The "fleet_health" section is optional (written by fig9_mining
+--kill-drive from the flight-recorder journal): {"phases": [{"name":
+str, "events": {kind: count, ...}}, ...]}. A rebuild dump must carry
+the four kill-drive phases in execution order (healthy, degraded,
+rebuild, post_rebuild), and when the baseline carries a fleet_health
+section too, the phase list must match and per-phase event counts are
+gated with the same tolerance as headline gauges — the simulator is
+deterministic, so a count drifting past tolerance means the
+control-plane event flow changed, not noise.
+
 Every dump must carry the ``sim/events_per_sec`` gauge (scheduler
 throughput: simulated events executed per wall-clock second, written
 by bench::writeBenchJson). It is the one wall-clock-derived number in
@@ -96,6 +106,71 @@ def check_schema(doc, errors):
                          f" {sorted(missing)}")
     if "timeseries" in doc:
         check_timeseries(doc["timeseries"], errors)
+    if "fleet_health" in doc:
+        check_fleet_health(doc, errors)
+
+
+KILL_DRIVE_PHASES = ["healthy", "degraded", "rebuild", "post_rebuild"]
+
+
+def fleet_phases(doc):
+    """[(name, events-dict), ...] of a dump's fleet_health section."""
+    return [(p.get("name"), p.get("events", {}))
+            for p in doc.get("fleet_health", {}).get("phases", [])]
+
+
+def check_fleet_health(doc, errors):
+    fh = doc["fleet_health"]
+    if not isinstance(fh, dict) or not isinstance(fh.get("phases"), list):
+        fail(errors, "'fleet_health' is not {'phases': [...]}")
+        return
+    for i, phase in enumerate(fh["phases"]):
+        if not isinstance(phase, dict) \
+                or not isinstance(phase.get("name"), str):
+            fail(errors, f"fleet_health.phases[{i}] missing 'name'")
+            return
+        events = phase.get("events")
+        if not isinstance(events, dict):
+            fail(errors, f"fleet_health phase '{phase['name']}'"
+                         " missing 'events' object")
+            continue
+        for kind, count in events.items():
+            if not isinstance(count, int) or count < 0 \
+                    or isinstance(count, bool):
+                fail(errors, f"fleet_health phase '{phase['name']}'"
+                             f" event '{kind}' is not a non-negative"
+                             f" int: {count!r}")
+    if doc.get("bench") == "rebuild":
+        names = [name for name, _ in fleet_phases(doc)]
+        if names != KILL_DRIVE_PHASES:
+            fail(errors, f"fleet_health phases are {names}, expected"
+                         f" {KILL_DRIVE_PHASES} in execution order")
+
+
+def check_fleet_baseline(doc, baseline, tolerance, errors):
+    want = fleet_phases(baseline)
+    if not want:
+        return
+    have = fleet_phases(doc)
+    if [n for n, _ in have] != [n for n, _ in want]:
+        fail(errors, "fleet_health phase list differs from baseline:"
+                     f" {[n for n, _ in have]} vs"
+                     f" {[n for n, _ in want]}")
+        return
+    got = dict(have)
+    for name, events in want:
+        for kind, expected in sorted(events.items()):
+            actual = got[name].get(kind, 0)
+            if expected == 0:
+                if actual != 0:
+                    fail(errors, f"fleet_health {name}/{kind}:"
+                                 f" baseline 0, got {actual}")
+                continue
+            rel = abs(actual - expected) / abs(expected)
+            if rel > tolerance:
+                fail(errors,
+                     f"fleet_health {name}/{kind}: {actual} vs baseline"
+                     f" {expected} ({rel:+.1%} > ±{tolerance:.0%})")
 
 
 def check_timeseries(ts, errors):
@@ -187,6 +262,8 @@ def main():
             print(f"{args.baseline}: {e}")
             return 1
         check_baseline(doc, baseline, args.tolerance, errors)
+        if "fleet_health" in doc and "fleet_health" in baseline:
+            check_fleet_baseline(doc, baseline, args.tolerance, errors)
 
     for e in errors:
         print(f"{args.dump}: {e}")

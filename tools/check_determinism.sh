@@ -11,6 +11,11 @@
 # (scheduler throughput, see bench_util.h), is normalized out of the
 # JSON before comparison; it is never printed to stdout.
 #
+# Benches that support --journal (fig9_mining --kill-drive) also dump
+# their flight-recorder journal on each pass, and the two journals must
+# be byte-identical — the journal's whole contract is sim-time stamps
+# and counter-derived sequence numbers, nothing wall-clock.
+#
 # Usage: tools/check_determinism.sh [build-dir]
 set -u
 
@@ -21,22 +26,29 @@ trap 'rm -rf "$WORK"' EXIT
 STATUS=0
 
 run_twice() {
-    local name="$1" bin="$BUILD_DIR/bench/$2"
-    shift 2
+    local name="$1" journal="$2" bin="$BUILD_DIR/bench/$3"
+    shift 3
     if [ ! -x "$bin" ]; then
         echo "missing bench binary $bin; build first"
         return 1
     fi
     local rc=0
     for pass in 1 2; do
+        local journal_args=()
+        if [ "$journal" = "journal" ]; then
+            journal_args=(--journal "$WORK/${name}_$pass.flight.json")
+        fi
         if ! "$bin" "$@" --json "$WORK/${name}_$pass.json" \
+                "${journal_args[@]}" \
                 > "$WORK/${name}_$pass.txt" 2>&1; then
             echo "$name: pass $pass exited non-zero"
             tail -5 "$WORK/${name}_$pass.txt"
             return 1
         fi
-        # The dump path appears in the printed output; normalize it so
-        # only real divergence fails the stdout comparison.
+        # The dump paths appear in the printed output; normalize them
+        # so only real divergence fails the stdout comparison.
+        sed -i "s|$WORK/${name}_$pass.flight.json|JOURNAL|g" \
+            "$WORK/${name}_$pass.txt"
         sed -i "s|$WORK/${name}_$pass.json|DUMP|g" "$WORK/${name}_$pass.txt"
         # Scheduler wall-clock throughput legitimately differs between
         # runs; everything else in the dump must not.
@@ -48,6 +60,14 @@ run_twice() {
         diff "$WORK/${name}_1.json" "$WORK/${name}_2.json" | head -20
         rc=1
     fi
+    if [ "$journal" = "journal" ] && \
+            ! cmp -s "$WORK/${name}_1.flight.json" \
+                     "$WORK/${name}_2.flight.json"; then
+        echo "$name: flight journals differ between identical runs:"
+        diff "$WORK/${name}_1.flight.json" "$WORK/${name}_2.flight.json" \
+            | head -20
+        rc=1
+    fi
     if ! cmp -s "$WORK/${name}_1.txt" "$WORK/${name}_2.txt"; then
         echo "$name: printed outputs differ between identical runs:"
         diff "$WORK/${name}_1.txt" "$WORK/${name}_2.txt" | head -20
@@ -57,9 +77,9 @@ run_twice() {
     return $rc
 }
 
-run_twice fig6 fig6_bandwidth || STATUS=1
-run_twice fig9 fig9_mining || STATUS=1
-run_twice fig9_scale64 fig9_mining --drives 64 || STATUS=1
-run_twice rebuild fig9_mining --kill-drive || STATUS=1
+run_twice fig6 nojournal fig6_bandwidth || STATUS=1
+run_twice fig9 nojournal fig9_mining || STATUS=1
+run_twice fig9_scale64 nojournal fig9_mining --drives 64 || STATUS=1
+run_twice rebuild journal fig9_mining --kill-drive || STATUS=1
 
 exit $STATUS

@@ -61,6 +61,15 @@ suspension points — and runs six checks over it:
                          cancel only with the returned handle — the
                          handle API is the only sanctioned way to
                          cancel.
+  A7 silent-injection    A FaultPlan injection site (a `faults_*`
+                         counter bump) or a Cheops version-fence
+                         mutation (`++map_version`) in a function that
+                         records no flight-recorder event. Every
+                         control-plane transition must be journaled
+                         (util/flight_recorder.h) or it is invisible
+                         to tools/flight_report.py post-mortems.
+                         Opt out with `// nasd-analyze:
+                         no-flight-journal`.
 
 Backends:
   * builtin (default)  — a self-contained C++ lexer + structural parser,
@@ -1281,6 +1290,66 @@ def check_a6(model, findings):
                 ))
 
 
+A7_FAULT_COUNTERS = ("faults_dropped", "faults_duplicated", "faults_delayed")
+
+
+def check_a7(model, findings):
+    """Fault injections and version fences must journal an FrEvent.
+
+    The flight recorder's contract is that every control-plane
+    transition is captured: a FaultPlan injection site (a `faults_*`
+    counter bump) or a Cheops version-fence mutation (`++map_version`)
+    whose enclosing function records no flight-recorder event is
+    invisible to tools/flight_report.py, which defeats the journal's
+    purpose as the post-mortem source of truth.
+    """
+    if "no-flight-journal" in model.pragmas:
+        return
+    tokens = model.tokens
+    n = len(tokens)
+    for region in model.regions:
+        if region.body_open < 0 or region.body_close < 0:
+            continue
+        # An emit anywhere in the function's textual extent (including
+        # nested lambdas) satisfies the contract.
+        has_emit = any(
+            tokens[j].kind == "ident" and tokens[j].text == "FrEvent"
+            for j in range(region.body_open, region.body_close + 1)
+        )
+        if has_emit:
+            continue
+        # Anchors come from the region's own tokens so a mutation in a
+        # nested lambda is charged to the lambda, not twice.
+        for j in region.own:
+            t = tokens[j]
+            if t.kind != "ident":
+                continue
+            anchor = None
+            if t.text == "map_version":
+                nxt = tokens[j + 1].text if j + 1 < n else ""
+                bumped = nxt in ("++", "+=") or any(
+                    tokens[k].text == "++" for k in range(max(0, j - 4), j)
+                )
+                if bumped:
+                    anchor = "map_version"
+            elif t.text in A7_FAULT_COUNTERS:
+                if (j + 2 < n and tokens[j + 1].text == "."
+                        and tokens[j + 2].text == "add"):
+                    anchor = t.text
+            if anchor is None:
+                continue
+            sym = enclosing_symbol(model, j)
+            findings.append(Finding(
+                "A7", model.rel, t.line, f"{sym}:{anchor}",
+                f"'{anchor}' mutated with no flight-recorder event in "
+                "the enclosing function: the injection/fence is "
+                "invisible to the journal",
+                "record a util::FrEvent on the owning node's "
+                "FlightJournal next to the mutation "
+                "(node.flightJournal().record(...))",
+            ))
+
+
 CHECKS = {
     "A1": "coro-ref-escape",
     "A2": "discarded-task",
@@ -1288,6 +1357,7 @@ CHECKS = {
     "A4": "raw-acquire",
     "A5": "missing-deadline",
     "A6": "raw-event-access",
+    "A7": "silent-injection",
 }
 
 
@@ -1307,6 +1377,8 @@ def run_checks(models, checks):
             check_a5(model, findings)
         if "A6" in checks:
             check_a6(model, findings)
+        if "A7" in checks:
+            check_a7(model, findings)
     return findings
 
 
@@ -1496,7 +1568,7 @@ def discover_sources(root):
 def main(argv=None):
     ap = argparse.ArgumentParser(
         description="AST-level coroutine-safety and sim-determinism "
-        "analyzer (checks A1-A6; see module docstring)",
+        "analyzer (checks A1-A7; see module docstring)",
     )
     ap.add_argument("files", nargs="*", help="files to analyze "
                     "(default: all of src/ under --root)")
@@ -1515,7 +1587,7 @@ def main(argv=None):
                     "tools/analyze_baseline.json)")
     ap.add_argument("--no-baseline", action="store_true",
                     help="ignore the baseline (fixture/self-test mode)")
-    ap.add_argument("--checks", default="A1,A2,A3,A4,A5,A6",
+    ap.add_argument("--checks", default="A1,A2,A3,A4,A5,A6,A7",
                     help="comma-separated subset of checks to run")
     ap.add_argument("--format", choices=("text", "json"), default="text")
     ap.add_argument("--list-checks", action="store_true")
