@@ -20,6 +20,7 @@
 
 #include "sim/simulator.h"
 #include "sim/task.h"
+#include "util/fleet.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/timeseries.h"
@@ -118,12 +119,19 @@ parseOptions(const char *bench_name, int argc, char **argv)
  * `, "name": {...}[, "name2": {...}]` (leading comma included) so a
  * bench can attach bespoke top-level sections (fig9_mining's
  * "fleet_health") without this helper growing a JSON builder.
+ *
+ * Every dump carries a "fleet_rollup" section (merged per-op latency
+ * histograms + straggler verdicts; see util::FleetRollup). By default
+ * it is collected from the current registry at dump time; a bench
+ * that measures inside a MetricsScope passes the rollup it collected
+ * before the scope closed via @p fleet_rollup_json.
  */
 inline void
 writeBenchJson(const BenchOptions &opts, const char *bench_name,
                const char *reference,
                const util::TimeSeries *timeseries = nullptr,
-               const std::string &extra_sections = {})
+               const std::string &extra_sections = {},
+               const std::string &fleet_rollup_json = {})
 {
     if (opts.json_path.empty())
         return;
@@ -153,6 +161,11 @@ writeBenchJson(const BenchOptions &opts, const char *bench_name,
     }
     if (!extra_sections.empty())
         std::fprintf(f, "%s", extra_sections.c_str());
+    const std::string rollup =
+        fleet_rollup_json.empty()
+            ? util::FleetRollup::collect(util::metrics()).toJson()
+            : fleet_rollup_json;
+    std::fprintf(f, ", \"fleet_rollup\": %s", rollup.c_str());
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", opts.json_path.c_str());

@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -131,6 +132,20 @@ struct NasdRunExtras
     /// When set, filled with the per-op wait/service decomposition
     /// collected from the run's drive op counters.
     std::map<std::string, OpBreakdown> *breakdown = nullptr;
+    /// When set, filled with the fleet rollup (merged per-op latency
+    /// histograms + straggler verdicts) collected before the run's
+    /// MetricsScope closes; stragglers are journaled to the flight
+    /// recorder as kStragglerSuspect.
+    util::FleetRollup *fleet = nullptr;
+    /// Slow-drive fault knob (--slow-drive N,factor): scale drive N's
+    /// mechanical service time by `slow_factor` for the whole run.
+    int slow_drive = -1;
+    double slow_factor = 1.0;
+    /// When nonzero, overrides every drive's data-cache size. The
+    /// slow-drive gate shrinks it below the working set so the timed
+    /// scan streams from media — a drive-RAM cache hit cannot be slow,
+    /// so a fully cached scan would mask the fault entirely.
+    std::uint64_t drive_cache_bytes = 0;
 };
 
 /** Pull the "<drive>/ops/<op>/..." instruments of the current registry
@@ -138,10 +153,16 @@ struct NasdRunExtras
 void
 collectBreakdown(std::map<std::string, OpBreakdown> &ops)
 {
-    util::metrics().forEachHistogram(
-        [&ops](const std::string &path, const util::SampleStats &h) {
+    util::metrics().forEachLatency(
+        [&ops](const std::string &path, const util::LogHistogram &h) {
             const auto pos = path.find("/ops/");
             if (pos == std::string::npos)
+                return;
+            // Drive instruments only ("nasd3/ops/..."): client-side
+            // cheops latencies ("miner0/cheops/ops/...") measure the
+            // same wall interval end-to-end and would double-count
+            // against the drives' attribution counters.
+            if (path.find('/') != pos)
                 return;
             const std::string tail = path.substr(pos + 5);
             const auto slash = tail.find('/');
@@ -150,7 +171,7 @@ collectBreakdown(std::map<std::string, OpBreakdown> &ops)
                 return;
             auto &b = ops[tail.substr(0, slash)];
             b.count += h.count();
-            b.measured_ns += h.sum();
+            b.measured_ns += static_cast<double>(h.sum());
         });
     util::metrics().forEachCounter(
         [&ops](const std::string &path, const util::Counter &c) {
@@ -195,10 +216,19 @@ runNasd(int n, std::uint64_t dataset_bytes = kDatasetBytes,
     std::vector<std::unique_ptr<NasdDrive>> drives;
     std::vector<NasdDrive *> raw;
     for (int i = 0; i < n; ++i) {
-        drives.push_back(std::make_unique<NasdDrive>(
-            sim, net,
-            prototypeDriveConfig("nasd" + std::to_string(i), i + 1)));
+        DriveConfig cfg =
+            prototypeDriveConfig("nasd" + std::to_string(i), i + 1);
+        if (extras != nullptr && extras->drive_cache_bytes != 0)
+            cfg.store.data_cache_bytes = extras->drive_cache_bytes;
+        drives.push_back(
+            std::make_unique<NasdDrive>(sim, net, std::move(cfg)));
         raw.push_back(drives.back().get());
+    }
+    if (extras != nullptr && extras->slow_drive >= 0) {
+        NASD_ASSERT(extras->slow_drive < n, "--slow-drive: drive ",
+                    extras->slow_drive, " out of range for ", n, " drives");
+        raw[static_cast<std::size_t>(extras->slow_drive)]->slowDown(
+            extras->slow_factor);
     }
     auto &mgr_node = net.addNode("mgr", net::alphaStation500(),
                                  net::oc3Link(), net::dceRpcCosts());
@@ -288,6 +318,10 @@ runNasd(int n, std::uint64_t dataset_bytes = kDatasetBytes,
                     c->node().rx().waiterCount());
             return waiting;
         });
+        // Cumulative fleet read tail so far: flat for a healthy fleet,
+        // climbing when a straggler drags the merged histogram.
+        poller.addFleetPercentile("fleet_read_p99_ms", "nasd/read", 99.0,
+                                  1e-6);
         poller.run();
     } else {
         sim.run();
@@ -306,6 +340,14 @@ runNasd(int n, std::uint64_t dataset_bytes = kDatasetBytes,
         util::bytesPerSecToMBs(static_cast<double>(dataset_bytes) / secs);
     if (extras != nullptr && extras->breakdown != nullptr)
         collectBreakdown(*extras->breakdown);
+    if (extras != nullptr && extras->fleet != nullptr) {
+        // Collected here, inside the run's MetricsScope, because the
+        // per-drive instruments die with it; stragglers go to the
+        // flight recorder so the journal names the suspect drive.
+        *extras->fleet = util::FleetRollup::collect(util::metrics());
+        extras->fleet->journalStragglers(
+            static_cast<std::uint64_t>(sim.lastEventTime()));
+    }
     return result;
 }
 
@@ -869,11 +911,69 @@ printTailExemplars(const util::FlightRecorder &fr, const char *focus_op)
                     static_cast<unsigned long long>(ev->b), ev->detail);
 }
 
+/** Parse and remove `--slow-drive N,factor` from argv so the shared
+ *  option parser (which warns on unknown arguments) never sees it.
+ *  @return the compacted argc. */
+int
+extractSlowDrive(int argc, char **argv, int &slow_drive,
+                 double &slow_factor)
+{
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--slow-drive" && i + 1 < argc) {
+            const std::string spec = argv[++i];
+            const auto comma = spec.find(',');
+            NASD_ASSERT(comma != std::string::npos,
+                        "--slow-drive expects N,factor (e.g. 3,3.0)");
+            slow_drive = std::stoi(spec.substr(0, comma));
+            slow_factor = std::stod(spec.substr(comma + 1));
+            NASD_ASSERT(slow_drive >= 0,
+                        "--slow-drive: drive index must be >= 0");
+            NASD_ASSERT(slow_factor >= 1.0,
+                        "--slow-drive: factor must be >= 1.0");
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    return out;
+}
+
+/** Record the fleet's merged nasd-read p50/p99 as result gauges
+ *  ("<base>_p50_ms" / "<base>_p99_ms") so check_bench_json.py gates
+ *  the fleet tail against the baseline alongside MB/s. */
+void
+recordFleetGauges(const util::FleetRollup &roll, const std::string &base)
+{
+    for (const auto &op : roll.ops()) {
+        if (op.group != "nasd/read")
+            continue;
+        util::metrics().gauge(base + "_p50_ms")
+            .set(op.merged.percentile(50.0) * 1e-6);
+        util::metrics().gauge(base + "_p99_ms")
+            .set(op.merged.percentile(99.0) * 1e-6);
+    }
+}
+
+/** Distinct instances flagged as stragglers across every op group. */
+std::set<std::string>
+stragglerNames(const util::FleetRollup &roll)
+{
+    std::set<std::string> names;
+    for (const auto *s : roll.stragglers())
+        names.insert(s->instance);
+    return names;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // The slow-drive fault knob rides along with any mode's options;
+    // strip it before mode dispatch so parseOptions stays oblivious.
+    int slow_drive = -1;
+    double slow_factor = 1.0;
+    argc = extractSlowDrive(argc, argv, slow_drive, slow_factor);
     if (argc > 1 && std::string_view(argv[1]) == "--fault-sweep") {
         bench::banner(
             "fig9_mining --fault-sweep — NASD scan under a lossy network",
@@ -1057,27 +1157,59 @@ main(int argc, char **argv)
             "fig9_mining --drives — NASD scaling beyond the paper's 8 "
             "drives",
             "scaling sweep (8 MB/drive, N clients on N drives)");
+        if (slow_drive >= 0)
+            std::printf("\nfault: drive nasd%d mechanical time scaled "
+                        "%.1fx (--slow-drive); drive caches shrunk to "
+                        "2 MB so the scan hits media\n",
+                        slow_drive, slow_factor);
 
         constexpr std::uint64_t kScaleBytesPerDrive = 8 * kMB;
         const int largest =
             *std::max_element(drive_counts.begin(), drive_counts.end());
         std::map<std::string, OpBreakdown> breakdown;
+        // One fleet rollup per drive count (keyed by count, so the
+        // "fleet_rollups" JSON section is ordered and deterministic);
+        // the largest run also gets the 50 ms time series.
+        std::map<int, util::FleetRollup> rollups;
+        util::TimeSeries timeseries(sim::msec(50));
+        // Scope the journal so kDriveSlowdown / kStragglerSuspect events
+        // land in a fresh journal this mode can dump via --journal.
+        util::FlightRecorderScope flight;
 
         std::printf("\n%7s %12s %16s %16s\n", "disks", "NASD MB/s",
                     "MB/s per drive", "sim events");
         bool all_deliver = true;
         for (const int n : drive_counts) {
             NasdRunExtras extras;
-            extras.breakdown = &breakdown;
+            extras.fleet = &rollups[n];
+            if (slow_drive >= 0) {
+                if (slow_drive < n) {
+                    extras.slow_drive = slow_drive;
+                    extras.slow_factor = slow_factor;
+                }
+                // Shrink the drive cache below the 8 MB/drive working
+                // set so the scan streams from media; otherwise every
+                // read is a RAM hit and the mechanical fault is
+                // invisible. Uniform across drives, so the straggler
+                // comparison stays fair.
+                extras.drive_cache_bytes = 2 * kMB;
+            }
+            if (n == largest) {
+                extras.breakdown = &breakdown;
+                extras.timeseries = &timeseries;
+            }
             const std::uint64_t before =
                 sim::Simulator::totalEventsExecuted();
             const auto r =
                 runNasd(n, static_cast<std::uint64_t>(n) *
                                kScaleBytesPerDrive,
-                        nullptr, n == largest ? &extras : nullptr);
+                        nullptr, &extras);
             const std::uint64_t events =
                 sim::Simulator::totalEventsExecuted() - before;
             record("nasd", n, r.aggregate_mbs, "fig9_scale");
+            recordFleetGauges(rollups[n],
+                              "fig9_scale/fleet/" + std::to_string(n) +
+                                  "_disks_read");
             std::printf("%7d %12.1f %16.2f %16llu\n", n, r.aggregate_mbs,
                         r.aggregate_mbs / n,
                         static_cast<unsigned long long>(events));
@@ -1091,9 +1223,67 @@ main(int argc, char **argv)
                     "latency (within 1%%): %s\n",
                     reconciled ? "yes" : "NO (BUG)");
 
+        // Straggler gate: with --slow-drive the rollup of every count
+        // big enough to flag must name exactly the slowed drive; every
+        // other rollup must be clean.
+        bool stragglers_ok = true;
+        if (slow_drive >= 0) {
+            const std::string expect = "nasd" + std::to_string(slow_drive);
+            std::printf("\nstraggler detection — expected suspect: %s\n",
+                        expect.c_str());
+            for (const auto &[n, roll] : rollups) {
+                const std::set<std::string> flagged = stragglerNames(roll);
+                const bool slowed = slow_drive < n;
+                const bool flaggable =
+                    slowed && n >= static_cast<int>(
+                                       util::FleetRollup::kMinInstances);
+                const std::set<std::string> want =
+                    flaggable ? std::set<std::string>{expect}
+                              : std::set<std::string>{};
+                std::string got = "(none)";
+                if (!flagged.empty()) {
+                    got.clear();
+                    for (const auto &name : flagged)
+                        got += (got.empty() ? "" : ", ") + name;
+                }
+                const bool ok = flagged == want;
+                std::printf("  %3d drives: flagged %s — %s\n", n,
+                            got.c_str(), ok ? "ok" : "WRONG");
+                stragglers_ok = stragglers_ok && ok;
+            }
+            std::printf("straggler rollup names the slowed drive and "
+                        "only it: %s\n",
+                        stragglers_ok ? "yes" : "NO (BUG)");
+        }
+
+        if (!opts.journal_path.empty()) {
+            flight.recorder().writeJson(opts.journal_path);
+            std::printf("\nwrote %s (%llu journal events across %zu "
+                        "nodes)\n",
+                        opts.journal_path.c_str(),
+                        static_cast<unsigned long long>(
+                            flight.recorder().totalRecorded()),
+                        flight.recorder().nodeCount());
+        }
+
+        // Every drive count's rollup rides along; the top-level
+        // fleet_rollup section carries the largest run's (the one the
+        // dashboard pairs with the time series).
+        std::string rollups_json = ", \"fleet_rollups\": {";
+        bool first = true;
+        for (const auto &[n, roll] : rollups) {
+            if (!first)
+                rollups_json += ", ";
+            first = false;
+            rollups_json +=
+                "\"" + std::to_string(n) + "\": " + roll.toJson();
+        }
+        rollups_json += "}";
         bench::writeBenchJson(opts, "fig9_scale",
-                              "scaling sweep past Figure 9 (8 MB/drive)");
-        return all_deliver && reconciled ? 0 : 1;
+                              "scaling sweep past Figure 9 (8 MB/drive)",
+                              &timeseries, rollups_json,
+                              rollups[largest].toJson());
+        return all_deliver && reconciled && stragglers_ok ? 0 : 1;
     }
 
     const char *kReference = "Figure 9 (Section 5.2, NASD PFS vs NFS)";
@@ -1123,10 +1313,23 @@ main(int argc, char **argv)
 
     // The 8-drive run is sampled into a fixed-interval time series
     // that rides along in BENCH_fig9.json (the poller does not perturb
-    // the event schedule, so the printed table is unaffected).
+    // the event schedule, so the printed table is unaffected). Its
+    // fleet rollup becomes the dump's fleet_rollup section and the
+    // fig9/fleet read-tail gauges.
     util::TimeSeries timeseries(sim::msec(50));
+    util::FleetRollup fleet;
     NasdRunExtras sampled;
     sampled.timeseries = &timeseries;
+    sampled.fleet = &fleet;
+    if (slow_drive >= 0) {
+        NASD_ASSERT(slow_drive < 8,
+                    "--slow-drive: fig9's sampled run has 8 drives");
+        sampled.slow_drive = slow_drive;
+        sampled.slow_factor = slow_factor;
+        std::printf("\nfault: drive nasd%d mechanical time scaled %.1fx "
+                    "in the 8-drive run (--slow-drive)\n",
+                    slow_drive, slow_factor);
+    }
 
     apps::ItemCounts reference;
     bool counts_agree = true;
@@ -1156,6 +1359,8 @@ main(int argc, char **argv)
                 "interleaved streams);\nNFS-parallel plateaus near "
                 "22.5 MB/s (server CPU/interface limit).\n");
 
-    bench::writeBenchJson(opts, "fig9", kReference, &timeseries);
+    recordFleetGauges(fleet, "fig9/fleet/read");
+    bench::writeBenchJson(opts, "fig9", kReference, &timeseries, {},
+                          fleet.toJson());
     return counts_agree ? 0 : 1;
 }

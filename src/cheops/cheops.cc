@@ -914,7 +914,11 @@ CheopsClient::CheopsClient(net::Network &net, net::NetNode &node,
       manager_calls_(
           util::metrics().counter(metrics_prefix_ + "/manager_calls")),
       reconstructed_units_(
-          util::metrics().counter(metrics_prefix_ + "/reconstructed_units"))
+          util::metrics().counter(metrics_prefix_ + "/reconstructed_units")),
+      read_latency_ns_(
+          util::metrics().latency(metrics_prefix_ + "/ops/read/latency_ns")),
+      write_latency_ns_(
+          util::metrics().latency(metrics_prefix_ + "/ops/write/latency_ns"))
 {
     for (auto *drive : drives) {
         drive_clients_.push_back(
@@ -1343,6 +1347,7 @@ CheopsClient::read(LogicalObjectId id, std::uint64_t offset,
                    std::span<std::uint8_t> out, util::TraceContext parent)
 {
     util::TraceContext ctx = util::flightRecorder().mintChild(parent);
+    const sim::Tick op_start = net_.simulator().now();
     util::ScopedSpan span("cheops/read", node_.name(),
                           static_cast<std::uint64_t>(net_.simulator().now()),
                           ctx, parent.span_id);
@@ -1444,6 +1449,8 @@ CheopsClient::read(LogicalObjectId id, std::uint64_t offset,
         co_await sim::parallelGather(net_.simulator(), std::move(tasks));
 
     span.endAt(static_cast<std::uint64_t>(net_.simulator().now()));
+    read_latency_ns_.record(
+        static_cast<std::uint64_t>(net_.simulator().now() - op_start));
 
     std::uint64_t total = 0;
     for (auto &r : results) {
@@ -1463,6 +1470,7 @@ CheopsClient::write(LogicalObjectId id, std::uint64_t offset,
                     util::TraceContext parent)
 {
     util::TraceContext ctx = util::flightRecorder().mintChild(parent);
+    const sim::Tick op_start = net_.simulator().now();
     util::ScopedSpan span("cheops/write", node_.name(),
                           static_cast<std::uint64_t>(net_.simulator().now()),
                           ctx, parent.span_id);
@@ -1473,6 +1481,8 @@ CheopsClient::write(LogicalObjectId id, std::uint64_t offset,
     if (open->map.redundancy == Redundancy::kParity) {
         auto r = co_await writeParity(open, id, offset, data, ctx);
         span.endAt(static_cast<std::uint64_t>(net_.simulator().now()));
+        write_latency_ns_.record(
+            static_cast<std::uint64_t>(net_.simulator().now() - op_start));
         co_return r;
     }
     const auto runs = mapRange(open->map, offset, data.size());
@@ -1544,6 +1554,8 @@ CheopsClient::write(LogicalObjectId id, std::uint64_t offset,
         tasks.push_back(pushRun(run));
     auto results =
         co_await sim::parallelGather(net_.simulator(), std::move(tasks));
+    write_latency_ns_.record(
+        static_cast<std::uint64_t>(net_.simulator().now() - op_start));
     for (auto &r : results) {
         if (!r.ok())
             co_return util::Err{r.error()};

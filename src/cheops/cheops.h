@@ -546,6 +546,11 @@ class CheopsClient
     util::Counter &manager_calls_;
     /// Stripe units XOR-reconstructed on the read path.
     util::Counter &reconstructed_units_;
+    /// Client-observed end-to-end op latency at
+    /// "<node>/cheops/ops/<op>/latency_ns"; mergeable across clients
+    /// into fleet rollups (util::FleetRollup).
+    util::LogHistogram &read_latency_ns_;
+    util::LogHistogram &write_latency_ns_;
 
     /// Row-lock pool size per open kParity object.
     static constexpr std::size_t kRowLockPool = 16;

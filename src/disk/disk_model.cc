@@ -84,7 +84,10 @@ DiskModel::mechanicalTime(std::uint64_t block, std::uint32_t count)
                             perBlockMediaTime();
 
     current_cylinder_ = cylinderOf(block + count - 1);
-    return seek + rot + media;
+    // media already carries mech_scale_ via perBlockMediaTime().
+    return static_cast<sim::Tick>(static_cast<double>(seek + rot) *
+                                  mech_scale_) +
+           media;
 }
 
 DiskModel::CacheSegment *
@@ -305,7 +308,8 @@ DiskModel::write(std::uint64_t block, std::uint32_t count,
         // and stall only if the backlog exceeds the buffer. A stall is
         // mechanism service: the head is draining the backlog.
         const double drain_bps =
-            params_.mediaBytesPerSec() * kWriteDrainEfficiency;
+            params_.mediaBytesPerSec() * kWriteDrainEfficiency /
+            mech_scale_;
         const auto drain_ns = static_cast<sim::Tick>(
             static_cast<double>(data.size()) / drain_bps * 1e9);
         media_free_at_ = std::max(media_free_at_, sim_.now()) + drain_ns;

@@ -89,6 +89,16 @@ class DiskModel : public BlockDevice
     const DiskParams &params() const { return params_; }
     const DiskStats &stats() const { return stats_; }
 
+    /**
+     * Fault injection: scale every mechanical service time (seek,
+     * rotational wait, media transfer, write-behind drain) by
+     * @p scale >= 1.0. Models a degrading spindle for straggler-
+     * detection benches; 1.0 (the default) is byte-identical to the
+     * unscaled model.
+     */
+    void setMechScale(double scale) { mech_scale_ = scale; }
+    double mechScale() const { return mech_scale_; }
+
     /** Seek time between two cylinders (exposed for tests). */
     sim::Tick seekTime(std::uint64_t from_cyl, std::uint64_t to_cyl) const;
 
@@ -141,7 +151,8 @@ class DiskModel : public BlockDevice
     perBlockMediaTime() const
     {
         return static_cast<sim::Tick>(params_.rotationPeriodNs() /
-                                      params_.sectors_per_track);
+                                      params_.sectors_per_track *
+                                      mech_scale_);
     }
 
     /** Bus transfer time for @p bytes. */
@@ -184,6 +195,7 @@ class DiskModel : public BlockDevice
     sim::Semaphore bus_;   ///< host interface
 
     std::uint64_t current_cylinder_ = 0;
+    double mech_scale_ = 1.0; ///< slow-drive fault multiplier
     std::vector<CacheSegment> segments_;
 
     // Write-behind: simulated time at which all accepted writes will

@@ -200,6 +200,18 @@ NasdDrive::verify(const RequestCredential &cred, const RequestParams &params,
     co_return NasdStatus::kOk;
 }
 
+void
+NasdDrive::slowDown(double factor)
+{
+    NASD_ASSERT(factor >= 1.0, "slowDown factor must be >= 1.0, got ",
+                factor);
+    for (auto &disk : disks_)
+        disk->setMechScale(factor);
+    node_->flightJournal().record(
+        sim_.now(), util::FrEvent::kDriveSlowdown, 0,
+        static_cast<std::uint64_t>(factor * 1000.0));
+}
+
 NasdDrive::OpInstruments &
 NasdDrive::opInstruments(const std::string &op)
 {
@@ -219,7 +231,7 @@ NasdDrive::opInstruments(const std::string &op)
         it = op_instruments_
                  .emplace(op,
                           OpInstruments{reg.counter(base + "/count"),
-                                        reg.histogram(base + "/latency_ns"),
+                                        reg.latency(base + "/latency_ns"),
                                         wait, service,
                                         reg.counter(base + "/attr/other_ns")})
                  .first;
@@ -247,7 +259,7 @@ NasdDrive::finishOp(const char *op, sim::Tick start, util::ScopedSpan &span,
     OpInstruments &m = opInstruments(op);
     m.count.add(1);
     const std::uint64_t elapsed = sim_.now() - start;
-    m.latency_ns.add(static_cast<double>(elapsed));
+    m.latency_ns.record(elapsed);
     // Tail exemplars: remember the trace + journal cursor of the
     // slowest ops per class so --breakdown can show the actual p99+
     // requests and the journal window around them.

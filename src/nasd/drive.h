@@ -136,6 +136,15 @@ class NasdDrive
     bool failed() const { return failed_; }
 
     /**
+     * Fault injection: scale this drive's mechanical service time
+     * (seek + rotation + media transfer) by @p factor >= 1.0, the
+     * degrading-spindle model behind the bench --slow-drive knob.
+     * Journals a kDriveSlowdown event so fleet reports can correlate
+     * the straggler flag with the injected fault.
+     */
+    void slowDown(double factor);
+
+    /**
      * Crash the drive: RAM state (nonce window, clean cache) is lost,
      * and every request — including ops already inside the store — is
      * rejected with kDriveUnavailable until restart().
@@ -234,7 +243,9 @@ class NasdDrive
     struct OpInstruments
     {
         util::Counter &count;
-        util::SampleStats &latency_ns;
+        /// Mergeable log-bucketed latency: per-drive op histograms
+        /// roll up losslessly into fleet aggregates (util::FleetRollup).
+        util::LogHistogram &latency_ns;
         /// Per-resource-class latency decomposition, accumulated at
         /// "<drive>/ops/<op>/attr/<class>_{wait,service}_ns".
         std::array<util::Counter *, util::kResourceClassCount> wait_ns;

@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "util/fleet.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace nasd::sim {
 
@@ -29,6 +31,20 @@ StatsPoller::addGauge(const std::string &name,
 {
     probes_.push_back(
         Probe{out_.addSeries(name), false, 1.0, std::move(value)});
+}
+
+void
+StatsPoller::addFleetPercentile(const std::string &name,
+                                const std::string &group, double p,
+                                double scale)
+{
+    addGauge(name, [group, p, scale]() {
+        const auto rollup = util::FleetRollup::collect(util::metrics());
+        for (const util::FleetOpRollup &roll : rollup.ops())
+            if (roll.group == group)
+                return roll.merged.percentile(p) * scale;
+        return 0.0;
+    });
 }
 
 void

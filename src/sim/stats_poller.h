@@ -47,6 +47,19 @@ class StatsPoller
     void addGauge(const std::string &name, std::function<double()> value);
 
     /**
+     * Fleet-percentile probe: each interval emits percentile @p p of
+     * the merged fleet latency histogram for rollup group @p group
+     * (e.g. "nasd/read" — see util::FleetRollup), scaled by @p scale
+     * (1e-6 turns ns into ms). The merge is exact and cumulative: the
+     * sample at each boundary covers every op recorded so far, so the
+     * series shows the fleet tail converging (or a straggler dragging
+     * it). Reads the ambient metrics registry at sample time.
+     */
+    void addFleetPercentile(const std::string &name,
+                            const std::string &group, double p,
+                            double scale);
+
+    /**
      * Drive the simulator to completion (like sim.run()), sampling
      * every probe at each interval boundary.
      */

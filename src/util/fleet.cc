@@ -1,0 +1,208 @@
+#include "util/fleet.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/flight_recorder.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace nasd::util {
+
+namespace {
+
+constexpr const char *kOpsInfix = "/ops/";
+constexpr const char *kLatencySuffix = "/latency_ns";
+
+std::string
+jsonDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+/** Median of an unsorted vector (sorts in place; average of middle two). */
+double
+median(std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const std::size_t mid = v.size() / 2;
+    if (v.size() % 2 == 1)
+        return v[mid];
+    return (v[mid - 1] + v[mid]) / 2.0;
+}
+
+} // namespace
+
+std::string
+FleetRollup::normalizeInstance(const std::string &instance)
+{
+    std::string out;
+    std::size_t start = 0;
+    while (start <= instance.size()) {
+        std::size_t end = instance.find('/', start);
+        if (end == std::string::npos)
+            end = instance.size();
+        std::string seg = instance.substr(start, end - start);
+        // Drop a uniquePrefix() "#N" dedup suffix, then trailing digits.
+        const std::size_t hash = seg.rfind('#');
+        if (hash != std::string::npos && hash + 1 < seg.size() &&
+            std::all_of(seg.begin() + static_cast<std::ptrdiff_t>(hash) + 1,
+                        seg.end(), [](unsigned char c) {
+                            return std::isdigit(c) != 0;
+                        })) {
+            seg.erase(hash);
+        }
+        while (!seg.empty() &&
+               std::isdigit(static_cast<unsigned char>(seg.back())) != 0) {
+            seg.pop_back();
+        }
+        if (!out.empty())
+            out += '/';
+        out += seg;
+        if (end == instance.size())
+            break;
+        start = end + 1;
+    }
+    return out;
+}
+
+FleetRollup
+FleetRollup::collect(const MetricsRegistry &reg)
+{
+    // Registry iteration is path-ordered, so groups and their member
+    // lists come out deterministic.
+    std::map<std::string, FleetOpRollup> groups;
+    reg.forEachLatency([&](const std::string &path, const LogHistogram &h) {
+        const std::size_t ops = path.find(kOpsInfix);
+        if (ops == std::string::npos || ops == 0)
+            return;
+        const std::string suffix = kLatencySuffix;
+        if (path.size() < suffix.size() ||
+            path.compare(path.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+            return;
+        }
+        const std::size_t op_start = ops + std::string(kOpsInfix).size();
+        const std::size_t op_end = path.size() - suffix.size();
+        if (op_end <= op_start)
+            return;
+        const std::string instance = path.substr(0, ops);
+        const std::string op = path.substr(op_start, op_end - op_start);
+        const std::string group = normalizeInstance(instance) + "/" + op;
+        FleetOpRollup &roll = groups[group];
+        roll.group = group;
+        roll.merged.merge(h);
+        FleetInstanceStat stat;
+        stat.instance = instance;
+        stat.count = h.count();
+        stat.p50_ns = h.percentile(50);
+        stat.p99_ns = h.percentile(99);
+        roll.instances.push_back(std::move(stat));
+    });
+
+    FleetRollup out;
+    for (auto &[group, roll] : groups) {
+        std::vector<double> p99s;
+        for (const FleetInstanceStat &s : roll.instances)
+            if (s.count > 0)
+                p99s.push_back(s.p99_ns);
+        roll.median_p99_ns = median(p99s);
+        std::vector<double> devs;
+        devs.reserve(p99s.size());
+        for (double p : p99s)
+            devs.push_back(std::abs(p - roll.median_p99_ns));
+        roll.mad_ns = median(devs);
+        const double scale =
+            std::max({1.4826 * roll.mad_ns, 0.05 * roll.median_p99_ns, 1.0});
+        for (FleetInstanceStat &s : roll.instances) {
+            if (s.count == 0)
+                continue;
+            s.score = (s.p99_ns - roll.median_p99_ns) / scale;
+            s.straggler = s.score > kScoreThreshold &&
+                          p99s.size() >= kMinInstances;
+        }
+        out.ops_.push_back(std::move(roll));
+    }
+    return out;
+}
+
+std::vector<const FleetInstanceStat *>
+FleetRollup::stragglers() const
+{
+    std::vector<const FleetInstanceStat *> out;
+    for (const FleetOpRollup &roll : ops_)
+        for (const FleetInstanceStat &s : roll.instances)
+            if (s.straggler)
+                out.push_back(&s);
+    return out;
+}
+
+std::string
+FleetRollup::toJson() const
+{
+    std::ostringstream os;
+    os << "{\n    \"score_threshold\": " << jsonDouble(kScoreThreshold)
+       << ",\n    \"min_instances\": " << kMinInstances
+       << ",\n    \"ops\": {";
+    bool first_op = true;
+    for (const FleetOpRollup &roll : ops_) {
+        os << (first_op ? "\n" : ",\n") << "      \"" << roll.group
+           << "\": {\n        \"merged\": " << roll.merged.toJson()
+           << ",\n        \"median_p99_ns\": "
+           << jsonDouble(roll.median_p99_ns)
+           << ",\n        \"mad_ns\": " << jsonDouble(roll.mad_ns)
+           << ",\n        \"instances\": {";
+        bool first_inst = true;
+        for (const FleetInstanceStat &s : roll.instances) {
+            os << (first_inst ? "\n" : ",\n") << "          \""
+               << s.instance << "\": {\"count\": " << s.count
+               << ", \"p50_ns\": " << jsonDouble(s.p50_ns)
+               << ", \"p99_ns\": " << jsonDouble(s.p99_ns)
+               << ", \"score\": " << jsonDouble(s.score)
+               << ", \"straggler\": " << (s.straggler ? "true" : "false")
+               << "}";
+            first_inst = false;
+        }
+        os << (first_inst ? "" : "\n        ") << "},\n"
+           << "        \"stragglers\": [";
+        bool first_straggler = true;
+        for (const FleetInstanceStat &s : roll.instances) {
+            if (!s.straggler)
+                continue;
+            os << (first_straggler ? "" : ", ") << "\"" << s.instance
+               << "\"";
+            first_straggler = false;
+        }
+        os << "]\n      }";
+        first_op = false;
+    }
+    os << (first_op ? "" : "\n    ") << "}\n  }";
+    return os.str();
+}
+
+void
+FleetRollup::journalStragglers(std::uint64_t now_ns) const
+{
+    for (const FleetOpRollup &roll : ops_) {
+        for (const FleetInstanceStat &s : roll.instances) {
+            if (!s.straggler)
+                continue;
+            flightRecorder().node("fleet").record(
+                now_ns, FrEvent::kStragglerSuspect, 0,
+                static_cast<std::uint64_t>(s.score * 1000.0),
+                static_cast<std::uint64_t>(s.p99_ns), s.instance);
+        }
+    }
+}
+
+} // namespace nasd::util

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fleet rollups and straggler detection over the metrics registry.
+ *
+ * A FleetRollup walks every LogHistogram latency instrument whose path
+ * follows the registry convention `<instance>/ops/<op>/latency_ns`,
+ * groups siblings by (normalized instance family, op) — "nasd17" and
+ * "nasd92" both normalize to "nasd", so per-drive op histograms land
+ * in one group while cheops client instruments stay in their own — and
+ * merges each group losslessly into a fleet aggregate. Because
+ * LogHistogram::merge is exact, the fleet percentiles are identical to
+ * what one histogram fed every drive's samples would report.
+ *
+ * Straggler detection is robust per group: the deviation score of
+ * instance i is
+ *
+ *   score_i = (p99_i - median(p99)) / max(1.4826 * MAD, 5% of median, 1)
+ *
+ * i.e. distance from the median of per-instance p99s in units of the
+ * median absolute deviation (the 1.4826 factor rescales MAD to sigma
+ * for a normal population). The 5%-of-median floor keeps a healthy,
+ * quantized-identical fleet (MAD = 0) from dividing by nothing, and
+ * the 1 ns floor covers degenerate all-zero groups. An instance is
+ * flagged when score > kScoreThreshold and the group has at least
+ * kMinInstances members — with a 3x slow drive the score lands around
+ * 40, while healthy fleets sit near 0.
+ */
+#ifndef NASD_UTIL_FLEET_H_
+#define NASD_UTIL_FLEET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/log_histogram.h"
+
+namespace nasd::util {
+
+class MetricsRegistry;
+
+/** One instance's contribution to a fleet op group. */
+struct FleetInstanceStat
+{
+    std::string instance; ///< full instance prefix, e.g. "nasd17"
+    std::uint64_t count = 0;
+    double p50_ns = 0.0;
+    double p99_ns = 0.0;
+    double score = 0.0; ///< robust deviation of p99 from group median
+    bool straggler = false;
+};
+
+/** All sibling instruments of one (family, op), merged. */
+struct FleetOpRollup
+{
+    std::string group; ///< normalized "<family>/<op>", e.g. "nasd/read"
+    LogHistogram merged;
+    std::vector<FleetInstanceStat> instances; ///< ascending path order
+    double median_p99_ns = 0.0;
+    double mad_ns = 0.0;
+};
+
+class FleetRollup
+{
+  public:
+    static constexpr double kScoreThreshold = 8.0;
+    static constexpr std::size_t kMinInstances = 4;
+
+    /** Build rollups from every latency instrument in @p reg. */
+    static FleetRollup collect(const MetricsRegistry &reg);
+
+    const std::vector<FleetOpRollup> &ops() const { return ops_; }
+
+    /** Flagged instances across all groups, deterministic order. */
+    std::vector<const FleetInstanceStat *> stragglers() const;
+
+    /**
+     * Deterministic JSON object for the BENCH_*.json "fleet_rollup"
+     * section: per-group merged histogram, per-instance stats, and the
+     * straggler list.
+     */
+    std::string toJson() const;
+
+    /**
+     * Record one FrEvent::kStragglerSuspect per flagged instance on
+     * the ambient flight recorder's "fleet" journal (a = score in
+     * milli-units, b = p99 ns, detail = instance name).
+     */
+    void journalStragglers(std::uint64_t now_ns) const;
+
+    /**
+     * Strip instance numbering from a metrics prefix: every path
+     * segment loses a trailing "#N" dedup suffix, then trailing
+     * digits ("nasd17" -> "nasd", "miner3/cheops" -> "miner/cheops").
+     */
+    static std::string normalizeInstance(const std::string &instance);
+
+  private:
+    std::vector<FleetOpRollup> ops_;
+};
+
+} // namespace nasd::util
+
+#endif // NASD_UTIL_FLEET_H_

@@ -97,6 +97,8 @@ frEventName(FrEvent e)
       case FrEvent::kPhaseBegin:         return "phase_begin";
       case FrEvent::kPhaseEnd:           return "phase_end";
       case FrEvent::kClientOp:           return "client_op";
+      case FrEvent::kDriveSlowdown:      return "drive_slowdown";
+      case FrEvent::kStragglerSuspect:   return "straggler_suspect";
     }
     return "?";
 }

@@ -88,6 +88,9 @@ enum class FrEvent : std::uint8_t
     kPhaseEnd,   ///< detail = phase name
     // Top-level client operation (pfs/cheops entry points).
     kClientOp, ///< detail = op name, a = offset, b = bytes
+    // Fleet telemetry.
+    kDriveSlowdown,    ///< a = mech scale in milli-units (3000 = 3.0x)
+    kStragglerSuspect, ///< detail = drive, a = score milli, b = p99 ns
 };
 
 /** Stable lower_snake name of an event kind (JSON + reports). */

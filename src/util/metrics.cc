@@ -21,6 +21,8 @@ kindName(int kind)
         return "gauge";
       case 2:
         return "histogram";
+      case 3:
+        return "latency";
     }
     return "?";
 }
@@ -238,6 +240,9 @@ MetricsRegistry::lookup(const std::string &path, Kind kind)
           case Kind::kHistogram:
             e.histogram = std::make_unique<SampleStats>();
             break;
+          case Kind::kLatency:
+            e.latency = std::make_unique<LogHistogram>();
+            break;
         }
     } else if (e.kind != kind) {
         NASD_PANIC("metric '", path, "' registered as ",
@@ -263,6 +268,12 @@ SampleStats &
 MetricsRegistry::histogram(const std::string &path)
 {
     return *lookup(path, Kind::kHistogram).histogram;
+}
+
+LogHistogram &
+MetricsRegistry::latency(const std::string &path)
+{
+    return *lookup(path, Kind::kLatency).latency;
 }
 
 std::string
@@ -319,6 +330,15 @@ MetricsRegistry::toJson() const
            << ", \"p99\": " << jsonNumber(h.percentile(99)) << "}";
         first = false;
     }
+    os << (first ? "" : "\n  ") << "},\n  \"latencies\": {";
+    first = true;
+    for (const auto &[path, e] : entries_) {
+        if (e.kind != Kind::kLatency)
+            continue;
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(path)
+           << "\": " << e.latency->toJson();
+        first = false;
+    }
     os << (first ? "" : "\n  ") << "}\n}\n";
     return os.str();
 }
@@ -372,6 +392,60 @@ MetricsRegistry::importJson(std::string_view json)
                 } while (scan.consume(','));
                 scan.expect('}');
             }
+        } else if (section == "latencies") {
+            scan.expect('{');
+            if (!scan.consume('}')) {
+                do {
+                    std::string path = scan.parseString();
+                    scan.expect(':');
+                    std::uint64_t count = 0, sum = 0, lo = 0, hi = 0;
+                    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+                        buckets;
+                    scan.expect('{');
+                    if (!scan.consume('}')) {
+                        do {
+                            std::string key = scan.parseString();
+                            scan.expect(':');
+                            if (key == "count") {
+                                count = static_cast<std::uint64_t>(
+                                    scan.parseNumber());
+                            } else if (key == "sum") {
+                                sum = static_cast<std::uint64_t>(
+                                    scan.parseNumber());
+                            } else if (key == "min") {
+                                lo = static_cast<std::uint64_t>(
+                                    scan.parseNumber());
+                            } else if (key == "max") {
+                                hi = static_cast<std::uint64_t>(
+                                    scan.parseNumber());
+                            } else if (key == "buckets") {
+                                scan.expect('[');
+                                if (!scan.consume(']')) {
+                                    do {
+                                        scan.expect('[');
+                                        auto lower =
+                                            static_cast<std::uint64_t>(
+                                                scan.parseNumber());
+                                        scan.expect(',');
+                                        auto n = static_cast<std::uint64_t>(
+                                            scan.parseNumber());
+                                        scan.expect(']');
+                                        buckets.emplace_back(lower, n);
+                                    } while (scan.consume(','));
+                                    scan.expect(']');
+                                }
+                            } else {
+                                // mean/p50/p95/p99 are derived state.
+                                scan.skipValue();
+                            }
+                        } while (scan.consume(','));
+                        scan.expect('}');
+                    }
+                    requireKind(path, Kind::kLatency);
+                    latency(path).restore(count, sum, lo, hi, buckets);
+                } while (scan.consume(','));
+                scan.expect('}');
+            }
         } else {
             scan.skipValue();
         }
@@ -406,6 +480,16 @@ MetricsRegistry::forEachHistogram(
     for (const auto &[path, e] : entries_)
         if (e.kind == Kind::kHistogram)
             fn(path, *e.histogram);
+}
+
+void
+MetricsRegistry::forEachLatency(
+    const std::function<void(const std::string &, const LogHistogram &)> &fn)
+    const
+{
+    for (const auto &[path, e] : entries_)
+        if (e.kind == Kind::kLatency)
+            fn(path, *e.latency);
 }
 
 MetricsRegistry &

@@ -23,6 +23,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/log_histogram.h"
 #include "util/stats.h"
 
 namespace nasd::util {
@@ -60,6 +61,16 @@ class MetricsRegistry
     SampleStats &histogram(const std::string &path);
 
     /**
+     * Mergeable log-bucketed latency histogram at @p path (created on
+     * first use). Preferred over histogram() for per-instance latency
+     * instruments: sibling instruments can be merged losslessly into
+     * fleet rollups (see util::FleetRollup), which a SampleStats
+     * reservoir cannot do. Keep histogram() only where tests assert
+     * exact sample retention.
+     */
+    LogHistogram &latency(const std::string &path);
+
+    /**
      * Reserve an instance prefix: returns @p stem the first time, then
      * "stem#2", "stem#3", ... so two drives named "drive" get disjoint
      * metric subtrees.
@@ -76,14 +87,18 @@ class MetricsRegistry
      * Deterministic JSON snapshot:
      * {"counters": {path: n, ...},
      *  "gauges": {path: x, ...},
-     *  "histograms": {path: {count, mean, min, max, p50, p95, p99}}}
+     *  "histograms": {path: {count, mean, min, max, p50, p95, p99}},
+     *  "latencies": {path: {count, sum, min, max, mean, p50, p95, p99,
+     *                       buckets: [[lower, n], ...]}}}
      */
     std::string toJson() const;
 
     /**
-     * Load counters and gauges from a toJson() snapshot (histograms are
-     * summarized on export and cannot round-trip samples). Panics on
-     * malformed input; intended for tests and offline tooling.
+     * Load counters, gauges, and latencies from a toJson() snapshot
+     * (SampleStats histograms are summarized on export and cannot
+     * round-trip samples; latencies round-trip exactly because their
+     * buckets are the full state). Panics on malformed input; intended
+     * for tests and offline tooling.
      */
     void importJson(std::string_view json);
 
@@ -102,9 +117,12 @@ class MetricsRegistry
     void forEachHistogram(
         const std::function<void(const std::string &, const SampleStats &)>
             &fn) const;
+    void forEachLatency(
+        const std::function<void(const std::string &, const LogHistogram &)>
+            &fn) const;
 
   private:
-    enum class Kind { kCounter, kGauge, kHistogram };
+    enum class Kind { kCounter, kGauge, kHistogram, kLatency };
 
     struct Entry
     {
@@ -112,6 +130,7 @@ class MetricsRegistry
         std::unique_ptr<Counter> counter;
         std::unique_ptr<Gauge> gauge;
         std::unique_ptr<SampleStats> histogram;
+        std::unique_ptr<LogHistogram> latency;
     };
 
     Entry &lookup(const std::string &path, Kind kind);

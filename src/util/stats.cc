@@ -73,18 +73,28 @@ SampleStats::percentile(double p) const
     NASD_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
     if (samples_.empty())
         return 0.0;
+    // A bounded reservoir may have evicted the true extremes, so at the
+    // exact-full boundary (count_ == capacity_ + 1 and beyond) the
+    // retained-sample quantiles drift off the envelope that min_/max_
+    // track exactly. Pin the endpoints and clamp interpolated values;
+    // in exact mode these are no-ops.
+    if (p == 0.0)
+        return min();
+    if (p == 100.0)
+        return max();
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;
         ++sort_count_;
     }
     if (samples_.size() == 1)
-        return samples_.front();
+        return std::clamp(samples_.front(), min(), max());
     const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
     const auto lo = static_cast<std::size_t>(rank);
     const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    const double v = samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    return std::clamp(v, min(), max());
 }
 
 void

@@ -1,0 +1,40 @@
+// Fixture: latency instruments backed by a SampleStats reservoir.
+// Reservoirs subsample past capacity, so merging two of them is not
+// exact — a fleet rollup built on one misstates the tail. Every
+// latency-named SampleStats declaration and every .histogram() lookup
+// of a latency path must be flagged.
+
+namespace fx {
+
+struct SampleStats
+{
+    void add(double v);
+};
+
+struct Registry
+{
+    SampleStats &histogram(const char *path);
+};
+
+class DriveMetrics
+{
+  public:
+    explicit DriveMetrics(Registry &reg)
+        : read_latency_ns_(
+              reg.histogram("nasd0/ops/read/latency_ns")) // EXPECT[A8]
+    {
+    }
+
+    void
+    finishOp(Registry &reg, double elapsed)
+    {
+        SampleStats &op_latency = // EXPECT[A8]
+            reg.histogram("nasd0/ops/write/latency_ns"); // EXPECT[A8]
+        op_latency.add(elapsed);
+    }
+
+  private:
+    SampleStats &read_latency_ns_; // EXPECT[A8]
+};
+
+} // namespace fx

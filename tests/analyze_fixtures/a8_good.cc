@@ -1,0 +1,51 @@
+// Fixture: A8-clean instrument use. Latency paths go through the
+// registry's latency() lookup (util::LogHistogram — exact merge), and
+// SampleStats stays legitimate for non-latency distributions (queue
+// depths, batch sizes) and for histogram paths that are not latencies.
+// The analyzer must stay silent on all of it.
+
+namespace fx {
+
+struct SampleStats
+{
+    void add(double v);
+};
+
+struct LogHistogram
+{
+    void record(unsigned long long v);
+};
+
+struct Registry
+{
+    SampleStats &histogram(const char *path);
+    LogHistogram &latency(const char *path);
+};
+
+class DriveMetrics
+{
+  public:
+    explicit DriveMetrics(Registry &reg)
+        : read_latency_ns_(reg.latency("nasd0/ops/read/latency_ns")),
+          queue_depth_(reg.histogram("nasd0/queue_depth"))
+    {
+    }
+
+    void
+    finishOp(Registry &reg, unsigned long long elapsed, double depth)
+    {
+        LogHistogram &op_latency =
+            reg.latency("nasd0/ops/write/latency_ns");
+        op_latency.record(elapsed);
+        // A reservoir over a non-latency distribution is fine.
+        SampleStats &batch = reg.histogram("nasd0/batch_bytes");
+        batch.add(depth);
+        queue_depth_.add(depth);
+    }
+
+  private:
+    LogHistogram &read_latency_ns_;
+    SampleStats &queue_depth_;
+};
+
+} // namespace fx

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Golden-output tests for tools/flight_report.py.
+
+Feeds the checked-in mini journal (a hand-written kill-drive-shaped
+timeline: phases, a rebuild fence/start/complete/re-fence, one write
+racing the rebuild, a drive_slowdown, and a straggler_suspect verdict)
+through every reader view and byte-compares stdout against the golden
+files next to it:
+
+  summary            -> expected_summary.txt
+  --trace 7          -> expected_trace.txt   (radius 2)
+  --around 8         -> expected_around.txt  (radius 3)
+  --find-rebuild-race-> expected_race.txt    (radius 2)
+
+The journal deliberately uses every event family the reader formats —
+including the fleet-telemetry kinds (drive_slowdown,
+straggler_suspect) — so a renamed kind, a reordered merge, or a
+formatting change in fmt() shows up as a readable diff here instead of
+silently garbling post-mortems. Regenerate the goldens by running the
+commands in CASES below and reviewing the diff.
+
+Usage: run_flight_report_tests.py [--report PATH] [--journal-dir DIR]
+Exit status: 0 all views match, 1 otherwise.
+"""
+
+import argparse
+import difflib
+import subprocess
+import sys
+from pathlib import Path
+
+CASES = [
+    ("summary", [], "expected_summary.txt"),
+    ("trace", ["--trace", "7", "--radius", "2"], "expected_trace.txt"),
+    ("around", ["--around", "8", "--radius", "3"], "expected_around.txt"),
+    ("race", ["--find-rebuild-race", "--radius", "2"],
+     "expected_race.txt"),
+]
+
+
+def main():
+    here = Path(__file__).resolve().parent
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--report",
+                    default=str(here.parent.parent / "tools"
+                                / "flight_report.py"))
+    ap.add_argument("--journal-dir", default=str(here))
+    args = ap.parse_args()
+
+    journal_dir = Path(args.journal_dir)
+    journal = journal_dir / "mini_journal.json"
+    failures = []
+    for name, extra, golden_name in CASES:
+        proc = subprocess.run(
+            [sys.executable, args.report, str(journal), *extra],
+            capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            failures.append(f"{name}: exit {proc.returncode}:"
+                            f"\n{proc.stderr}")
+            continue
+        golden = (journal_dir / golden_name).read_text()
+        if proc.stdout != golden:
+            diff = "".join(difflib.unified_diff(
+                golden.splitlines(keepends=True),
+                proc.stdout.splitlines(keepends=True),
+                fromfile=golden_name, tofile=f"flight_report {name}",
+            ))
+            failures.append(f"{name}: output differs from golden:"
+                            f"\n{diff}")
+        else:
+            print(f"{name}: matches {golden_name}")
+
+    if failures:
+        for f in failures:
+            print(f, file=sys.stderr)
+        print(f"\n{len(failures)} view(s) diverged", file=sys.stderr)
+        return 1
+    print(f"\nall {len(CASES)} flight_report views match their goldens")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,9 +40,11 @@ TEST(MetricsRegistry, ContainsSeesAllKinds)
     reg.counter("a/count");
     reg.gauge("a/gauge");
     reg.histogram("a/hist");
+    reg.latency("a/latency_ns");
     EXPECT_TRUE(reg.contains("a/count"));
     EXPECT_TRUE(reg.contains("a/gauge"));
     EXPECT_TRUE(reg.contains("a/hist"));
+    EXPECT_TRUE(reg.contains("a/latency_ns"));
     EXPECT_FALSE(reg.contains("a/missing"));
 }
 
@@ -54,6 +56,30 @@ TEST(MetricsRegistryDeathTest, KindCollisionPanics)
                  "registered as counter, requested as gauge");
     EXPECT_DEATH(reg.histogram("drive0/ops_served"),
                  "registered as counter, requested as histogram");
+    EXPECT_DEATH(reg.latency("drive0/ops_served"),
+                 "registered as counter, requested as latency");
+}
+
+TEST(MetricsRegistry, LatencySectionRoundTripsExactly)
+{
+    // Unlike SampleStats histograms (summarized on export), latency
+    // instruments serialize their full bucket state, so a reload is
+    // byte-identical to the original dump.
+    MetricsRegistry reg;
+    LogHistogram &h = reg.latency("nasd0/ops/read/latency_ns");
+    h.record(1000);
+    h.record(2500);
+    h.record(7'000'000);
+    const std::string json = reg.toJson();
+    EXPECT_NE(json.find("\"latencies\""), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+
+    MetricsRegistry loaded;
+    loaded.importJson(json);
+    EXPECT_EQ(loaded.latency("nasd0/ops/read/latency_ns").count(), 3u);
+    EXPECT_EQ(loaded.latency("nasd0/ops/read/latency_ns").max(),
+              7'000'000u);
+    EXPECT_EQ(loaded.toJson(), json);
 }
 
 TEST(MetricsRegistry, UniquePrefixDeduplicatesInstances)

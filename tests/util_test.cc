@@ -324,6 +324,41 @@ TEST(SampleStats, ReservoirApproximatesTailPercentiles)
     }
 }
 
+TEST(SampleStats, ReservoirBoundaryPinsEnvelopeToExactExtremes)
+{
+    // At exactly-full capacity the reservoir has evicted nothing, so
+    // both modes must agree on every percentile.
+    SampleStats exact;
+    SampleStats res(8);
+    for (int i = 1; i <= 8; ++i) {
+        exact.add(static_cast<double>(i));
+        res.add(static_cast<double>(i));
+    }
+    for (double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(res.percentile(p), exact.percentile(p)) << p;
+
+    // One past the boundary eviction starts, and with this input the
+    // deterministic generator eventually drops both true extremes from
+    // the reservoir. min_/max_ are tracked exactly, so the percentile
+    // envelope must pin to them instead of the surviving residents.
+    exact.add(1000.0);
+    res.add(1000.0);
+    for (int i = 0; i < 200; ++i) {
+        exact.add(5.0);
+        res.add(5.0);
+    }
+    EXPECT_EQ(res.retained(), 8u);
+    EXPECT_DOUBLE_EQ(res.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(res.percentile(100), 1000.0);
+    EXPECT_DOUBLE_EQ(res.percentile(0), exact.percentile(0));
+    EXPECT_DOUBLE_EQ(res.percentile(100), exact.percentile(100));
+    // Interior percentiles stay within the exact envelope.
+    for (double p : {10.0, 50.0, 95.0}) {
+        EXPECT_GE(res.percentile(p), res.min());
+        EXPECT_LE(res.percentile(p), res.max());
+    }
+}
+
 TEST(TimeSeries, ColumnsAccumulateInStep)
 {
     TimeSeries ts(50'000'000); // 50 ms interval

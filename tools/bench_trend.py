@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Diff headline metrics across two or more BENCH_*.json dumps.
+
+Takes the dumps oldest-first (e.g. the checked-in baseline, then
+today's run) and prints one row per headline gauge — ``*_mbps``
+throughput points, ``*_instr`` instruction counts, ``*_ms`` latencies
+(which includes the fleet p50/p99 gauges) — with its value in every
+dump and the relative change from the first to the last. Gauges
+missing from a dump are shown as ``-`` and never fail the check on
+their own: a brand-new gauge has no history to regress against.
+
+With ``--fail-above PCT`` the exit status turns 1 when any gauge
+present in both the first and last dump moved by more than PCT
+percent in either direction — CI wires this against the baselines so
+a silent throughput or tail-latency drift fails the build with a
+readable table instead of a bare tolerance error.
+
+Usage:
+    tools/bench_trend.py OLD.json [MID.json ...] NEW.json \
+        [--fail-above 25]
+
+Exit status: 0 clean, 1 unreadable input or a delta above the limit.
+"""
+
+import argparse
+import json
+import sys
+
+HEADLINE_SUFFIXES = ("_mbps", "_instr", "_ms")  # as check_bench_json.py
+
+
+def headline_gauges(doc):
+    return {
+        path: float(value)
+        for path, value in doc.get("metrics", {}).get("gauges", {}).items()
+        if path.endswith(HEADLINE_SUFFIXES)
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("dumps", nargs="+",
+                        help="two or more BENCH_*.json files, oldest first")
+    parser.add_argument("--fail-above", type=float, metavar="PCT",
+                        help="fail when any first-to-last delta exceeds"
+                             " PCT percent")
+    args = parser.parse_args()
+    if len(args.dumps) < 2:
+        parser.error("need at least two dumps to diff")
+
+    docs = []
+    for path in args.dumps:
+        try:
+            with open(path) as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            return 1
+
+    benches = {doc.get("bench") for doc in docs}
+    if len(benches) > 1:
+        print(f"warning: dumps come from different benches: "
+              f"{sorted(str(b) for b in benches)}", file=sys.stderr)
+
+    gauges = [headline_gauges(doc) for doc in docs]
+    paths = sorted(set().union(*gauges))
+    if not paths:
+        print("no headline gauges found"
+              f" (suffixes: {', '.join(HEADLINE_SUFFIXES)})")
+        return 1
+
+    width = max(len(p) for p in paths)
+    cols = [f"[{i}] {p}" for i, p in enumerate(args.dumps)]
+    for i, c in enumerate(cols):
+        print(c)
+    header = " ".join(f"{f'[{i}]':>12}" for i in range(len(docs)))
+    print(f"\n{'gauge':<{width}} {header} {'delta':>9}")
+
+    offenders = []
+    for path in paths:
+        cells = []
+        for g in gauges:
+            cells.append(f"{g[path]:>12.3f}" if path in g else f"{'-':>12}")
+        first, last = gauges[0].get(path), gauges[-1].get(path)
+        if first is None or last is None:
+            delta = "new" if first is None else "gone"
+        elif first == 0:
+            delta = "0-base" if last != 0 else "+0.0%"
+        else:
+            pct = (last - first) / abs(first) * 100.0
+            delta = f"{pct:+.1f}%"
+            if args.fail_above is not None \
+                    and abs(pct) > args.fail_above:
+                offenders.append((path, pct))
+        print(f"{path:<{width}} {' '.join(cells)} {delta:>9}")
+
+    if offenders:
+        print(f"\n{len(offenders)} gauge(s) moved more than "
+              f"±{args.fail_above:g}% from {args.dumps[0]} to"
+              f" {args.dumps[-1]}:")
+        for path, pct in offenders:
+            print(f"  {path}: {pct:+.1f}%")
+        return 1
+    if args.fail_above is not None:
+        print(f"\nall shared gauges within ±{args.fail_above:g}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

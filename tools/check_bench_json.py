@@ -10,13 +10,37 @@ Schema (written by bench::writeBenchJson):
      "metrics": {"counters": {path: int, ...},
                  "gauges": {path: float, ...},
                  "histograms": {path: {count, mean, min, max,
-                                       p50, p95, p99}, ...}},
+                                       p50, p95, p99}, ...},
+                 "latencies": {path: {count, sum, min, max, mean,
+                                      p50, p95, p99,
+                                      "buckets": [[lower, n], ...]},
+                               ...}},
      "timeseries": {"interval_ns": int, "start_ns": int,
-                    "samples": int, "series": {name: [float, ...]}}}
+                    "samples": int, "series": {name: [float, ...]}},
+     "fleet_rollup": {"score_threshold": float, "min_instances": int,
+                      "ops": {group: {"merged": <latency histogram>,
+                                      "median_p99_ns": float,
+                                      "mad_ns": float,
+                                      "instances": {name: {...}},
+                                      "stragglers": [name, ...]}}}}
 
 The "timeseries" section is optional (present when the bench sampled a
 sim::StatsPoller run); when present every series must carry one value
 per sampling interval.
+
+The "metrics.latencies" section (util::LogHistogram instruments) is
+optional for older dumps; when present every histogram's bucket lower
+bounds must be strictly increasing and the bucket counts must sum to
+the histogram's count — a violation means merge() or restore() broke.
+
+The "fleet_rollup" section (util::FleetRollup; merged per-op latency
+across instrument siblings + straggler verdicts) is REQUIRED: every
+writeBenchJson dump carries one. Per op group the merged histogram is
+validated like a latency instrument, its count must equal the sum of
+the per-instance counts (exact-merge invariant), and the "stragglers"
+list must be exactly the instances flagged "straggler": true. The
+optional "fleet_rollups" section (fig9_mining --drives) maps drive
+count -> one rollup per sweep point, each validated the same way.
 
 The "fleet_health" section is optional (written by fig9_mining
 --kill-drive from the flight-recorder journal): {"phases": [{"name":
@@ -104,10 +128,151 @@ def check_schema(doc, errors):
         if missing:
             fail(errors, f"histogram '{path}' missing keys:"
                          f" {sorted(missing)}")
+    for path, summary in metrics.get("latencies", {}).items():
+        check_latency_histogram(summary, f"latency '{path}'", errors)
     if "timeseries" in doc:
         check_timeseries(doc["timeseries"], errors)
     if "fleet_health" in doc:
         check_fleet_health(doc, errors)
+    if "fleet_rollup" not in doc:
+        fail(errors, "missing 'fleet_rollup' section (every"
+                     " writeBenchJson dump carries one)")
+    else:
+        check_fleet_rollup(doc["fleet_rollup"], "fleet_rollup", errors)
+    rollups = doc.get("fleet_rollups")
+    if rollups is not None:
+        if not isinstance(rollups, dict):
+            fail(errors, "'fleet_rollups' is not an object")
+        else:
+            for count, rollup in rollups.items():
+                if not count.isdigit() or int(count) <= 0:
+                    fail(errors, f"fleet_rollups key '{count}' is not a"
+                                 " positive drive count")
+                check_fleet_rollup(rollup, f"fleet_rollups[{count}]",
+                                   errors)
+
+
+LATENCY_KEYS = {"count", "sum", "min", "max", "mean",
+                "p50", "p95", "p99", "buckets"}
+
+
+def check_latency_histogram(summary, where, errors):
+    """Validate one LogHistogram JSON object: required keys, strictly
+    increasing bucket lower bounds, bucket counts summing to count."""
+    if not isinstance(summary, dict):
+        fail(errors, f"{where} is not an object")
+        return
+    missing = LATENCY_KEYS - summary.keys()
+    if missing:
+        fail(errors, f"{where} missing keys: {sorted(missing)}")
+        return
+    for key in ("count", "sum", "min", "max"):
+        v = summary[key]
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(errors, f"{where} '{key}' is not a non-negative int:"
+                         f" {v!r}")
+            return
+    buckets = summary["buckets"]
+    if not isinstance(buckets, list):
+        fail(errors, f"{where} 'buckets' is not a list")
+        return
+    total = 0
+    prev_lower = -1
+    for i, bucket in enumerate(buckets):
+        if (not isinstance(bucket, list) or len(bucket) != 2
+                or not all(isinstance(x, int) and not isinstance(x, bool)
+                           and x >= 0 for x in bucket)):
+            fail(errors, f"{where} buckets[{i}] is not a"
+                         f" [lower, count] pair of non-negative ints:"
+                         f" {bucket!r}")
+            return
+        lower, n = bucket
+        if lower <= prev_lower:
+            fail(errors, f"{where} bucket lower bounds are not strictly"
+                         f" increasing at index {i}: {lower} after"
+                         f" {prev_lower}")
+            return
+        if n == 0:
+            fail(errors, f"{where} buckets[{i}] has a zero count"
+                         " (empty buckets are omitted on export)")
+        prev_lower = lower
+        total += n
+    if total != summary["count"]:
+        fail(errors, f"{where} bucket counts sum to {total}, expected"
+                     f" count {summary['count']}")
+
+
+INSTANCE_KEYS = {"count", "p50_ns", "p99_ns", "score", "straggler"}
+
+
+def check_fleet_rollup(rollup, where, errors):
+    """Validate one util::FleetRollup JSON object, including the
+    exact-merge invariant (merged count == sum of instance counts) and
+    straggler-list consistency with the per-instance verdicts."""
+    if not isinstance(rollup, dict):
+        fail(errors, f"{where} is not an object")
+        return
+    for key in ("score_threshold", "min_instances"):
+        v = rollup.get(key)
+        if isinstance(v, bool) or not isinstance(v, (int, float)) \
+                or v <= 0:
+            fail(errors, f"{where} '{key}' is not a positive number:"
+                         f" {v!r}")
+    ops = rollup.get("ops")
+    if not isinstance(ops, dict):
+        fail(errors, f"{where} 'ops' missing or not an object")
+        return
+    for group, op in ops.items():
+        opw = f"{where} op '{group}'"
+        if not isinstance(op, dict):
+            fail(errors, f"{opw} is not an object")
+            continue
+        check_latency_histogram(op.get("merged"), f"{opw} merged", errors)
+        for key in ("median_p99_ns", "mad_ns"):
+            v = op.get(key)
+            if isinstance(v, bool) or not isinstance(v, (int, float)) \
+                    or v < 0:
+                fail(errors, f"{opw} '{key}' is not a non-negative"
+                             f" number: {v!r}")
+        instances = op.get("instances")
+        if not isinstance(instances, dict) or not instances:
+            fail(errors, f"{opw} 'instances' missing or empty")
+            continue
+        flagged = []
+        total = 0
+        for name, inst in sorted(instances.items()):
+            instw = f"{opw} instance '{name}'"
+            if not isinstance(inst, dict):
+                fail(errors, f"{instw} is not an object")
+                continue
+            missing = INSTANCE_KEYS - inst.keys()
+            if missing:
+                fail(errors, f"{instw} missing keys: {sorted(missing)}")
+                continue
+            if not isinstance(inst["count"], int) or inst["count"] < 0:
+                fail(errors, f"{instw} 'count' is not a non-negative"
+                             f" int: {inst['count']!r}")
+                continue
+            if not isinstance(inst["straggler"], bool):
+                fail(errors, f"{instw} 'straggler' is not a bool:"
+                             f" {inst['straggler']!r}")
+                continue
+            total += inst["count"]
+            if inst["straggler"]:
+                flagged.append(name)
+        merged = op.get("merged")
+        if isinstance(merged, dict) \
+                and isinstance(merged.get("count"), int) \
+                and merged["count"] != total:
+            fail(errors, f"{opw} merged count {merged['count']} !="
+                         f" sum of instance counts {total}"
+                         " (exact-merge invariant)")
+        stragglers = op.get("stragglers")
+        if not isinstance(stragglers, list):
+            fail(errors, f"{opw} 'stragglers' is not a list")
+        elif stragglers != flagged:
+            fail(errors, f"{opw} straggler list {stragglers} does not"
+                         f" match flagged instances {flagged}")
 
 
 KILL_DRIVE_PHASES = ["healthy", "degraded", "rebuild", "post_rebuild"]

@@ -51,8 +51,10 @@ run_twice() {
             "$WORK/${name}_$pass.txt"
         sed -i "s|$WORK/${name}_$pass.json|DUMP|g" "$WORK/${name}_$pass.txt"
         # Scheduler wall-clock throughput legitimately differs between
-        # runs; everything else in the dump must not.
-        sed -i 's|"sim/events_per_sec": [^,}]*|"sim/events_per_sec": X|' \
+        # runs; everything else in the dump must not. Normalize to 0
+        # (not a placeholder token) so the dump stays valid JSON for
+        # the dashboard render below.
+        sed -i 's|"sim/events_per_sec": [^,}]*|"sim/events_per_sec": 0|' \
             "$WORK/${name}_$pass.json"
     done
     if ! cmp -s "$WORK/${name}_1.json" "$WORK/${name}_2.json"; then
@@ -81,5 +83,25 @@ run_twice fig6 nojournal fig6_bandwidth || STATUS=1
 run_twice fig9 nojournal fig9_mining || STATUS=1
 run_twice fig9_scale64 nojournal fig9_mining --drives 64 || STATUS=1
 run_twice rebuild journal fig9_mining --kill-drive || STATUS=1
+
+# The fleet dashboard must be a pure function of its input dump: two
+# renders of the same BENCH json must produce byte-identical HTML, or
+# the CI artifact stops being diffable across runs.
+if [ -f "$WORK/fig9_scale64_1.json" ]; then
+    for pass in 1 2; do
+        if ! python3 "$ROOT/tools/fleet_dashboard.py" \
+                "$WORK/fig9_scale64_1.json" \
+                --out "$WORK/dashboard_$pass.html" >/dev/null; then
+            echo "dashboard: render pass $pass failed"
+            STATUS=1
+        fi
+    done
+    if ! cmp -s "$WORK/dashboard_1.html" "$WORK/dashboard_2.html"; then
+        echo "dashboard: HTML differs between identical renders"
+        STATUS=1
+    else
+        echo "dashboard: deterministic (double render byte-identical)"
+    fi
+fi
 
 exit $STATUS

@@ -1,0 +1,304 @@
+#!/usr/bin/env python3
+"""Render a BENCH_*.json dump as a self-contained fleet dashboard.
+
+Input is a bench metrics dump written by bench::writeBenchJson — the
+"fleet_rollup" section (util::FleetRollup: merged per-op latency
+histograms, per-instance deviation scores, straggler verdicts) plus,
+when present, the 50 ms "timeseries" section sampled by a
+sim::StatsPoller run. Output is one static HTML file with zero
+external resources and zero JavaScript:
+
+  * per-drive utilization heatmap — one row per `<drive>_cpu_util`
+    series, one cell per sampling interval, shaded by utilization, so
+    a straggling or idle drive is visible as a discolored stripe;
+  * fleet percentile ladder — p25..p99.9 of every op group's merged
+    histogram, computed from the dump's log-bucketed counts with the
+    same midpoint rule as util::LogHistogram::percentile();
+  * straggler callouts — every instance whose deviation score crossed
+    the rollup threshold, with its p99 against the fleet median;
+  * throughput / queue-depth sparkline tables for the remaining
+    time series.
+
+The renderer is deliberately deterministic: no wall-clock, no RNG, no
+environment probes, sorted iteration everywhere, fixed-precision
+number formatting. tools/check_determinism.sh renders the dashboard
+twice from identical dumps and byte-compares the HTML.
+
+Usage:
+    tools/fleet_dashboard.py BENCH_fig9.json [--out fleet_dashboard.html]
+
+Exit status: 0 on success, 1 on malformed input.
+"""
+
+import argparse
+import html
+import json
+import sys
+
+SUB_BUCKET_BITS = 5  # mirrors util::LogHistogram
+SUB_BUCKET_COUNT = 1 << SUB_BUCKET_BITS
+
+
+def bucket_width(lower):
+    """Width of the log-histogram bucket starting at `lower` (the
+    bucket scheme makes the width a function of the lower bound)."""
+    if lower < SUB_BUCKET_COUNT:
+        return 1
+    return 1 << (lower.bit_length() - 1 - SUB_BUCKET_BITS)
+
+
+def percentile(hist, p):
+    """Percentile of a serialized LogHistogram, mirroring the C++
+    midpoint-of-bucket rule so dashboard and bench agree."""
+    count = hist["count"]
+    if count == 0:
+        return 0.0
+    if p == 0.0:
+        return float(hist["min"])
+    if p == 100.0:
+        return float(hist["max"])
+    target = p / 100.0 * count
+    cum = 0
+    for lower, n in hist["buckets"]:
+        cum += n
+        if cum >= target:
+            v = lower + (bucket_width(lower) - 1) / 2.0
+            return min(max(v, float(hist["min"])), float(hist["max"]))
+    return float(hist["max"])
+
+
+def ms(ns):
+    return f"{ns / 1e6:.3f}"
+
+
+def heat_color(frac):
+    """Map [0,1] to a white->steel-blue ramp (integer RGB, so the
+    output bytes are platform-independent)."""
+    frac = min(max(frac, 0.0), 1.0)
+    r = round(247 - frac * (247 - 30))
+    g = round(250 - frac * (250 - 90))
+    b = round(252 - frac * (252 - 160))
+    return f"rgb({r},{g},{b})"
+
+
+def render_heatmap(ts, out):
+    series = ts.get("series", {})
+    drives = sorted((name for name in series if name.endswith("_cpu_util")),
+                    key=lambda n: (len(n), n))
+    if not drives:
+        return
+    interval_ms = ts["interval_ns"] / 1e6
+    out.append("<h2>Per-drive utilization heatmap</h2>")
+    out.append(f"<p>One cell per {interval_ms:.0f} ms sampling interval; "
+               "darker is busier. A straggler shows up as a row that "
+               "stays dark after its siblings go idle.</p>")
+    peak = max((max(series[d]) for d in drives if series[d]), default=0.0)
+    out.append('<table class="heat">')
+    for drive in drives:
+        cells = []
+        for v in series[drive]:
+            frac = v / peak if peak > 0 else 0.0
+            cells.append(f'<td style="background:{heat_color(frac)}" '
+                         f'title="{v:.3f}"></td>')
+        name = html.escape(drive[: -len("_cpu_util")])
+        out.append(f'<tr><th>{name}</th>{"".join(cells)}</tr>')
+    out.append("</table>")
+    out.append(f"<p>peak sampled utilization: {peak:.3f}</p>")
+
+
+def render_sparklines(ts, out):
+    series = ts.get("series", {})
+    rest = sorted(n for n in series if not n.endswith("_cpu_util"))
+    if not rest:
+        return
+    out.append("<h2>Fleet time series</h2>")
+    out.append('<table class="spark"><tr><th>series</th><th>min</th>'
+               "<th>max</th><th>last</th><th>trend</th></tr>")
+    for name in rest:
+        values = series[name]
+        if not values:
+            continue
+        lo, hi = min(values), max(values)
+        bars = ""
+        for v in values:
+            frac = (v - lo) / (hi - lo) if hi > lo else 0.5
+            bar_h = 2 + round(frac * 16)
+            bars += (f'<span class="bar" style="height:{bar_h}px" '
+                     f'title="{v:.3f}"></span>')
+        out.append(f"<tr><th>{html.escape(name)}</th><td>{lo:.3f}</td>"
+                   f"<td>{hi:.3f}</td><td>{values[-1]:.3f}</td>"
+                   f'<td class="trend">{bars}</td></tr>')
+    out.append("</table>")
+
+
+LADDER_POINTS = (25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9)
+
+
+def render_ladder(rollup, out):
+    ops = rollup.get("ops", {})
+    active = [(g, op) for g, op in sorted(ops.items())
+              if op["merged"]["count"] > 0]
+    if not active:
+        out.append("<p>No latency instruments in this dump.</p>")
+        return
+    out.append("<h2>Fleet percentile ladder</h2>")
+    out.append("<p>Merged across all instances of each op group "
+               "(exact histogram merge, not an average of averages). "
+               "Milliseconds.</p>")
+    header = "".join(f"<th>p{p:g}</th>" for p in LADDER_POINTS)
+    out.append(f'<table class="ladder"><tr><th>op group</th><th>ops</th>'
+               f"<th>instances</th><th>min</th>{header}<th>max</th></tr>")
+    for group, op in active:
+        merged = op["merged"]
+        cols = "".join(f"<td>{ms(percentile(merged, p))}</td>"
+                       for p in LADDER_POINTS)
+        out.append(f"<tr><th>{html.escape(group)}</th>"
+                   f"<td>{merged['count']}</td>"
+                   f"<td>{len(op['instances'])}</td>"
+                   f"<td>{ms(merged['min'])}</td>{cols}"
+                   f"<td>{ms(merged['max'])}</td></tr>")
+    out.append("</table>")
+
+
+def render_stragglers(rollup, out):
+    out.append("<h2>Straggler callouts</h2>")
+    threshold = rollup.get("score_threshold", 0)
+    callouts = []
+    for group, op in sorted(rollup.get("ops", {}).items()):
+        for name, inst in sorted(op["instances"].items()):
+            if inst["straggler"]:
+                callouts.append((group, name, inst, op["median_p99_ns"]))
+    if not callouts:
+        out.append(f"<p class=\"ok\">No instance crossed the deviation "
+                   f"threshold (score &gt; {threshold:g}). "
+                   "Fleet looks healthy.</p>")
+        return
+    out.append('<table class="straggler"><tr><th>op group</th>'
+               "<th>instance</th><th>score</th><th>p99 ms</th>"
+               "<th>fleet median p99 ms</th><th>slowdown</th></tr>")
+    for group, name, inst, median_p99 in callouts:
+        slowdown = (inst["p99_ns"] / median_p99
+                    if median_p99 > 0 else float("inf"))
+        out.append(f'<tr class="bad"><td>{html.escape(group)}</td>'
+                   f"<td>{html.escape(name)}</td>"
+                   f"<td>{inst['score']:.1f}</td>"
+                   f"<td>{ms(inst['p99_ns'])}</td>"
+                   f"<td>{ms(median_p99)}</td>"
+                   f"<td>{slowdown:.2f}x</td></tr>")
+    out.append("</table>")
+    out.append(f"<p>{len(callouts)} straggler verdict(s); deviation "
+               "score is (p99 &minus; median of sibling p99s) / "
+               "max(1.4826&middot;MAD, 5% of median, 1 ns).</p>")
+
+
+def render_instances(rollup, out):
+    active = [(g, op) for g, op in sorted(rollup.get("ops", {}).items())
+              if op["merged"]["count"] > 0]
+    if not active:
+        return
+    out.append("<h2>Per-instance deviation</h2>")
+    for group, op in active:
+        out.append(f"<h3>{html.escape(group)}</h3>")
+        out.append('<table class="inst"><tr><th>instance</th><th>ops</th>'
+                   "<th>p50 ms</th><th>p99 ms</th><th>score</th>"
+                   "<th></th></tr>")
+        peak_p99 = max(inst["p99_ns"]
+                       for inst in op["instances"].values()) or 1
+        for name, inst in sorted(op["instances"].items(),
+                                 key=lambda kv: (len(kv[0]), kv[0])):
+            frac = inst["p99_ns"] / peak_p99
+            width = round(frac * 160)
+            cls = ' class="bad"' if inst["straggler"] else ""
+            out.append(
+                f"<tr{cls}><td>{html.escape(name)}</td>"
+                f"<td>{inst['count']}</td><td>{ms(inst['p50_ns'])}</td>"
+                f"<td>{ms(inst['p99_ns'])}</td>"
+                f"<td>{inst['score']:.1f}</td>"
+                f'<td><span class="p99bar" '
+                f'style="width:{width}px"></span></td></tr>')
+        out.append("</table>")
+
+
+CSS = """
+body { font-family: sans-serif; margin: 1.5em; color: #222; }
+h1 { border-bottom: 2px solid #1e5a9e; padding-bottom: 0.2em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #ccc; padding: 2px 8px; text-align: right;
+         font-size: 13px; }
+th { background: #eef2f7; text-align: left; }
+table.heat td { border: none; width: 6px; height: 14px; padding: 0; }
+table.heat th { font-family: monospace; font-size: 12px; }
+tr.bad td { background: #fbe3e4; }
+p.ok { color: #1a7a2e; }
+span.bar { display: inline-block; width: 3px; background: #1e5a9e;
+           margin-right: 1px; vertical-align: baseline; }
+td.trend { text-align: left; }
+span.p99bar { display: inline-block; height: 10px; background: #c0392b; }
+"""
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("dump", help="BENCH_*.json produced by a bench run")
+    parser.add_argument("--out", default="fleet_dashboard.html",
+                        help="output HTML path"
+                             " (default fleet_dashboard.html)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.dump) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{args.dump}: {e}", file=sys.stderr)
+        return 1
+    rollup = doc.get("fleet_rollup")
+    if not isinstance(rollup, dict):
+        print(f"{args.dump}: no fleet_rollup section (rerun the bench; "
+              "every writeBenchJson dump carries one)", file=sys.stderr)
+        return 1
+
+    bench = html.escape(str(doc.get("bench", "?")))
+    reference = html.escape(str(doc.get("reference", "")))
+    out = ["<!DOCTYPE html>", "<html><head>",
+           '<meta charset="utf-8">',
+           f"<title>fleet dashboard — {bench}</title>",
+           f"<style>{CSS}</style>", "</head><body>",
+           f"<h1>Fleet dashboard — {bench}</h1>",
+           f"<p>{reference}</p>"]
+
+    render_stragglers(rollup, out)
+    render_ladder(rollup, out)
+    if "timeseries" in doc:
+        render_heatmap(doc["timeseries"], out)
+        render_sparklines(doc["timeseries"], out)
+    render_instances(rollup, out)
+
+    rollups = doc.get("fleet_rollups")
+    if isinstance(rollups, dict) and rollups:
+        out.append("<h2>Sweep rollups</h2>")
+        out.append('<table><tr><th>drives</th><th>op group</th>'
+                   "<th>ops</th><th>p50 ms</th><th>p99 ms</th>"
+                   "<th>stragglers</th></tr>")
+        for count in sorted(rollups, key=int):
+            for group, op in sorted(rollups[count].get("ops", {}).items()):
+                merged = op["merged"]
+                if merged["count"] == 0:
+                    continue
+                flagged = ", ".join(op["stragglers"]) or "—"
+                out.append(f"<tr><td>{int(count)}</td>"
+                           f"<td>{html.escape(group)}</td>"
+                           f"<td>{merged['count']}</td>"
+                           f"<td>{ms(percentile(merged, 50.0))}</td>"
+                           f"<td>{ms(percentile(merged, 99.0))}</td>"
+                           f"<td>{html.escape(flagged)}</td></tr>")
+        out.append("</table>")
+
+    out.append("</body></html>")
+    with open(args.out, "w") as f:
+        f.write("\n".join(out) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
